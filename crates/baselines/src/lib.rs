@@ -1,0 +1,27 @@
+//! `baselines` — the comparison points of the paper's evaluation (§6.1):
+//!
+//! * [`predictor::PythiaLike`] — a Pythia-style (Middleware '18) linear
+//!   contention predictor. Structural limitations preserved from the
+//!   original, which the paper identifies as its failure mode: it treats
+//!   each workload as a *monolithic* unit (workload-level merged profile),
+//!   aggregates resource pressure without any spatial placement structure,
+//!   and "is not able to handle the propagation effect of partial
+//!   interference".
+//! * [`predictor::EspLike`] — an ESP-style (ICAC '17) regressor that "only
+//!   uses four microarchitecture metrics (IPC, L2 access rate, L3 access
+//!   rate and memory bandwidth) during model training", with quadratic
+//!   feature crosses as in the original.
+//! * [`schedulers::BestFit`] — Pythia's placement policy: the server with
+//!   the *smallest* amount of headroom that still fits.
+//! * [`schedulers::WorstFit`] — the paper's additional baseline: always the
+//!   server with the *largest* amount of available resources.
+//!
+//! The [`predictor::ScenarioPredictor`] trait makes all predictors —
+//! including Gsight itself — interchangeable inside the experiment
+//! harness.
+
+pub mod predictor;
+pub mod schedulers;
+
+pub use predictor::{EspLike, PythiaLike, ScenarioPredictor};
+pub use schedulers::{BestFit, WorstFit};

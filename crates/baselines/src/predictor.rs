@@ -1,0 +1,329 @@
+//! Pythia- and ESP-like predictors behind a common scenario interface.
+
+use gsight::{GsightPredictor, Scenario};
+use metricsd::Metric;
+use mlcore::dataset::Dataset;
+use mlcore::linear::{RidgeSgd, SgdParams};
+
+/// Common interface over all scenario-level QoS predictors (Gsight and the
+/// baselines), used by the Fig. 9/10 comparisons and the schedulers.
+pub trait ScenarioPredictor {
+    /// Display name used in regenerated tables.
+    fn name(&self) -> &'static str;
+    /// Fit the initial offline corpus.
+    fn bootstrap(&mut self, samples: &[(Scenario, f64)]);
+    /// Incremental update with newly observed samples.
+    fn update(&mut self, samples: &[(Scenario, f64)]);
+    /// Predict the target workload's QoS.
+    fn predict(&self, scenario: &Scenario) -> f64;
+}
+
+impl ScenarioPredictor for GsightPredictor {
+    fn name(&self) -> &'static str {
+        "Gsight"
+    }
+    fn bootstrap(&mut self, samples: &[(Scenario, f64)]) {
+        GsightPredictor::bootstrap(self, samples);
+    }
+    fn update(&mut self, samples: &[(Scenario, f64)]) {
+        GsightPredictor::update_batch(self, samples);
+    }
+    fn predict(&self, scenario: &Scenario) -> f64 {
+        GsightPredictor::predict(self, scenario)
+    }
+}
+
+/// Mean of the 16 selected metrics over a workload's *merged* profile —
+/// the monolithic, placement-blind view the baselines operate on.
+fn merged_metrics(w: &gsight::ColoWorkload) -> [f64; metricsd::NUM_SELECTED] {
+    w.profile.merged().mean().selected()
+}
+
+/// Pythia-like predictor: linear regression on
+/// `[target merged metrics | Σ corunner merged metrics]`.
+///
+/// No spatial rows, no temporal code, no call-path structure — when
+/// interference is partial these features cannot distinguish "corunner on
+/// the same server as the sensitive function" from "corunner elsewhere",
+/// which is exactly why the paper finds it inaccurate for serverless.
+pub struct PythiaLike {
+    model: RidgeSgd,
+}
+
+const PYTHIA_DIM: usize = 2 * metricsd::NUM_SELECTED;
+
+impl PythiaLike {
+    /// New predictor.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            model: RidgeSgd::new(
+                PYTHIA_DIM,
+                SgdParams {
+                    epochs: 40,
+                    ..SgdParams::default()
+                },
+                seed,
+            ),
+        }
+    }
+
+    fn featurize(scenario: &Scenario) -> Vec<f64> {
+        let mut x = Vec::with_capacity(PYTHIA_DIM);
+        x.extend_from_slice(&merged_metrics(&scenario.target));
+        let mut corunners = [0.0; metricsd::NUM_SELECTED];
+        for w in &scenario.others {
+            for (acc, v) in corunners.iter_mut().zip(merged_metrics(w)) {
+                *acc += v;
+            }
+        }
+        x.extend_from_slice(&corunners);
+        x
+    }
+
+    fn to_dataset(samples: &[(Scenario, f64)]) -> Dataset {
+        let mut d = Dataset::new(PYTHIA_DIM);
+        for (s, y) in samples {
+            d.push(&Self::featurize(s), *y);
+        }
+        d
+    }
+}
+
+impl ScenarioPredictor for PythiaLike {
+    fn name(&self) -> &'static str {
+        "Pythia"
+    }
+    fn bootstrap(&mut self, samples: &[(Scenario, f64)]) {
+        self.model.fit(&Self::to_dataset(samples));
+    }
+    fn update(&mut self, samples: &[(Scenario, f64)]) {
+        self.model.partial_fit(&Self::to_dataset(samples));
+    }
+    fn predict(&self, scenario: &Scenario) -> f64 {
+        self.model.predict(&Self::featurize(scenario))
+    }
+}
+
+/// The four metrics ESP restricts itself to.
+const ESP_METRICS: [Metric; 4] = [
+    Metric::Ipc,
+    Metric::L2Mpki,
+    Metric::L3Mpki,
+    Metric::MemoryIo,
+];
+
+/// Base dimension: 4 target + 4 summed-corunner metrics.
+const ESP_BASE: usize = 8;
+/// With degree-2 crosses: 8 + 8·9/2 = 44.
+const ESP_DIM: usize = ESP_BASE + ESP_BASE * (ESP_BASE + 1) / 2;
+
+/// ESP-like predictor: regularised regression over the four ESP metrics
+/// with quadratic feature crosses (mirroring the original's polynomial
+/// expansion). Still monolithic and placement-blind.
+pub struct EspLike {
+    model: RidgeSgd,
+}
+
+impl EspLike {
+    /// New predictor.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            model: RidgeSgd::new(
+                ESP_DIM,
+                SgdParams {
+                    epochs: 40,
+                    ..SgdParams::default()
+                },
+                seed,
+            ),
+        }
+    }
+
+    fn base_features(scenario: &Scenario) -> [f64; ESP_BASE] {
+        let tgt = scenario.target.profile.merged().mean();
+        let mut out = [0.0; ESP_BASE];
+        for (i, m) in ESP_METRICS.iter().enumerate() {
+            out[i] = tgt.get(*m);
+        }
+        for w in &scenario.others {
+            let c = w.profile.merged().mean();
+            for (i, m) in ESP_METRICS.iter().enumerate() {
+                out[4 + i] += c.get(*m);
+            }
+        }
+        out
+    }
+
+    fn featurize(scenario: &Scenario) -> Vec<f64> {
+        let base = Self::base_features(scenario);
+        let mut x = Vec::with_capacity(ESP_DIM);
+        x.extend_from_slice(&base);
+        for i in 0..ESP_BASE {
+            for j in i..ESP_BASE {
+                x.push(base[i] * base[j]);
+            }
+        }
+        x
+    }
+
+    fn to_dataset(samples: &[(Scenario, f64)]) -> Dataset {
+        let mut d = Dataset::new(ESP_DIM);
+        for (s, y) in samples {
+            d.push(&Self::featurize(s), *y);
+        }
+        d
+    }
+}
+
+impl ScenarioPredictor for EspLike {
+    fn name(&self) -> &'static str {
+        "ESP"
+    }
+    fn bootstrap(&mut self, samples: &[(Scenario, f64)]) {
+        self.model.fit(&Self::to_dataset(samples));
+    }
+    fn update(&mut self, samples: &[(Scenario, f64)]) {
+        self.model.partial_fit(&Self::to_dataset(samples));
+    }
+    fn predict(&self, scenario: &Scenario) -> f64 {
+        self.model.predict(&Self::featurize(scenario))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Demand;
+    use gsight::ColoWorkload;
+    use metricsd::{FunctionProfile, MetricVector, ProfileSample, WorkloadProfile};
+    use simcore::{SimRng, SimTime};
+    use workloads::WorkloadClass;
+
+    fn colo(ipc: f64, l3: f64, server: usize) -> ColoWorkload {
+        let mut m = MetricVector::zero();
+        m.set(Metric::Ipc, ipc);
+        m.set(Metric::L3Mpki, l3);
+        let profile = WorkloadProfile::new(
+            "w",
+            vec![FunctionProfile::new(
+                "f",
+                vec![ProfileSample {
+                    at: SimTime::ZERO,
+                    metrics: m,
+                }],
+                false,
+            )],
+        );
+        ColoWorkload::new(
+            profile,
+            WorkloadClass::LatencySensitive,
+            vec![Demand::new(1.0, 2.0, l3, 0.0, 0.0, 0.5)],
+            vec![server],
+        )
+    }
+
+    /// Ground truth where a *large* degradation occurs only on server
+    /// overlap — the partial-interference regime the baselines cannot see.
+    fn sample(rng: &mut SimRng) -> (Scenario, f64) {
+        let t_ipc = 0.8 + rng.f64() * 1.6;
+        let t_l3 = rng.f64() * 8.0;
+        let c_l3 = rng.f64() * 8.0;
+        let same = rng.chance(0.5);
+        let y = if same {
+            t_ipc / (1.0 + 0.3 * t_l3 * c_l3 / 10.0)
+        } else {
+            t_ipc
+        };
+        (
+            Scenario::new(
+                colo(t_ipc, t_l3, 0),
+                vec![colo(1.0, c_l3, if same { 0 } else { 1 })],
+                2,
+            ),
+            y,
+        )
+    }
+
+    fn mean_error<P: ScenarioPredictor>(p: &P, test: &[(Scenario, f64)]) -> f64 {
+        let errs: Vec<f64> = test
+            .iter()
+            .map(|(s, y)| (p.predict(s) - y).abs() / y)
+            .collect();
+        errs.iter().sum::<f64>() / errs.len() as f64
+    }
+
+    #[test]
+    fn baselines_train_and_predict() {
+        let mut rng = SimRng::new(1);
+        let train: Vec<_> = (0..800).map(|_| sample(&mut rng)).collect();
+        let test: Vec<_> = (0..100).map(|_| sample(&mut rng)).collect();
+        let mut pythia = PythiaLike::new(3);
+        pythia.bootstrap(&train);
+        let mut esp = EspLike::new(3);
+        esp.bootstrap(&train);
+        assert!(mean_error(&pythia, &test) < 0.3);
+        assert!(mean_error(&esp, &test) < 0.3);
+    }
+
+    #[test]
+    fn gsight_beats_baselines_on_partial_interference() {
+        // The defining experiment: when degradation depends on *placement*,
+        // the placement-blind baselines cannot tell the scenarios apart.
+        let mut rng = SimRng::new(2);
+        let train: Vec<_> = (0..2000).map(|_| sample(&mut rng)).collect();
+        let test: Vec<_> = (0..200).map(|_| sample(&mut rng)).collect();
+
+        let mut g = GsightPredictor::new(gsight::GsightConfig {
+            coding: gsight::CodingConfig {
+                num_servers: 2,
+                max_workloads: 3,
+            },
+            target: gsight::QosTarget::Ipc,
+            kind: mlcore::ModelKind::Irfr,
+            update_batch: 50,
+            seed: 5,
+        });
+        ScenarioPredictor::bootstrap(&mut g, &train);
+        let mut pythia = PythiaLike::new(5);
+        pythia.bootstrap(&train);
+        let mut esp = EspLike::new(5);
+        esp.bootstrap(&train);
+
+        let eg = mean_error(&g, &test);
+        let ep = mean_error(&pythia, &test);
+        let ee = mean_error(&esp, &test);
+        assert!(eg < ep, "Gsight {eg} should beat Pythia {ep}");
+        assert!(eg < ee, "Gsight {eg} should beat ESP {ee}");
+    }
+
+    #[test]
+    fn baselines_blind_to_placement() {
+        let mut rng = SimRng::new(4);
+        let train: Vec<_> = (0..500).map(|_| sample(&mut rng)).collect();
+        let mut pythia = PythiaLike::new(7);
+        pythia.bootstrap(&train);
+        // Identical profiles, different placement: Pythia must give the
+        // same answer (that is its structural flaw).
+        let near = Scenario::new(colo(2.0, 6.0, 0), vec![colo(1.0, 8.0, 0)], 2);
+        let far = Scenario::new(colo(2.0, 6.0, 0), vec![colo(1.0, 8.0, 1)], 2);
+        let d = (pythia.predict(&near) - pythia.predict(&far)).abs();
+        assert!(d < 1e-9, "Pythia saw placement: diff {d}");
+        let mut esp = EspLike::new(7);
+        esp.bootstrap(&train);
+        let d = (esp.predict(&near) - esp.predict(&far)).abs();
+        assert!(d < 1e-9, "ESP saw placement: diff {d}");
+    }
+
+    #[test]
+    fn incremental_updates_accepted() {
+        let mut rng = SimRng::new(6);
+        let train: Vec<_> = (0..200).map(|_| sample(&mut rng)).collect();
+        let batch: Vec<_> = (0..50).map(|_| sample(&mut rng)).collect();
+        let mut pythia = PythiaLike::new(9);
+        pythia.bootstrap(&train);
+        pythia.update(&batch);
+        let mut esp = EspLike::new(9);
+        esp.bootstrap(&train);
+        esp.update(&batch);
+    }
+}

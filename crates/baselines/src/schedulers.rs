@@ -1,0 +1,133 @@
+//! Best-Fit and Worst-Fit placement baselines (paper §6.1).
+//!
+//! *Pythia employs the Best Fit algorithm that places the workload on the
+//! server with the smallest amount of headroom; we further design a Worst
+//! Fit algorithm that always schedules functions with maximum resource
+//! requirement to the server with the maximum amount of available
+//! resources.*
+
+use platform::scale::{ClusterView, PlacementDecision, Placer};
+use workloads::{FunctionSpec, Workload};
+
+/// Pick the least-loaded socket on a server for a new instance.
+pub fn least_loaded_socket(view: &ClusterView<'_>, server: usize) -> usize {
+    view.server(server).least_loaded_socket(None)
+}
+
+/// Best-Fit: the feasible server with the *smallest* CPU headroom.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BestFit;
+
+impl Placer for BestFit {
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        _workload: &Workload,
+        _node: usize,
+        spec: &FunctionSpec,
+    ) -> Option<PlacementDecision> {
+        let demand = spec.mean_demand();
+        let server = (0..view.num_servers())
+            .filter(|&s| view.fits(s, &demand))
+            .min_by(|&a, &b| {
+                view.cpu_headroom(a)
+                    .partial_cmp(&view.cpu_headroom(b))
+                    .expect("NaN headroom")
+            })?;
+        Some(PlacementDecision {
+            server,
+            socket: least_loaded_socket(view, server),
+        })
+    }
+}
+
+/// Worst-Fit: the feasible server with the *largest* CPU headroom.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorstFit;
+
+impl Placer for WorstFit {
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        _workload: &Workload,
+        _node: usize,
+        spec: &FunctionSpec,
+    ) -> Option<PlacementDecision> {
+        let demand = spec.mean_demand();
+        let server = (0..view.num_servers())
+            .filter(|&s| view.fits(s, &demand))
+            .max_by(|&a, &b| {
+                view.cpu_headroom(a)
+                    .partial_cmp(&view.cpu_headroom(b))
+                    .expect("NaN headroom")
+            })?;
+        Some(PlacementDecision {
+            server,
+            socket: least_loaded_socket(view, server),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{Boundedness, Demand, InstanceLoad, Sensitivity, ServerSpec, ServerState};
+
+    fn servers() -> Vec<ServerState> {
+        // Server 0: moderately loaded; server 1: empty; server 2: nearly full.
+        let mut s0 = ServerState::new(ServerSpec::small());
+        s0.add(InstanceLoad {
+            demand: Demand::new(2.0, 0.0, 0.0, 0.0, 0.0, 4.0),
+            bounded: Boundedness::cpu_bound(),
+            sens: Sensitivity::immune(),
+            socket: 0,
+        });
+        let s1 = ServerState::new(ServerSpec::small());
+        let mut s2 = ServerState::new(ServerSpec::small());
+        s2.add(InstanceLoad {
+            demand: Demand::new(3.8, 0.0, 0.0, 0.0, 0.0, 14.0),
+            bounded: Boundedness::cpu_bound(),
+            sens: Sensitivity::immune(),
+            socket: 0,
+        });
+        vec![s0, s1, s2]
+    }
+
+    fn spec() -> FunctionSpec {
+        let w = workloads::functionbench::float_operation();
+        let mut f = w.graph.func(w.graph.roots()[0]).clone();
+        f.phases[0].demand = Demand::new(1.0, 0.0, 0.0, 0.0, 0.0, 1.0);
+        f
+    }
+
+    #[test]
+    fn best_fit_packs_tightest_feasible() {
+        let servers = servers();
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let d = BestFit.place(&view, &w, 0, &spec()).unwrap();
+        // Server 2 has 0.2 cores headroom: infeasible for 1 core. Server 0
+        // (2 cores free) is tighter than server 1 (4 cores free).
+        assert_eq!(d.server, 0);
+    }
+
+    #[test]
+    fn worst_fit_spreads() {
+        let servers = servers();
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let d = WorstFit.place(&view, &w, 0, &spec()).unwrap();
+        assert_eq!(d.server, 1);
+    }
+
+    #[test]
+    fn infeasible_everywhere_returns_none() {
+        let servers = servers();
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let mut f = spec();
+        f.phases[0].demand = Demand::new(100.0, 0.0, 0.0, 0.0, 0.0, 1.0);
+        assert!(BestFit.place(&view, &w, 0, &f).is_none());
+        assert!(WorstFit.place(&view, &w, 0, &f).is_none());
+    }
+}

@@ -1,0 +1,57 @@
+//! From-scratch learner costs: random-forest fit/predict and the
+//! stalest-tree incremental refresh that bounds IRFR's update latency.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use mlcore::{Dataset, ForestParams, RandomForest};
+use simcore::SimRng;
+
+fn make_data(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = SimRng::new(seed);
+    let mut d = Dataset::new(dim);
+    let mut row = vec![0.0; dim];
+    for _ in 0..n {
+        for v in row.iter_mut() {
+            *v = rng.f64();
+        }
+        let y = 3.0 * row[0] - row[1] + row[0] * row[2] + 5.0;
+        d.push(&row, y);
+    }
+    d
+}
+
+fn forest_fit(c: &mut Criterion) {
+    let data = make_data(1000, 64, 1);
+    c.bench_function("forest_fit_1000x64", |b| {
+        b.iter(|| std::hint::black_box(RandomForest::fit(&data, ForestParams::default(), 3).len()))
+    });
+}
+
+fn forest_predict(c: &mut Criterion) {
+    let data = make_data(1000, 64, 2);
+    let f = RandomForest::fit(&data, ForestParams::default(), 5);
+    let x = vec![0.5; 64];
+    c.bench_function("forest_predict_64d", |b| {
+        b.iter(|| std::hint::black_box(f.predict(&x)))
+    });
+}
+
+fn forest_refresh(c: &mut Criterion) {
+    let data = make_data(1000, 64, 7);
+    c.bench_function("forest_refresh_8_trees", |b| {
+        b.iter_batched(
+            || RandomForest::fit(&data, ForestParams::default(), 9),
+            |mut f| {
+                f.refresh_stalest(&data, 8, 1);
+                std::hint::black_box(f.len())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = forest_fit, forest_predict, forest_refresh
+}
+criterion_main!(benches);

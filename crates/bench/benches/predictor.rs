@@ -1,0 +1,60 @@
+//! Predictor costs (paper Fig. 14 / §6.4): inference ≈ 3.48 ms and
+//! incremental update ≈ 24.8 ms per call on the 2580-dimensional coding.
+
+use bench::{synthetic_scenario, trained_predictor};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use gsight::features::featurize;
+use gsight::CodingConfig;
+use simcore::SimRng;
+
+fn inference(c: &mut Criterion) {
+    let p = trained_predictor(500, 1);
+    let mut rng = SimRng::new(2);
+    let scenarios: Vec<_> = (0..32).map(|_| synthetic_scenario(&mut rng, 3, 8)).collect();
+    let mut i = 0;
+    c.bench_function("gsight_inference", |b| {
+        b.iter(|| {
+            i = (i + 1) % scenarios.len();
+            std::hint::black_box(p.predict(&scenarios[i]))
+        })
+    });
+}
+
+fn incremental_update(c: &mut Criterion) {
+    let mut rng = SimRng::new(3);
+    let batch: Vec<_> = (0..50)
+        .map(|_| (synthetic_scenario(&mut rng, 3, 8), 1.0 + rng.f64()))
+        .collect();
+    c.bench_function("gsight_incremental_update_50", |b| {
+        b.iter_batched(
+            || trained_predictor(500, 4),
+            |mut p| {
+                p.update_batch(&batch);
+                std::hint::black_box(p.samples_seen())
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn featurization(c: &mut Criterion) {
+    let mut rng = SimRng::new(5);
+    let s = synthetic_scenario(&mut rng, 4, 8);
+    let coding = CodingConfig::paper();
+    c.bench_function("featurize_2580d", |b| {
+        b.iter(|| std::hint::black_box(featurize(&s, &coding).len()))
+    });
+}
+
+fn bootstrap(c: &mut Criterion) {
+    c.bench_function("gsight_bootstrap_200", |b| {
+        b.iter(|| std::hint::black_box(trained_predictor(200, 6).samples_seen()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = inference, incremental_update, featurization, bootstrap
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Scheduling decision cost: the paper's binary-search placement makes
+//! `O(M log S)` predictor calls and completes "in a few milliseconds"
+//! (Fig. 14's scheduling-decision slice).
+
+use bench::{synthetic_colo, trained_predictor};
+use cluster::Demand;
+use criterion::{criterion_group, criterion_main, Criterion};
+use sched::binary_search_placement;
+use simcore::SimRng;
+
+fn binary_search(c: &mut Criterion) {
+    let predictor = trained_predictor(500, 1);
+    let mut rng = SimRng::new(2);
+    let existing = vec![synthetic_colo(&mut rng, 9, 8)];
+    let capacity = Demand::new(40.0, 272.0, 100.0, 500.0, 1250.0, 256.0);
+    let headroom: Vec<f64> = (0..8).map(|i| 5.0 + i as f64 * 4.0).collect();
+    let candidates: Vec<usize> = (0..8).collect();
+    for n_funcs in [1usize, 9] {
+        let new_wl = synthetic_colo(&mut rng, n_funcs, 8);
+        c.bench_function(&format!("binary_search_placement_{n_funcs}fn"), |b| {
+            b.iter(|| {
+                std::hint::black_box(binary_search_placement(
+                    &predictor,
+                    &new_wl,
+                    &existing,
+                    8,
+                    &candidates,
+                    &headroom,
+                    &capacity,
+                    1.2,
+                ))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = binary_search
+}
+criterion_main!(benches);

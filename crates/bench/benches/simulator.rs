@@ -1,0 +1,49 @@
+//! Platform-simulator throughput: events processed per simulated second of
+//! a loaded social-network deployment, plus solo-profiling cost (the paper's
+//! "profiles within 5 minutes" load-generator step).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use platform::profiling::{profile_workload, ProfilingConfig};
+use platform::scale::PlacementDecision;
+use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
+use simcore::{SimRng, SimTime};
+use workloads::loadgen::poisson_arrivals;
+
+fn social_network_run(c: &mut Criterion) {
+    c.bench_function("simulate_sn_30s_at_40qps", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(PlatformConfig::paper_testbed(7));
+            let w = workloads::socialnetwork::message_posting();
+            let placement: Vec<Vec<PlacementDecision>> = (0..w.graph.len())
+                .map(|i| vec![PlacementDecision { server: i % 8, socket: 0 }])
+                .collect();
+            let mut rng = SimRng::new(9);
+            let horizon = SimTime::from_secs(30.0);
+            sim.deploy(Deployment {
+                workload: w,
+                placement,
+                arrivals: ArrivalSpec::OpenLoop(poisson_arrivals(40.0, horizon, &mut rng)),
+            });
+            sim.run_until(horizon);
+            std::hint::black_box(sim.report().workloads[0].completions)
+        })
+    });
+}
+
+fn solo_profiling(c: &mut Criterion) {
+    c.bench_function("profile_dd_solo", |b| {
+        b.iter(|| {
+            let cfg = ProfilingConfig::dedicated(11);
+            let w = workloads::functionbench::dd();
+            let (profile, _) = profile_workload(&w, &cfg);
+            std::hint::black_box(profile.functions[0].len())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = social_network_run, solo_profiling
+}
+criterion_main!(benches);

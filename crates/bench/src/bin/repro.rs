@@ -1,0 +1,52 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro [--quick] [id...]     run the named experiments (default: all)
+//! repro --list                list experiment ids
+//! ```
+//!
+//! Full mode uses paper-scale parameters and can take tens of minutes; pass
+//! `--quick` for a CI-sized pass with the same code paths.
+
+use experiments::all_experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let list = args.iter().any(|a| a == "--list");
+    let ids: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+
+    let experiments = all_experiments();
+    if list {
+        for e in &experiments {
+            println!("{:8}  {}", e.id, e.title);
+        }
+        return;
+    }
+    let selected: Vec<_> = experiments
+        .iter()
+        .filter(|e| ids.is_empty() || ids.contains(&e.id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {ids:?}; try --list");
+        std::process::exit(1);
+    }
+    println!(
+        "# Gsight reproduction — {} mode\n",
+        if quick { "quick" } else { "full" }
+    );
+    for e in selected {
+        let start = std::time::Instant::now();
+        let result = (e.run)(quick);
+        println!("{}", result.render());
+        println!(
+            "[{} finished in {:.1} s]\n",
+            e.id,
+            start.elapsed().as_secs_f64()
+        );
+    }
+}

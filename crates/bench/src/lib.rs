@@ -1,0 +1,98 @@
+//! `bench` — Criterion benchmarks and the `repro` binary.
+//!
+//! * `cargo run -p bench --bin repro [--quick] [ids…]` regenerates paper
+//!   tables and figures (see EXPERIMENTS.md for the recorded full-mode
+//!   output).
+//! * `cargo bench -p bench` measures the costs the paper's Fig. 14 reports:
+//!   predictor inference and incremental update, binary-search scheduling
+//!   decisions, the simulator's event throughput, and the from-scratch
+//!   learners' fit/predict costs.
+//!
+//! This crate also hosts shared fixture-building helpers for the benches.
+
+use cluster::Demand;
+use gsight::{CodingConfig, ColoWorkload, GsightConfig, GsightPredictor, QosTarget, Scenario};
+use metricsd::{FunctionProfile, Metric, MetricVector, ProfileSample, WorkloadProfile};
+use mlcore::ModelKind;
+use simcore::{SimRng, SimTime};
+use workloads::WorkloadClass;
+
+/// Build a synthetic profiled workload with `n` functions.
+pub fn synthetic_colo(rng: &mut SimRng, n_funcs: usize, num_servers: usize) -> ColoWorkload {
+    let functions: Vec<FunctionProfile> = (0..n_funcs)
+        .map(|i| {
+            let mut m = MetricVector::zero();
+            m.set(Metric::Ipc, 0.8 + rng.f64() * 1.6);
+            m.set(Metric::L3Mpki, rng.f64() * 6.0);
+            m.set(Metric::ContextSwitches, 500.0 + rng.f64() * 4000.0);
+            m.set(Metric::CpuUtilization, rng.f64() * 2.0);
+            FunctionProfile::new(
+                format!("f{i}"),
+                vec![ProfileSample {
+                    at: SimTime::ZERO,
+                    metrics: m,
+                }],
+                false,
+            )
+        })
+        .collect();
+    let placement: Vec<usize> = (0..n_funcs).map(|_| rng.index(num_servers)).collect();
+    let demands: Vec<Demand> = (0..n_funcs)
+        .map(|_| Demand::new(rng.f64() * 2.0, rng.f64() * 10.0, rng.f64() * 5.0, 0.0, 0.0, 0.3))
+        .collect();
+    ColoWorkload::new(
+        WorkloadProfile::new("w", functions),
+        WorkloadClass::LatencySensitive,
+        demands,
+        placement,
+    )
+}
+
+/// Build a synthetic scenario with `n_workloads` workloads.
+pub fn synthetic_scenario(rng: &mut SimRng, n_workloads: usize, num_servers: usize) -> Scenario {
+    let target = synthetic_colo(rng, 9, num_servers);
+    let others = (1..n_workloads)
+        .map(|_| {
+            let n = 1 + rng.index(4);
+            synthetic_colo(rng, n, num_servers)
+        })
+        .collect();
+    Scenario::new(target, others, num_servers)
+}
+
+/// A paper-shaped IRFR predictor bootstrapped on `n` synthetic samples.
+pub fn trained_predictor(n: usize, seed: u64) -> GsightPredictor {
+    let mut rng = SimRng::new(seed);
+    let config = GsightConfig {
+        coding: CodingConfig::paper(),
+        target: QosTarget::Ipc,
+        kind: ModelKind::Irfr,
+        update_batch: 50,
+        seed,
+    };
+    let samples: Vec<(Scenario, f64)> = (0..n)
+        .map(|_| {
+            let n = 2 + rng.index(3);
+            let s = synthetic_scenario(&mut rng, n, 8);
+            let y = 0.8 + rng.f64();
+            (s, y)
+        })
+        .collect();
+    let mut p = GsightPredictor::new(config);
+    p.bootstrap(&samples);
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let mut rng = SimRng::new(1);
+        let s = synthetic_scenario(&mut rng, 3, 8);
+        assert_eq!(s.len(), 3);
+        let p = trained_predictor(50, 2);
+        assert!(p.predict(&s).is_finite());
+    }
+}

@@ -1,0 +1,109 @@
+//! Local interference control (paper Observation 5).
+//!
+//! The paper's Observation 5 experiment "moves the corunner to another
+//! server socket" and measures how latencies restore — and how the
+//! *restored* invocation rate then re-raises latencies elsewhere on the call
+//! path. This module provides that control action plus a before/after probe
+//! used by the Figure 4 experiment.
+
+use crate::contention::InstanceContention;
+use crate::server::{InstanceId, ServerState};
+
+/// Outcome of a socket-migration isolation action.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IsolationOutcome {
+    /// Victim's slowdown before the migration.
+    pub victim_before: f64,
+    /// Victim's slowdown after the migration.
+    pub victim_after: f64,
+    /// Socket the aggressor was moved to.
+    pub moved_to: usize,
+}
+
+/// Move `aggressor` to the least-loaded socket other than the victim's,
+/// returning the victim's slowdown before and after.
+///
+/// Returns `None` if either instance is unknown or the server has a single
+/// socket (nowhere to move to).
+pub fn isolate_from(
+    server: &mut ServerState,
+    victim: InstanceId,
+    aggressor: InstanceId,
+) -> Option<IsolationOutcome> {
+    if server.spec().sockets < 2 {
+        return None;
+    }
+    let victim_load = *server.get(victim)?;
+    server.get(aggressor)?;
+
+    let before = server.contention().instance(&victim_load).slowdown;
+    let target = server.least_loaded_socket(Some(victim_load.socket));
+    server.move_to_socket(aggressor, target);
+    let after = server.contention().instance(&victim_load).slowdown;
+    Some(IsolationOutcome {
+        victim_before: before,
+        victim_after: after,
+        moved_to: target,
+    })
+}
+
+/// Probe an instance's current contention without mutating anything.
+pub fn probe(server: &ServerState, id: InstanceId) -> Option<InstanceContention> {
+    let load = *server.get(id)?;
+    Some(server.contention().instance(&load))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServerSpec;
+    use crate::resources::{Boundedness, Demand, Sensitivity};
+    use crate::server::InstanceLoad;
+
+    fn heavy(socket: usize) -> InstanceLoad {
+        InstanceLoad {
+            demand: Demand::new(4.0, 10.0, 8.0, 0.0, 0.0, 1.0),
+            bounded: Boundedness::cpu_bound(),
+            sens: Sensitivity::new(1.0, 1.0, 0.5),
+            socket,
+        }
+    }
+
+    #[test]
+    fn isolation_restores_victim() {
+        let mut s = ServerState::new(ServerSpec::dual_socket());
+        let victim = s.add(heavy(0));
+        let aggressor = s.add(heavy(0));
+        let out = isolate_from(&mut s, victim, aggressor).unwrap();
+        assert!(out.victim_before > 1.2, "before: {}", out.victim_before);
+        assert_eq!(out.victim_after, 1.0);
+        assert_eq!(out.moved_to, 1);
+        assert_eq!(s.get(aggressor).unwrap().socket, 1);
+    }
+
+    #[test]
+    fn single_socket_cannot_isolate() {
+        let mut s = ServerState::new(ServerSpec::small());
+        let a = s.add(heavy(0));
+        let b = s.add(heavy(0));
+        assert!(isolate_from(&mut s, a, b).is_none());
+    }
+
+    #[test]
+    fn unknown_instance_returns_none() {
+        let mut s = ServerState::new(ServerSpec::dual_socket());
+        let a = s.add(heavy(0));
+        assert!(isolate_from(&mut s, a, InstanceId(99)).is_none());
+        assert!(isolate_from(&mut s, InstanceId(99), a).is_none());
+    }
+
+    #[test]
+    fn probe_reports_contention() {
+        let mut s = ServerState::new(ServerSpec::dual_socket());
+        let a = s.add(heavy(0));
+        assert_eq!(probe(&s, a).unwrap().slowdown, 1.0);
+        s.add(heavy(0));
+        assert!(probe(&s, a).unwrap().slowdown > 1.0);
+        assert!(probe(&s, InstanceId(7)).is_none());
+    }
+}

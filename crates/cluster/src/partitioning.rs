@@ -1,0 +1,240 @@
+//! Static resource partitioning à la Intel CAT (cache allocation) and MBA
+//! (memory-bandwidth allocation).
+//!
+//! The paper's introduction argues that while serverful deployments can
+//! isolate coarse-grained components with CAT/MBA, serverless functions are
+//! too small and numerous: partitions either waste capacity or cannot be
+//! provisioned per function. This module implements the partitioned
+//! counterfactual so that ablation experiments can quantify exactly that
+//! trade-off: partitioning removes cross-class interference but each class
+//! now contends against a *smaller* capacity.
+//!
+//! Model: each instance is assigned a partition class; a class owns a
+//! fraction of every socket's LLC and memory bandwidth. CPU timesharing,
+//! disk, network and memory capacity stay shared (CAT/MBA do not partition
+//! them).
+
+use crate::config::ServerSpec;
+use crate::contention::{membw_curve, ContentionState, InstanceContention};
+use crate::resources::Resource;
+use crate::server::InstanceLoad;
+
+/// One partition class: its share of the socket-local resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PartitionClass {
+    /// Fraction of each socket's LLC ways owned by this class.
+    pub llc_fraction: f64,
+    /// Fraction of each socket's memory bandwidth owned by this class.
+    pub membw_fraction: f64,
+}
+
+/// A static partitioning scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partitioning {
+    classes: Vec<PartitionClass>,
+}
+
+impl Partitioning {
+    /// Build and validate: fractions positive, summing to ≤ 1 + ε per
+    /// resource.
+    pub fn new(classes: Vec<PartitionClass>) -> Self {
+        assert!(!classes.is_empty(), "need at least one class");
+        let llc: f64 = classes.iter().map(|c| c.llc_fraction).sum();
+        let bw: f64 = classes.iter().map(|c| c.membw_fraction).sum();
+        assert!(
+            classes
+                .iter()
+                .all(|c| c.llc_fraction > 0.0 && c.membw_fraction > 0.0),
+            "class fractions must be positive"
+        );
+        assert!(llc <= 1.0 + 1e-9, "LLC over-allocated: {llc}");
+        assert!(bw <= 1.0 + 1e-9, "membw over-allocated: {bw}");
+        Self { classes }
+    }
+
+    /// Even split into `n` classes.
+    pub fn even(n: usize) -> Self {
+        assert!(n > 0);
+        let f = 1.0 / n as f64;
+        Self::new(vec![
+            PartitionClass {
+                llc_fraction: f,
+                membw_fraction: f,
+            };
+            n
+        ])
+    }
+
+    /// Number of classes.
+    pub fn len(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Contention decomposition for one instance under this partitioning.
+    ///
+    /// `instances` pairs every instance on the server with its class id;
+    /// `target` indexes into it. CPU/disk/net/memory pressures come from
+    /// the *whole* server; LLC and memory-bandwidth pressures only from the
+    /// target's class, against the class's scaled capacity.
+    pub fn instance(
+        &self,
+        spec: &ServerSpec,
+        instances: &[(InstanceLoad, usize)],
+        target: usize,
+    ) -> InstanceContention {
+        let (load, class_id) = instances[target];
+        assert!(class_id < self.classes.len(), "class out of range");
+        let class = self.classes[class_id];
+
+        // Whole-server state drives the shared dimensions.
+        let all_loads: Vec<InstanceLoad> = instances.iter().map(|(l, _)| *l).collect();
+        let shared = ContentionState::compute(spec, all_loads.iter());
+        let base = shared.instance(&load);
+
+        // Class-local sums on the target's socket.
+        let mut class_membw = 0.0;
+        let mut class_llc = 0.0;
+        for (l, c) in instances {
+            if *c == class_id && l.socket == load.socket {
+                class_membw += l.demand.get(Resource::MemBw);
+                class_llc += l.demand.get(Resource::Llc);
+            }
+        }
+        let bw_cap = spec.membw_gbs_per_socket * class.membw_fraction;
+        let llc_cap = spec.llc_mb_per_socket * class.llc_fraction;
+
+        // Pressure inside the partition vs the instance's *full-capacity*
+        // solo baseline: solo profiles are measured on an unpartitioned
+        // socket, so shrinking the capacity below an instance's own demand
+        // must surface as slowdown (the capacity-waste effect), not be
+        // normalised away.
+        let p_all = membw_curve(class_membw / bw_cap);
+        let p_own = membw_curve(load.demand.get(Resource::MemBw) / spec.membw_gbs_per_socket);
+        let membw_pressure = (p_all - p_own).max(0.0);
+
+        let squeeze = |footprint: f64, cap: f64| {
+            if footprint <= cap {
+                0.0
+            } else {
+                1.0 - cap / footprint
+            }
+        };
+        let sq_all = squeeze(class_llc, llc_cap);
+        let sq_own = squeeze(load.demand.get(Resource::Llc), spec.llc_mb_per_socket);
+        let llc_squeeze = (sq_all - sq_own).max(0.0);
+
+        let mem_factor = ((1.0 + load.sens.membw * p_all) / (1.0 + load.sens.membw * p_own))
+            * ((1.0 + load.sens.llc * sq_all) / (1.0 + load.sens.llc * sq_own));
+
+        let slowdown_core = load.bounded.cpu * base.cpu_stretch * mem_factor
+            + load.bounded.disk * base.disk_stretch
+            + load.bounded.net * base.net_stretch;
+        InstanceContention {
+            membw_pressure,
+            llc_squeeze,
+            mem_factor,
+            slowdown: slowdown_core * (1.0 + 4.0 * base.mem_excess),
+            ..base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::{Boundedness, Demand, Sensitivity};
+
+    fn load(membw: f64, llc: f64) -> InstanceLoad {
+        InstanceLoad {
+            demand: Demand::new(2.0, membw, llc, 0.0, 0.0, 0.5),
+            bounded: Boundedness::cpu_bound(),
+            sens: Sensitivity::new(1.5, 1.5, 0.3),
+            socket: 0,
+        }
+    }
+
+    fn spec() -> ServerSpec {
+        ServerSpec::paper_node() // 68 GB/s, 25 MB per socket
+    }
+
+    #[test]
+    fn partitioning_shields_light_victim_from_heavy_aggressor() {
+        // Light, sensitive victim + bandwidth hog. Shared: the victim is
+        // hurt. Partitioned (victim gets its own 20 % slice): the victim is
+        // fully shielded — the CAT/MBA use case.
+        let victim = load(5.0, 2.0);
+        let aggressor = load(60.0, 22.0);
+        let shared = ContentionState::compute(&spec(), [victim, aggressor].iter())
+            .instance(&victim)
+            .slowdown;
+        let part = Partitioning::new(vec![
+            PartitionClass { llc_fraction: 0.2, membw_fraction: 0.2 },
+            PartitionClass { llc_fraction: 0.8, membw_fraction: 0.8 },
+        ]);
+        let shielded = part
+            .instance(&spec(), &[(victim, 0), (aggressor, 1)], 0)
+            .slowdown;
+        assert!(shared > 1.3, "shared should interfere: {shared}");
+        assert!(
+            shielded < 1.1,
+            "partitioned victim should be shielded: {shielded}"
+        );
+    }
+
+    #[test]
+    fn partition_wastes_capacity_for_big_demands() {
+        // The paper's counter-argument: a function whose demand exceeds its
+        // partition slows down even when completely alone — the capacity
+        // the other (empty) class owns is wasted.
+        let hog = load(60.0, 22.0);
+        let part = Partitioning::even(2);
+        let alone_partitioned = part.instance(&spec(), &[(hog, 0)], 0).slowdown;
+        let alone_shared = ContentionState::compute(&spec(), [hog].iter())
+            .instance(&hog)
+            .slowdown;
+        assert!((alone_shared - 1.0).abs() < 1e-9);
+        assert!(
+            alone_partitioned > 1.3,
+            "half-capacity class should slow the hog: {alone_partitioned}"
+        );
+    }
+
+    #[test]
+    fn cpu_sharing_not_partitioned() {
+        // CPU oversubscription bites regardless of partitioning.
+        let mut a = load(1.0, 1.0);
+        a.demand.set(Resource::Cpu, 8.0);
+        let mut b = load(1.0, 1.0);
+        b.demand.set(Resource::Cpu, 8.0);
+        let part = Partitioning::even(2);
+        let ic = part.instance(&spec(), &[(a, 0), (b, 1)], 0);
+        assert!(ic.cpu_stretch > 1.3, "cpu stretch {}", ic.cpu_stretch);
+        assert!(ic.slowdown > 1.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "over-allocated")]
+    fn over_allocation_rejected() {
+        Partitioning::new(vec![
+            PartitionClass {
+                llc_fraction: 0.7,
+                membw_fraction: 0.5,
+            },
+            PartitionClass {
+                llc_fraction: 0.7,
+                membw_fraction: 0.5,
+            },
+        ]);
+    }
+
+    #[test]
+    fn even_split_fractions() {
+        let p = Partitioning::even(4);
+        assert_eq!(p.len(), 4);
+    }
+}

@@ -1,0 +1,279 @@
+//! Resource dimensions, demand vectors, boundedness and sensitivity.
+//!
+//! Each function phase is described by how much of each shared resource it
+//! uses when running alone ([`Demand`]), which bottleneck its solo runtime is
+//! attributable to ([`Boundedness`]), and how strongly memory-subsystem
+//! contention stretches it ([`Sensitivity`]). The paper's Observation 1
+//! ("functions are diverse in execution behaviour and resource consumption")
+//! is encoded entirely through these three vectors.
+
+/// A shared resource dimension on a server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Resource {
+    /// CPU cores (socket-local).
+    Cpu = 0,
+    /// Memory bandwidth, GB/s (socket-local).
+    MemBw = 1,
+    /// Last-level cache footprint, MB (socket-local).
+    Llc = 2,
+    /// Disk I/O bandwidth, MB/s (server-wide).
+    Disk = 3,
+    /// Network bandwidth, MB/s (server-wide).
+    Net = 4,
+    /// Memory capacity, GB (server-wide).
+    Memory = 5,
+}
+
+/// Number of resource dimensions.
+pub const NUM_RESOURCES: usize = 6;
+
+impl Resource {
+    /// All resource dimensions in canonical order.
+    pub const ALL: [Resource; NUM_RESOURCES] = [
+        Resource::Cpu,
+        Resource::MemBw,
+        Resource::Llc,
+        Resource::Disk,
+        Resource::Net,
+        Resource::Memory,
+    ];
+
+    /// Canonical index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Human-readable name with unit.
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Cpu => "cpu (cores)",
+            Resource::MemBw => "membw (GB/s)",
+            Resource::Llc => "llc (MB)",
+            Resource::Disk => "disk (MB/s)",
+            Resource::Net => "net (MB/s)",
+            Resource::Memory => "memory (GB)",
+        }
+    }
+}
+
+/// Solo-run resource demand of one instance (or allocation limit — the
+/// paper's `R` vectors use the same shape).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Demand {
+    values: [f64; NUM_RESOURCES],
+}
+
+impl Demand {
+    /// All-zero demand.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Construct from explicit per-resource values.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(cpu: f64, membw: f64, llc: f64, disk: f64, net: f64, memory: f64) -> Self {
+        let mut d = Self::default();
+        d.set(Resource::Cpu, cpu);
+        d.set(Resource::MemBw, membw);
+        d.set(Resource::Llc, llc);
+        d.set(Resource::Disk, disk);
+        d.set(Resource::Net, net);
+        d.set(Resource::Memory, memory);
+        d
+    }
+
+    /// Value for one resource.
+    #[inline]
+    pub fn get(&self, r: Resource) -> f64 {
+        self.values[r.index()]
+    }
+
+    /// Set one resource's value.
+    #[inline]
+    pub fn set(&mut self, r: Resource, v: f64) {
+        debug_assert!(v >= 0.0, "negative resource demand");
+        self.values[r.index()] = v;
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &Demand) -> Demand {
+        let mut out = *self;
+        for i in 0..NUM_RESOURCES {
+            out.values[i] += other.values[i];
+        }
+        out
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&self, k: f64) -> Demand {
+        let mut out = *self;
+        for v in &mut out.values {
+            *v *= k;
+        }
+        out
+    }
+
+    /// Largest demand value across resources — the crude "size" used by the
+    /// binary-search scheduler's "function with maximum resource
+    /// requirements" heuristic (paper §4). Each dimension is normalised by
+    /// the given capacity first so units are comparable.
+    pub fn max_normalized(&self, capacity: &Demand) -> f64 {
+        Resource::ALL
+            .iter()
+            .map(|&r| {
+                let c = capacity.get(r);
+                if c > 0.0 {
+                    self.get(r) / c
+                } else {
+                    0.0
+                }
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Fractions of a phase's solo runtime attributable to each bottleneck.
+///
+/// Must sum to 1 (validated by [`Boundedness::new`]). A `dd`-like phase is
+/// `disk ≈ 1`; an `iperf`-like phase is `net ≈ 1`; matrix multiplication is
+/// `cpu ≈ 1` with high memory sensitivity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Boundedness {
+    /// Fraction of runtime bound on CPU execution (including the memory
+    /// subsystem, whose stretch factors multiply into the CPU term).
+    pub cpu: f64,
+    /// Fraction bound on disk I/O.
+    pub disk: f64,
+    /// Fraction bound on network I/O.
+    pub net: f64,
+}
+
+impl Boundedness {
+    /// Construct and validate (fractions non-negative, summing to 1 ± 1e-6).
+    pub fn new(cpu: f64, disk: f64, net: f64) -> Self {
+        assert!(cpu >= 0.0 && disk >= 0.0 && net >= 0.0, "negative boundedness");
+        let sum = cpu + disk + net;
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "boundedness must sum to 1, got {sum}"
+        );
+        Self { cpu, disk, net }
+    }
+
+    /// Pure CPU-bound phase.
+    pub fn cpu_bound() -> Self {
+        Self::new(1.0, 0.0, 0.0)
+    }
+
+    /// Pure disk-bound phase.
+    pub fn disk_bound() -> Self {
+        Self::new(0.0, 1.0, 0.0)
+    }
+
+    /// Pure network-bound phase.
+    pub fn net_bound() -> Self {
+        Self::new(0.0, 0.0, 1.0)
+    }
+}
+
+/// Memory-subsystem interference sensitivity of a phase (paper Observation 2:
+/// "inconsistent sensitivities of functions").
+///
+/// Both knobs are dimensionless multipliers: a phase with `membw = 0` is
+/// immune to bandwidth contention; one with `llc = 2.0` doubles the baseline
+/// miss-inflation penalty when its footprint is squeezed out of the LLC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sensitivity {
+    /// Slowdown per unit of memory-bandwidth oversubscription.
+    pub membw: f64,
+    /// Slowdown multiplier for LLC footprint squeeze.
+    pub llc: f64,
+    /// Slowdown per unit of SMT/core oversubscription beyond plain
+    /// timesharing (cache-line ping-pong, scheduler overhead).
+    pub smt: f64,
+}
+
+impl Sensitivity {
+    /// Construct and validate (non-negative).
+    pub fn new(membw: f64, llc: f64, smt: f64) -> Self {
+        assert!(
+            membw >= 0.0 && llc >= 0.0 && smt >= 0.0,
+            "negative sensitivity"
+        );
+        Self { membw, llc, smt }
+    }
+
+    /// A phase immune to memory-subsystem contention (e.g. pure network I/O).
+    pub fn immune() -> Self {
+        Self::new(0.0, 0.0, 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demand_get_set() {
+        let d = Demand::new(2.0, 5.0, 10.0, 50.0, 20.0, 1.5);
+        assert_eq!(d.get(Resource::Cpu), 2.0);
+        assert_eq!(d.get(Resource::Memory), 1.5);
+    }
+
+    #[test]
+    fn demand_add_scale() {
+        let d = Demand::new(1.0, 1.0, 1.0, 1.0, 1.0, 1.0);
+        let e = d.add(&d).scale(2.0);
+        assert_eq!(e.get(Resource::Llc), 4.0);
+    }
+
+    #[test]
+    fn demand_max_normalized() {
+        let cap = Demand::new(10.0, 100.0, 25.0, 500.0, 1000.0, 256.0);
+        let d = Demand::new(5.0, 10.0, 20.0, 0.0, 0.0, 1.0);
+        // llc: 20/25 = 0.8 dominates cpu 0.5.
+        assert!((d.max_normalized(&cap) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn demand_max_normalized_zero_capacity_ignored() {
+        let cap = Demand::new(0.0, 100.0, 25.0, 500.0, 1000.0, 256.0);
+        let d = Demand::new(5.0, 10.0, 0.0, 0.0, 0.0, 0.0);
+        assert!((d.max_normalized(&cap) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundedness_validates_sum() {
+        let b = Boundedness::new(0.6, 0.3, 0.1);
+        assert_eq!(b.cpu, 0.6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn boundedness_rejects_bad_sum() {
+        Boundedness::new(0.5, 0.5, 0.5);
+    }
+
+    #[test]
+    fn boundedness_presets() {
+        assert_eq!(Boundedness::cpu_bound().cpu, 1.0);
+        assert_eq!(Boundedness::disk_bound().disk, 1.0);
+        assert_eq!(Boundedness::net_bound().net, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative sensitivity")]
+    fn sensitivity_rejects_negative() {
+        Sensitivity::new(-1.0, 0.0, 0.0);
+    }
+
+    #[test]
+    fn resource_indices_distinct() {
+        let mut idx: Vec<usize> = Resource::ALL.iter().map(|r| r.index()).collect();
+        idx.sort_unstable();
+        idx.dedup();
+        assert_eq!(idx.len(), NUM_RESOURCES);
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests for the contention model's physical invariants.
+
+use cluster::{Boundedness, Demand, InstanceLoad, Sensitivity, ServerSpec, ServerState};
+use proptest::prelude::*;
+
+fn arb_load(sockets: usize) -> impl Strategy<Value = InstanceLoad> {
+    (
+        0.1f64..6.0,  // cpu
+        0.0f64..40.0, // membw
+        0.0f64..15.0, // llc
+        0.0f64..300.0, // disk
+        0.0f64..600.0, // net
+        0.1f64..4.0,  // memory
+        0.0f64..2.0,  // sens membw
+        0.0f64..2.0,  // sens llc
+        0.0f64..1.0,  // sens smt
+        0..sockets,
+    )
+        .prop_map(
+            |(cpu, membw, llc, disk, net, mem, sm, sl, ss, socket)| InstanceLoad {
+                demand: Demand::new(cpu, membw, llc, disk, net, mem),
+                bounded: Boundedness::new(0.6, 0.2, 0.2),
+                sens: Sensitivity::new(sm, sl, ss),
+                socket,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn slowdown_at_least_one(loads in prop::collection::vec(arb_load(4), 1..8)) {
+        let mut s = ServerState::new(ServerSpec::paper_node());
+        for l in &loads {
+            s.add(*l);
+        }
+        let c = s.contention();
+        for l in &loads {
+            let ic = c.instance(l);
+            prop_assert!(ic.slowdown >= 1.0 - 1e-9, "slowdown {}", ic.slowdown);
+            prop_assert!(ic.mem_factor >= 1.0 - 1e-9);
+            prop_assert!(ic.cpu_stretch >= 1.0 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn solo_instance_exactly_unaffected(load in arb_load(4)) {
+        let mut s = ServerState::new(ServerSpec::paper_node());
+        s.add(load);
+        let ic = s.contention().instance(&load);
+        prop_assert!((ic.slowdown - 1.0).abs() < 1e-9, "solo slowdown {}", ic.slowdown);
+    }
+
+    #[test]
+    fn adding_corunner_never_speeds_up_victim(
+        victim in arb_load(1),
+        corunner in arb_load(1),
+        extra in arb_load(1),
+    ) {
+        // Single-socket server: all on socket 0 so everything interacts.
+        let spec = ServerSpec::small();
+        let mut v = victim;
+        v.socket = 0;
+        let mut c1 = corunner;
+        c1.socket = 0;
+        let mut c2 = extra;
+        c2.socket = 0;
+
+        let mut s = ServerState::new(spec.clone());
+        s.add(v);
+        s.add(c1);
+        let before = s.contention().instance(&v).slowdown;
+        s.add(c2);
+        let after = s.contention().instance(&v).slowdown;
+        prop_assert!(after >= before - 1e-9, "adding load sped victim up: {before} -> {after}");
+    }
+
+    #[test]
+    fn cross_socket_cpu_membw_isolated(victim in arb_load(1), aggressor in arb_load(1)) {
+        // Disk/net/memory are server-wide, so zero them to test the
+        // socket-local dimensions in isolation.
+        let mut v = victim;
+        v.socket = 0;
+        v.demand.set(cluster::Resource::Disk, 0.0);
+        v.demand.set(cluster::Resource::Net, 0.0);
+        v.demand.set(cluster::Resource::Memory, 0.1);
+        let mut a = aggressor;
+        a.socket = 1;
+        a.demand.set(cluster::Resource::Disk, 0.0);
+        a.demand.set(cluster::Resource::Net, 0.0);
+        a.demand.set(cluster::Resource::Memory, 0.1);
+
+        let mut s = ServerState::new(ServerSpec::dual_socket());
+        s.add(v);
+        s.add(a);
+        let ic = s.contention().instance(&v);
+        prop_assert!((ic.slowdown - 1.0).abs() < 1e-9, "cross-socket leak: {}", ic.slowdown);
+    }
+
+    #[test]
+    fn contention_deterministic(loads in prop::collection::vec(arb_load(4), 1..6)) {
+        let build = || {
+            let mut s = ServerState::new(ServerSpec::paper_node());
+            for l in &loads {
+                s.add(*l);
+            }
+            loads.iter().map(|l| s.contention().instance(l).slowdown).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,202 @@
+//! Colocation scenarios — the unit the predictor reasons about.
+//!
+//! A [`Scenario`] describes one (real or hypothetical) colocation: the
+//! *target* workload whose QoS is being predicted, plus every corunning
+//! workload, each with its solo-run profiles, per-function server placement,
+//! resource allocations, and temporal position. The scheduler constructs
+//! hypothetical scenarios and queries the predictor before committing a
+//! placement; the online loop constructs real scenarios from observations.
+
+use cluster::Demand;
+use metricsd::WorkloadProfile;
+use workloads::WorkloadClass;
+
+/// One workload inside a colocation.
+#[derive(Debug, Clone)]
+pub struct ColoWorkload {
+    /// Solo-run profiles, one per function, in call-graph node order.
+    pub profile: WorkloadProfile,
+    /// Workload class (drives the temporal code, paper §3.3).
+    pub class: WorkloadClass,
+    /// Per-function resource allocations (the paper's `R` vectors).
+    pub demands: Vec<Demand>,
+    /// Per-function server placement (function `i` runs on
+    /// `placement[i]`). Multiple functions may share a server — they are
+    /// aggregated into a "virtual larger function" by the spatial coding.
+    pub placement: Vec<usize>,
+    /// Start delay in seconds relative to the first-arriving workload
+    /// (`D_i`); 0 for LS workloads.
+    pub start_delay_s: f64,
+    /// Solo-run lifetime in seconds (`T_i`); 0 for LS workloads.
+    pub lifetime_s: f64,
+}
+
+impl ColoWorkload {
+    /// Construct, validating shape invariants.
+    pub fn new(
+        profile: WorkloadProfile,
+        class: WorkloadClass,
+        demands: Vec<Demand>,
+        placement: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            profile.functions.len(),
+            placement.len(),
+            "one placement per profiled function"
+        );
+        assert_eq!(
+            profile.functions.len(),
+            demands.len(),
+            "one demand per profiled function"
+        );
+        Self {
+            profile,
+            class,
+            demands,
+            placement,
+            start_delay_s: 0.0,
+            lifetime_s: 0.0,
+        }
+    }
+
+    /// Set the temporal position (builder style). Panics if the class is LS
+    /// — the paper zeroes `D` and `T` for latency-sensitive workloads.
+    pub fn with_timing(mut self, start_delay_s: f64, lifetime_s: f64) -> Self {
+        assert!(
+            self.class.uses_temporal_code(),
+            "LS workloads carry no temporal code (paper §3.3)"
+        );
+        self.start_delay_s = start_delay_s;
+        self.lifetime_s = lifetime_s;
+        self
+    }
+
+    /// Servers this workload touches (sorted, deduplicated).
+    pub fn servers(&self) -> Vec<usize> {
+        let mut s = self.placement.clone();
+        s.sort_unstable();
+        s.dedup();
+        s
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.placement.len()
+    }
+}
+
+/// A full colocation: the prediction target (slot `A`) plus corunners.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The workload whose QoS is predicted (`A` in `P_{A∪{B,C,…}}`).
+    pub target: ColoWorkload,
+    /// Corunning workloads (`B, C, …`).
+    pub others: Vec<ColoWorkload>,
+    /// Number of servers in the system (`S`).
+    pub num_servers: usize,
+}
+
+impl Scenario {
+    /// Construct, validating that every placement fits the server count.
+    pub fn new(target: ColoWorkload, others: Vec<ColoWorkload>, num_servers: usize) -> Self {
+        for w in std::iter::once(&target).chain(&others) {
+            for &s in &w.placement {
+                assert!(s < num_servers, "placement server {s} out of range");
+            }
+        }
+        Self {
+            target,
+            others,
+            num_servers,
+        }
+    }
+
+    /// Workloads in slot order (target first).
+    pub fn workloads(&self) -> impl Iterator<Item = &ColoWorkload> {
+        std::iter::once(&self.target).chain(self.others.iter())
+    }
+
+    /// Number of colocated workloads (including the target).
+    pub fn len(&self) -> usize {
+        1 + self.others.len()
+    }
+
+    /// Never empty — there is always a target.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metricsd::FunctionProfile;
+
+    pub(crate) fn profile(n_funcs: usize) -> WorkloadProfile {
+        WorkloadProfile::new(
+            "w",
+            (0..n_funcs)
+                .map(|i| FunctionProfile::new(format!("f{i}"), vec![], false))
+                .collect(),
+        )
+    }
+
+    fn colo(n_funcs: usize, placement: Vec<usize>) -> ColoWorkload {
+        ColoWorkload::new(
+            profile(n_funcs),
+            WorkloadClass::ShortTerm,
+            vec![Demand::zero(); n_funcs],
+            placement,
+        )
+    }
+
+    #[test]
+    fn servers_deduplicated() {
+        let w = colo(3, vec![2, 0, 2]);
+        assert_eq!(w.servers(), vec![0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one placement per profiled function")]
+    fn shape_mismatch_rejected() {
+        ColoWorkload::new(
+            profile(2),
+            WorkloadClass::ShortTerm,
+            vec![Demand::zero(); 2],
+            vec![0],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no temporal code")]
+    fn ls_timing_rejected() {
+        let w = ColoWorkload::new(
+            profile(1),
+            WorkloadClass::LatencySensitive,
+            vec![Demand::zero()],
+            vec![0],
+        );
+        let _ = w.with_timing(10.0, 100.0);
+    }
+
+    #[test]
+    fn sc_timing_accepted() {
+        let w = colo(1, vec![0]).with_timing(60.0, 430.0);
+        assert_eq!(w.start_delay_s, 60.0);
+        assert_eq!(w.lifetime_s, 430.0);
+    }
+
+    #[test]
+    fn scenario_orders_target_first() {
+        let s = Scenario::new(colo(1, vec![0]), vec![colo(2, vec![1, 1])], 4);
+        assert_eq!(s.len(), 2);
+        let first = s.workloads().next().unwrap();
+        assert_eq!(first.num_functions(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn placement_bounds_checked() {
+        Scenario::new(colo(1, vec![5]), vec![], 4);
+    }
+}

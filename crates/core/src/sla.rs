@@ -1,0 +1,250 @@
+//! The latency–IPC correlation curve (paper Fig. 7) and the SLA transform.
+//!
+//! The paper observes a "knee": above a certain IPC the p99 latency tracks
+//! IPC tightly, below it latency explodes and decorrelates. Because the IPC
+//! model is more accurate than the latency model, the scheduler converts a
+//! latency SLA into an IPC threshold via this curve and schedules against
+//! IPC (paper §6.3).
+
+/// An empirical latency–IPC curve built from profiling observations.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyIpcCurve {
+    /// `(ipc, p99 latency ms)` observations.
+    points: Vec<(f64, f64)>,
+}
+
+impl LatencyIpcCurve {
+    /// Empty curve.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one `(ipc, p99 ms)` observation.
+    pub fn push(&mut self, ipc: f64, p99_ms: f64) {
+        assert!(ipc.is_finite() && p99_ms.is_finite(), "non-finite point");
+        self.points.push((ipc, p99_ms));
+    }
+
+    /// Build from a slice of observations.
+    pub fn from_points(points: &[(f64, f64)]) -> Self {
+        let mut c = Self::new();
+        for &(ipc, lat) in points {
+            c.push(ipc, lat);
+        }
+        c
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean latency of observations whose IPC falls in `[lo, hi)`.
+    fn mean_latency_in(&self, lo: f64, hi: f64) -> Option<f64> {
+        let in_bin: Vec<f64> = self
+            .points
+            .iter()
+            .filter(|(ipc, _)| *ipc >= lo && *ipc < hi)
+            .map(|(_, lat)| *lat)
+            .collect();
+        if in_bin.is_empty() {
+            None
+        } else {
+            Some(in_bin.iter().sum::<f64>() / in_bin.len() as f64)
+        }
+    }
+
+    /// Convert a latency SLA into the minimum IPC that satisfies it: the
+    /// lowest IPC bin whose mean latency — and every higher bin's — meets
+    /// the SLA (the paper "uses the average if there are multiple IPCs").
+    /// Returns `None` when no bin meets the SLA.
+    pub fn ipc_threshold(&self, sla_ms: f64, bins: usize) -> Option<f64> {
+        if self.points.is_empty() || bins == 0 {
+            return None;
+        }
+        let min_ipc = self.points.iter().map(|(i, _)| *i).fold(f64::INFINITY, f64::min);
+        let max_ipc = self
+            .points
+            .iter()
+            .map(|(i, _)| *i)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if max_ipc <= min_ipc {
+            // Degenerate single-IPC curve.
+            return self
+                .mean_latency_in(min_ipc, min_ipc + 1e-9)
+                .or(Some(min_ipc).map(|_| self.points[0].1))
+                .filter(|&lat| lat <= sla_ms)
+                .map(|_| min_ipc);
+        }
+        let width = (max_ipc - min_ipc) / bins as f64;
+        // Scan from the highest bin downward; the threshold is the lower
+        // edge of the lowest bin in the contiguous satisfying suffix.
+        let mut threshold = None;
+        for b in (0..bins).rev() {
+            let lo = min_ipc + b as f64 * width;
+            let hi = lo + width + if b == bins - 1 { 1e-9 } else { 0.0 };
+            match self.mean_latency_in(lo, hi) {
+                Some(lat) if lat <= sla_ms => threshold = Some(lo),
+                Some(_) => break, // knee reached: lower bins violate
+                None => continue, // empty bin: keep scanning
+            }
+        }
+        threshold
+    }
+
+    /// Binned `(ipc, mean latency)` series for plotting Fig. 7.
+    pub fn binned(&self, bins: usize) -> Vec<(f64, f64)> {
+        if self.points.is_empty() || bins == 0 {
+            return Vec::new();
+        }
+        let min_ipc = self.points.iter().map(|(i, _)| *i).fold(f64::INFINITY, f64::min);
+        let max_ipc = self
+            .points
+            .iter()
+            .map(|(i, _)| *i)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let width = ((max_ipc - min_ipc) / bins as f64).max(1e-12);
+        (0..bins)
+            .filter_map(|b| {
+                let lo = min_ipc + b as f64 * width;
+                let hi = lo + width + if b == bins - 1 { 1e-9 } else { 0.0 };
+                self.mean_latency_in(lo, hi).map(|lat| (lo + width / 2.0, lat))
+            })
+            .collect()
+    }
+
+    /// Locate the knee: the lowest IPC bin after which the binned latency
+    /// stays within `tolerance ×` the high-IPC plateau. Below the knee the
+    /// paper observes the latency "varies significantly"; above it, latency
+    /// and IPC correlate strongly. Returns `None` when the curve has no
+    /// plateau (fewer than two non-empty bins).
+    pub fn knee(&self, bins: usize, tolerance: f64) -> Option<f64> {
+        let series = self.binned(bins);
+        if series.len() < 2 {
+            return None;
+        }
+        // Plateau level: the mean latency of the top third of bins by IPC.
+        let top = &series[series.len() - series.len().div_ceil(3)..];
+        let plateau = top.iter().map(|(_, l)| l).sum::<f64>() / top.len() as f64;
+        // Scan downward from the highest IPC; the knee is the lower edge of
+        // the last bin still within tolerance of the plateau.
+        let mut knee = None;
+        for &(ipc, lat) in series.iter().rev() {
+            if lat <= plateau * tolerance {
+                knee = Some(ipc);
+            } else {
+                break;
+            }
+        }
+        knee
+    }
+
+    /// Fraction of observations below a given IPC (used by the paper to
+    /// argue weak guarantees only occur in the low-IPC 4.1 % of samples).
+    pub fn fraction_below_ipc(&self, ipc: f64) -> f64 {
+        if self.points.is_empty() {
+            return f64::NAN;
+        }
+        self.points.iter().filter(|(i, _)| *i < ipc).count() as f64 / self.points.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Synthetic knee: latency = 50/ipc for ipc ≥ 0.5, exploding below.
+    fn knee_curve() -> LatencyIpcCurve {
+        let mut c = LatencyIpcCurve::new();
+        for i in 1..=100 {
+            let ipc = i as f64 / 50.0; // 0.02 .. 2.0
+            let lat = if ipc >= 0.5 {
+                50.0 / ipc
+            } else {
+                2000.0 / ipc // blow-up region
+            };
+            c.push(ipc, lat);
+        }
+        c
+    }
+
+    #[test]
+    fn threshold_above_knee() {
+        let c = knee_curve();
+        // SLA 100 ms: satisfied for ipc ≥ 0.5 (lat ≤ 100 at ipc=0.5).
+        let t = c.ipc_threshold(100.0, 50).expect("threshold exists");
+        assert!((0.4..=0.7).contains(&t), "threshold {t}");
+    }
+
+    #[test]
+    fn tight_sla_needs_higher_ipc() {
+        let c = knee_curve();
+        let loose = c.ipc_threshold(100.0, 50).unwrap();
+        let tight = c.ipc_threshold(40.0, 50).unwrap();
+        assert!(tight > loose, "tight {tight} vs loose {loose}");
+    }
+
+    #[test]
+    fn impossible_sla_none() {
+        let c = knee_curve();
+        assert!(c.ipc_threshold(10.0, 50).is_none());
+    }
+
+    #[test]
+    fn empty_curve_none() {
+        let c = LatencyIpcCurve::new();
+        assert!(c.ipc_threshold(100.0, 10).is_none());
+        assert!(c.fraction_below_ipc(1.0).is_nan());
+    }
+
+    #[test]
+    fn binned_series_monotone_after_knee() {
+        let c = knee_curve();
+        let series = c.binned(20);
+        assert!(!series.is_empty());
+        // In the post-knee region latency decreases with IPC.
+        let post: Vec<&(f64, f64)> = series.iter().filter(|(i, _)| *i > 0.6).collect();
+        for w in post.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-9);
+        }
+    }
+
+    #[test]
+    fn knee_found_near_curve_break() {
+        let c = knee_curve();
+        // Tolerance 4x: the smooth 1/ipc decay stays within bound down to
+        // the break at ipc = 0.5, where latency jumps ~40x.
+        let knee = c.knee(20, 4.0).expect("knee exists");
+        assert!((0.35..=0.8).contains(&knee), "knee {knee}");
+    }
+
+    #[test]
+    fn knee_none_for_tiny_curves() {
+        let c = LatencyIpcCurve::from_points(&[(1.0, 10.0)]);
+        assert!(c.knee(10, 2.0).is_none());
+    }
+
+    #[test]
+    fn flat_curve_knee_is_lowest_bin() {
+        let c = LatencyIpcCurve::from_points(&[
+            (0.5, 100.0),
+            (1.0, 100.0),
+            (1.5, 100.0),
+            (2.0, 100.0),
+        ]);
+        let knee = c.knee(4, 1.5).unwrap();
+        // `binned` reports bin centres; the lowest bin's centre is 0.6875.
+        assert!(knee <= 0.7, "flat curve: knee at the bottom, got {knee}");
+    }
+
+    #[test]
+    fn fraction_below_ipc_counts() {
+        let c = LatencyIpcCurve::from_points(&[(0.5, 1.0), (1.0, 1.0), (1.5, 1.0), (2.0, 1.0)]);
+        assert!((c.fraction_below_ipc(1.2) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the overlap coding and feature assembly.
+
+use cluster::Demand;
+use gsight::coding::{spatial_utilization_code, CodingConfig};
+use gsight::features::{feature_dim, featurize};
+use gsight::{ColoWorkload, Scenario};
+use metricsd::{FunctionProfile, Metric, MetricVector, ProfileSample, WorkloadProfile};
+use proptest::prelude::*;
+use simcore::SimTime;
+use workloads::WorkloadClass;
+
+fn colo(ipcs: Vec<f64>, placement: Vec<usize>) -> ColoWorkload {
+    let profile = WorkloadProfile::new(
+        "w",
+        ipcs.iter()
+            .enumerate()
+            .map(|(i, &ipc)| {
+                let mut m = MetricVector::zero();
+                m.set(Metric::Ipc, ipc);
+                FunctionProfile::new(
+                    format!("f{i}"),
+                    vec![ProfileSample {
+                        at: SimTime::ZERO,
+                        metrics: m,
+                    }],
+                    false,
+                )
+            })
+            .collect(),
+    );
+    let demands = vec![Demand::new(1.0, 2.0, 1.0, 0.0, 0.0, 0.5); ipcs.len()];
+    ColoWorkload::new(profile, WorkloadClass::LatencySensitive, demands, placement)
+}
+
+fn arb_colo(num_servers: usize) -> impl Strategy<Value = ColoWorkload> {
+    (1usize..6).prop_flat_map(move |n| {
+        (
+            prop::collection::vec(0.1f64..3.0, n..=n),
+            prop::collection::vec(0..num_servers, n..=n),
+        )
+            .prop_map(|(ipcs, placement)| colo(ipcs, placement))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn feature_vector_has_fixed_dimension(
+        target in arb_colo(4),
+        others in prop::collection::vec(arb_colo(4), 0..3),
+    ) {
+        let config = CodingConfig { num_servers: 4, max_workloads: 4 };
+        let s = Scenario::new(target, others, 4);
+        let x = featurize(&s, &config);
+        prop_assert_eq!(x.len(), feature_dim(&config));
+    }
+
+    #[test]
+    fn empty_servers_code_to_zero_rows(w in arb_colo(6)) {
+        let u = spatial_utilization_code(&w, 6);
+        let used = w.servers();
+        for (server, row) in u.iter().enumerate() {
+            if !used.contains(&server) {
+                prop_assert!(row.iter().all(|&v| v == 0.0), "server {server} not zeroed");
+            }
+        }
+    }
+
+    #[test]
+    fn virtual_function_mean_is_bounded(
+        ipcs in prop::collection::vec(0.1f64..3.0, 1..6),
+    ) {
+        // All functions on one server: the row is the mean of their IPCs.
+        let n = ipcs.len();
+        let w = colo(ipcs.clone(), vec![0; n]);
+        let u = spatial_utilization_code(&w, 1);
+        let lo = ipcs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ipcs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(u[0][0] >= lo - 1e-9 && u[0][0] <= hi + 1e-9);
+    }
+
+    #[test]
+    fn featurize_deterministic(
+        target in arb_colo(4),
+        others in prop::collection::vec(arb_colo(4), 0..3),
+    ) {
+        let config = CodingConfig { num_servers: 4, max_workloads: 4 };
+        let s = Scenario::new(target, others, 4);
+        prop_assert_eq!(featurize(&s, &config), featurize(&s, &config));
+    }
+
+    #[test]
+    fn slot_padding_is_zero(target in arb_colo(4)) {
+        let config = CodingConfig { num_servers: 4, max_workloads: 5 };
+        let s = Scenario::new(target, vec![], 4);
+        let x = featurize(&s, &config);
+        let per_slot = 2 * 4 * 16;
+        // Slots 1..5 all zero.
+        prop_assert!(x[per_slot..5 * per_slot].iter().all(|&v| v == 0.0));
+    }
+}

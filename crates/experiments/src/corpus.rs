@@ -1,0 +1,729 @@
+//! Shared experiment machinery: solo-run profiling (cached), colocation
+//! runs with ground-truth QoS labels, and random corpus generation for the
+//! prediction studies.
+//!
+//! Every labeled sample is produced the way the paper produces one: run the
+//! colocation on the platform simulator, read the target's measured QoS
+//! (mean IPC / p99 latency / JCT), and pair it with a [`Scenario`] built
+//! from *solo-run* profiles only — the predictor never sees corun
+//! measurements at prediction time.
+
+use cluster::{ClusterConfig, Demand};
+use gsight::{ColoWorkload, Scenario};
+use metricsd::WorkloadProfile;
+use platform::profiling::{profile_workload, ProfilingConfig};
+use platform::report::RunReport;
+use platform::scale::PlacementDecision;
+use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
+use rayon::prelude::*;
+use simcore::rng::seed_stream;
+use simcore::{SimRng, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+use workloads::loadgen::poisson_arrivals;
+use workloads::{Workload, WorkloadClass};
+
+/// A workload together with its cached solo-run artifacts.
+#[derive(Debug, Clone)]
+pub struct ProfiledWorkload {
+    /// The workload definition.
+    pub workload: Workload,
+    /// Solo-run per-function profiles (at the profiling QPS for LS).
+    pub profile: WorkloadProfile,
+    /// Configured per-node resource allocations (the `R` vectors).
+    pub demands: Vec<Demand>,
+    /// Solo mean IPC.
+    pub solo_ipc: f64,
+    /// Solo p99 latency in ms (LS; NaN otherwise).
+    pub solo_p99_ms: f64,
+    /// Solo JCT in seconds (SC/BG; NaN for LS).
+    pub solo_jct_s: f64,
+    /// QPS the profile was taken at (0 for SC/BG).
+    pub qps: f64,
+}
+
+/// Quantize a QPS to the cache key grid.
+fn qps_key(qps: f64) -> u32 {
+    qps.round() as u32
+}
+
+/// Immutable book of solo profiles, built once and shared across parallel
+/// sample generation.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileBook {
+    entries: HashMap<(String, u32), Arc<ProfiledWorkload>>,
+}
+
+impl ProfileBook {
+    /// Empty book.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Profile a workload at a QPS level (no-op if already cached).
+    ///
+    /// `quick` shrinks the LS profiling window from the paper's 5 minutes
+    /// to 30 s for CI runs.
+    pub fn add(&mut self, workload: &Workload, qps: f64, seed: u64, quick: bool) {
+        let key = (workload.name.clone(), qps_key(qps));
+        if self.entries.contains_key(&key) {
+            return;
+        }
+        let mut cfg = ProfilingConfig::dedicated(seed ^ 0x0050_F11E);
+        cfg.ls_qps = qps.max(1.0);
+        if quick {
+            cfg.window = SimTime::from_secs(30.0);
+        }
+        let (profile, report) = profile_workload(workload, &cfg);
+        let series = &report.workloads[0];
+        let demands: Vec<Demand> = workload
+            .graph
+            .ids()
+            .map(|id| workload.graph.func(id).mean_demand())
+            .collect();
+        // Warm-phase solo p99 — the same measurement window convention as
+        // the corun labels (see `run_colocation`), so degradation ratios
+        // are apples-to-apples.
+        let lats = &series.e2e_latencies_ms;
+        let solo_p99_ms = simcore::percentile(&lats[lats.len() / 5..], 99.0);
+        let pw = ProfiledWorkload {
+            workload: workload.clone(),
+            profile,
+            demands,
+            solo_ipc: series.mean_ipc(),
+            solo_p99_ms,
+            solo_jct_s: series.mean_jct_secs(),
+            qps: if workload.class == WorkloadClass::LatencySensitive {
+                qps
+            } else {
+                0.0
+            },
+        };
+        self.entries.insert(key, Arc::new(pw));
+    }
+
+    /// Fetch a cached profile. Panics if absent — profiling must happen in
+    /// the single-threaded setup phase, before parallel sample generation.
+    pub fn get(&self, name: &str, qps: f64) -> Arc<ProfiledWorkload> {
+        self.entries
+            .get(&(name.to_string(), qps_key(qps)))
+            .unwrap_or_else(|| panic!("no profile for {name} @ {qps} qps"))
+            .clone()
+    }
+
+    /// Number of cached profiles.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// One workload's role in a colocation run.
+#[derive(Debug, Clone)]
+pub struct ColoSetup {
+    /// Profiled workload.
+    pub pw: Arc<ProfiledWorkload>,
+    /// Server per call-graph node.
+    pub placement: Vec<usize>,
+    /// Drive rate (LS only; ignored for SC/BG).
+    pub qps: f64,
+    /// Job submission time (SC/BG only).
+    pub start_delay: SimTime,
+}
+
+impl ColoSetup {
+    /// Place every node of a profiled workload on one server.
+    pub fn packed(pw: Arc<ProfiledWorkload>, server: usize) -> Self {
+        let n = pw.workload.graph.len();
+        Self {
+            qps: pw.qps,
+            placement: vec![server; n],
+            start_delay: SimTime::ZERO,
+            pw,
+        }
+    }
+
+    /// Scenario-view of this setup.
+    pub fn as_colo(&self) -> ColoWorkload {
+        let class = self.pw.workload.class;
+        let mut c = ColoWorkload::new(
+            self.pw.profile.clone(),
+            class,
+            self.pw.demands.clone(),
+            self.placement.clone(),
+        );
+        if class.uses_temporal_code() {
+            c = c.with_timing(self.start_delay.as_secs(), self.pw.solo_jct_s.max(0.0));
+        }
+        c
+    }
+}
+
+/// Measured outcome of one colocation run.
+#[derive(Debug, Clone)]
+pub struct ColoOutcome {
+    /// Scenario (solo profiles + overlap codes) with the target in slot 0.
+    pub scenario: Scenario,
+    /// Target's measured mean IPC.
+    pub ipc: f64,
+    /// Target's measured p99 latency (ms).
+    pub p99_ms: f64,
+    /// Target's measured mean JCT (s).
+    pub jct_s: f64,
+    /// Full platform report (per-function series etc.).
+    pub report: RunReport,
+}
+
+/// Run a colocation: `setups[0]` is the prediction target. Deploys one
+/// instance per call-graph node at the given placement (socket 0 of each
+/// server), drives LS setups open-loop and submits SC/BG jobs at their
+/// start delays, and measures the target's QoS.
+pub fn run_colocation(
+    cluster: &ClusterConfig,
+    setups: &[ColoSetup],
+    window: SimTime,
+    seed: u64,
+) -> ColoOutcome {
+    assert!(!setups.is_empty(), "need at least a target");
+    let mut config = PlatformConfig::paper_testbed(seed);
+    config.cluster = cluster.clone();
+    let mut sim = Simulation::new(config);
+    let mut rng = SimRng::new(seed ^ 0xA11CE);
+    for setup in setups {
+        // Everything shares socket 0 of its server: the interference
+        // studies colocate on one socket; Fig. 4's isolation experiment
+        // controls sockets explicitly instead of using this helper.
+        let placement: Vec<Vec<PlacementDecision>> = setup
+            .placement
+            .iter()
+            .map(|&server| vec![PlacementDecision { server, socket: 0 }])
+            .collect();
+        let arrivals = match setup.pw.workload.class {
+            WorkloadClass::LatencySensitive => {
+                ArrivalSpec::OpenLoop(poisson_arrivals(setup.qps, window, &mut rng))
+            }
+            _ => ArrivalSpec::Jobs(vec![setup.start_delay]),
+        };
+        sim.deploy(Deployment {
+            workload: setup.pw.workload.clone(),
+            placement,
+            arrivals,
+        });
+    }
+    // SC targets must complete: extend the horizon well past the window.
+    let horizon = if setups[0].pw.workload.class == WorkloadClass::LatencySensitive {
+        window
+    } else {
+        // Leave room for heavy stacked interference (slowdowns near 10x).
+        SimTime::from_secs(window.as_secs() + setups[0].pw.solo_jct_s * 10.0 + 120.0)
+    };
+    sim.run_until(horizon);
+    let report = sim.into_report();
+    let target = &report.workloads[0];
+    let scenario = Scenario::new(
+        setups[0].as_colo(),
+        setups[1..].iter().map(|s| s.as_colo()).collect(),
+        cluster.num_servers(),
+    );
+    // Warm-phase p99: skip the first 20 % of latencies so cold-start
+    // transients (which the paper's long runs dilute) do not randomise the
+    // tail-latency labels.
+    let lats = &target.e2e_latencies_ms;
+    let p99_ms = simcore::percentile(&lats[lats.len() / 5..], 99.0);
+    ColoOutcome {
+        scenario,
+        ipc: target.mean_ipc(),
+        p99_ms,
+        jct_s: target.mean_jct_secs(),
+        report,
+    }
+}
+
+/// The three colocation groups of the Fig. 9 study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ColoGroup {
+    /// Latency-sensitive target, latency-sensitive corunners.
+    LsLs,
+    /// Latency-sensitive target, SC/BG corunners.
+    LsScBg,
+    /// Short-term-computing target, SC/BG corunners.
+    ScScBg,
+}
+
+impl ColoGroup {
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            ColoGroup::LsLs => "LS+LS",
+            ColoGroup::LsScBg => "LS+SC/BG",
+            ColoGroup::ScScBg => "SC+SC/BG",
+        }
+    }
+
+    /// All groups in paper order.
+    pub const ALL: [ColoGroup; 3] = [ColoGroup::LsLs, ColoGroup::LsScBg, ColoGroup::ScScBg];
+}
+
+/// One labeled corpus sample.
+#[derive(Debug, Clone)]
+pub struct LabeledSample {
+    /// Scenario with the target in slot 0.
+    pub scenario: Scenario,
+    /// Measured target mean IPC.
+    pub ipc: f64,
+    /// Measured target p99 ms (NaN for SC targets).
+    pub p99_ms: f64,
+    /// Measured target JCT s (NaN for LS targets).
+    pub jct_s: f64,
+    /// The group the sample belongs to.
+    pub group: ColoGroup,
+    /// Mean *observed* (corun) metric vector of the target — what the
+    /// Table 3 correlation study correlates against performance.
+    pub observed: metricsd::MetricVector,
+    /// The target's solo IPC (from its profile).
+    pub solo_ipc: f64,
+    /// The target's solo p99 ms (LS; NaN otherwise).
+    pub solo_p99_ms: f64,
+    /// The target's solo JCT s (SC/BG; NaN otherwise).
+    pub solo_jct_s: f64,
+}
+
+impl LabeledSample {
+    /// The target's performance degradation, preferring the IPC-based form
+    /// `solo IPC / corun IPC` (≥ 1 under interference): IPC is the
+    /// least noisy QoS signal (paper §3.2: "IPC measurements are more
+    /// immune to system noise"), which matters for the Table 3 correlation
+    /// study. Falls back to the p99 or JCT ratio when IPC is unavailable.
+    pub fn degradation(&self) -> f64 {
+        if self.ipc.is_finite() && self.solo_ipc.is_finite() && self.ipc > 0.0 {
+            self.solo_ipc / self.ipc
+        } else if self.p99_ms.is_finite() && self.solo_p99_ms.is_finite() && self.solo_p99_ms > 0.0
+        {
+            self.p99_ms / self.solo_p99_ms
+        } else if self.jct_s.is_finite() && self.solo_jct_s > 0.0 {
+            self.jct_s / self.solo_jct_s
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// QPS levels the LS workloads are profiled and driven at.
+pub const QPS_LEVELS: [f64; 3] = [10.0, 20.0, 30.0];
+
+/// Build the profile book covering every workload/QPS the corpus
+/// generators use.
+pub fn standard_profile_book(seed: u64, quick: bool) -> ProfileBook {
+    let mut book = ProfileBook::new();
+    for qps in QPS_LEVELS {
+        book.add(&workloads::socialnetwork::message_posting(), qps, seed, quick);
+        book.add(&workloads::ecommerce::browse_and_buy(), qps, seed, quick);
+    }
+    for w in workloads::functionbench::all() {
+        book.add(&w, 0.0, seed, quick);
+    }
+    book
+}
+
+/// Names of the LS target pool.
+const LS_POOL: [&str; 2] = ["social-network", "e-commerce"];
+/// Names of the SC target pool.
+const SC_POOL: [&str; 3] = ["logistic-regression", "kmeans", "feature-generation"];
+/// Names of the SC/BG corunner pool.
+const SCBG_POOL: [&str; 5] = [
+    "matrix-multiplication",
+    "dd",
+    "iperf",
+    "video-processing",
+    "float-operation",
+];
+
+/// Random placement of a workload's nodes over `spread` of the first
+/// `server_pool` servers.
+fn random_placement(n_nodes: usize, server_pool: usize, spread: usize, rng: &mut SimRng) -> Vec<usize> {
+    let servers: Vec<usize> = rng.sample_indices(server_pool, spread.max(1));
+    (0..n_nodes).map(|_| servers[rng.index(servers.len())]).collect()
+}
+
+/// Generate one random sample of a group.
+fn generate_sample(
+    group: ColoGroup,
+    book: &ProfileBook,
+    cluster: &ClusterConfig,
+    seed: u64,
+    quick: bool,
+    max_corunners: usize,
+) -> LabeledSample {
+    let mut rng = SimRng::new(seed);
+    // Keep placements inside the first 4 servers so overlaps are common.
+    let pool = 4.min(cluster.num_servers());
+    let window = if quick {
+        SimTime::from_secs(20.0)
+    } else {
+        SimTime::from_secs(60.0)
+    };
+
+    let setup = |name: &str, qps: f64, delay_s: f64, rng: &mut SimRng| -> ColoSetup {
+        let pw = book.get(name, qps);
+        let n = pw.workload.graph.len();
+        // Up to three servers per workload: partial (multi-server)
+        // placements are the paper's focus, and they are exactly the cases
+        // where workload-level coding loses information (Fig. 5/10).
+        let spread = 1 + rng.index(3.min(n));
+        ColoSetup {
+            placement: random_placement(n, pool, spread, rng),
+            qps,
+            start_delay: SimTime::from_secs(delay_s),
+            pw,
+        }
+    };
+
+    let n_corun = 1 + rng.index(max_corunners.max(1));
+    let mut setups = Vec::with_capacity(1 + n_corun);
+    match group {
+        ColoGroup::LsLs => {
+            let t = LS_POOL[rng.index(LS_POOL.len())];
+            let qps = QPS_LEVELS[rng.index(QPS_LEVELS.len())];
+            setups.push(setup(t, qps, 0.0, &mut rng));
+            for _ in 0..n_corun {
+                let c = LS_POOL[rng.index(LS_POOL.len())];
+                let cqps = QPS_LEVELS[rng.index(QPS_LEVELS.len())];
+                setups.push(setup(c, cqps, 0.0, &mut rng));
+            }
+        }
+        ColoGroup::LsScBg => {
+            let t = LS_POOL[rng.index(LS_POOL.len())];
+            let qps = QPS_LEVELS[rng.index(QPS_LEVELS.len())];
+            setups.push(setup(t, qps, 0.0, &mut rng));
+            for i in 0..n_corun {
+                let c = SCBG_POOL[rng.index(SCBG_POOL.len())];
+                let delay = if i == 0 { 0.0 } else { window.as_secs() / 4.0 * rng.index(3) as f64 };
+                setups.push(setup(c, 0.0, delay, &mut rng));
+            }
+        }
+        ColoGroup::ScScBg => {
+            let t = SC_POOL[rng.index(SC_POOL.len())];
+            setups.push(setup(t, 0.0, 0.0, &mut rng));
+            for _ in 0..n_corun {
+                let c = SCBG_POOL[rng.index(SCBG_POOL.len())];
+                let delay = setups[0].pw.solo_jct_s / 4.0 * rng.index(4) as f64;
+                setups.push(setup(c, 0.0, delay, &mut rng));
+            }
+        }
+    }
+    let out = run_colocation(cluster, &setups, window, seed ^ 0x5A5A);
+    // Mean observed metric vector of the target across its functions.
+    let mut observed_samples = Vec::new();
+    for f in &out.report.workloads[0].functions {
+        observed_samples.extend_from_slice(&f.metric_samples);
+    }
+    let target_pw = &setups[0].pw;
+    LabeledSample {
+        scenario: out.scenario,
+        ipc: out.ipc,
+        p99_ms: out.p99_ms,
+        jct_s: out.jct_s,
+        group,
+        observed: metricsd::MetricVector::mean_of(&observed_samples),
+        solo_ipc: target_pw.solo_ipc,
+        solo_p99_ms: target_pw.solo_p99_ms,
+        solo_jct_s: target_pw.solo_jct_s,
+    }
+}
+
+/// Collapse a scenario to its *workload-level* view: every workload's
+/// functions merged into one monolithic profile on a single server — the
+/// serverful-style coding the paper compares against in Fig. 5 and
+/// Fig. 10(a).
+pub fn merge_scenario(s: &Scenario) -> Scenario {
+    let merge = |w: &ColoWorkload| -> ColoWorkload {
+        let merged_profile =
+            metricsd::WorkloadProfile::new(w.profile.workload.clone(), vec![w.profile.merged()]);
+        let total_demand = w
+            .demands
+            .iter()
+            .fold(Demand::zero(), |acc, d| acc.add(d));
+        let mut c = ColoWorkload::new(
+            merged_profile,
+            w.class,
+            vec![total_demand],
+            vec![w.placement[0]],
+        );
+        if w.class.uses_temporal_code() {
+            c = c.with_timing(w.start_delay_s, w.lifetime_s);
+        }
+        c
+    };
+    Scenario::new(
+        merge(&s.target),
+        s.others.iter().map(merge).collect(),
+        s.num_servers,
+    )
+}
+
+/// Generate `n` random labeled samples of a group, in parallel (each sample
+/// owns a derived seed, so the corpus is deterministic).
+pub fn generate_group(
+    group: ColoGroup,
+    n: usize,
+    book: &ProfileBook,
+    cluster: &ClusterConfig,
+    seed: u64,
+    quick: bool,
+) -> Vec<LabeledSample> {
+    generate_group_n(group, n, book, cluster, seed, quick, 2)
+}
+
+/// [`generate_group`] with an explicit corunner-count cap (the Fig. 10(c)
+/// workload-count study sweeps larger colocations).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_group_n(
+    group: ColoGroup,
+    n: usize,
+    book: &ProfileBook,
+    cluster: &ClusterConfig,
+    seed: u64,
+    quick: bool,
+    max_corunners: usize,
+) -> Vec<LabeledSample> {
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            generate_sample(
+                group,
+                book,
+                cluster,
+                seed_stream(seed, i as u64),
+                quick,
+                max_corunners,
+            )
+        })
+        .collect()
+}
+
+/// Generate a mixed corpus across all three groups.
+pub fn generate_mixed(
+    n_per_group: usize,
+    book: &ProfileBook,
+    cluster: &ClusterConfig,
+    seed: u64,
+    quick: bool,
+) -> Vec<LabeledSample> {
+    let mut out = Vec::with_capacity(3 * n_per_group);
+    for (gi, group) in ColoGroup::ALL.into_iter().enumerate() {
+        out.extend(generate_group(
+            group,
+            n_per_group,
+            book,
+            cluster,
+            seed_stream(seed, 1000 + gi as u64),
+            quick,
+        ));
+    }
+    out
+}
+
+/// Generate samples with explicit target and corunner pools (used by the
+/// Fig. 5 train/test split, where training workloads must differ from the
+/// tested one).
+#[allow(clippy::too_many_arguments)]
+pub fn generate_custom(
+    targets: &[(&str, f64)],
+    corunners: &[&str],
+    n: usize,
+    book: &ProfileBook,
+    cluster: &ClusterConfig,
+    seed: u64,
+    quick: bool,
+) -> Vec<LabeledSample> {
+    let pool = 4.min(cluster.num_servers());
+    let window = if quick {
+        SimTime::from_secs(20.0)
+    } else {
+        SimTime::from_secs(60.0)
+    };
+    (0..n)
+        .into_par_iter()
+        .map(|i| {
+            let mut rng = SimRng::new(seed_stream(seed, i as u64));
+            let (tname, tqps) = targets[rng.index(targets.len())];
+            let target_pw = book.get(tname, tqps);
+            let n_nodes = target_pw.workload.graph.len();
+            let spread = 1 + rng.index(2);
+            let target = ColoSetup {
+                placement: random_placement(n_nodes, pool, spread, &mut rng),
+                qps: tqps,
+                start_delay: SimTime::ZERO,
+                pw: target_pw.clone(),
+            };
+            let mut setups = vec![target];
+            let n_corun = 1 + rng.index(2);
+            for k in 0..n_corun {
+                let cname = corunners[rng.index(corunners.len())];
+                let pw = book.get(cname, 0.0);
+                let cn = pw.workload.graph.len();
+                let cspread = 1 + rng.index(2);
+                setups.push(ColoSetup {
+                    placement: random_placement(cn, pool, cspread, &mut rng),
+                    qps: 0.0,
+                    start_delay: SimTime::from_secs(30.0 * k as f64),
+                    pw,
+                });
+            }
+            let out = run_colocation(cluster, &setups, window, seed_stream(seed, 7000 + i as u64));
+            let mut observed = Vec::new();
+            for f in &out.report.workloads[0].functions {
+                observed.extend_from_slice(&f.metric_samples);
+            }
+            LabeledSample {
+                scenario: out.scenario,
+                ipc: out.ipc,
+                p99_ms: out.p99_ms,
+                jct_s: out.jct_s,
+                group: if target_pw.workload.class == WorkloadClass::LatencySensitive {
+                    ColoGroup::LsScBg
+                } else {
+                    ColoGroup::ScScBg
+                },
+                observed: metricsd::MetricVector::mean_of(&observed),
+                solo_ipc: target_pw.solo_ipc,
+                solo_p99_ms: target_pw.solo_p99_ms,
+                solo_jct_s: target_pw.solo_jct_s,
+            }
+        })
+        .collect()
+}
+
+/// Convert samples into `(Scenario, label)` pairs for a given QoS target,
+/// keeping only samples whose measured IPC is at least `min_ipc_frac` of
+/// the target's solo IPC — the paper's low-IPC-sample filtering ("the tail
+/// latency prediction error falls from 28.6% to 18.7% after removing low
+/// IPC samples", §3.2).
+pub fn labeled_for_filtered(
+    samples: &[LabeledSample],
+    target: gsight::QosTarget,
+    min_ipc_frac: f64,
+) -> Vec<(Scenario, f64)> {
+    let kept: Vec<LabeledSample> = samples
+        .iter()
+        .filter(|s| {
+            !(s.ipc.is_finite() && s.solo_ipc.is_finite() && s.solo_ipc > 0.0)
+                || s.ipc >= min_ipc_frac * s.solo_ipc
+        })
+        .cloned()
+        .collect();
+    labeled_for(&kept, target)
+}
+
+/// Convert samples into `(Scenario, label)` pairs for a given QoS target,
+/// skipping samples whose label is NaN for that target.
+pub fn labeled_for(
+    samples: &[LabeledSample],
+    target: gsight::QosTarget,
+) -> Vec<(Scenario, f64)> {
+    samples
+        .iter()
+        .filter_map(|s| {
+            let y = match target {
+                gsight::QosTarget::Ipc => s.ipc,
+                gsight::QosTarget::TailLatencyMs => s.p99_ms,
+                gsight::QosTarget::JctSecs => s.jct_s,
+            };
+            (y.is_finite() && y > 0.0).then(|| (s.scenario.clone(), y))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cluster() -> ClusterConfig {
+        ClusterConfig::homogeneous(4, cluster::ServerSpec::paper_node())
+    }
+
+    #[test]
+    fn profile_book_caches() {
+        let mut book = ProfileBook::new();
+        let dd = workloads::functionbench::dd();
+        book.add(&dd, 0.0, 1, true);
+        book.add(&dd, 0.0, 1, true);
+        assert_eq!(book.len(), 1);
+        let pw = book.get("dd", 0.0);
+        assert!(pw.solo_jct_s > 80.0 && pw.solo_jct_s < 100.0, "{}", pw.solo_jct_s);
+    }
+
+    #[test]
+    fn colocation_outcome_measures_target() {
+        let mut book = ProfileBook::new();
+        let mm = workloads::functionbench::matrix_multiplication();
+        let fo = workloads::functionbench::float_operation();
+        book.add(&mm, 0.0, 2, true);
+        book.add(&fo, 0.0, 2, true);
+        let cluster = small_cluster();
+        // Target: matmul; corunner: another matmul on the same server.
+        let target = ColoSetup::packed(book.get("matrix-multiplication", 0.0), 0);
+        let corun = ColoSetup::packed(book.get("matrix-multiplication", 0.0), 0);
+        let out = run_colocation(&cluster, &[target, corun], SimTime::from_secs(30.0), 3);
+        assert!(out.jct_s.is_finite());
+        assert!(out.jct_s >= book.get("matrix-multiplication", 0.0).solo_jct_s * 0.99);
+        assert_eq!(out.scenario.len(), 2);
+    }
+
+    #[test]
+    fn zero_interference_matches_solo() {
+        let mut book = ProfileBook::new();
+        let mm = workloads::functionbench::matrix_multiplication();
+        book.add(&mm, 0.0, 4, true);
+        let cluster = small_cluster();
+        let pw = book.get("matrix-multiplication", 0.0);
+        let target = ColoSetup::packed(pw.clone(), 0);
+        let corun = ColoSetup::packed(pw.clone(), 2); // disjoint server
+        let out = run_colocation(&cluster, &[target, corun], SimTime::from_secs(30.0), 5);
+        let rel = (out.jct_s - pw.solo_jct_s).abs() / pw.solo_jct_s;
+        assert!(rel < 0.02, "zero interference JCT off by {rel}");
+    }
+
+    #[test]
+    fn generate_group_is_deterministic() {
+        let book = {
+            let mut b = ProfileBook::new();
+            for w in workloads::functionbench::all() {
+                b.add(&w, 0.0, 7, true);
+            }
+            b
+        };
+        let cluster = small_cluster();
+        let a = generate_group(ColoGroup::ScScBg, 3, &book, &cluster, 9, true);
+        let b = generate_group(ColoGroup::ScScBg, 3, &book, &cluster, 9, true);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.jct_s, y.jct_s);
+            assert_eq!(x.ipc, y.ipc);
+        }
+    }
+
+    #[test]
+    fn labeled_for_filters_nan() {
+        let book = {
+            let mut b = ProfileBook::new();
+            for w in workloads::functionbench::all() {
+                b.add(&w, 0.0, 11, true);
+            }
+            b
+        };
+        let cluster = small_cluster();
+        let samples = generate_group(ColoGroup::ScScBg, 2, &book, &cluster, 13, true);
+        let jct = labeled_for(&samples, gsight::QosTarget::JctSecs);
+        assert_eq!(jct.len(), 2, "SC targets must have JCT labels");
+        for (_, y) in &jct {
+            assert!(*y > 0.0);
+        }
+        let p99 = labeled_for(&samples, gsight::QosTarget::TailLatencyMs);
+        // A single job's p99 is its only latency — finite, so retained.
+        assert!(p99.len() <= 2);
+    }
+}

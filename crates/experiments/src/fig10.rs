@@ -1,0 +1,209 @@
+//! Fig. 10 — incremental-learning convergence and workload-count
+//! sensitivity.
+//!
+//! * **(a)** Convergence speed of IRFR trained on *serverless*
+//!   (function-level coding) vs *serverful* (workload-level merged coding)
+//!   samples: error at 1k/2k/3k samples. Paper: 3.41/2.55/2.09 % vs
+//!   6.5/4.74/3.75 % — the serverful model needs ≥ 3× the samples for the
+//!   same error.
+//! * **(b)** Long incremental run: error stays below the 3k-sample level
+//!   and keeps falling (paper: ~1 % at 9k).
+//! * **(c)** Error vs number of colocated workloads: flat, < 3 % everywhere.
+
+use crate::corpus::{
+    generate_group_n, generate_mixed, labeled_for, merge_scenario, standard_profile_book,
+    ColoGroup, LabeledSample,
+};
+use crate::fig9::{gsight_with, mean_error};
+use crate::registry::ExperimentResult;
+use baselines::ScenarioPredictor;
+use cluster::ClusterConfig;
+use gsight::{QosTarget, Scenario};
+use mlcore::ModelKind;
+use simcore::rng::seed_stream;
+use simcore::table::{fnum, TextTable};
+
+const SEED: u64 = 0xF1_610;
+
+/// Error trajectory of an incrementally trained IRFR model: bootstrap on
+/// the first chunk, then update chunk by chunk, recording the test error
+/// after each checkpoint.
+pub fn convergence_trajectory(
+    train: &[(Scenario, f64)],
+    test: &[(Scenario, f64)],
+    checkpoints: &[usize],
+    seed: u64,
+) -> Vec<(usize, f64)> {
+    let mut p = gsight_with(ModelKind::Irfr, QosTarget::Ipc, seed);
+    let mut consumed = 0usize;
+    let mut out = Vec::new();
+    for &cp in checkpoints {
+        let cp = cp.min(train.len());
+        if cp > consumed {
+            let batch = &train[consumed..cp];
+            if consumed == 0 {
+                ScenarioPredictor::bootstrap(&mut p, batch);
+            } else {
+                ScenarioPredictor::update(&mut p, batch);
+            }
+            consumed = cp;
+        }
+        out.push((consumed, mean_error(&p, test)));
+    }
+    out
+}
+
+/// Collapse labeled samples to the workload-level (serverful) coding.
+pub fn merged_labeled(samples: &[LabeledSample], target: QosTarget) -> Vec<(Scenario, f64)> {
+    labeled_for(samples, target)
+        .into_iter()
+        .map(|(s, y)| (merge_scenario(&s), y))
+        .collect()
+}
+
+/// Entry point.
+pub fn run(quick: bool) -> ExperimentResult {
+    let book = standard_profile_book(SEED, quick);
+    let cluster = ClusterConfig::paper_testbed();
+    let n_per_group = if quick { 25 } else { 250 };
+    let train_samples = generate_mixed(n_per_group, &book, &cluster, seed_stream(SEED, 1), quick);
+    let test_samples = generate_mixed(
+        n_per_group / 5 + 2,
+        &book,
+        &cluster,
+        seed_stream(SEED, 2),
+        quick,
+    );
+
+    let mut result = ExperimentResult::new("fig10", "convergence & workload-count sensitivity");
+
+    // ---- (a) serverless vs serverful convergence ----
+    let fn_train = labeled_for(&train_samples, QosTarget::Ipc);
+    let fn_test = labeled_for(&test_samples, QosTarget::Ipc);
+    let wl_train = merged_labeled(&train_samples, QosTarget::Ipc);
+    let wl_test = merged_labeled(&test_samples, QosTarget::Ipc);
+    let n = fn_train.len();
+    let checkpoints = [n / 3, 2 * n / 3, n];
+    let serverless = convergence_trajectory(&fn_train, &fn_test, &checkpoints, SEED);
+    let serverful = convergence_trajectory(&wl_train, &wl_test, &checkpoints, SEED);
+    let mut t = TextTable::new(vec![
+        "samples",
+        "serverless (fn-level) err",
+        "serverful (wl-level) err",
+    ]);
+    for (s, f) in serverless.iter().zip(&serverful) {
+        t.row(vec![
+            format!("{}", s.0),
+            fnum(s.1 * 100.0, 2) + "%",
+            fnum(f.1 * 100.0, 2) + "%",
+        ]);
+    }
+    result.table(format!("(a) convergence\n{}", t.render()));
+    result.note(format!(
+        "final: serverless {:.2}% vs serverful {:.2}% (paper at 3k samples: 2.09% vs 3.75%)",
+        serverless.last().unwrap().1 * 100.0,
+        serverful.last().unwrap().1 * 100.0
+    ));
+
+    // ---- (b) long run stability ----
+    let fine: Vec<usize> = (1..=6).map(|i| i * n / 6).collect();
+    let long = convergence_trajectory(&fn_train, &fn_test, &fine, SEED ^ 1);
+    let mut t = TextTable::new(vec!["samples", "error"]);
+    for (s, e) in &long {
+        t.row(vec![format!("{s}"), fnum(e * 100.0, 2) + "%"]);
+    }
+    result.table(format!("(b) incremental stability\n{}", t.render()));
+
+    // ---- (c) error vs number of colocated workloads ----
+    // Dedicated corpus with up to 5 colocated workloads so every count
+    // bucket is represented in training and test.
+    let wide_n = if quick { 40 } else { 250 };
+    let wide_train = generate_group_n(
+        ColoGroup::LsScBg,
+        wide_n,
+        &book,
+        &cluster,
+        seed_stream(SEED, 3),
+        quick,
+        4,
+    );
+    let wide_test = generate_group_n(
+        ColoGroup::LsScBg,
+        wide_n / 4 + 4,
+        &book,
+        &cluster,
+        seed_stream(SEED, 4),
+        quick,
+        4,
+    );
+    let wide_train_l = labeled_for(&wide_train, QosTarget::Ipc);
+    let wide_test_l = labeled_for(&wide_test, QosTarget::Ipc);
+    let mut p = gsight_with(ModelKind::Irfr, QosTarget::Ipc, SEED ^ 2);
+    ScenarioPredictor::bootstrap(&mut p, &wide_train_l);
+    let mut by_count: std::collections::BTreeMap<usize, Vec<f64>> = Default::default();
+    for (s, y) in &wide_test_l {
+        let e = mlcore::dataset::prediction_error(p.predict(s), *y);
+        if e.is_finite() {
+            by_count.entry(s.len()).or_default().push(e);
+        }
+    }
+    let mut t = TextTable::new(vec!["# colocated workloads", "mean error", "samples"]);
+    for (count, errs) in &by_count {
+        t.row(vec![
+            format!("{count}"),
+            fnum(errs.iter().sum::<f64>() / errs.len() as f64 * 100.0, 2) + "%",
+            format!("{}", errs.len()),
+        ]);
+    }
+    result.table(format!("(c) error vs colocation count\n{}", t.render()));
+    result.note("paper: error < 3% for any number of colocated workloads");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::generate_group;
+    use crate::corpus::ColoGroup;
+
+    #[test]
+    fn function_level_converges_faster_than_workload_level() {
+        let book = standard_profile_book(3, true);
+        let cluster = ClusterConfig::paper_testbed();
+        let train_s = generate_mixed(25, &book, &cluster, 5, true);
+        let test_s = generate_mixed(8, &book, &cluster, 7, true);
+        let fn_train = labeled_for(&train_s, QosTarget::Ipc);
+        let fn_test = labeled_for(&test_s, QosTarget::Ipc);
+        let wl_train = merged_labeled(&train_s, QosTarget::Ipc);
+        let wl_test = merged_labeled(&test_s, QosTarget::Ipc);
+        let n = fn_train.len();
+        let serverless = convergence_trajectory(&fn_train, &fn_test, &[n], 11);
+        let serverful = convergence_trajectory(&wl_train, &wl_test, &[n], 11);
+        // Function-level coding must not be worse (paper: clearly better).
+        assert!(
+            serverless[0].1 <= serverful[0].1 * 1.2,
+            "serverless {} vs serverful {}",
+            serverless[0].1,
+            serverful[0].1
+        );
+        assert!(serverless[0].1 < 0.25, "error too high: {}", serverless[0].1);
+    }
+
+    #[test]
+    fn trajectory_improves_with_more_data() {
+        let book = standard_profile_book(13, true);
+        let cluster = ClusterConfig::paper_testbed();
+        let train_s = generate_group(ColoGroup::LsScBg, 40, &book, &cluster, 15, true);
+        let test_s = generate_group(ColoGroup::LsScBg, 12, &book, &cluster, 17, true);
+        let train = labeled_for(&train_s, QosTarget::Ipc);
+        let test = labeled_for(&test_s, QosTarget::Ipc);
+        let n = train.len();
+        let traj = convergence_trajectory(&train, &test, &[n / 4, n], 19);
+        assert_eq!(traj.len(), 2);
+        assert!(
+            traj[1].1 <= traj[0].1 * 1.3,
+            "error should not explode with data: {:?}",
+            traj
+        );
+    }
+}

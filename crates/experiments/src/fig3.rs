@@ -1,0 +1,281 @@
+//! Fig. 3 — partial-interference volatility (a) and temporal variation (b).
+//!
+//! (a) The social network's message-posting workload is colocated with each
+//! of four corunners (matmul, dd, iperf, video processing) at each of its
+//! nine functions — 36 scenarios, using the socket-level harness of
+//! [`crate::fig4`] (victim + corunner share a socket; the other functions
+//! live on the remaining sockets). Reported per scenario: p99 latency, CoV
+//! of latency, and mean IPC. Paper shape: matmul/video hurt IPC badly,
+//! iperf barely at all; the p99 spread across scenarios reaches ~7×, and
+//! interfering with ⑨ get-followers is markedly worse than with
+//! ① compose-post.
+//!
+//! (b) LogisticRegression and KMeans colocated on the same socket with
+//! KMeans' start delay swept 0..360 s in 60 s steps (g1..g7). Paper shape:
+//! LR's JCT rises from ~429 s toward a peak when the delay aligns KMeans
+//! with LR's sensitive late-map/shuffle phases, then falls as the overlap
+//! shrinks; max JCT difference > 2×.
+
+use crate::corpus::{run_colocation, ColoSetup, ProfileBook};
+use crate::fig4::{run_condition, Condition};
+use crate::registry::ExperimentResult;
+use cluster::ClusterConfig;
+use rayon::prelude::*;
+use simcore::rng::seed_stream;
+use simcore::table::{fnum, TextTable};
+use simcore::SimTime;
+use std::sync::Arc;
+
+const SEED: u64 = 0xF1_603;
+
+/// One Fig. 3(a) scenario outcome.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// Corunner name.
+    pub corunner: String,
+    /// Interfered social-network function (1-based Fig. 2 number).
+    pub function: usize,
+    /// p99 end-to-end latency (ms).
+    pub p99_ms: f64,
+    /// Coefficient of variation of latency.
+    pub cov: f64,
+    /// Mean IPC.
+    pub ipc: f64,
+}
+
+/// Run the 36-scenario sweep, returning the solo baseline (p99, IPC) and
+/// the per-scenario outcomes.
+pub fn sweep_36(book: &ProfileBook, quick: bool) -> (f64, f64, Vec<ScenarioOutcome>) {
+    let qps = 40.0;
+    let baseline = run_condition(
+        book,
+        "matrix-multiplication",
+        0,
+        Condition::Baseline,
+        qps,
+        quick,
+        seed_stream(SEED, 999),
+    );
+    let corunners = ["matrix-multiplication", "dd", "iperf", "video-processing"];
+    let jobs: Vec<(usize, usize)> = corunners
+        .iter()
+        .enumerate()
+        .flat_map(|(c, _)| (0..9).map(move |f| (c, f)))
+        .collect();
+    let outcomes: Vec<ScenarioOutcome> = jobs
+        .par_iter()
+        .map(|&(c, f)| {
+            let r = run_condition(
+                book,
+                corunners[c],
+                f,
+                Condition::Interfered,
+                qps,
+                quick,
+                seed_stream(SEED, (c * 9 + f) as u64),
+            );
+            ScenarioOutcome {
+                corunner: corunners[c].to_string(),
+                function: f + 1,
+                p99_ms: r.e2e_p99_ms,
+                cov: r.e2e_cov,
+                ipc: r.ipc,
+            }
+        })
+        .collect();
+    (baseline.e2e_p99_ms, baseline.ipc, outcomes)
+}
+
+/// One Fig. 3(b) delay configuration outcome.
+#[derive(Debug, Clone)]
+pub struct DelayOutcome {
+    /// KMeans start delay (s).
+    pub delay_s: f64,
+    /// LR's JCT (s).
+    pub lr_jct_s: f64,
+    /// KMeans' JCT (s).
+    pub km_jct_s: f64,
+}
+
+/// Run the start-delay sweep g1..g7 (0..360 s, step 60).
+pub fn sweep_delays(book: &ProfileBook, quick: bool) -> Vec<DelayOutcome> {
+    let cluster = ClusterConfig::paper_testbed();
+    let lr = book.get("logistic-regression", 0.0);
+    let km = book.get("kmeans", 0.0);
+    let delays: Vec<f64> = if quick {
+        vec![0.0, 180.0, 360.0]
+    } else {
+        (0..7).map(|i| 60.0 * i as f64).collect()
+    };
+    delays
+        .par_iter()
+        .map(|&delay_s| {
+            let target = ColoSetup::packed(Arc::clone(&lr), 0);
+            let mut corun = ColoSetup::packed(Arc::clone(&km), 0);
+            corun.start_delay = SimTime::from_secs(delay_s);
+            let out = run_colocation(
+                &cluster,
+                &[target, corun],
+                SimTime::from_secs(60.0),
+                seed_stream(SEED, 2000 + delay_s as u64),
+            );
+            let km_jct = out.report.workloads[1].mean_jct_secs();
+            DelayOutcome {
+                delay_s,
+                lr_jct_s: out.jct_s,
+                km_jct_s: km_jct,
+            }
+        })
+        .collect()
+}
+
+/// Entry point.
+pub fn run(quick: bool) -> ExperimentResult {
+    let mut book = ProfileBook::new();
+    book.add(&workloads::socialnetwork::message_posting(), 40.0, SEED, quick);
+    for w in workloads::functionbench::all() {
+        book.add(&w, 0.0, SEED, quick);
+    }
+    let mut result = ExperimentResult::new(
+        "fig3",
+        "partial-interference volatility & temporal variation",
+    );
+
+    let (base_p99, base_ipc, outcomes) = sweep_36(&book, quick);
+    let mut t = TextTable::new(vec!["corunner", "fn", "p99(ms)", "CoV", "IPC", "p99/solo"]);
+    for o in &outcomes {
+        t.row(vec![
+            o.corunner.clone(),
+            format!("{}", o.function),
+            fnum(o.p99_ms, 1),
+            fnum(o.cov, 2),
+            fnum(o.ipc, 2),
+            fnum(o.p99_ms / base_p99, 2),
+        ]);
+    }
+    result.table(t.render());
+    result.note(format!(
+        "solo baseline: p99 {:.1} ms, IPC {:.2}",
+        base_p99, base_ipc
+    ));
+
+    let max_p99 = outcomes.iter().map(|o| o.p99_ms).fold(0.0, f64::max);
+    let min_p99 = outcomes.iter().map(|o| o.p99_ms).fold(f64::INFINITY, f64::min);
+    result.note(format!(
+        "p99 spread across scenarios: {:.1}x (paper reports ~7x)",
+        max_p99 / min_p99
+    ));
+    let ipc_of = |name: &str| {
+        let v: Vec<f64> = outcomes
+            .iter()
+            .filter(|o| o.corunner == name)
+            .map(|o| o.ipc)
+            .collect();
+        v.iter().sum::<f64>() / v.len() as f64
+    };
+    result.note(format!(
+        "mean IPC under matmul {:.2} vs iperf {:.2} (paper: matmul hurts IPC, iperf does not)",
+        ipc_of("matrix-multiplication"),
+        ipc_of("iperf")
+    ));
+
+    let delays = sweep_delays(&book, quick);
+    let mut t = TextTable::new(vec!["delay(s)", "LR JCT(s)", "KMeans JCT(s)"]);
+    for d in &delays {
+        t.row(vec![
+            fnum(d.delay_s, 0),
+            fnum(d.lr_jct_s, 1),
+            fnum(d.km_jct_s, 1),
+        ]);
+    }
+    result.table(t.render());
+    let lr_solo = book.get("logistic-regression", 0.0).solo_jct_s;
+    let max_lr = delays.iter().map(|d| d.lr_jct_s).fold(0.0, f64::max);
+    result.note(format!(
+        "LR solo JCT {:.0} s; max corun JCT {:.0} s ({:.2}x; paper: 429 -> 785 s)",
+        lr_solo,
+        max_lr,
+        max_lr / lr_solo
+    ));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::ProfileBook;
+
+    fn book() -> ProfileBook {
+        let mut b = ProfileBook::new();
+        b.add(&workloads::socialnetwork::message_posting(), 40.0, 1, true);
+        b.add(&workloads::functionbench::matrix_multiplication(), 0.0, 1, true);
+        b.add(&workloads::functionbench::iperf(), 0.0, 1, true);
+        b.add(&workloads::functionbench::dd(), 0.0, 1, true);
+        b.add(&workloads::functionbench::video_processing(), 0.0, 1, true);
+        b.add(&workloads::functionbench::logistic_regression(), 0.0, 1, true);
+        b.add(&workloads::functionbench::kmeans(), 0.0, 1, true);
+        b
+    }
+
+    #[test]
+    fn volatility_matmul_hurts_more_than_iperf() {
+        let b = book();
+        let (_, base_ipc, outcomes) = sweep_36(&b, true);
+        let mean_ipc = |name: &str| {
+            let v: Vec<f64> = outcomes
+                .iter()
+                .filter(|o| o.corunner == name)
+                .map(|o| o.ipc)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let matmul = mean_ipc("matrix-multiplication");
+        let iperf = mean_ipc("iperf");
+        assert!(
+            matmul < iperf - 0.01,
+            "matmul IPC {matmul} should be below iperf {iperf}"
+        );
+        assert!(
+            (iperf - base_ipc).abs() / base_ipc < 0.1,
+            "iperf should barely move IPC: {iperf} vs solo {base_ipc}"
+        );
+        assert_eq!(outcomes.len(), 36);
+    }
+
+    #[test]
+    fn get_followers_more_sensitive_than_compose_post() {
+        let b = book();
+        let (_, _, outcomes) = sweep_36(&b, true);
+        let p99 = |f: usize| {
+            outcomes
+                .iter()
+                .find(|o| o.corunner == "matrix-multiplication" && o.function == f)
+                .unwrap()
+                .p99_ms
+        };
+        assert!(
+            p99(9) > p99(1),
+            "interference at fn9 ({}) should beat fn1 ({})",
+            p99(9),
+            p99(1)
+        );
+    }
+
+    #[test]
+    fn delay_sweep_shows_temporal_variation() {
+        let b = book();
+        let outs = sweep_delays(&b, true);
+        assert_eq!(outs.len(), 3);
+        let lr_solo = b.get("logistic-regression", 0.0).solo_jct_s;
+        // Full overlap (delay 0) must inflate LR's JCT.
+        assert!(
+            outs[0].lr_jct_s > 1.1 * lr_solo,
+            "corun {} vs solo {lr_solo}",
+            outs[0].lr_jct_s
+        );
+        // JCT varies with delay.
+        let max = outs.iter().map(|o| o.lr_jct_s).fold(0.0, f64::max);
+        let min = outs.iter().map(|o| o.lr_jct_s).fold(f64::INFINITY, f64::min);
+        assert!(max / min > 1.05, "temporal variation too weak: {min}..{max}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Fig. 7 — the latency–IPC correlation curve and its knee.
+//!
+//! Partial-interference scenarios are created "through varying the QPS of LS
+//! workloads and the temporal or spatial overlap among colocated workloads";
+//! for each run we record the social network's mean IPC and p99 latency.
+//! Above the knee (high IPC, light contention) latency tracks IPC tightly;
+//! below it, queueing blow-up decorrelates them — the basis for scheduling
+//! against an IPC threshold (§6.3) and for the paper's observation that the
+//! low-IPC region holds only ~4 % of samples.
+
+use crate::corpus::{run_colocation, ColoSetup, ProfileBook};
+use crate::registry::ExperimentResult;
+use cluster::ClusterConfig;
+use gsight::LatencyIpcCurve;
+use rayon::prelude::*;
+use simcore::rng::seed_stream;
+use simcore::table::{fnum, TextTable};
+use simcore::SimTime;
+use std::sync::Arc;
+
+const SEED: u64 = 0xF1_607;
+
+/// Collect `(ipc, p99)` points over a QPS × corunner-count sweep.
+pub fn collect_points(book: &ProfileBook, quick: bool) -> Vec<(f64, f64)> {
+    let cluster = ClusterConfig::paper_testbed();
+    let window = SimTime::from_secs(if quick { 20.0 } else { 60.0 });
+    let qps_levels: &[f64] = if quick {
+        &[10.0, 30.0]
+    } else {
+        &[10.0, 20.0, 30.0]
+    };
+    let corunner_counts: &[usize] = if quick { &[0, 2] } else { &[0, 1, 2, 3] };
+    let mut jobs = Vec::new();
+    for &qps in qps_levels {
+        for &n in corunner_counts {
+            for rep in 0..2u64 {
+                jobs.push((qps, n, rep));
+            }
+        }
+    }
+    jobs.par_iter()
+        .map(|&(qps, n_corun, rep)| {
+            let sn = book.get("social-network", qps);
+            let mut setups = vec![ColoSetup {
+                placement: vec![0; sn.workload.graph.len()],
+                qps,
+                start_delay: SimTime::ZERO,
+                pw: sn,
+            }];
+            for i in 0..n_corun {
+                let name = ["matrix-multiplication", "video-processing", "matrix-multiplication"][i % 3];
+                setups.push(ColoSetup::packed(Arc::clone(&book.get(name, 0.0)), 0));
+            }
+            let out = run_colocation(
+                &cluster,
+                &setups,
+                window,
+                seed_stream(SEED, (qps as u64) << 8 | (n_corun as u64) << 4 | rep),
+            );
+            // Warm-phase p99: skip the first 20 % of latencies so the
+            // cold-start transient does not mask the steady-state curve
+            // (the paper's 30-minute runs dilute cold starts naturally).
+            let lats = &out.report.workloads[0].e2e_latencies_ms;
+            let warm = &lats[lats.len() / 5..];
+            (out.ipc, simcore::percentile(warm, 99.0))
+        })
+        .collect()
+}
+
+/// Entry point.
+pub fn run(quick: bool) -> ExperimentResult {
+    let mut book = ProfileBook::new();
+    for qps in crate::corpus::QPS_LEVELS {
+        book.add(&workloads::socialnetwork::message_posting(), qps, SEED, quick);
+    }
+    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, SEED, quick);
+    book.add(&workloads::functionbench::video_processing(), 0.0, SEED, quick);
+
+    let points = collect_points(&book, quick);
+    let curve = LatencyIpcCurve::from_points(&points);
+    let mut result = ExperimentResult::new("fig7", "latency-IPC knee curve");
+    let mut t = TextTable::new(vec!["IPC (bin centre)", "mean p99 (ms)"]);
+    for (ipc, lat) in curve.binned(10) {
+        t.row(vec![fnum(ipc, 3), fnum(lat, 1)]);
+    }
+    result.table(t.render());
+    let sla = workloads::socialnetwork::SLA_P99_MS;
+    match curve.ipc_threshold(sla, 10) {
+        Some(thr) => {
+            result.note(format!(
+                "IPC threshold for the {sla} ms SLA: {thr:.3}; {:.1}% of sweep samples fall below it \
+                 (the paper's 4.1% is over production-mix samples; this sweep deliberately \
+                 includes heavily saturated corners)",
+                100.0 * curve.fraction_below_ipc(thr)
+            ));
+        }
+        None => {
+            result.note("no IPC bin satisfies the SLA (unexpected)".to_string());
+        }
+    }
+    result.note(format!("{} (ipc, p99) samples collected", curve.len()));
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_anticorrelates_with_ipc() {
+        let mut book = ProfileBook::new();
+        book.add(&workloads::socialnetwork::message_posting(), 10.0, 1, true);
+        book.add(&workloads::socialnetwork::message_posting(), 30.0, 1, true);
+        book.add(&workloads::functionbench::matrix_multiplication(), 0.0, 1, true);
+        book.add(&workloads::functionbench::video_processing(), 0.0, 1, true);
+        let points = collect_points(&book, true);
+        assert!(points.len() >= 8);
+        // High-IPC points must have lower latency than low-IPC points.
+        let mut sorted = points.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let lo_third = &sorted[..sorted.len() / 3];
+        let hi_third = &sorted[2 * sorted.len() / 3..];
+        let mean = |s: &[(f64, f64)]| s.iter().map(|p| p.1).sum::<f64>() / s.len() as f64;
+        assert!(
+            mean(lo_third) > mean(hi_third),
+            "low-IPC latency {} should exceed high-IPC latency {}",
+            mean(lo_third),
+            mean(hi_third)
+        );
+    }
+}

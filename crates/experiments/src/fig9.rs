@@ -1,0 +1,192 @@
+//! Fig. 9 — prediction error of IPC (a) and tail latency (b) for the five
+//! incremental learners plus the Pythia and ESP baselines, across the three
+//! colocation groups.
+//!
+//! Paper shape: IRFR is the best model (headline 1.71 % IPC error in
+//! LS+SC/BG); Pythia and ESP are markedly worse everywhere (no overlap
+//! codes, restricted features); tail latency is harder than IPC for every
+//! model (paper: 28.6 % for Gsight's latency model before low-IPC-sample
+//! filtering).
+
+use crate::corpus::{generate_group, labeled_for, labeled_for_filtered, standard_profile_book, ColoGroup};
+use crate::registry::ExperimentResult;
+use baselines::{EspLike, PythiaLike, ScenarioPredictor};
+use cluster::ClusterConfig;
+use gsight::{GsightConfig, GsightPredictor, QosTarget, Scenario};
+use mlcore::dataset::prediction_error;
+use mlcore::ModelKind;
+use simcore::rng::seed_stream;
+use simcore::table::{fnum, TextTable};
+
+const SEED: u64 = 0xF1_609;
+
+/// Mean prediction error of a predictor over a labeled test set.
+pub fn mean_error<P: ScenarioPredictor + ?Sized>(
+    p: &P,
+    test: &[(Scenario, f64)],
+) -> f64 {
+    let errs: Vec<f64> = test
+        .iter()
+        .map(|(s, y)| prediction_error(p.predict(s), *y))
+        .filter(|e| e.is_finite())
+        .collect();
+    if errs.is_empty() {
+        return f64::NAN;
+    }
+    errs.iter().sum::<f64>() / errs.len() as f64
+}
+
+/// Build a Gsight predictor with the given learner kind.
+pub fn gsight_with(kind: ModelKind, target: QosTarget, seed: u64) -> GsightPredictor {
+    let mut config = GsightConfig::paper(target, seed);
+    config.kind = kind;
+    GsightPredictor::new(config)
+}
+
+/// Errors per (model, group) for one QoS target. `min_ipc_frac` applies
+/// the paper's low-IPC-sample filtering (use 0.0 for the unfiltered view).
+pub fn evaluate_target_filtered(
+    target: QosTarget,
+    n_train: usize,
+    n_test: usize,
+    quick: bool,
+    min_ipc_frac: f64,
+) -> Vec<(String, [f64; 3])> {
+    let book = standard_profile_book(SEED, quick);
+    let cluster = ClusterConfig::paper_testbed();
+    let mut rows: Vec<(String, [f64; 3])> = Vec::new();
+    // Model list: the five incremental learners + two baselines.
+    let mut names: Vec<String> = ModelKind::ALL.iter().map(|k| k.name().to_string()).collect();
+    names.push("Pythia".into());
+    names.push("ESP".into());
+    for name in &names {
+        rows.push((name.clone(), [f64::NAN; 3]));
+    }
+
+    for (gi, group) in ColoGroup::ALL.into_iter().enumerate() {
+        // SC+SC/BG has no tail-latency target in the paper's sense.
+        if target == QosTarget::TailLatencyMs && group == ColoGroup::ScScBg {
+            continue;
+        }
+        // JCT only applies to SC targets.
+        if target == QosTarget::JctSecs && group != ColoGroup::ScScBg {
+            continue;
+        }
+        let train_samples = generate_group(
+            group,
+            n_train,
+            &book,
+            &cluster,
+            seed_stream(SEED, 10 + gi as u64),
+            quick,
+        );
+        let test_samples = generate_group(
+            group,
+            n_test,
+            &book,
+            &cluster,
+            seed_stream(SEED, 20 + gi as u64),
+            quick,
+        );
+        // SC targets use the JCT label for the "latency-like" comparison.
+        let effective = if group == ColoGroup::ScScBg && target != QosTarget::Ipc {
+            QosTarget::JctSecs
+        } else {
+            target
+        };
+        let (train, test) = if min_ipc_frac > 0.0 {
+            (
+                labeled_for_filtered(&train_samples, effective, min_ipc_frac),
+                labeled_for_filtered(&test_samples, effective, min_ipc_frac),
+            )
+        } else {
+            (
+                labeled_for(&train_samples, effective),
+                labeled_for(&test_samples, effective),
+            )
+        };
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        for (mi, kind) in ModelKind::ALL.into_iter().enumerate() {
+            let mut p = gsight_with(kind, effective, seed_stream(SEED, 30 + mi as u64));
+            ScenarioPredictor::bootstrap(&mut p, &train);
+            rows[mi].1[gi] = mean_error(&p, &test);
+        }
+        let mut pythia = PythiaLike::new(seed_stream(SEED, 40));
+        pythia.bootstrap(&train);
+        rows[5].1[gi] = mean_error(&pythia, &test);
+        let mut esp = EspLike::new(seed_stream(SEED, 41));
+        esp.bootstrap(&train);
+        rows[6].1[gi] = mean_error(&esp, &test);
+    }
+    rows
+}
+
+/// Errors per (model, group) for one QoS target (unfiltered).
+pub fn evaluate_target(
+    target: QosTarget,
+    n_train: usize,
+    n_test: usize,
+    quick: bool,
+) -> Vec<(String, [f64; 3])> {
+    evaluate_target_filtered(target, n_train, n_test, quick, 0.0)
+}
+
+/// Entry point.
+pub fn run(quick: bool) -> ExperimentResult {
+    let (n_train, n_test) = if quick { (40, 15) } else { (400, 80) };
+    let mut result =
+        ExperimentResult::new("fig9", "prediction error across models & colocations");
+    for (panel, target, min_ipc_frac) in [
+        ("(a) IPC prediction error", QosTarget::Ipc, 0.0),
+        ("(b) tail latency / JCT prediction error", QosTarget::TailLatencyMs, 0.0),
+        (
+            "(b') tail latency / JCT error after removing low-IPC samples (paper SS3.2)",
+            QosTarget::TailLatencyMs,
+            0.9,
+        ),
+    ] {
+        let rows = evaluate_target_filtered(target, n_train, n_test, quick, min_ipc_frac);
+        let mut t = TextTable::new(vec!["model", "LS+LS", "LS+SC/BG", "SC+SC/BG"]);
+        for (name, errs) in &rows {
+            t.row(vec![
+                name.clone(),
+                fnum(errs[0] * 100.0, 2) + "%",
+                fnum(errs[1] * 100.0, 2) + "%",
+                fnum(errs[2] * 100.0, 2) + "%",
+            ]);
+        }
+        result.table(format!("{panel}\n{}", t.render()));
+    }
+    result.note("paper: IRFR IPC error 1.71% (LS+SC/BG), <5% worst case; Pythia/ESP worst; latency harder than IPC");
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn irfr_beats_baselines_on_ipc() {
+        let rows = evaluate_target(QosTarget::Ipc, 130, 30, true);
+        let err = |name: &str| {
+            rows.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, e)| e)
+                .unwrap()
+        };
+        let irfr = err("IRFR");
+        let pythia = err("Pythia");
+        // In the LS+SC/BG group (index 1) — the paper's headline — IRFR
+        // must be meaningfully better than Pythia.
+        assert!(
+            irfr[1] < pythia[1],
+            "IRFR {:?} should beat Pythia {:?}",
+            irfr,
+            pythia
+        );
+        // And its error should be small in absolute terms.
+        assert!(irfr[1] < 0.15, "IRFR error too high: {:?}", irfr);
+    }
+}

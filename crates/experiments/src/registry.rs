@@ -1,0 +1,153 @@
+//! Experiment registry: uniform naming and output packaging so the `repro`
+//! binary can regenerate any (or every) paper artifact by id.
+
+/// Rendered output of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentResult {
+    /// Experiment id, e.g. `"fig9"`.
+    pub id: &'static str,
+    /// What the paper artifact shows.
+    pub title: &'static str,
+    /// Rendered text tables (one or more).
+    pub tables: Vec<String>,
+    /// Free-form notes: paper-vs-measured comparisons, caveats.
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// New empty result.
+    pub fn new(id: &'static str, title: &'static str) -> Self {
+        Self {
+            id,
+            title,
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a rendered table.
+    pub fn table(&mut self, t: String) -> &mut Self {
+        self.tables.push(t);
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
+        self.notes.push(n.into());
+        self
+    }
+
+    /// Render the whole result for terminal output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n\n", self.id, self.title));
+        for t in &self.tables {
+            out.push_str(t);
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+}
+
+/// One runnable experiment.
+pub struct Experiment {
+    /// Id used on the `repro` command line.
+    pub id: &'static str,
+    /// Short description.
+    pub title: &'static str,
+    /// Entry point. `quick` shrinks scales for CI.
+    pub run: fn(quick: bool) -> ExperimentResult,
+}
+
+/// Every experiment, in paper order.
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment {
+            id: "fig3",
+            title: "partial-interference volatility & temporal variation (Fig. 3)",
+            run: crate::fig3::run,
+        },
+        Experiment {
+            id: "fig4",
+            title: "hotspot propagation & restoration (Fig. 4)",
+            run: crate::fig4::run,
+        },
+        Experiment {
+            id: "fig5",
+            title: "function-level vs workload-level profiling (Fig. 5)",
+            run: crate::fig5::run,
+        },
+        Experiment {
+            id: "fig7",
+            title: "latency-IPC knee curve (Fig. 7)",
+            run: crate::fig7::run,
+        },
+        Experiment {
+            id: "table3",
+            title: "metric correlations & selection (Table 3)",
+            run: crate::table3::run,
+        },
+        Experiment {
+            id: "fig8",
+            title: "impurity-based metric importances (Fig. 8)",
+            run: crate::fig8::run,
+        },
+        Experiment {
+            id: "fig9",
+            title: "prediction error across models & colocations (Fig. 9)",
+            run: crate::fig9::run,
+        },
+        Experiment {
+            id: "fig10",
+            title: "convergence speed & workload-count sensitivity (Fig. 10)",
+            run: crate::fig10::run,
+        },
+        Experiment {
+            id: "fig13",
+            title: "distribution-shift recovery (Fig. 13)",
+            run: crate::fig13::run,
+        },
+        Experiment {
+            id: "fig11",
+            title: "scheduling: density, CPU & memory utilization CDFs (Fig. 11) + SLA (Fig. 12)",
+            run: crate::fig11_12::run,
+        },
+        Experiment {
+            id: "fig14",
+            title: "online overhead & gateway scalability (Fig. 14)",
+            run: crate::fig14::run,
+        },
+        Experiment {
+            id: "ablation",
+            title: "design-choice ablations: coding blocks, forest size, PCA, partitioning (extension)",
+            run: crate::ablation::run,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_unique() {
+        let exps = all_experiments();
+        let mut ids: Vec<&str> = exps.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), exps.len());
+    }
+
+    #[test]
+    fn result_renders_tables_and_notes() {
+        let mut r = ExperimentResult::new("figX", "demo");
+        r.table("a b\n---\n1 2\n".into()).note("hello");
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("1 2"));
+        assert!(s.contains("note: hello"));
+    }
+}

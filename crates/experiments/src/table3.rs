@@ -1,0 +1,117 @@
+//! Table 3 — Pearson/Spearman correlations between the 19 candidate
+//! metrics and performance, and the |ρ| ≥ 0.1 selection that yields the 16
+//! model inputs.
+//!
+//! Performance here is the target's *degradation* (corun QoS over solo QoS),
+//! correlated against its observed corun metric vector over a mixed
+//! colocation corpus. Paper shape: context switches, IPC, LLC occupancy,
+//! CPU utilization and network bandwidth correlate strongly; MemLP, memory
+//! I/O and disk I/O fall below the 0.1 threshold and are dropped.
+
+use crate::corpus::{generate_mixed, standard_profile_book, LabeledSample};
+use crate::registry::ExperimentResult;
+use cluster::ClusterConfig;
+use metricsd::{paper_keeps, paper_table3, select_metrics, CorrelationReport};
+use simcore::table::{fnum, TextTable};
+
+const SEED: u64 = 0x7AB3;
+
+/// Compute the Table-3 correlation report over a sample corpus.
+pub fn correlation_report(samples: &[LabeledSample]) -> CorrelationReport {
+    let mut obs = Vec::new();
+    let mut target = Vec::new();
+    for s in samples {
+        let d = s.degradation();
+        if d.is_finite() && !s.observed.is_zero() {
+            obs.push(s.observed);
+            target.push(d);
+        }
+    }
+    select_metrics(&obs, &target, 0.1)
+}
+
+/// Entry point.
+pub fn run(quick: bool) -> ExperimentResult {
+    let book = standard_profile_book(SEED, quick);
+    let cluster = ClusterConfig::paper_testbed();
+    let n = if quick { 15 } else { 120 };
+    let samples = generate_mixed(n, &book, &cluster, SEED, quick);
+    let report = correlation_report(&samples);
+
+    let mut result = ExperimentResult::new("table3", "metric correlations & selection");
+    let mut t = TextTable::new(vec![
+        "metric",
+        "Pearson",
+        "Spearman",
+        "selected",
+        "paper Pearson",
+        "paper Spearman",
+        "paper keeps",
+    ]);
+    for e in &report.entries {
+        let (pp, ps) = paper_table3(e.metric);
+        t.row(vec![
+            e.metric.name().to_string(),
+            fnum(e.pearson, 2),
+            fnum(e.spearman, 2),
+            if e.passes(report.threshold) { "yes" } else { "no" }.to_string(),
+            fnum(pp, 2),
+            fnum(ps, 2),
+            if paper_keeps(e.metric) { "yes" } else { "no" }.to_string(),
+        ]);
+    }
+    result.table(t.render());
+    result.note(format!(
+        "{} of 19 metrics selected at |rho| >= 0.1 (paper keeps 16)",
+        report.selected().len()
+    ));
+    let agree = report
+        .entries
+        .iter()
+        .filter(|e| e.passes(report.threshold) == paper_keeps(e.metric))
+        .count();
+    result.note(format!(
+        "selection agrees with the paper on {agree}/19 metrics"
+    ));
+    result.note(
+        "orientation: we correlate against degradation (>=1), so signs flip \
+         relative to the paper's 'performance' orientation",
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{generate_group, ColoGroup, ProfileBook};
+    use metricsd::Metric;
+
+    #[test]
+    fn informative_metrics_selected_and_dropouts_dropped() {
+        let mut book = ProfileBook::new();
+        for w in workloads::functionbench::all() {
+            book.add(&w, 0.0, 3, true);
+        }
+        for qps in crate::corpus::QPS_LEVELS {
+            book.add(&workloads::socialnetwork::message_posting(), qps, 3, true);
+            book.add(&workloads::ecommerce::browse_and_buy(), qps, 3, true);
+        }
+        let cluster = ClusterConfig::paper_testbed();
+        let mut samples = generate_group(ColoGroup::LsScBg, 20, &book, &cluster, 5, true);
+        samples.extend(generate_group(ColoGroup::ScScBg, 20, &book, &cluster, 7, true));
+        let report = correlation_report(&samples);
+        // IPC must anti-correlate with degradation, strongly.
+        let ipc = report.entry(Metric::Ipc).unwrap();
+        assert!(ipc.pearson < -0.2, "IPC pearson {}", ipc.pearson);
+        assert!(ipc.passes(0.1));
+        // MemLP is pure noise in the synthesizer: never informative.
+        let mlp = report.entry(Metric::MemLp).unwrap();
+        assert!(
+            mlp.pearson.abs() < 0.3,
+            "MemLP should be weak, got {}",
+            mlp.pearson
+        );
+        // A healthy majority of metrics is selected.
+        assert!(report.selected().len() >= 8, "{:?}", report.selected());
+    }
+}

@@ -1,0 +1,112 @@
+//! Pearson and Spearman correlation coefficients (paper §3.2, Table 3).
+//!
+//! Used to rank candidate metrics against the target QoS and drop the ones
+//! with |correlation| < 0.1 before they reach the learning model.
+
+use simcore::stats::ranks;
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns 0.0 when either sample is constant (no linear association can be
+/// measured) or when fewer than 2 points are supplied.
+pub fn pearson(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "pearson: length mismatch");
+    let n = x.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let nf = n as f64;
+    let mx = x.iter().sum::<f64>() / nf;
+    let my = y.iter().sum::<f64>() / nf;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for i in 0..n {
+        let dx = x[i] - mx;
+        let dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return 0.0;
+    }
+    sxy / (sxx.sqrt() * syy.sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank transforms
+/// (average ranks for ties, matching the conventional definition).
+pub fn spearman(x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len(), "spearman: length mismatch");
+    if x.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_input_is_zero() {
+        let x = [5.0, 5.0, 5.0];
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(pearson(&x, &y), 0.0);
+        assert_eq!(pearson(&y, &x), 0.0);
+    }
+
+    #[test]
+    fn pearson_known_value() {
+        // Hand-computed: x=[1,2,3,5], y=[1,3,2,6] -> r = 10/sqrt(122.5) ≈ 0.9035.
+        let x = [1.0, 2.0, 3.0, 5.0];
+        let y = [1.0, 3.0, 2.0, 6.0];
+        let r = pearson(&x, &y);
+        assert!((r - 0.9035).abs() < 1e-3, "r = {r}");
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+        // Pearson of the same data is strictly < 1 (nonlinear).
+        assert!(pearson(&x, &y) < 1.0);
+    }
+
+    #[test]
+    fn spearman_with_ties() {
+        let x = [1.0, 2.0, 2.0, 3.0];
+        let y = [1.0, 2.0, 2.0, 3.0];
+        assert!((spearman(&x, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_near_zero() {
+        // Deterministic "noise": alternating pattern orthogonal to trend.
+        let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(pearson(&x, &y).abs() < 0.1);
+        assert!(spearman(&x, &y).abs() < 0.1);
+    }
+
+    #[test]
+    fn short_inputs_return_zero() {
+        assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+        assert_eq!(spearman(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! `metricsd` — the metric vocabulary of the reproduction.
+//!
+//! The paper's Gsight predictor is *application-agnostic*: it only consumes
+//! system-layer and microarchitecture-layer metrics (paper §3.2, Table 3).
+//! This crate defines those metrics, the per-function solo-run profiles built
+//! from them, and the Pearson/Spearman correlation machinery used to select
+//! the 16 input metrics out of the 19 candidates.
+
+pub mod correlation;
+pub mod metric;
+pub mod profile;
+pub mod reference;
+pub mod selection;
+
+pub use correlation::{pearson, spearman};
+pub use metric::{Metric, MetricVector, NUM_METRICS, NUM_SELECTED};
+pub use profile::{FunctionProfile, ProfileSample, WorkloadProfile};
+pub use reference::{paper_keeps, paper_table3};
+pub use selection::{select_metrics, CorrelationReport, MetricCorrelation};

@@ -1,0 +1,301 @@
+//! The 19 candidate metrics of paper Table 3 and the dense vector type used
+//! to carry one sample of all of them.
+//!
+//! The paper collects these per function at 1 Hz with `perf` and `pqos-msr`,
+//! then drops the three whose |correlation| with performance is < 0.1 (MemLP,
+//! memory I/O, disk I/O), leaving 16 model inputs. We keep the full set so
+//! the Table 3 correlation study can be regenerated, and expose the selected
+//! subset for feature assembly.
+
+/// Number of candidate metrics (paper Table 3).
+pub const NUM_METRICS: usize = 19;
+
+/// Number of metrics selected as model inputs (paper §3.2: 16).
+pub const NUM_SELECTED: usize = 16;
+
+/// One system- or microarchitecture-layer metric.
+///
+/// Discriminant order is the canonical column order used everywhere a metric
+/// vector is flattened into model features.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Metric {
+    /// Instructions per cycle (microarchitecture).
+    Ipc = 0,
+    /// Branch mispredictions per thousand instructions.
+    BranchMpki = 1,
+    /// L1 instruction-cache misses per thousand instructions.
+    L1iMpki = 2,
+    /// L1 data-cache misses per thousand instructions.
+    L1dMpki = 3,
+    /// L2 cache misses per thousand instructions.
+    L2Mpki = 4,
+    /// L3 (last-level) cache misses per thousand instructions.
+    L3Mpki = 5,
+    /// Instruction-TLB misses per thousand instructions.
+    ItlbMpki = 6,
+    /// Data-TLB misses per thousand instructions.
+    DtlbMpki = 7,
+    /// Context switches per second (system layer).
+    ContextSwitches = 8,
+    /// CPU utilization ratio in `[0, 1]` × allocated cores.
+    CpuUtilization = 9,
+    /// Memory utilization ratio in `[0, 1]`.
+    MemoryUtilization = 10,
+    /// Last-level-cache occupancy (MB, via Intel RDT in the paper).
+    LlcOccupancy = 11,
+    /// Network bandwidth consumed (MB/s).
+    NetworkBandwidth = 12,
+    /// Network transmit packet rate (kpps).
+    Tx = 13,
+    /// Network receive packet rate (kpps).
+    Rx = 14,
+    /// Effective CPU frequency (GHz; droops under heavy shared load).
+    CpuFrequency = 15,
+    /// Memory-level parallelism (excluded: |corr| < 0.1 in Table 3).
+    MemLp = 16,
+    /// Memory I/O traffic (GB/s) (excluded: |corr| < 0.1 in Table 3).
+    MemoryIo = 17,
+    /// Disk I/O traffic (MB/s) (excluded: |corr| < 0.1 in Table 3).
+    DiskIo = 18,
+}
+
+impl Metric {
+    /// All 19 candidate metrics, in canonical column order.
+    pub const ALL: [Metric; NUM_METRICS] = [
+        Metric::Ipc,
+        Metric::BranchMpki,
+        Metric::L1iMpki,
+        Metric::L1dMpki,
+        Metric::L2Mpki,
+        Metric::L3Mpki,
+        Metric::ItlbMpki,
+        Metric::DtlbMpki,
+        Metric::ContextSwitches,
+        Metric::CpuUtilization,
+        Metric::MemoryUtilization,
+        Metric::LlcOccupancy,
+        Metric::NetworkBandwidth,
+        Metric::Tx,
+        Metric::Rx,
+        Metric::CpuFrequency,
+        Metric::MemLp,
+        Metric::MemoryIo,
+        Metric::DiskIo,
+    ];
+
+    /// The 16 metrics selected as model inputs (paper §3.2) — everything
+    /// except [`Metric::MemLp`], [`Metric::MemoryIo`] and [`Metric::DiskIo`].
+    pub const SELECTED: [Metric; NUM_SELECTED] = [
+        Metric::Ipc,
+        Metric::BranchMpki,
+        Metric::L1iMpki,
+        Metric::L1dMpki,
+        Metric::L2Mpki,
+        Metric::L3Mpki,
+        Metric::ItlbMpki,
+        Metric::DtlbMpki,
+        Metric::ContextSwitches,
+        Metric::CpuUtilization,
+        Metric::MemoryUtilization,
+        Metric::LlcOccupancy,
+        Metric::NetworkBandwidth,
+        Metric::Tx,
+        Metric::Rx,
+        Metric::CpuFrequency,
+    ];
+
+    /// Canonical column index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Whether this metric is part of the 16 selected model inputs.
+    pub fn is_selected(self) -> bool {
+        !matches!(self, Metric::MemLp | Metric::MemoryIo | Metric::DiskIo)
+    }
+
+    /// Short human-readable name matching the paper's Table 3 labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Metric::Ipc => "IPC",
+            Metric::BranchMpki => "Branch MPKI",
+            Metric::L1iMpki => "L1I MPKI",
+            Metric::L1dMpki => "L1D MPKI",
+            Metric::L2Mpki => "L2 MPKI",
+            Metric::L3Mpki => "L3 MPKI",
+            Metric::ItlbMpki => "ITLB MPKI",
+            Metric::DtlbMpki => "DTLB MPKI",
+            Metric::ContextSwitches => "Context-switches",
+            Metric::CpuUtilization => "CPU utilization",
+            Metric::MemoryUtilization => "Memory utilization",
+            Metric::LlcOccupancy => "LLC",
+            Metric::NetworkBandwidth => "Network bandwidth",
+            Metric::Tx => "transmit(TX)",
+            Metric::Rx => "receive(RX)",
+            Metric::CpuFrequency => "CPU frequency",
+            Metric::MemLp => "MLP",
+            Metric::MemoryIo => "Memory IO",
+            Metric::DiskIo => "Disk IO",
+        }
+    }
+}
+
+/// A dense sample of all 19 candidate metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MetricVector {
+    values: [f64; NUM_METRICS],
+}
+
+impl MetricVector {
+    /// All-zero vector (the paper's encoding for "no function on this
+    /// server" rows in the spatial overlap matrices).
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Construct from a full 19-element array in canonical order.
+    pub fn from_array(values: [f64; NUM_METRICS]) -> Self {
+        Self { values }
+    }
+
+    /// Value of one metric.
+    #[inline]
+    pub fn get(&self, m: Metric) -> f64 {
+        self.values[m.index()]
+    }
+
+    /// Set one metric's value.
+    #[inline]
+    pub fn set(&mut self, m: Metric, v: f64) {
+        self.values[m.index()] = v;
+    }
+
+    /// Full 19-element view in canonical order.
+    pub fn as_slice(&self) -> &[f64; NUM_METRICS] {
+        &self.values
+    }
+
+    /// The 16 selected model-input values, in [`Metric::SELECTED`] order.
+    pub fn selected(&self) -> [f64; NUM_SELECTED] {
+        let mut out = [0.0; NUM_SELECTED];
+        for (i, m) in Metric::SELECTED.iter().enumerate() {
+            out[i] = self.values[m.index()];
+        }
+        out
+    }
+
+    /// Element-wise sum (used when aggregating colocated functions into a
+    /// "virtual larger function"; rate-like metrics add up).
+    pub fn add(&self, other: &MetricVector) -> MetricVector {
+        let mut out = *self;
+        for i in 0..NUM_METRICS {
+            out.values[i] += other.values[i];
+        }
+        out
+    }
+
+    /// Element-wise scale.
+    pub fn scale(&self, k: f64) -> MetricVector {
+        let mut out = *self;
+        for v in &mut out.values {
+            *v *= k;
+        }
+        out
+    }
+
+    /// Mean of a set of vectors (the paper's aggregation for virtual
+    /// functions: "measure the average of each metric"). Zero for empty
+    /// input.
+    pub fn mean_of(vectors: &[MetricVector]) -> MetricVector {
+        if vectors.is_empty() {
+            return MetricVector::zero();
+        }
+        let sum = vectors
+            .iter()
+            .fold(MetricVector::zero(), |acc, v| acc.add(v));
+        sum.scale(1.0 / vectors.len() as f64)
+    }
+
+    /// True if every component is zero (an empty spatial-overlap row).
+    pub fn is_zero(&self) -> bool {
+        self.values.iter().all(|&v| v == 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_19_distinct_indices() {
+        let mut idx: Vec<usize> = Metric::ALL.iter().map(|m| m.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..NUM_METRICS).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn selected_is_16_and_excludes_table3_dropouts() {
+        assert_eq!(Metric::SELECTED.len(), NUM_SELECTED);
+        assert!(!Metric::SELECTED.contains(&Metric::MemLp));
+        assert!(!Metric::SELECTED.contains(&Metric::MemoryIo));
+        assert!(!Metric::SELECTED.contains(&Metric::DiskIo));
+        for m in Metric::SELECTED {
+            assert!(m.is_selected());
+        }
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut v = MetricVector::zero();
+        v.set(Metric::Ipc, 1.5);
+        v.set(Metric::L3Mpki, 4.2);
+        assert_eq!(v.get(Metric::Ipc), 1.5);
+        assert_eq!(v.get(Metric::L3Mpki), 4.2);
+        assert_eq!(v.get(Metric::DiskIo), 0.0);
+    }
+
+    #[test]
+    fn selected_projection_order() {
+        let mut v = MetricVector::zero();
+        v.set(Metric::Ipc, 1.0);
+        v.set(Metric::CpuFrequency, 2.0);
+        v.set(Metric::DiskIo, 99.0); // must not appear
+        let s = v.selected();
+        assert_eq!(s[0], 1.0);
+        assert_eq!(s[NUM_SELECTED - 1], 2.0);
+        assert!(!s.contains(&99.0));
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let mut a = MetricVector::zero();
+        a.set(Metric::Ipc, 1.0);
+        let mut b = MetricVector::zero();
+        b.set(Metric::Ipc, 3.0);
+        let m = MetricVector::mean_of(&[a, b]);
+        assert_eq!(m.get(Metric::Ipc), 2.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert!(MetricVector::mean_of(&[]).is_zero());
+    }
+
+    #[test]
+    fn add_and_scale() {
+        let mut a = MetricVector::zero();
+        a.set(Metric::L2Mpki, 2.0);
+        let b = a.add(&a).scale(0.5);
+        assert_eq!(b.get(Metric::L2Mpki), 2.0);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Metric::ALL.iter().map(|m| m.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_METRICS);
+    }
+}

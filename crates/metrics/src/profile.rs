@@ -1,0 +1,237 @@
+//! Solo-run profiles (paper §3.2).
+//!
+//! Gsight profiles each function *alone* on a dedicated server, sampling the
+//! metric vector once per second for a profiling window (5 minutes in the
+//! paper, driven by an open-loop load generator). The resulting
+//! [`FunctionProfile`] — not any co-location measurement — is what the
+//! prediction model consumes, which is the paper's key cost saving over
+//! pairwise or microbenchmark profiling.
+
+use crate::metric::MetricVector;
+use simcore::SimTime;
+
+/// One 1 Hz sample of a function's metric vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileSample {
+    /// Time offset from the start of the profiling window.
+    pub at: SimTime,
+    /// Metric values observed in this second.
+    pub metrics: MetricVector,
+}
+
+/// Solo-run profile of one function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionProfile {
+    /// Name of the profiled function (unique within its workload).
+    pub function: String,
+    /// 1 Hz samples over the profiling window, in time order.
+    pub samples: Vec<ProfileSample>,
+    /// Whether the samples include the cold-start phase (paper §5.2: a cold
+    /// start is treated as an ordinary execution phase; the predictor picks
+    /// the profile variant matching whether the invocation is cold or warm).
+    pub includes_cold_start: bool,
+}
+
+impl FunctionProfile {
+    /// Build a profile from raw samples.
+    pub fn new(function: impl Into<String>, samples: Vec<ProfileSample>, includes_cold_start: bool) -> Self {
+        Self {
+            function: function.into(),
+            samples,
+            includes_cold_start,
+        }
+    }
+
+    /// Mean metric vector over the whole window — the row the spatial
+    /// overlap matrix carries for this function.
+    pub fn mean(&self) -> MetricVector {
+        MetricVector::mean_of(
+            &self
+                .samples
+                .iter()
+                .map(|s| s.metrics)
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Mean metric vector restricted to a time window `[from, to)` —
+    /// used by the temporal-overlap study where only the overlapping phase
+    /// matters.
+    pub fn mean_window(&self, from: SimTime, to: SimTime) -> MetricVector {
+        let in_window: Vec<MetricVector> = self
+            .samples
+            .iter()
+            .filter(|s| s.at >= from && s.at < to)
+            .map(|s| s.metrics)
+            .collect();
+        MetricVector::mean_of(&in_window)
+    }
+
+    /// Duration covered by the profile (time of the last sample, zero when
+    /// empty).
+    pub fn duration(&self) -> SimTime {
+        self.samples.last().map(|s| s.at).unwrap_or(SimTime::ZERO)
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the profile holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// Solo-run profiles for every function of one workload, in call-path order.
+///
+/// For *workload-level* profiling (the baseline in paper Fig. 5 /
+/// Observation 6), use [`WorkloadProfile::merged`] which collapses all
+/// functions into a single monolithic profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Workload name.
+    pub workload: String,
+    /// One profile per function.
+    pub functions: Vec<FunctionProfile>,
+}
+
+impl WorkloadProfile {
+    /// Build from per-function profiles.
+    pub fn new(workload: impl Into<String>, functions: Vec<FunctionProfile>) -> Self {
+        Self {
+            workload: workload.into(),
+            functions,
+        }
+    }
+
+    /// Find a function profile by name.
+    pub fn function(&self, name: &str) -> Option<&FunctionProfile> {
+        self.functions.iter().find(|f| f.function == name)
+    }
+
+    /// Collapse to a single monolithic profile by summing metric vectors of
+    /// concurrently-sampled functions (workload-level profiling treats the
+    /// whole application as one container, so rates add).
+    pub fn merged(&self) -> FunctionProfile {
+        let n = self
+            .functions
+            .iter()
+            .map(|f| f.samples.len())
+            .max()
+            .unwrap_or(0);
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut acc = MetricVector::zero();
+            let mut at = SimTime::ZERO;
+            for f in &self.functions {
+                if let Some(s) = f.samples.get(i) {
+                    acc = acc.add(&s.metrics);
+                    at = s.at;
+                }
+            }
+            samples.push(ProfileSample { at, metrics: acc });
+        }
+        FunctionProfile::new(
+            format!("{}::merged", self.workload),
+            samples,
+            self.functions.iter().any(|f| f.includes_cold_start),
+        )
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Whether the workload has no profiled functions.
+    pub fn is_empty(&self) -> bool {
+        self.functions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::Metric;
+
+    fn sample(at_s: f64, ipc: f64) -> ProfileSample {
+        let mut m = MetricVector::zero();
+        m.set(Metric::Ipc, ipc);
+        ProfileSample {
+            at: SimTime::from_secs(at_s),
+            metrics: m,
+        }
+    }
+
+    #[test]
+    fn profile_mean() {
+        let p = FunctionProfile::new("f", vec![sample(0.0, 1.0), sample(1.0, 3.0)], false);
+        assert_eq!(p.mean().get(Metric::Ipc), 2.0);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn mean_window_filters() {
+        let p = FunctionProfile::new(
+            "f",
+            vec![sample(0.0, 1.0), sample(1.0, 3.0), sample(2.0, 5.0)],
+            false,
+        );
+        let m = p.mean_window(SimTime::from_secs(1.0), SimTime::from_secs(3.0));
+        assert_eq!(m.get(Metric::Ipc), 4.0);
+    }
+
+    #[test]
+    fn mean_window_empty_is_zero() {
+        let p = FunctionProfile::new("f", vec![sample(0.0, 1.0)], false);
+        let m = p.mean_window(SimTime::from_secs(5.0), SimTime::from_secs(6.0));
+        assert!(m.is_zero());
+    }
+
+    #[test]
+    fn duration_of_empty_profile() {
+        let p = FunctionProfile::new("f", vec![], false);
+        assert_eq!(p.duration(), SimTime::ZERO);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn workload_lookup() {
+        let w = WorkloadProfile::new(
+            "sn",
+            vec![
+                FunctionProfile::new("a", vec![sample(0.0, 1.0)], false),
+                FunctionProfile::new("b", vec![sample(0.0, 2.0)], true),
+            ],
+        );
+        assert!(w.function("a").is_some());
+        assert!(w.function("missing").is_none());
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn merged_sums_concurrent_samples() {
+        let w = WorkloadProfile::new(
+            "sn",
+            vec![
+                FunctionProfile::new("a", vec![sample(0.0, 1.0), sample(1.0, 1.0)], false),
+                FunctionProfile::new("b", vec![sample(0.0, 2.0)], false),
+            ],
+        );
+        let m = w.merged();
+        assert_eq!(m.samples.len(), 2);
+        assert_eq!(m.samples[0].metrics.get(Metric::Ipc), 3.0);
+        assert_eq!(m.samples[1].metrics.get(Metric::Ipc), 1.0);
+    }
+
+    #[test]
+    fn merged_propagates_cold_start_flag() {
+        let w = WorkloadProfile::new(
+            "sn",
+            vec![FunctionProfile::new("a", vec![], true)],
+        );
+        assert!(w.merged().includes_cold_start);
+    }
+}

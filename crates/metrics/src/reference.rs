@@ -1,0 +1,81 @@
+//! The paper's published Table 3 coefficients, kept as reference data so
+//! regenerated tables can print paper-vs-measured side by side.
+//!
+//! Note on orientation: the paper correlates metrics against its
+//! "performance" quantity; this reproduction correlates against
+//! *degradation* (corun QoS over solo QoS, ≥ 1 under interference), so
+//! signs are not directly comparable — magnitudes and the |ρ| ≥ 0.1
+//! selection are.
+
+use crate::metric::Metric;
+
+/// The paper's `(Pearson, Spearman)` coefficients for a metric (Table 3).
+pub fn paper_table3(metric: Metric) -> (f64, f64) {
+    match metric {
+        Metric::BranchMpki => (-0.60, -0.72),
+        Metric::ContextSwitches => (0.96, 0.96),
+        Metric::MemLp => (0.02, -0.03),
+        Metric::L1dMpki => (-0.37, -0.56),
+        Metric::ItlbMpki => (-0.38, -0.54),
+        Metric::CpuUtilization => (0.81, 0.82),
+        Metric::MemoryUtilization => (0.11, 0.19),
+        Metric::NetworkBandwidth => (0.94, 0.94),
+        Metric::Tx => (-0.16, -0.19),
+        Metric::Rx => (-0.60, -0.61),
+        Metric::L1iMpki => (0.38, 0.45),
+        Metric::L2Mpki => (0.54, 0.81),
+        Metric::L3Mpki => (0.54, 0.78),
+        Metric::DtlbMpki => (-0.75, -0.85),
+        Metric::Ipc => (0.85, 0.89),
+        Metric::LlcOccupancy => (0.83, 0.84),
+        Metric::MemoryIo => (0.04, 0.05),
+        Metric::DiskIo => (0.08, 0.08),
+        Metric::CpuFrequency => (-0.57, -0.68),
+    }
+}
+
+/// Whether the paper's Table 3 *keeps* this metric (|ρ| ≥ 0.1 on the
+/// stronger coefficient) — true for the 16 selected inputs.
+pub fn paper_keeps(metric: Metric) -> bool {
+    let (p, s) = paper_table3(metric);
+    p.abs().max(s.abs()) >= 0.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_selection_matches_the_16_inputs() {
+        // The paper's own threshold reproduces exactly its selected set.
+        for m in Metric::ALL {
+            assert_eq!(
+                paper_keeps(m),
+                m.is_selected(),
+                "{} selection mismatch",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dropouts_are_the_three_weak_metrics() {
+        let dropped: Vec<Metric> = Metric::ALL
+            .into_iter()
+            .filter(|&m| !paper_keeps(m))
+            .collect();
+        assert_eq!(
+            dropped,
+            vec![Metric::MemLp, Metric::MemoryIo, Metric::DiskIo]
+        );
+    }
+
+    #[test]
+    fn coefficients_in_range() {
+        for m in Metric::ALL {
+            let (p, s) = paper_table3(m);
+            assert!((-1.0..=1.0).contains(&p));
+            assert!((-1.0..=1.0).contains(&s));
+        }
+    }
+}

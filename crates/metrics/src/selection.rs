@@ -1,0 +1,161 @@
+//! Metric selection by correlation threshold (paper §3.2, Table 3).
+//!
+//! Given a corpus of `(metric vector, performance)` observations, compute
+//! Pearson and Spearman correlations per metric and keep the metrics whose
+//! absolute correlation reaches the threshold (0.1 in the paper, dropping
+//! MemLP, memory I/O and disk I/O).
+
+use crate::correlation::{pearson, spearman};
+use crate::metric::{Metric, MetricVector};
+
+/// Correlations of one metric against the target QoS.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricCorrelation {
+    /// The metric.
+    pub metric: Metric,
+    /// Pearson correlation with the target.
+    pub pearson: f64,
+    /// Spearman rank correlation with the target.
+    pub spearman: f64,
+}
+
+impl MetricCorrelation {
+    /// Whether the metric survives the selection threshold: the paper keeps
+    /// a metric when |correlation| ≥ 0.1 (we apply it to the stronger of the
+    /// two coefficients, matching Table 3's retained set).
+    pub fn passes(&self, threshold: f64) -> bool {
+        self.pearson.abs().max(self.spearman.abs()) >= threshold
+    }
+}
+
+/// The full Table-3-style correlation report.
+#[derive(Debug, Clone)]
+pub struct CorrelationReport {
+    /// Per-metric correlations in canonical metric order.
+    pub entries: Vec<MetricCorrelation>,
+    /// The threshold applied.
+    pub threshold: f64,
+}
+
+impl CorrelationReport {
+    /// Metrics that pass the threshold, in canonical order.
+    pub fn selected(&self) -> Vec<Metric> {
+        self.entries
+            .iter()
+            .filter(|e| e.passes(self.threshold))
+            .map(|e| e.metric)
+            .collect()
+    }
+
+    /// Metrics that were dropped.
+    pub fn dropped(&self) -> Vec<Metric> {
+        self.entries
+            .iter()
+            .filter(|e| !e.passes(self.threshold))
+            .map(|e| e.metric)
+            .collect()
+    }
+
+    /// Look up one metric's entry.
+    pub fn entry(&self, m: Metric) -> Option<&MetricCorrelation> {
+        self.entries.iter().find(|e| e.metric == m)
+    }
+}
+
+/// Compute per-metric correlations against a target and apply the selection
+/// threshold (paper uses 0.1).
+///
+/// Panics if `observations` and `targets` differ in length.
+pub fn select_metrics(
+    observations: &[MetricVector],
+    targets: &[f64],
+    threshold: f64,
+) -> CorrelationReport {
+    assert_eq!(
+        observations.len(),
+        targets.len(),
+        "select_metrics: observation/target length mismatch"
+    );
+    let entries = Metric::ALL
+        .iter()
+        .map(|&m| {
+            let column: Vec<f64> = observations.iter().map(|o| o.get(m)).collect();
+            MetricCorrelation {
+                metric: m,
+                pearson: pearson(&column, targets),
+                spearman: spearman(&column, targets),
+            }
+        })
+        .collect();
+    CorrelationReport { entries, threshold }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build a synthetic corpus where IPC tracks the target, L3 MPKI
+    /// anti-tracks it, and DiskIo is pure alternating noise.
+    fn corpus() -> (Vec<MetricVector>, Vec<f64>) {
+        let mut obs = Vec::new();
+        let mut tgt = Vec::new();
+        for i in 0..200 {
+            let t = i as f64 / 200.0;
+            let mut v = MetricVector::zero();
+            v.set(Metric::Ipc, 1.0 + t);
+            v.set(Metric::L3Mpki, 10.0 - 5.0 * t);
+            v.set(Metric::DiskIo, if i % 2 == 0 { 1.0 } else { -1.0 });
+            obs.push(v);
+            tgt.push(t * 100.0);
+        }
+        (obs, tgt)
+    }
+
+    #[test]
+    fn correlated_metric_selected() {
+        let (obs, tgt) = corpus();
+        let report = select_metrics(&obs, &tgt, 0.1);
+        assert!(report.selected().contains(&Metric::Ipc));
+        assert!(report.selected().contains(&Metric::L3Mpki));
+    }
+
+    #[test]
+    fn noise_metric_dropped() {
+        let (obs, tgt) = corpus();
+        let report = select_metrics(&obs, &tgt, 0.1);
+        assert!(report.dropped().contains(&Metric::DiskIo));
+    }
+
+    #[test]
+    fn constant_metric_dropped() {
+        let (obs, tgt) = corpus();
+        // MemoryUtilization is constant zero in the corpus.
+        let report = select_metrics(&obs, &tgt, 0.1);
+        assert!(report.dropped().contains(&Metric::MemoryUtilization));
+    }
+
+    #[test]
+    fn signs_match_direction() {
+        let (obs, tgt) = corpus();
+        let report = select_metrics(&obs, &tgt, 0.1);
+        assert!(report.entry(Metric::Ipc).unwrap().pearson > 0.9);
+        assert!(report.entry(Metric::L3Mpki).unwrap().pearson < -0.9);
+    }
+
+    #[test]
+    fn report_covers_all_metrics() {
+        let (obs, tgt) = corpus();
+        let report = select_metrics(&obs, &tgt, 0.1);
+        assert_eq!(report.entries.len(), Metric::ALL.len());
+        assert_eq!(
+            report.selected().len() + report.dropped().len(),
+            Metric::ALL.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        select_metrics(&[MetricVector::zero()], &[], 0.1);
+    }
+}

@@ -1,0 +1,82 @@
+//! Property-based tests for correlation and metric-vector invariants.
+
+use metricsd::{pearson, spearman, Metric, MetricVector};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn pearson_bounded(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let r = pearson(&x, &y);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+    }
+
+    #[test]
+    fn pearson_symmetric(
+        pairs in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 2..100)
+    ) {
+        let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        prop_assert!((pearson(&x, &y) - pearson(&y, &x)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pearson_invariant_under_affine_transform(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..50),
+        a in 0.1f64..10.0,
+        b in -100.0f64..100.0,
+    ) {
+        // y = a·x + b gives r = 1 exactly (for non-constant x).
+        let spread = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        prop_assume!(spread > 1e-6);
+        let ys: Vec<f64> = xs.iter().map(|&x| a * x + b).collect();
+        prop_assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spearman_bounded_and_monotone_invariant(
+        xs in prop::collection::vec(-1e3f64..1e3, 3..50),
+    ) {
+        // Any strictly monotone transform preserves Spearman = 1.
+        let mut unique = xs.clone();
+        unique.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        unique.dedup();
+        prop_assume!(unique.len() == xs.len());
+        let ys: Vec<f64> = xs.iter().map(|&x| x.powi(3) + x).collect();
+        let r = spearman(&xs, &ys);
+        prop_assert!((r - 1.0).abs() < 1e-9, "r = {r}");
+    }
+
+    #[test]
+    fn metric_vector_mean_between_extremes(
+        vals in prop::collection::vec(0.0f64..100.0, 1..20)
+    ) {
+        let vectors: Vec<MetricVector> = vals
+            .iter()
+            .map(|&v| {
+                let mut m = MetricVector::zero();
+                m.set(Metric::Ipc, v);
+                m
+            })
+            .collect();
+        let mean = MetricVector::mean_of(&vectors).get(Metric::Ipc);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(mean >= lo - 1e-9 && mean <= hi + 1e-9);
+    }
+
+    #[test]
+    fn selected_projection_preserves_values(v in prop::collection::vec(0.0f64..1e6, 19)) {
+        let mut arr = [0.0; 19];
+        arr.copy_from_slice(&v);
+        let m = MetricVector::from_array(arr);
+        let s = m.selected();
+        for (i, metric) in Metric::SELECTED.iter().enumerate() {
+            prop_assert_eq!(s[i], m.get(*metric));
+        }
+    }
+}

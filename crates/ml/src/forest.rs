@@ -1,0 +1,241 @@
+//! Random-forest regression — the paper's chosen model family (RFR / IRFR).
+//!
+//! Bagging (bootstrap per tree) plus per-split feature subsampling,
+//! prediction by averaging. Training parallelises across trees with rayon;
+//! each tree derives its own RNG stream from the forest seed, so the fitted
+//! model is identical regardless of thread count (the determinism rule the
+//! workspace follows everywhere).
+
+use crate::dataset::Dataset;
+use crate::tree::{RegressionTree, TreeParams};
+use rayon::prelude::*;
+use simcore::rng::seed_stream;
+use simcore::SimRng;
+
+/// Forest hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Bootstrap sample size as a fraction of the training set (1.0 =
+    /// classic bagging).
+    pub sample_frac: f64,
+}
+
+impl Default for ForestParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 40,
+            tree: TreeParams::default(),
+            sample_frac: 1.0,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+    /// Ages used by the incremental wrapper's stalest-tree replacement:
+    /// `birth[i]` is the update-generation tree `i` was (re)built in.
+    birth: Vec<u64>,
+    params: ForestParams,
+    seed: u64,
+    dim: usize,
+}
+
+impl RandomForest {
+    /// Fit a forest on a dataset.
+    pub fn fit(data: &Dataset, params: ForestParams, seed: u64) -> Self {
+        assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
+        assert!(params.n_trees > 0, "forest needs at least one tree");
+        let n_sample = ((data.len() as f64) * params.sample_frac).ceil().max(1.0) as usize;
+        let trees: Vec<RegressionTree> = (0..params.n_trees)
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = SimRng::new(seed_stream(seed, i as u64));
+                let rows = data.bootstrap(n_sample, &mut rng);
+                RegressionTree::fit_rows(data, &rows, params.tree, &mut rng)
+            })
+            .collect();
+        let n = trees.len();
+        Self {
+            trees,
+            birth: vec![0; n],
+            params,
+            seed,
+            dim: data.dim(),
+        }
+    }
+
+    /// Predict one row (mean over trees).
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Replace the `k` stalest trees with trees trained on the current
+    /// buffer — the incremental update step (IRFR). `generation`
+    /// disambiguates tree ages across updates and feeds new seeds.
+    pub fn refresh_stalest(&mut self, data: &Dataset, k: usize, generation: u64) {
+        if data.is_empty() || k == 0 {
+            return;
+        }
+        let mut order: Vec<usize> = (0..self.trees.len()).collect();
+        order.sort_by_key(|&i| self.birth[i]);
+        let victims: Vec<usize> = order.into_iter().take(k.min(self.trees.len())).collect();
+        let n_sample = ((data.len() as f64) * self.params.sample_frac)
+            .ceil()
+            .max(1.0) as usize;
+        let rebuilt: Vec<(usize, RegressionTree)> = victims
+            .into_par_iter()
+            .map(|i| {
+                let mut rng = SimRng::new(seed_stream(
+                    self.seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    i as u64,
+                ));
+                let rows = data.bootstrap(n_sample, &mut rng);
+                (i, RegressionTree::fit_rows(data, &rows, self.params.tree, &mut rng))
+            })
+            .collect();
+        for (i, tree) in rebuilt {
+            self.trees[i] = tree;
+            self.birth[i] = generation;
+        }
+    }
+
+    /// Normalised impurity importances averaged over trees (Fig. 8).
+    pub fn importances(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.dim];
+        for t in &self.trees {
+            for (a, &v) in acc.iter_mut().zip(t.importances()) {
+                *a += v;
+            }
+        }
+        let total: f64 = acc.iter().sum();
+        if total > 0.0 {
+            for a in &mut acc {
+                *a /= total;
+            }
+        }
+        acc
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the forest holds no trees (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Feature dimension the forest was trained on.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::mape;
+
+    /// y = 3·x0 − 2·x1 + x0·x1, mildly nonlinear.
+    fn make_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        let mut d = Dataset::new(3);
+        for _ in 0..n {
+            let x0 = rng.f64() * 10.0;
+            let x1 = rng.f64() * 10.0;
+            let noise = rng.f64() * 0.1;
+            d.push(&[x0, x1, rng.f64()], 3.0 * x0 - 2.0 * x1 + x0 * x1 + 10.0 + noise);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_regression_surface() {
+        let train = make_data(800, 1);
+        let test = make_data(100, 2);
+        let f = RandomForest::fit(&train, ForestParams::default(), 42);
+        let preds: Vec<f64> = (0..test.len()).map(|i| f.predict(test.row(i))).collect();
+        let err = mape(&preds, test.targets());
+        assert!(err < 0.1, "MAPE {err}");
+    }
+
+    #[test]
+    fn forest_beats_single_tree() {
+        let train = make_data(400, 3);
+        let test = make_data(100, 4);
+        let single = RandomForest::fit(
+            &train,
+            ForestParams {
+                n_trees: 1,
+                ..Default::default()
+            },
+            7,
+        );
+        let forest = RandomForest::fit(&train, ForestParams::default(), 7);
+        let err = |m: &RandomForest| {
+            let preds: Vec<f64> = (0..test.len()).map(|i| m.predict(test.row(i))).collect();
+            mape(&preds, test.targets())
+        };
+        assert!(err(&forest) <= err(&single) * 1.05);
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        // rayon's global pool size may vary; determinism must hold because
+        // seeds are derived per tree, not per worker.
+        let train = make_data(200, 5);
+        let a = RandomForest::fit(&train, ForestParams::default(), 11);
+        let b = RandomForest::fit(&train, ForestParams::default(), 11);
+        for i in 0..20 {
+            let x = [i as f64 / 2.0, 3.0, 0.5];
+            assert_eq!(a.predict(&x), b.predict(&x));
+        }
+    }
+
+    #[test]
+    fn importances_identify_informative_features() {
+        let train = make_data(500, 6);
+        let f = RandomForest::fit(&train, ForestParams::default(), 13);
+        let imp = f.importances();
+        assert_eq!(imp.len(), 3);
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // x2 is noise: much lower importance than x0/x1.
+        assert!(imp[2] < imp[0] / 5.0);
+        assert!(imp[2] < imp[1] / 5.0);
+    }
+
+    #[test]
+    fn refresh_stalest_adapts_to_new_data() {
+        // Train on one function, then shift the target distribution and
+        // refresh: predictions must move toward the new function.
+        let old = make_data(300, 7);
+        let mut f = RandomForest::fit(&old, ForestParams::default(), 17);
+        let mut new_data = Dataset::new(3);
+        let mut rng = SimRng::new(8);
+        for _ in 0..300 {
+            let x0 = rng.f64() * 10.0;
+            let x1 = rng.f64() * 10.0;
+            new_data.push(&[x0, x1, rng.f64()], 100.0); // constant shift
+        }
+        let before = f.predict(&[5.0, 5.0, 0.5]);
+        for gen in 1..=8 {
+            f.refresh_stalest(&new_data, 10, gen);
+        }
+        let after = f.predict(&[5.0, 5.0, 0.5]);
+        assert!((after - 100.0).abs() < (before - 100.0).abs() / 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty dataset")]
+    fn empty_fit_panics() {
+        RandomForest::fit(&Dataset::new(2), ForestParams::default(), 1);
+    }
+}

@@ -1,0 +1,146 @@
+//! k-nearest-neighbour regression (the paper's KNN / IKNN comparator).
+//!
+//! Brute-force Euclidean search over a standardized sample store. k-NN is
+//! naturally incremental — `partial_fit` is just sample insertion — which is
+//! why it appears as "IKNN" in the paper's incremental comparison.
+
+use crate::dataset::{Dataset, Scaler};
+
+/// A fitted (or incrementally growing) k-NN regressor.
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    k: usize,
+    store: Dataset,
+    scaler: Option<Scaler>,
+}
+
+impl KnnRegressor {
+    /// New regressor with neighbourhood size `k` and feature dimension `dim`.
+    pub fn new(k: usize, dim: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self {
+            k,
+            store: Dataset::new(dim),
+            scaler: None,
+        }
+    }
+
+    /// Fit on a dataset (replaces the store and refits the scaler).
+    pub fn fit(&mut self, data: &Dataset) {
+        self.scaler = Some(Scaler::fit(data));
+        self.store = data.clone();
+    }
+
+    /// Add samples without refitting the scaler (incremental insertion).
+    /// Fits the scaler on the first batch if none exists yet.
+    pub fn insert(&mut self, data: &Dataset) {
+        if self.scaler.is_none() && !data.is_empty() {
+            self.scaler = Some(Scaler::fit(data));
+        }
+        self.store.extend(data);
+    }
+
+    /// Predict by averaging the targets of the `k` nearest stored samples
+    /// in standardized space. Returns NaN when the store is empty.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        if self.store.is_empty() {
+            return f64::NAN;
+        }
+        let scaler = self.scaler.as_ref().expect("scaler fitted with data");
+        let q = scaler.transform(x);
+        // Max-heap of (distance², target) capped at k.
+        let mut best: Vec<(f64, f64)> = Vec::with_capacity(self.k + 1);
+        for i in 0..self.store.len() {
+            let row = scaler.transform(self.store.row(i));
+            let d2: f64 = row
+                .iter()
+                .zip(&q)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if best.len() < self.k {
+                best.push((d2, self.store.target(i)));
+                best.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN distance"));
+            } else if d2 < best[0].0 {
+                best[0] = (d2, self.store.target(i));
+                best.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN distance"));
+            }
+        }
+        best.iter().map(|(_, y)| y).sum::<f64>() / best.len() as f64
+    }
+
+    /// Number of stored samples.
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Dataset {
+        let mut d = Dataset::new(1);
+        for i in 0..100 {
+            let x = i as f64;
+            d.push(&[x], 2.0 * x);
+        }
+        d
+    }
+
+    #[test]
+    fn interpolates_smooth_function() {
+        let mut knn = KnnRegressor::new(3, 1);
+        knn.fit(&line_data());
+        let p = knn.predict(&[50.5]);
+        assert!((p - 101.0).abs() < 3.0, "prediction {p}");
+    }
+
+    #[test]
+    fn k_one_returns_nearest_target() {
+        let mut knn = KnnRegressor::new(1, 1);
+        knn.fit(&line_data());
+        assert_eq!(knn.predict(&[10.2]), 20.0);
+    }
+
+    #[test]
+    fn empty_store_nan() {
+        let knn = KnnRegressor::new(3, 2);
+        assert!(knn.predict(&[1.0, 2.0]).is_nan());
+    }
+
+    #[test]
+    fn incremental_insert_extends_store() {
+        let mut knn = KnnRegressor::new(1, 1);
+        let mut batch1 = Dataset::new(1);
+        batch1.push(&[0.0], 0.0);
+        batch1.push(&[10.0], 10.0);
+        knn.insert(&batch1);
+        assert_eq!(knn.len(), 2);
+        // A new region arrives incrementally.
+        let mut batch2 = Dataset::new(1);
+        batch2.push(&[100.0], 77.0);
+        knn.insert(&batch2);
+        assert_eq!(knn.predict(&[99.0]), 77.0);
+    }
+
+    #[test]
+    fn k_larger_than_store_uses_all() {
+        let mut knn = KnnRegressor::new(10, 1);
+        let mut d = Dataset::new(1);
+        d.push(&[0.0], 2.0);
+        d.push(&[1.0], 4.0);
+        knn.fit(&d);
+        assert!((knn.predict(&[0.5]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_rejected() {
+        KnnRegressor::new(0, 1);
+    }
+}

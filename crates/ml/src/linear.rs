@@ -1,0 +1,229 @@
+//! Ridge regression by mini-batch SGD (the paper's "LR"/"ILR" comparator).
+//!
+//! Trains in standardized feature space (see [`crate::dataset::Scaler`])
+//! with an inverse-decay learning rate. `partial_fit` continues descent on
+//! new batches, which is exactly scikit-learn's `SGDRegressor.partial_fit`
+//! behaviour that the paper's incremental LR uses.
+
+use crate::dataset::{Dataset, Scaler};
+use simcore::SimRng;
+
+/// SGD hyperparameters shared by the linear models.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SgdParams {
+    /// Initial learning rate.
+    pub lr: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Full passes over the data per `fit`/`partial_fit` call.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+}
+
+impl Default for SgdParams {
+    fn default() -> Self {
+        Self {
+            lr: 0.05,
+            l2: 1e-4,
+            epochs: 30,
+            batch: 32,
+        }
+    }
+}
+
+/// Ridge regressor trained by SGD.
+#[derive(Debug, Clone)]
+pub struct RidgeSgd {
+    weights: Vec<f64>,
+    bias: f64,
+    scaler: Option<Scaler>,
+    y_mean: f64,
+    y_std: f64,
+    params: SgdParams,
+    steps: u64,
+    seed: u64,
+}
+
+impl RidgeSgd {
+    /// New model for `dim` features.
+    pub fn new(dim: usize, params: SgdParams, seed: u64) -> Self {
+        Self {
+            weights: vec![0.0; dim],
+            bias: 0.0,
+            scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+            params,
+            steps: 0,
+            seed,
+        }
+    }
+
+    /// Fit from scratch: refits the scaler, zeroes the weights, runs SGD.
+    pub fn fit(&mut self, data: &Dataset) {
+        self.scaler = Some(Scaler::fit(data));
+        self.fit_target_stats(data);
+        for w in &mut self.weights {
+            *w = 0.0;
+        }
+        self.bias = 0.0;
+        self.steps = 0;
+        self.sgd(data);
+    }
+
+    /// Continue training on a new batch (keeps the scaler and weights).
+    /// Fits the scaler on the first batch when none exists.
+    pub fn partial_fit(&mut self, data: &Dataset) {
+        if self.scaler.is_none() {
+            self.scaler = Some(Scaler::fit(data));
+            self.fit_target_stats(data);
+        }
+        self.sgd(data);
+    }
+
+    fn sgd(&mut self, data: &Dataset) {
+        if data.is_empty() {
+            return;
+        }
+        let scaled = self
+            .scaler
+            .as_ref()
+            .expect("scaler present")
+            .transform_dataset(data);
+        let mut rng = SimRng::new(self.seed ^ self.steps.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        for _ in 0..self.params.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(self.params.batch) {
+                self.steps += 1;
+                let lr = self.params.lr / (1.0 + 1e-3 * self.steps as f64);
+                let mut gw = vec![0.0; self.weights.len()];
+                let mut gb = 0.0;
+                for &i in chunk {
+                    let x = scaled.row(i);
+                    let err = self.raw_predict(x) - (scaled.target(i) - self.y_mean) / self.y_std;
+                    for (g, &xi) in gw.iter_mut().zip(x) {
+                        *g += err * xi;
+                    }
+                    gb += err;
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                for (w, g) in self.weights.iter_mut().zip(&gw) {
+                    *w -= lr * (g * inv + self.params.l2 * *w);
+                }
+                self.bias -= lr * gb * inv;
+            }
+        }
+    }
+
+    fn raw_predict(&self, scaled_x: &[f64]) -> f64 {
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(scaled_x)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+
+    /// Predict one (unscaled) row. Returns the bias alone before any fit.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        match &self.scaler {
+            Some(s) => self.raw_predict(&s.transform(x)) * self.y_std + self.y_mean,
+            None => self.bias,
+        }
+    }
+
+    /// Freeze target standardization statistics from the first training set.
+    fn fit_target_stats(&mut self, data: &Dataset) {
+        if data.is_empty() {
+            return;
+        }
+        let n = data.len() as f64;
+        let mean = data.targets().iter().sum::<f64>() / n;
+        let var = data.targets().iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        self.y_mean = mean;
+        self.y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
+    }
+
+    /// Learned weights (in standardized space).
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::mape;
+
+    fn linear_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let x0 = rng.f64() * 10.0;
+            let x1 = rng.f64() * 10.0;
+            d.push(&[x0, x1], 3.0 * x0 - 2.0 * x1 + 20.0);
+        }
+        d
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let train = linear_data(500, 1);
+        let test = linear_data(100, 2);
+        let mut m = RidgeSgd::new(2, SgdParams::default(), 42);
+        m.fit(&train);
+        let preds: Vec<f64> = (0..test.len()).map(|i| m.predict(test.row(i))).collect();
+        let err = mape(&preds, test.targets());
+        assert!(err < 0.05, "MAPE {err}");
+    }
+
+    #[test]
+    fn partial_fit_improves_on_new_distribution() {
+        let train = linear_data(300, 3);
+        let mut m = RidgeSgd::new(2, SgdParams::default(), 7);
+        m.fit(&train);
+        // Shifted distribution: y = 3x0 - 2x1 + 120.
+        let mut shifted = Dataset::new(2);
+        let mut rng = SimRng::new(4);
+        for _ in 0..300 {
+            let x0 = rng.f64() * 10.0;
+            let x1 = rng.f64() * 10.0;
+            shifted.push(&[x0, x1], 3.0 * x0 - 2.0 * x1 + 120.0);
+        }
+        let before = (m.predict(&[5.0, 5.0]) - 125.0).abs();
+        for _ in 0..5 {
+            m.partial_fit(&shifted);
+        }
+        let after = (m.predict(&[5.0, 5.0]) - 125.0).abs();
+        assert!(after < before / 2.0, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn unfitted_predicts_bias() {
+        let m = RidgeSgd::new(3, SgdParams::default(), 1);
+        assert_eq!(m.predict(&[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = linear_data(100, 5);
+        let run = || {
+            let mut m = RidgeSgd::new(2, SgdParams::default(), 9);
+            m.fit(&train);
+            m.predict(&[1.0, 2.0])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_partial_fit_is_noop() {
+        let mut m = RidgeSgd::new(2, SgdParams::default(), 1);
+        m.fit(&linear_data(50, 6));
+        let before = m.predict(&[1.0, 1.0]);
+        m.partial_fit(&Dataset::new(2));
+        assert_eq!(m.predict(&[1.0, 1.0]), before);
+    }
+}

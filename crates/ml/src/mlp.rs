@@ -1,0 +1,262 @@
+//! One-hidden-layer multilayer perceptron for regression (the paper's
+//! "MLP"/"IMLP" comparator).
+//!
+//! ReLU hidden layer, linear output, mini-batch SGD backprop. Trains in
+//! standardized feature *and* target space; weights are initialised with a
+//! seeded uniform He-style scheme so training is deterministic.
+
+use crate::dataset::{Dataset, Scaler};
+use crate::linear::SgdParams;
+use simcore::SimRng;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MlpParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// SGD settings.
+    pub sgd: SgdParams,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self {
+            hidden: 32,
+            sgd: SgdParams {
+                lr: 0.01,
+                epochs: 60,
+                ..SgdParams::default()
+            },
+        }
+    }
+}
+
+/// A one-hidden-layer perceptron regressor.
+#[derive(Debug, Clone)]
+pub struct MlpRegressor {
+    /// Hidden weights, `hidden × dim` row-major.
+    w1: Vec<f64>,
+    b1: Vec<f64>,
+    /// Output weights, `hidden`.
+    w2: Vec<f64>,
+    b2: f64,
+    dim: usize,
+    params: MlpParams,
+    scaler: Option<Scaler>,
+    y_mean: f64,
+    y_std: f64,
+    steps: u64,
+    seed: u64,
+}
+
+impl MlpRegressor {
+    /// New network for `dim` input features.
+    pub fn new(dim: usize, params: MlpParams, seed: u64) -> Self {
+        let mut net = Self {
+            w1: vec![0.0; params.hidden * dim],
+            b1: vec![0.0; params.hidden],
+            w2: vec![0.0; params.hidden],
+            b2: 0.0,
+            dim,
+            params,
+            scaler: None,
+            y_mean: 0.0,
+            y_std: 1.0,
+            steps: 0,
+            seed,
+        };
+        net.init_weights();
+        net
+    }
+
+    fn init_weights(&mut self) {
+        let mut rng = SimRng::new(self.seed);
+        let scale_1 = (2.0 / self.dim.max(1) as f64).sqrt();
+        for w in &mut self.w1 {
+            *w = (rng.f64() * 2.0 - 1.0) * scale_1;
+        }
+        let scale_2 = (2.0 / self.params.hidden as f64).sqrt();
+        for w in &mut self.w2 {
+            *w = (rng.f64() * 2.0 - 1.0) * scale_2;
+        }
+        for b in &mut self.b1 {
+            *b = 0.0;
+        }
+        self.b2 = 0.0;
+    }
+
+    /// Fit from scratch.
+    pub fn fit(&mut self, data: &Dataset) {
+        self.scaler = Some(Scaler::fit(data));
+        self.fit_target_stats(data);
+        self.init_weights();
+        self.steps = 0;
+        self.sgd(data);
+    }
+
+    /// Continue training on new data.
+    pub fn partial_fit(&mut self, data: &Dataset) {
+        if self.scaler.is_none() {
+            self.scaler = Some(Scaler::fit(data));
+            self.fit_target_stats(data);
+        }
+        self.sgd(data);
+    }
+
+    fn fit_target_stats(&mut self, data: &Dataset) {
+        if data.is_empty() {
+            return;
+        }
+        let n = data.len() as f64;
+        let mean = data.targets().iter().sum::<f64>() / n;
+        let var = data.targets().iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        self.y_mean = mean;
+        self.y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
+    }
+
+    /// Forward pass in scaled space, returning hidden activations and output.
+    fn forward(&self, x: &[f64]) -> (Vec<f64>, f64) {
+        let h: Vec<f64> = (0..self.params.hidden)
+            .map(|j| {
+                let row = &self.w1[j * self.dim..(j + 1) * self.dim];
+                let z = self.b1[j]
+                    + row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+                z.max(0.0) // ReLU
+            })
+            .collect();
+        let out = self.b2 + self.w2.iter().zip(&h).map(|(w, hi)| w * hi).sum::<f64>();
+        (h, out)
+    }
+
+    fn sgd(&mut self, data: &Dataset) {
+        if data.is_empty() {
+            return;
+        }
+        let scaled = self
+            .scaler
+            .as_ref()
+            .expect("scaler present")
+            .transform_dataset(data);
+        let mut rng = SimRng::new(self.seed ^ self.steps.wrapping_mul(0xA24B_AED4_963E_E407));
+        let mut order: Vec<usize> = (0..scaled.len()).collect();
+        let hidden = self.params.hidden;
+        for _ in 0..self.params.sgd.epochs {
+            rng.shuffle(&mut order);
+            for chunk in order.chunks(self.params.sgd.batch) {
+                self.steps += 1;
+                let lr = self.params.sgd.lr / (1.0 + 5e-4 * self.steps as f64);
+                let mut gw1 = vec![0.0; self.w1.len()];
+                let mut gb1 = vec![0.0; hidden];
+                let mut gw2 = vec![0.0; hidden];
+                let mut gb2 = 0.0;
+                for &i in chunk {
+                    let x = scaled.row(i);
+                    let y = (scaled.target(i) - self.y_mean) / self.y_std;
+                    let (h, out) = self.forward(x);
+                    let err = out - y;
+                    gb2 += err;
+                    for j in 0..hidden {
+                        gw2[j] += err * h[j];
+                        if h[j] > 0.0 {
+                            let gh = err * self.w2[j];
+                            gb1[j] += gh;
+                            let row = &mut gw1[j * self.dim..(j + 1) * self.dim];
+                            for (g, &xi) in row.iter_mut().zip(x) {
+                                *g += gh * xi;
+                            }
+                        }
+                    }
+                }
+                let inv = 1.0 / chunk.len() as f64;
+                let l2 = self.params.sgd.l2;
+                for (w, g) in self.w1.iter_mut().zip(&gw1) {
+                    *w -= lr * (g * inv + l2 * *w);
+                }
+                for (b, g) in self.b1.iter_mut().zip(&gb1) {
+                    *b -= lr * g * inv;
+                }
+                for (w, g) in self.w2.iter_mut().zip(&gw2) {
+                    *w -= lr * (g * inv + l2 * *w);
+                }
+                self.b2 -= lr * gb2 * inv;
+            }
+        }
+    }
+
+    /// Predict one (unscaled) row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        match &self.scaler {
+            Some(s) => {
+                let (_, out) = self.forward(&s.transform(x));
+                out * self.y_std + self.y_mean
+            }
+            None => self.y_mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::mape;
+
+    fn nonlinear_data(n: usize, seed: u64) -> Dataset {
+        let mut rng = SimRng::new(seed);
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            let x0 = rng.f64() * 4.0 - 2.0;
+            let x1 = rng.f64() * 4.0 - 2.0;
+            d.push(&[x0, x1], (x0 * x0 + x1).abs() + 5.0);
+        }
+        d
+    }
+
+    #[test]
+    fn fits_nonlinear_surface() {
+        let train = nonlinear_data(1500, 1);
+        let test = nonlinear_data(200, 2);
+        let mut m = MlpRegressor::new(2, MlpParams::default(), 42);
+        m.fit(&train);
+        let preds: Vec<f64> = (0..test.len()).map(|i| m.predict(test.row(i))).collect();
+        let err = mape(&preds, test.targets());
+        assert!(err < 0.12, "MAPE {err}");
+    }
+
+    #[test]
+    fn deterministic() {
+        let train = nonlinear_data(200, 3);
+        let run = || {
+            let mut m = MlpRegressor::new(2, MlpParams::default(), 5);
+            m.fit(&train);
+            m.predict(&[0.5, -0.5])
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partial_fit_tracks_shift() {
+        let train = nonlinear_data(500, 7);
+        let mut m = MlpRegressor::new(2, MlpParams::default(), 9);
+        m.fit(&train);
+        // Constant shift of +50.
+        let mut shifted = Dataset::new(2);
+        let mut rng = SimRng::new(8);
+        for _ in 0..500 {
+            let x0 = rng.f64() * 4.0 - 2.0;
+            let x1 = rng.f64() * 4.0 - 2.0;
+            shifted.push(&[x0, x1], (x0 * x0 + x1).abs() + 55.0);
+        }
+        let before = (m.predict(&[0.0, 0.0]) - 55.0).abs();
+        for _ in 0..3 {
+            m.partial_fit(&shifted);
+        }
+        let after = (m.predict(&[0.0, 0.0]) - 55.0).abs();
+        assert!(after < before, "before {before}, after {after}");
+    }
+
+    #[test]
+    fn unfitted_predicts_zero_mean() {
+        let m = MlpRegressor::new(2, MlpParams::default(), 1);
+        assert_eq!(m.predict(&[1.0, 1.0]), 0.0);
+    }
+}

@@ -1,0 +1,411 @@
+//! CART regression trees.
+//!
+//! Splits minimise the weighted sum of squared errors (equivalently,
+//! maximise variance reduction). Each split considers a random subset of
+//! `mtry` features — the forest's decorrelation mechanism — and candidate
+//! thresholds are midpoints between consecutive sorted feature values.
+//! Per-feature impurity importances (total variance reduction contributed by
+//! splits on that feature) are accumulated during building; the forest
+//! averages them for the paper's Figure 8.
+
+use crate::dataset::Dataset;
+use simcore::SimRng;
+
+/// Tree hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TreeParams {
+    /// Maximum depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum samples a leaf may hold.
+    pub min_samples_leaf: usize,
+    /// Features considered per split; `0` means `ceil(sqrt(d))`.
+    pub mtry: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 14,
+            min_samples_leaf: 2,
+            mtry: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A fitted regression tree.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+}
+
+struct Builder<'a> {
+    data: &'a Dataset,
+    params: TreeParams,
+    mtry: usize,
+    nodes: Vec<Node>,
+    importances: Vec<f64>,
+}
+
+/// Sum and sum-of-squares accumulator for fast SSE computation.
+#[derive(Debug, Clone, Copy, Default)]
+struct Moments {
+    n: f64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Moments {
+    fn push(&mut self, y: f64) {
+        self.n += 1.0;
+        self.sum += y;
+        self.sum_sq += y * y;
+    }
+    fn pop(&mut self, y: f64) {
+        self.n -= 1.0;
+        self.sum -= y;
+        self.sum_sq -= y * y;
+    }
+    fn sse(&self) -> f64 {
+        if self.n <= 0.0 {
+            0.0
+        } else {
+            (self.sum_sq - self.sum * self.sum / self.n).max(0.0)
+        }
+    }
+    fn mean(&self) -> f64 {
+        if self.n <= 0.0 {
+            0.0
+        } else {
+            self.sum / self.n
+        }
+    }
+}
+
+impl<'a> Builder<'a> {
+    fn build(&mut self, rows: &mut [usize], depth: usize, rng: &mut SimRng) -> usize {
+        let parent = self.moments(rows);
+        let make_leaf = rows.len() < 2 * self.params.min_samples_leaf
+            || depth >= self.params.max_depth
+            || parent.sse() <= 1e-12;
+        if !make_leaf {
+            if let Some((feature, threshold, gain)) = self.best_split(rows, &parent, rng) {
+                self.importances[feature] += gain;
+                let mid = partition(self.data, rows, feature, threshold);
+                let node_idx = self.nodes.len();
+                // Placeholder; children filled in below.
+                self.nodes.push(Node::Leaf { value: 0.0 });
+                let (left_rows, right_rows) = rows.split_at_mut(mid);
+                let left = self.build(left_rows, depth + 1, rng);
+                let right = self.build(right_rows, depth + 1, rng);
+                self.nodes[node_idx] = Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                };
+                return node_idx;
+            }
+        }
+        let idx = self.nodes.len();
+        self.nodes.push(Node::Leaf {
+            value: parent.mean(),
+        });
+        idx
+    }
+
+    fn moments(&self, rows: &[usize]) -> Moments {
+        let mut m = Moments::default();
+        for &r in rows {
+            m.push(self.data.target(r));
+        }
+        m
+    }
+
+    /// Best (feature, threshold, gain) over a random feature subset, or
+    /// `None` when no split satisfies the leaf-size constraint.
+    fn best_split(
+        &self,
+        rows: &[usize],
+        parent: &Moments,
+        rng: &mut SimRng,
+    ) -> Option<(usize, f64, f64)> {
+        let mut rng_local = rng.split(rows.len() as u64);
+        // Permute ALL features; examine the first `mtry`, then (matching
+        // scikit-learn's semantics) keep scanning until at least one valid
+        // split has been found. This matters for the sparse overlap codings,
+        // where most columns are constant zero padding and a strict-`mtry`
+        // draw would frequently see no splittable feature at all.
+        let mut features: Vec<usize> = (0..self.data.dim()).collect();
+        rng_local.shuffle(&mut features);
+        let min_leaf = self.params.min_samples_leaf as f64;
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut sorted: Vec<usize> = Vec::with_capacity(rows.len());
+        for (examined, &feature) in features.iter().enumerate() {
+            if examined >= self.mtry && best.is_some() {
+                break;
+            }
+            sorted.clear();
+            sorted.extend_from_slice(rows);
+            sorted.sort_by(|&a, &b| {
+                self.data.row(a)[feature]
+                    .partial_cmp(&self.data.row(b)[feature])
+                    .expect("NaN feature value")
+            });
+            let mut left = Moments::default();
+            let mut right = *parent;
+            for i in 0..sorted.len() - 1 {
+                let y = self.data.target(sorted[i]);
+                left.push(y);
+                right.pop(y);
+                let v = self.data.row(sorted[i])[feature];
+                let v_next = self.data.row(sorted[i + 1])[feature];
+                if v == v_next {
+                    continue; // cannot split between equal values
+                }
+                if left.n < min_leaf || right.n < min_leaf {
+                    continue;
+                }
+                let gain = parent.sse() - left.sse() - right.sse();
+                if gain > best.map(|(_, _, g)| g).unwrap_or(1e-12) {
+                    best = Some((feature, (v + v_next) / 2.0, gain));
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Partition `rows` in place by `feature <= threshold`; returns the count on
+/// the left side.
+fn partition(data: &Dataset, rows: &mut [usize], feature: usize, threshold: f64) -> usize {
+    let mut i = 0;
+    let mut j = rows.len();
+    while i < j {
+        if data.row(rows[i])[feature] <= threshold {
+            i += 1;
+        } else {
+            j -= 1;
+            rows.swap(i, j);
+        }
+    }
+    i
+}
+
+impl RegressionTree {
+    /// Fit a tree on the given rows of `data` (duplicates allowed — this is
+    /// how bagging passes bootstrap samples).
+    pub fn fit_rows(
+        data: &Dataset,
+        rows: &[usize],
+        params: TreeParams,
+        rng: &mut SimRng,
+    ) -> Self {
+        assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
+        let mtry = if params.mtry == 0 {
+            (data.dim() as f64).sqrt().ceil() as usize
+        } else {
+            params.mtry.min(data.dim())
+        };
+        let mut builder = Builder {
+            data,
+            params,
+            mtry: mtry.max(1),
+            nodes: Vec::new(),
+            importances: vec![0.0; data.dim()],
+        };
+        let mut rows = rows.to_vec();
+        builder.build(&mut rows, 0, rng);
+        RegressionTree {
+            nodes: builder.nodes,
+            importances: builder.importances,
+        }
+    }
+
+    /// Fit on all rows of a dataset.
+    pub fn fit(data: &Dataset, params: TreeParams, rng: &mut SimRng) -> Self {
+        let rows: Vec<usize> = (0..data.len()).collect();
+        Self::fit_rows(data, &rows, params, rng)
+    }
+
+    /// Predict one row.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        // The root is always the first node pushed by the top-level build.
+        let mut idx = self.root();
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { value } => return *value,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    fn root(&self) -> usize {
+        0
+    }
+
+    /// Raw (unnormalised) impurity importances by feature.
+    pub fn importances(&self) -> &[f64] {
+        &self.importances
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = step function of x0.
+    fn step_data() -> Dataset {
+        let mut d = Dataset::new(2);
+        for i in 0..100 {
+            let x0 = i as f64 / 100.0;
+            let y = if x0 < 0.5 { 1.0 } else { 5.0 };
+            d.push(&[x0, 0.0], y);
+        }
+        d
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let d = step_data();
+        let mut rng = SimRng::new(1);
+        let t = RegressionTree::fit(&d, TreeParams { mtry: 2, ..Default::default() }, &mut rng);
+        assert!((t.predict(&[0.2, 0.0]) - 1.0).abs() < 1e-9);
+        assert!((t.predict(&[0.8, 0.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn importance_on_informative_feature() {
+        let d = step_data();
+        let mut rng = SimRng::new(2);
+        let t = RegressionTree::fit(&d, TreeParams { mtry: 2, ..Default::default() }, &mut rng);
+        assert!(t.importances()[0] > 0.0);
+        assert_eq!(t.importances()[1], 0.0, "constant feature can't split");
+    }
+
+    #[test]
+    fn constant_target_single_leaf() {
+        let mut d = Dataset::new(1);
+        for i in 0..20 {
+            d.push(&[i as f64], 3.0);
+        }
+        let mut rng = SimRng::new(3);
+        let t = RegressionTree::fit(&d, TreeParams::default(), &mut rng);
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.predict(&[100.0]), 3.0);
+    }
+
+    #[test]
+    fn respects_max_depth() {
+        let mut d = Dataset::new(1);
+        for i in 0..64 {
+            d.push(&[i as f64], i as f64);
+        }
+        let mut rng = SimRng::new(4);
+        let t = RegressionTree::fit(
+            &d,
+            TreeParams {
+                max_depth: 2,
+                min_samples_leaf: 1,
+                mtry: 1,
+            },
+            &mut rng,
+        );
+        // Depth 2 => at most 7 nodes (3 splits + 4 leaves).
+        assert!(t.num_nodes() <= 7, "{} nodes", t.num_nodes());
+    }
+
+    #[test]
+    fn min_samples_leaf_respected() {
+        let mut d = Dataset::new(1);
+        for i in 0..10 {
+            d.push(&[i as f64], i as f64);
+        }
+        let mut rng = SimRng::new(5);
+        let t = RegressionTree::fit(
+            &d,
+            TreeParams {
+                max_depth: 20,
+                min_samples_leaf: 5,
+                mtry: 1,
+            },
+            &mut rng,
+        );
+        // Only one split possible (5|5).
+        assert_eq!(t.num_nodes(), 3);
+    }
+
+    #[test]
+    fn fit_rows_with_duplicates() {
+        let d = step_data();
+        let rows: Vec<usize> = (0..d.len()).map(|i| i % 10).collect(); // duplicates
+        let mut rng = SimRng::new(6);
+        let t = RegressionTree::fit_rows(&d, &rows, TreeParams::default(), &mut rng);
+        // All sampled rows have x0 < 0.1 => constant target 1.
+        assert_eq!(t.predict(&[0.05, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = step_data();
+        let fit = |seed| {
+            let mut rng = SimRng::new(seed);
+            let t = RegressionTree::fit(&d, TreeParams::default(), &mut rng);
+            (0..20)
+                .map(|i| t.predict(&[i as f64 / 20.0, 0.0]))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fit(7), fit(7));
+    }
+
+    #[test]
+    fn nonlinear_fit_quality() {
+        // y = x^2 on [0,1]; a deep tree should approximate well.
+        let mut d = Dataset::new(1);
+        for i in 0..200 {
+            let x = i as f64 / 200.0;
+            d.push(&[x], x * x);
+        }
+        let mut rng = SimRng::new(8);
+        let t = RegressionTree::fit(
+            &d,
+            TreeParams {
+                max_depth: 10,
+                min_samples_leaf: 2,
+                mtry: 1,
+            },
+            &mut rng,
+        );
+        let mut max_err = 0.0f64;
+        for i in 0..50 {
+            let x = i as f64 / 50.0 + 0.01;
+            max_err = max_err.max((t.predict(&[x]) - x * x).abs());
+        }
+        assert!(max_err < 0.05, "max_err {max_err}");
+    }
+}

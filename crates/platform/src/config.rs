@@ -1,0 +1,121 @@
+//! Platform simulator configuration.
+
+use cluster::microarch::MicroarchParams;
+use cluster::ClusterConfig;
+use simcore::SimTime;
+
+/// Gateway cost model (paper Fig. 14: forwarding is stable below ~110
+/// deployed instances and "slows down rapidly after 120 instances due to the
+/// bottleneck of the gateway").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GatewayConfig {
+    /// Per-forward service time with an unloaded gateway.
+    pub base_forward: SimTime,
+    /// Instance count at which the gateway starts degrading.
+    pub saturation_knee: usize,
+    /// Quadratic degradation coefficient: the forward cost is multiplied by
+    /// `1 + coeff · ((instances − knee)/10)²` past the knee.
+    pub degradation_coeff: f64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            base_forward: SimTime::from_micros(300),
+            saturation_knee: 110,
+            degradation_coeff: 0.5,
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Forward service time given the current deployed-instance count.
+    pub fn forward_time(&self, instances: usize) -> SimTime {
+        let base = self.base_forward.as_micros() as f64;
+        let over = instances.saturating_sub(self.saturation_knee) as f64;
+        let factor = 1.0 + self.degradation_coeff * (over / 10.0).powi(2);
+        SimTime::from_micros((base * factor).round() as u64)
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformConfig {
+    /// Hardware description.
+    pub cluster: ClusterConfig,
+    /// Gateway cost model.
+    pub gateway: GatewayConfig,
+    /// Idle period after which a warm instance's next invocation is cold.
+    pub keep_alive: SimTime,
+    /// Metric sampling interval (1 s in the paper).
+    pub collect_interval: SimTime,
+    /// Microarchitecture synthesis coefficients.
+    pub microarch: MicroarchParams,
+    /// RNG seed for all stochastic behaviour in the run.
+    pub seed: u64,
+}
+
+impl PlatformConfig {
+    /// Paper-testbed configuration (8 nodes of Table 4).
+    pub fn paper_testbed(seed: u64) -> Self {
+        Self {
+            cluster: ClusterConfig::paper_testbed(),
+            gateway: GatewayConfig::default(),
+            keep_alive: SimTime::from_secs(600.0),
+            collect_interval: SimTime::from_secs(1.0),
+            microarch: MicroarchParams::default(),
+            seed,
+        }
+    }
+
+    /// Small single-server configuration for fast tests.
+    pub fn small(seed: u64) -> Self {
+        Self {
+            cluster: ClusterConfig::homogeneous(1, cluster::ServerSpec::small()),
+            gateway: GatewayConfig::default(),
+            keep_alive: SimTime::from_secs(600.0),
+            collect_interval: SimTime::from_secs(1.0),
+            microarch: MicroarchParams::default(),
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gateway_flat_below_knee() {
+        let g = GatewayConfig::default();
+        assert_eq!(g.forward_time(1), g.base_forward);
+        assert_eq!(g.forward_time(110), g.base_forward);
+    }
+
+    #[test]
+    fn gateway_degrades_past_knee() {
+        let g = GatewayConfig::default();
+        let at_120 = g.forward_time(120);
+        let at_200 = g.forward_time(200);
+        assert!(at_120 > g.base_forward);
+        assert!(at_200.as_micros() > 10 * g.base_forward.as_micros());
+    }
+
+    #[test]
+    fn gateway_monotone() {
+        let g = GatewayConfig::default();
+        let mut prev = SimTime::ZERO;
+        for n in (0..300).step_by(10) {
+            let t = g.forward_time(n);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn paper_testbed_shape() {
+        let c = PlatformConfig::paper_testbed(1);
+        assert_eq!(c.cluster.num_servers(), 8);
+        assert_eq!(c.collect_interval, SimTime::from_secs(1.0));
+    }
+}

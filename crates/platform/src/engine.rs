@@ -1,0 +1,1053 @@
+//! The discrete-event execution engine.
+//!
+//! Execution semantics, in one paragraph: external arrivals and every
+//! call-graph edge traversal are *forwards* through the shared gateway
+//! (FIFO, load-dependent service time). A delivered forward queues a task on
+//! one round-robin-selected instance of the target function; the instance
+//! runs up to `concurrency` tasks at once. An executing task advances
+//! through its phases at rate `1/slowdown`, where the slowdown comes from
+//! the [`cluster`] contention model and is re-evaluated (piecewise-exactly)
+//! whenever the set of executing phases on its server changes. When a task's
+//! own service ends it either completes — triggering async children and
+//! releasing its slot — or enters *nested wait*, holding its slot until its
+//! nested children return (Observation 4's upstream propagation). Cold
+//! starts prepend the function's cold phase when an instance is new or has
+//! been idle past the keep-alive.
+
+use crate::config::PlatformConfig;
+use crate::gateway::{Forward, Gateway};
+use crate::report::{FunctionSeries, RunReport, UtilizationSample, WorkloadSeries};
+use crate::scale::{ClusterView, PlacementDecision, Placer};
+use cluster::{InstanceId, ServerState};
+use metricsd::MetricVector;
+use simcore::{EventQueue, SimRng, SimTime};
+use workloads::dag::CallKind;
+use workloads::{PhaseSpec, Workload};
+use std::collections::VecDeque;
+
+/// Handle to a deployed workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WorkloadId(pub usize);
+
+/// How a deployed workload is driven.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalSpec {
+    /// Open-loop request arrivals (LS workloads): each time is one
+    /// end-to-end request through the call graph.
+    OpenLoop(Vec<SimTime>),
+    /// Job submissions (SC/BG workloads): identical mechanics, but the
+    /// e2e latency is interpreted as the JCT.
+    Jobs(Vec<SimTime>),
+}
+
+impl ArrivalSpec {
+    fn times(&self) -> &[SimTime] {
+        match self {
+            ArrivalSpec::OpenLoop(t) | ArrivalSpec::Jobs(t) => t,
+        }
+    }
+}
+
+/// A workload plus its initial placement and drive.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The workload to run.
+    pub workload: Workload,
+    /// Initial instances per call-graph node (each node needs ≥ 1).
+    pub placement: Vec<Vec<PlacementDecision>>,
+    /// Arrival process.
+    pub arrivals: ArrivalSpec,
+}
+
+#[derive(Debug)]
+struct Instance {
+    server: usize,
+    socket: usize,
+    active: Vec<usize>,
+    queue: VecDeque<usize>,
+    last_finish: SimTime,
+    used: bool,
+}
+
+#[derive(Debug)]
+struct Deployed {
+    workload: Workload,
+    instances: Vec<Vec<Instance>>,
+    rr: Vec<usize>,
+    /// Number of async parents per node (join counts).
+    async_parents: Vec<u32>,
+    /// Nested parent node, if any.
+    nested_parent: Vec<Option<usize>>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TaskState {
+    Queued,
+    Executing,
+    NestedWait,
+    Done,
+}
+
+#[derive(Debug)]
+struct Task {
+    req: u64,
+    wl: usize,
+    node: usize,
+    inst: usize,
+    state: TaskState,
+    phases: Vec<PhaseSpec>,
+    phase_idx: usize,
+    /// Solo-time microseconds remaining in the current phase.
+    remaining_us: f64,
+    slowdown: f64,
+    last_update: SimTime,
+    token: u64,
+    enqueued_at: SimTime,
+    load_id: Option<InstanceId>,
+    server: usize,
+}
+
+#[derive(Debug)]
+struct RequestState {
+    arrival: SimTime,
+    remaining_async: Vec<u32>,
+    nested_pending: Vec<u32>,
+    node_task: Vec<Option<usize>>,
+    nodes_remaining: usize,
+    done: bool,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Arrival { wl: usize },
+    GatewayDone { fwd: Forward },
+    PhaseEnd { task: usize, token: u64 },
+    Collect,
+}
+
+/// Autoscaling policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleConfig {
+    /// Scale out when (queued tasks) / (instances) exceeds this.
+    pub queue_per_instance: f64,
+    /// Scale out when in-flight tasks exceed this fraction of the node's
+    /// total concurrency capacity (HPA-style utilization trigger).
+    pub busy_fraction: f64,
+    /// Upper bound on instances per function node.
+    pub max_instances_per_node: usize,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        Self {
+            queue_per_instance: 2.0,
+            busy_fraction: 0.75,
+            max_instances_per_node: 64,
+        }
+    }
+}
+
+/// The simulator.
+pub struct Simulation {
+    config: PlatformConfig,
+    servers: Vec<ServerState>,
+    server_tasks: Vec<Vec<usize>>,
+    rng: SimRng,
+    queue: EventQueue<Ev>,
+    gateway: Gateway,
+    deployed: Vec<Deployed>,
+    tasks: Vec<Task>,
+    requests: Vec<RequestState>,
+    report: RunReport,
+    placer: Option<Box<dyn Placer>>,
+    scale: ScaleConfig,
+    instance_count: usize,
+    next_collect: SimTime,
+    arrivals_pending: Vec<VecDeque<SimTime>>,
+}
+
+impl Simulation {
+    /// New simulator on the configured cluster.
+    pub fn new(config: PlatformConfig) -> Self {
+        let servers: Vec<ServerState> = config
+            .cluster
+            .servers
+            .iter()
+            .cloned()
+            .map(ServerState::new)
+            .collect();
+        let n = servers.len();
+        let rng = SimRng::new(config.seed);
+        Self {
+            config,
+            servers,
+            server_tasks: vec![Vec::new(); n],
+            rng,
+            queue: EventQueue::new(),
+            gateway: Gateway::new(),
+            deployed: Vec::new(),
+            tasks: Vec::new(),
+            requests: Vec::new(),
+            report: RunReport::default(),
+            placer: None,
+            scale: ScaleConfig::default(),
+            instance_count: 0,
+            next_collect: SimTime::ZERO,
+            arrivals_pending: Vec::new(),
+        }
+    }
+
+    /// Install an autoscaling placement policy.
+    pub fn set_placer(&mut self, placer: Box<dyn Placer>, scale: ScaleConfig) {
+        self.placer = Some(placer);
+        self.scale = scale;
+    }
+
+    /// Deploy a workload. Panics on invalid placement (empty node placement,
+    /// bad server/socket) or on a node mixing nested and async parents.
+    pub fn deploy(&mut self, d: Deployment) -> WorkloadId {
+        let Deployment {
+            workload,
+            placement,
+            arrivals,
+        } = d;
+        let wl = self.deployed.len();
+        let g = workload.graph.clone();
+        let g = &g;
+        assert_eq!(
+            placement.len(),
+            g.len(),
+            "placement must cover every call-graph node"
+        );
+        let mut async_parents = vec![0u32; g.len()];
+        let mut nested_parent = vec![None; g.len()];
+        for id in g.ids() {
+            let parents = g.parents(id);
+            let nested: Vec<_> = parents
+                .iter()
+                .filter(|(_, k)| *k == CallKind::Nested)
+                .collect();
+            let asyncs = parents.len() - nested.len();
+            assert!(
+                nested.is_empty() || (nested.len() == 1 && asyncs == 0),
+                "node {id:?} mixes nested and async parents"
+            );
+            async_parents[id.0] = asyncs as u32;
+            nested_parent[id.0] = nested.first().map(|(p, _)| p.0);
+        }
+
+        let mut instances = Vec::with_capacity(g.len());
+        for (node, placements) in placement.iter().enumerate() {
+            assert!(
+                !placements.is_empty(),
+                "node {node} has no instances placed"
+            );
+            let mut insts = Vec::with_capacity(placements.len());
+            for p in placements {
+                assert!(p.server < self.servers.len(), "server out of range");
+                insts.push(Instance {
+                    server: p.server,
+                    socket: p.socket,
+                    active: Vec::new(),
+                    queue: VecDeque::new(),
+                    last_finish: SimTime::ZERO,
+                    used: false,
+                });
+                self.instance_count += 1;
+            }
+            instances.push(insts);
+        }
+
+        self.report.workloads.push(WorkloadSeries {
+            functions: vec![FunctionSeries::default(); g.len()],
+            ..Default::default()
+        });
+
+        let mut arrivals: VecDeque<SimTime> = arrivals.times().iter().copied().collect();
+        // Schedule only the first arrival; each Arrival event schedules its
+        // successor, keeping the event queue small for long traces.
+        if let Some(&first) = arrivals.front() {
+            arrivals.pop_front();
+            self.queue.schedule(first.max(self.queue.now()), Ev::Arrival { wl });
+        }
+        self.arrivals_pending.push(arrivals);
+
+        self.deployed.push(Deployed {
+            workload,
+            instances,
+            rr: vec![0; g.len()],
+            async_parents,
+            nested_parent,
+        });
+        WorkloadId(wl)
+    }
+
+    /// Run until the simulated clock passes `end` (inclusive of events at
+    /// `end`). Returns the finished report; the simulation can be resumed by
+    /// calling `run_until` again with a later time.
+    pub fn run_until(&mut self, end: SimTime) {
+        if self.next_collect == SimTime::ZERO {
+            self.next_collect = self.config.collect_interval;
+            self.queue
+                .schedule(self.next_collect, Ev::Collect);
+        }
+        while let Some(at) = self.queue.peek_time() {
+            if at > end {
+                break;
+            }
+            let (now, ev) = self.queue.pop().expect("peeked event vanished");
+            match ev {
+                Ev::Arrival { wl } => self.on_arrival(now, wl),
+                Ev::GatewayDone { fwd } => self.on_gateway_done(now, fwd),
+                Ev::PhaseEnd { task, token } => self.on_phase_end(now, task, token),
+                Ev::Collect => self.on_collect(now, end),
+            }
+        }
+        self.report.horizon = end;
+        self.report.gateway_forward_ms = self.gateway.forward_latencies().to_vec();
+    }
+
+    /// The accumulated run report.
+    pub fn report(&self) -> &RunReport {
+        &self.report
+    }
+
+    /// Consume the simulation, returning the report.
+    pub fn into_report(self) -> RunReport {
+        self.report
+    }
+
+    /// Total deployed instances.
+    pub fn instance_count(&self) -> usize {
+        self.instance_count
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Live server states (for building a [`ClusterView`] during manual
+    /// placement phases).
+    pub fn servers(&self) -> &[ServerState] {
+        &self.servers
+    }
+
+    /// Owned snapshot of the server states — convenient when a placement
+    /// decision and a subsequent `deploy` would otherwise fight the borrow
+    /// checker.
+    pub fn cluster_view_snapshot(&self) -> Vec<ServerState> {
+        self.servers.clone()
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_arrival(&mut self, now: SimTime, wl: usize) {
+        // Chain-schedule the next arrival.
+        if let Some(next) = self.arrivals_pending[wl].pop_front() {
+            self.queue.schedule(next.max(now), Ev::Arrival { wl });
+        }
+        let g = &self.deployed[wl].workload.graph;
+        let roots: Vec<usize> = g.roots().iter().map(|r| r.0).collect();
+        let req = self.requests.len() as u64;
+        let nodes = g.len();
+        self.requests.push(RequestState {
+            arrival: now,
+            remaining_async: self.deployed[wl].async_parents.clone(),
+            nested_pending: vec![0; nodes],
+            node_task: vec![None; nodes],
+            nodes_remaining: nodes,
+            done: false,
+        });
+        self.report.workloads[wl].arrivals += 1;
+        for node in roots {
+            self.forward(now, req, wl, node);
+        }
+    }
+
+    fn forward(&mut self, now: SimTime, req: u64, wl: usize, node: usize) {
+        let fwd = Forward {
+            req,
+            wl,
+            node,
+            enqueued_at: now,
+        };
+        if self.gateway.enqueue(fwd) {
+            self.gateway_begin(now);
+        }
+    }
+
+    fn gateway_begin(&mut self, now: SimTime) {
+        if let Some((fwd, dur)) = self
+            .gateway
+            .begin_service(&self.config.gateway, self.instance_count)
+        {
+            self.queue
+                .schedule(now.plus(dur), Ev::GatewayDone { fwd });
+        }
+    }
+
+    fn on_gateway_done(&mut self, now: SimTime, fwd: Forward) {
+        self.gateway.record_latency(fwd.enqueued_at, now);
+        self.deliver(now, fwd);
+        self.gateway_begin(now);
+    }
+
+    fn deliver(&mut self, now: SimTime, fwd: Forward) {
+        let d = &mut self.deployed[fwd.wl];
+        let n_inst = d.instances[fwd.node].len();
+        let inst_idx = d.rr[fwd.node] % n_inst;
+        d.rr[fwd.node] = (d.rr[fwd.node] + 1) % n_inst;
+
+        let task_id = self.tasks.len();
+        let inst = &d.instances[fwd.node][inst_idx];
+        self.tasks.push(Task {
+            req: fwd.req,
+            wl: fwd.wl,
+            node: fwd.node,
+            inst: inst_idx,
+            state: TaskState::Queued,
+            phases: Vec::new(),
+            phase_idx: 0,
+            remaining_us: 0.0,
+            slowdown: 1.0,
+            last_update: now,
+            token: 0,
+            enqueued_at: now,
+            load_id: None,
+            server: inst.server,
+        });
+        self.requests[fwd.req as usize].node_task[fwd.node] = Some(task_id);
+        self.deployed[fwd.wl].instances[fwd.node][inst_idx]
+            .queue
+            .push_back(task_id);
+        self.try_start(now, fwd.wl, fwd.node, inst_idx);
+    }
+
+    /// Start queued tasks on an instance while concurrency slots are free.
+    fn try_start(&mut self, now: SimTime, wl: usize, node: usize, inst_idx: usize) {
+        loop {
+            let spec_concurrency;
+            let task_id;
+            let cold;
+            {
+                let d = &mut self.deployed[wl];
+                let func = d.workload.graph.func(workloads::NodeId(node));
+                spec_concurrency = func.concurrency as usize;
+                let inst = &mut d.instances[node][inst_idx];
+                if inst.active.len() >= spec_concurrency || inst.queue.is_empty() {
+                    return;
+                }
+                task_id = inst.queue.pop_front().expect("queue emptied unexpectedly");
+                cold = !inst.used
+                    || now.since(inst.last_finish) > self.config.keep_alive;
+                inst.used = true;
+                inst.active.push(task_id);
+            }
+            let phases = {
+                let d = &self.deployed[wl];
+                d.workload
+                    .graph
+                    .func(workloads::NodeId(node))
+                    .invocation_phases(cold)
+            };
+            if cold {
+                self.report.workloads[wl].functions[node].cold_starts += 1;
+            }
+            if phases.is_empty() {
+                // Degenerate zero-work function: complete immediately.
+                let t = &mut self.tasks[task_id];
+                t.state = TaskState::Executing;
+                self.finish_service(now, task_id);
+                continue;
+            }
+            let server = {
+                let t = &mut self.tasks[task_id];
+                t.state = TaskState::Executing;
+                t.phases = phases;
+                t.phase_idx = 0;
+                t.remaining_us = t.phases[0].duration.as_micros() as f64;
+                t.last_update = now;
+                t.server
+            };
+            let socket = self.deployed[wl].instances[node][inst_idx].socket;
+            self.settle_server(now, server);
+            let load = self.tasks[task_id].phases[0].load(socket);
+            let load_id = self.servers[server].add(load);
+            self.tasks[task_id].load_id = Some(load_id);
+            self.server_tasks[server].push(task_id);
+            self.reschedule_server(now, server);
+        }
+    }
+
+    /// Bring `remaining_us` of every executing task on a server up to `now`
+    /// using the slowdowns that were in effect.
+    fn settle_server(&mut self, now: SimTime, server: usize) {
+        for &tid in &self.server_tasks[server] {
+            let t = &mut self.tasks[tid];
+            let elapsed = now.since(t.last_update).as_micros() as f64;
+            if elapsed > 0.0 {
+                t.remaining_us = (t.remaining_us - elapsed / t.slowdown).max(0.0);
+                t.last_update = now;
+            }
+        }
+    }
+
+    /// Recompute contention on a server and (re)schedule every executing
+    /// task's phase-end event.
+    fn reschedule_server(&mut self, now: SimTime, server: usize) {
+        let contention = self.servers[server].contention();
+        let tids: Vec<usize> = self.server_tasks[server].clone();
+        for tid in tids {
+            let (socket, phase) = {
+                let t = &self.tasks[tid];
+                let socket = self.deployed[t.wl].instances[t.node][t.inst].socket;
+                (socket, t.phases[t.phase_idx])
+            };
+            let ic = contention.instance(&phase.load(socket));
+            let t = &mut self.tasks[tid];
+            t.slowdown = ic.slowdown;
+            t.token += 1;
+            let eta_us = (t.remaining_us * t.slowdown).ceil() as u64;
+            let token = t.token;
+            self.queue
+                .schedule(now.plus(SimTime(eta_us)), Ev::PhaseEnd { task: tid, token });
+        }
+    }
+
+    fn on_phase_end(&mut self, now: SimTime, task_id: usize, token: u64) {
+        {
+            let t = &self.tasks[task_id];
+            if t.token != token || t.state != TaskState::Executing {
+                return; // stale event
+            }
+        }
+        let server = self.tasks[task_id].server;
+        self.settle_server(now, server);
+        // Guard against floating-point residue: this event was scheduled for
+        // exactly the remaining work, so clamp to zero.
+        self.tasks[task_id].remaining_us = 0.0;
+
+        let has_more_phases = {
+            let t = &mut self.tasks[task_id];
+            t.phase_idx += 1;
+            t.phase_idx < t.phases.len()
+        };
+        if has_more_phases {
+            let (wl, node, inst_idx, phase) = {
+                let t = &self.tasks[task_id];
+                (t.wl, t.node, t.inst, t.phases[t.phase_idx])
+            };
+            let socket = self.deployed[wl].instances[node][inst_idx].socket;
+            self.tasks[task_id].remaining_us = phase.duration.as_micros() as f64;
+            let load_id = self.tasks[task_id].load_id.expect("executing task without load");
+            self.servers[server].update(load_id, phase.load(socket));
+            self.reschedule_server(now, server);
+        } else {
+            self.finish_service(now, task_id);
+        }
+    }
+
+    /// The task's own service is done: record local latency, drop its load,
+    /// then either enter nested wait or complete.
+    fn finish_service(&mut self, now: SimTime, task_id: usize) {
+        let (wl, node, req, server) = {
+            let t = &self.tasks[task_id];
+            (t.wl, t.node, t.req, t.server)
+        };
+        let local_ms = now.since(self.tasks[task_id].enqueued_at).as_millis();
+        {
+            let fs = &mut self.report.workloads[wl].functions[node];
+            fs.local_latencies_ms.push(local_ms);
+            fs.completions += 1;
+        }
+        if let Some(load_id) = self.tasks[task_id].load_id.take() {
+            self.servers[server].remove(load_id);
+            self.server_tasks[server].retain(|&t| t != task_id);
+            self.reschedule_server(now, server);
+        }
+        let nested_children: Vec<usize> = self.deployed[wl]
+            .workload
+            .graph
+            .children(workloads::NodeId(node))
+            .iter()
+            .filter(|(_, k)| *k == CallKind::Nested)
+            .map(|(c, _)| c.0)
+            .collect();
+        if nested_children.is_empty() {
+            self.complete_task(now, task_id);
+        } else {
+            self.tasks[task_id].state = TaskState::NestedWait;
+            self.requests[req as usize].nested_pending[node] = nested_children.len() as u32;
+            for child in nested_children {
+                self.forward(now, req, wl, child);
+            }
+        }
+    }
+
+    /// The task (including any nested subtree) is fully complete: release
+    /// its slot, fire async children, notify a nested parent, and close the
+    /// request when every node is done.
+    fn complete_task(&mut self, now: SimTime, task_id: usize) {
+        let (wl, node, req, inst_idx) = {
+            let t = &mut self.tasks[task_id];
+            t.state = TaskState::Done;
+            (t.wl, t.node, t.req, t.inst)
+        };
+        {
+            let inst = &mut self.deployed[wl].instances[node][inst_idx];
+            inst.active.retain(|&t| t != task_id);
+            inst.last_finish = now;
+        }
+        self.try_start(now, wl, node, inst_idx);
+
+        let async_children: Vec<usize> = self.deployed[wl]
+            .workload
+            .graph
+            .children(workloads::NodeId(node))
+            .iter()
+            .filter(|(_, k)| *k == CallKind::Async)
+            .map(|(c, _)| c.0)
+            .collect();
+        for child in async_children {
+            let ready = {
+                let r = &mut self.requests[req as usize];
+                r.remaining_async[child] -= 1;
+                r.remaining_async[child] == 0
+            };
+            if ready {
+                self.forward(now, req, wl, child);
+            }
+        }
+
+        let nested_parent = self.deployed[wl].nested_parent[node];
+        let finished_request = {
+            let r = &mut self.requests[req as usize];
+            r.nodes_remaining -= 1;
+            r.nodes_remaining == 0 && !r.done
+        };
+        if let Some(parent) = nested_parent {
+            let parent_done = {
+                let r = &mut self.requests[req as usize];
+                r.nested_pending[parent] -= 1;
+                r.nested_pending[parent] == 0
+            };
+            if parent_done {
+                let parent_task = self.requests[req as usize].node_task[parent]
+                    .expect("nested parent task missing");
+                debug_assert_eq!(self.tasks[parent_task].state, TaskState::NestedWait);
+                self.complete_task(now, parent_task);
+            }
+        }
+        if finished_request {
+            let r = &mut self.requests[req as usize];
+            r.done = true;
+            let e2e = now.since(r.arrival).as_millis();
+            let series = &mut self.report.workloads[wl];
+            series.e2e_latencies_ms.push(e2e);
+            series.completions += 1;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Collection & autoscaling
+    // ------------------------------------------------------------------
+
+    fn on_collect(&mut self, now: SimTime, end: SimTime) {
+        // Cache contention and whole-server utilization per server.
+        let contentions: Vec<_> = self.servers.iter().map(|s| s.contention()).collect();
+        let cpu_utils: Vec<f64> = self.servers.iter().map(|s| s.cpu_utilization()).collect();
+        let mem_utils: Vec<f64> = self
+            .servers
+            .iter()
+            .map(|s| s.memory_utilization())
+            .collect();
+
+        // Per-(wl, node) metric synthesis over executing tasks.
+        let mut samples: Vec<Vec<Vec<MetricVector>>> = self
+            .deployed
+            .iter()
+            .map(|d| vec![Vec::new(); d.workload.graph.len()])
+            .collect();
+        for server in 0..self.servers.len() {
+            let base_freq = self.servers[server].spec().base_freq_ghz;
+            for &tid in &self.server_tasks[server] {
+                let t = &self.tasks[tid];
+                let socket = self.deployed[t.wl].instances[t.node][t.inst].socket;
+                let phase = &t.phases[t.phase_idx];
+                let load = phase.load(socket);
+                let ic = contentions[server].instance(&load);
+                let m = cluster::microarch::synthesize(
+                    &phase.micro,
+                    &load,
+                    &ic,
+                    base_freq,
+                    cpu_utils[server],
+                    &self.config.microarch,
+                    &mut self.rng,
+                );
+                samples[t.wl][t.node].push(m);
+            }
+        }
+        for (wl, nodes) in samples.into_iter().enumerate() {
+            for (node, vecs) in nodes.into_iter().enumerate() {
+                if !vecs.is_empty() {
+                    self.report.workloads[wl].functions[node]
+                        .metric_samples
+                        .push(MetricVector::mean_of(&vecs));
+                }
+            }
+        }
+
+        // Utilization snapshot.
+        let active_cores: f64 = self
+            .servers
+            .iter()
+            .filter(|s| !s.is_empty())
+            .map(|s| s.spec().cores as f64)
+            .sum();
+        let density = if active_cores > 0.0 {
+            self.instance_count as f64 / active_cores
+        } else {
+            0.0
+        };
+        self.report.utilization.push(UtilizationSample {
+            at: now,
+            cpu: cpu_utils,
+            memory: mem_utils,
+            function_density: density,
+            instances: self.instance_count,
+        });
+
+        self.autoscale(now);
+
+        self.next_collect = now.plus(self.config.collect_interval);
+        if self.next_collect <= end {
+            self.queue.schedule(self.next_collect, Ev::Collect);
+        }
+    }
+
+    fn autoscale(&mut self, now: SimTime) {
+        if self.placer.is_none() {
+            return;
+        }
+        // Collect scale-out requests first to avoid borrowing conflicts.
+        let mut wanted: Vec<(usize, usize)> = Vec::new();
+        for (wl, d) in self.deployed.iter().enumerate() {
+            for node in 0..d.workload.graph.len() {
+                let insts = &d.instances[node];
+                if insts.len() >= self.scale.max_instances_per_node {
+                    continue;
+                }
+                let queued: usize = insts.iter().map(|i| i.queue.len()).sum();
+                let busy: usize = insts.iter().map(|i| i.active.len()).sum();
+                let capacity = insts.len()
+                    * d.workload.graph.func(workloads::NodeId(node)).concurrency as usize;
+                let queue_pressure =
+                    queued as f64 / insts.len() as f64 > self.scale.queue_per_instance;
+                let busy_pressure =
+                    capacity > 0 && busy as f64 / capacity as f64 > self.scale.busy_fraction;
+                if queue_pressure || busy_pressure {
+                    wanted.push((wl, node));
+                }
+            }
+        }
+        for (wl, node) in wanted {
+            let decision = {
+                let placer = self.placer.as_mut().expect("checked above");
+                let view = ClusterView::new(&self.servers);
+                let d = &self.deployed[wl];
+                let spec = d.workload.graph.func(workloads::NodeId(node));
+                placer.place(&view, &d.workload, node, spec)
+            };
+            if let Some(p) = decision {
+                assert!(p.server < self.servers.len(), "placer chose bad server");
+                self.deployed[wl].instances[node].push(Instance {
+                    server: p.server,
+                    socket: p.socket,
+                    active: Vec::new(),
+                    queue: VecDeque::new(),
+                    last_finish: SimTime::ZERO,
+                    used: false,
+                });
+                self.instance_count += 1;
+                self.report.scale_outs.push((now, wl, node));
+            }
+        }
+    }
+
+    /// Move every instance of one function node to a different socket on its
+    /// current server — the local isolation control of Observation 5.
+    pub fn migrate_node_socket(&mut self, wl: WorkloadId, node: usize, socket: usize) {
+        let now = self.queue.now();
+        let mut touched_servers = Vec::new();
+        let n_inst = self.deployed[wl.0].instances[node].len();
+        for inst_idx in 0..n_inst {
+            let server = self.deployed[wl.0].instances[node][inst_idx].server;
+            assert!(
+                socket < self.servers[server].spec().sockets as usize,
+                "socket out of range"
+            );
+            self.settle_server(now, server);
+            self.deployed[wl.0].instances[node][inst_idx].socket = socket;
+            // Re-pin any executing task's load.
+            let tids: Vec<usize> = self.server_tasks[server]
+                .iter()
+                .copied()
+                .filter(|&t| {
+                    let t = &self.tasks[t];
+                    t.wl == wl.0 && t.node == node && t.inst == inst_idx
+                })
+                .collect();
+            for tid in tids {
+                let phase = self.tasks[tid].phases[self.tasks[tid].phase_idx];
+                if let Some(load_id) = self.tasks[tid].load_id {
+                    self.servers[server].update(load_id, phase.load(socket));
+                }
+            }
+            touched_servers.push(server);
+        }
+        touched_servers.sort_unstable();
+        touched_servers.dedup();
+        for s in touched_servers {
+            self.reschedule_server(now, s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::PlacementDecision;
+    use workloads::functionbench;
+    use workloads::loadgen::uniform_arrivals;
+    use workloads::socialnetwork;
+
+    fn place_all(w: &Workload, server: usize, socket: usize) -> Vec<Vec<PlacementDecision>> {
+        (0..w.graph.len())
+            .map(|_| vec![PlacementDecision { server, socket }])
+            .collect()
+    }
+
+    fn small_sim(seed: u64) -> Simulation {
+        Simulation::new(PlatformConfig::small(seed))
+    }
+
+    #[test]
+    fn single_function_request_completes() {
+        let mut sim = small_sim(1);
+        let w = functionbench::float_operation(); // 0.4 s CPU burst
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::OpenLoop(vec![SimTime::from_secs(0.1)]),
+        });
+        sim.run_until(SimTime::from_secs(10.0));
+        let r = sim.report();
+        assert_eq!(r.workloads[0].arrivals, 1);
+        assert_eq!(r.workloads[0].completions, 1);
+        // Cold start (400 ms default? float-op has none) — no cold phase, so
+        // latency ≈ 400 ms work + gateway forward.
+        let lat = r.workloads[0].e2e_latencies_ms[0];
+        assert!((lat - 400.3).abs() < 2.0, "latency {lat} ms");
+    }
+
+    #[test]
+    fn solo_social_network_matches_dag_analysis() {
+        let mut sim = Simulation::new(PlatformConfig::paper_testbed(2));
+        let w = socialnetwork::message_posting();
+        let expected_ms = w.critical_path_duration().as_millis();
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            // Two arrivals: the first eats all cold starts, the second is
+            // fully warm and must match the DAG's solo analysis.
+            arrivals: ArrivalSpec::OpenLoop(vec![
+                SimTime::from_secs(1.0),
+                SimTime::from_secs(30.0),
+            ]),
+        });
+        sim.run_until(SimTime::from_secs(60.0));
+        let r = sim.report();
+        assert_eq!(r.workloads[0].completions, 2);
+        let warm = r.workloads[0].e2e_latencies_ms[1];
+        // Allow gateway forwards (11 edges × 0.3 ms) on top of pure compute.
+        assert!(
+            warm >= expected_ms && warm < expected_ms + 10.0,
+            "warm latency {warm} vs solo {expected_ms}"
+        );
+        let cold = r.workloads[0].e2e_latencies_ms[0];
+        assert!(cold > warm + 300.0, "cold {cold} should include startup");
+        assert!(r.workloads[0].cold_starts() >= 9);
+    }
+
+    #[test]
+    fn queueing_grows_under_overload() {
+        let mut sim = small_sim(3);
+        let mut w = functionbench::float_operation();
+        // Make it a 100 ms function with concurrency 1.
+        {
+            let root = w.graph.roots()[0];
+            let f = w.graph.func_mut(root);
+            f.phases[0].duration = SimTime::from_millis(100.0);
+            f.concurrency = 1;
+        }
+        let placement = place_all(&w, 0, 0);
+        // 20 rps against a 10 rps capacity: queue must blow up.
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(20.0, SimTime::from_secs(5.0))),
+        });
+        sim.run_until(SimTime::from_secs(20.0));
+        let r = sim.report();
+        let lats = &r.workloads[0].e2e_latencies_ms;
+        assert!(lats.len() > 50);
+        let early = lats[2];
+        let late = lats[lats.len() - 1];
+        assert!(late > 4.0 * early, "queueing should inflate: {early} -> {late}");
+    }
+
+    #[test]
+    fn colocation_slows_execution() {
+        // Same socket: matmul corunner inflates a CPU-bound function's time.
+        let mut run = |colocate: bool| {
+            let mut sim = Simulation::new(PlatformConfig::small(7));
+            let mut victim = functionbench::float_operation();
+            {
+                let root = victim.graph.roots()[0];
+                victim.graph.func_mut(root).phases[0].duration = SimTime::from_millis(500.0);
+                // Make the victim demand enough CPU that sharing matters.
+                victim.graph.func_mut(root).phases[0]
+                    .demand
+                    .set(cluster::Resource::Cpu, 2.0);
+            }
+            let placement = place_all(&victim, 0, 0);
+            sim.deploy(Deployment {
+                workload: victim,
+                placement,
+                arrivals: ArrivalSpec::OpenLoop(vec![SimTime::from_secs(5.0)]),
+            });
+            if colocate {
+                let mm = functionbench::matrix_multiplication();
+                let placement = place_all(&mm, 0, 0);
+                sim.deploy(Deployment {
+                    workload: mm,
+                    placement,
+                    arrivals: ArrivalSpec::Jobs(vec![SimTime::from_secs(0.1)]),
+                });
+            }
+            sim.run_until(SimTime::from_secs(200.0));
+            sim.report().workloads[0].e2e_latencies_ms[0]
+        };
+        let solo = run(false);
+        let corun = run(true);
+        assert!(
+            corun > 1.3 * solo,
+            "colocation should slow the victim: solo {solo}, corun {corun}"
+        );
+    }
+
+    #[test]
+    fn metrics_collected_during_execution() {
+        let mut sim = small_sim(9);
+        let w = functionbench::dd(); // 90 s disk job
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::Jobs(vec![SimTime::ZERO]),
+        });
+        sim.run_until(SimTime::from_secs(30.0));
+        let samples = &sim.report().workloads[0].functions[0].metric_samples;
+        assert!(samples.len() >= 25, "expected ~30 1Hz samples, got {}", samples.len());
+        // dd's baseline IPC is 0.9; noisy samples should hover nearby.
+        let ipc = sim.report().workloads[0].functions[0].mean_ipc();
+        assert!((ipc - 0.9).abs() < 0.1, "ipc {ipc}");
+    }
+
+    #[test]
+    fn jct_reflects_phase_sum() {
+        let mut sim = Simulation::new(PlatformConfig::paper_testbed(11));
+        let w = functionbench::logistic_regression(); // 430 s solo
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::Jobs(vec![SimTime::ZERO]),
+        });
+        sim.run_until(SimTime::from_secs(600.0));
+        let jct = sim.report().workloads[0].mean_jct_secs();
+        assert!((jct - 430.0).abs() < 2.0, "solo JCT {jct}");
+    }
+
+    #[test]
+    fn utilization_sampled() {
+        let mut sim = small_sim(13);
+        let w = functionbench::dd();
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::Jobs(vec![SimTime::ZERO]),
+        });
+        sim.run_until(SimTime::from_secs(10.0));
+        let u = &sim.report().utilization;
+        assert!(u.len() >= 9);
+        assert!(u.iter().any(|s| s.cpu[0] > 0.0));
+        assert!(u[0].function_density > 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut sim = Simulation::new(PlatformConfig::small(42));
+            let w = socialnetwork::message_posting();
+            let placement = place_all(&w, 0, 0);
+            sim.deploy(Deployment {
+                workload: w,
+                placement,
+                arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(
+                    5.0,
+                    SimTime::from_secs(5.0),
+                )),
+            });
+            sim.run_until(SimTime::from_secs(30.0));
+            sim.report().workloads[0].e2e_latencies_ms.clone()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    #[should_panic(expected = "placement must cover")]
+    fn deploy_rejects_partial_placement() {
+        let mut sim = small_sim(1);
+        let w = socialnetwork::message_posting();
+        sim.deploy(Deployment {
+            workload: w,
+            placement: vec![vec![PlacementDecision { server: 0, socket: 0 }]],
+            arrivals: ArrivalSpec::OpenLoop(vec![]),
+        });
+    }
+
+    #[test]
+    fn gateway_latencies_recorded() {
+        let mut sim = small_sim(17);
+        let w = functionbench::float_operation();
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(10.0, SimTime::from_secs(2.0))),
+        });
+        sim.run_until(SimTime::from_secs(10.0));
+        let fwd = &sim.report().gateway_forward_ms;
+        assert!(fwd.len() >= 20, "every arrival is one forward");
+        // Unloaded gateway: each forward ≈ base cost (0.3 ms).
+        assert!(fwd.iter().all(|&ms| ms < 5.0));
+    }
+}

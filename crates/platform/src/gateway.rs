@@ -1,0 +1,155 @@
+//! The shared frontend gateway.
+//!
+//! OpenFaaS and OpenWhisk "share a same gateway design: all function
+//! invocations are received by a frontend gateway, and then forwarded to
+//! independent backends" (paper Observation 4). The gateway is therefore a
+//! *global coupling point*: when one function saturates and its queue grows,
+//! forwarding slows for every workload. We model it as a single FIFO server
+//! whose per-forward service time depends on the number of deployed
+//! instances ([`GatewayConfig::forward_time`]).
+
+use crate::config::GatewayConfig;
+use simcore::SimTime;
+use std::collections::VecDeque;
+
+/// One pending forward: deliver request `req`'s invocation of `(wl, node)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Forward {
+    /// Request sequence number.
+    pub req: u64,
+    /// Deployed workload index.
+    pub wl: usize,
+    /// Call-graph node index within the workload.
+    pub node: usize,
+    /// When the forward was enqueued at the gateway.
+    pub enqueued_at: SimTime,
+}
+
+/// FIFO gateway state.
+#[derive(Debug, Clone, Default)]
+pub struct Gateway {
+    queue: VecDeque<Forward>,
+    busy: bool,
+    /// Completed-forward latencies (wait + service), for Fig. 14.
+    forward_latencies: Vec<f64>,
+}
+
+impl Gateway {
+    /// Empty, idle gateway.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue a forward. Returns `true` if the gateway was idle and the
+    /// caller should immediately begin service (schedule a completion).
+    pub fn enqueue(&mut self, fwd: Forward) -> bool {
+        self.queue.push_back(fwd);
+        if self.busy {
+            false
+        } else {
+            self.busy = true;
+            true
+        }
+    }
+
+    /// Begin servicing the head-of-line forward: pops it and returns it with
+    /// the service duration. `None` when the queue is empty (gateway goes
+    /// idle).
+    pub fn begin_service(
+        &mut self,
+        config: &GatewayConfig,
+        deployed_instances: usize,
+    ) -> Option<(Forward, SimTime)> {
+        match self.queue.pop_front() {
+            Some(fwd) => Some((fwd, config.forward_time(deployed_instances))),
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    /// Record a completed forward's total latency (for the overhead study).
+    pub fn record_latency(&mut self, enqueued_at: SimTime, now: SimTime) {
+        self.forward_latencies
+            .push(now.since(enqueued_at).as_millis());
+    }
+
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether a forward is in service.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Completed-forward latencies in ms.
+    pub fn forward_latencies(&self) -> &[f64] {
+        &self.forward_latencies
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fwd(req: u64) -> Forward {
+        Forward {
+            req,
+            wl: 0,
+            node: 0,
+            enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn first_enqueue_starts_service() {
+        let mut g = Gateway::new();
+        assert!(g.enqueue(fwd(1)));
+        assert!(!g.enqueue(fwd(2)), "second enqueue must not restart service");
+        assert_eq!(g.depth(), 2);
+    }
+
+    #[test]
+    fn begin_service_fifo() {
+        let mut g = Gateway::new();
+        g.enqueue(fwd(1));
+        g.enqueue(fwd(2));
+        let cfg = GatewayConfig::default();
+        let (f1, t1) = g.begin_service(&cfg, 10).unwrap();
+        assert_eq!(f1.req, 1);
+        assert_eq!(t1, cfg.base_forward);
+        let (f2, _) = g.begin_service(&cfg, 10).unwrap();
+        assert_eq!(f2.req, 2);
+    }
+
+    #[test]
+    fn empty_queue_goes_idle() {
+        let mut g = Gateway::new();
+        g.enqueue(fwd(1));
+        let cfg = GatewayConfig::default();
+        g.begin_service(&cfg, 10);
+        assert!(g.begin_service(&cfg, 10).is_none());
+        assert!(!g.is_busy());
+        // New arrival restarts service.
+        assert!(g.enqueue(fwd(2)));
+    }
+
+    #[test]
+    fn service_time_scales_with_instances() {
+        let mut g = Gateway::new();
+        g.enqueue(fwd(1));
+        let cfg = GatewayConfig::default();
+        let (_, t) = g.begin_service(&cfg, 200).unwrap();
+        assert!(t > cfg.base_forward);
+    }
+
+    #[test]
+    fn latency_recording() {
+        let mut g = Gateway::new();
+        g.record_latency(SimTime::ZERO, SimTime::from_millis(2.0));
+        assert_eq!(g.forward_latencies(), &[2.0]);
+    }
+}

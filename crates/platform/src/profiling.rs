@@ -1,0 +1,129 @@
+//! Solo-run profiling (paper §3.2's "solo-run way").
+//!
+//! Runs one workload alone on a dedicated server and collects its 1 Hz
+//! function profiles — the only per-workload measurement Gsight ever needs
+//! (profiling cost `O(M + N)` rather than pairwise or microbenchmark
+//! sweeps). LS workloads are driven by the open-loop load generator "under
+//! various access loads ... within 5 minutes"; SC/BG jobs are run once to
+//! completion.
+
+use crate::collector::profiles_from_report;
+use crate::config::PlatformConfig;
+use crate::engine::{ArrivalSpec, Deployment, Simulation};
+use crate::scale::PlacementDecision;
+use metricsd::WorkloadProfile;
+use simcore::{SimRng, SimTime};
+use workloads::loadgen::poisson_arrivals;
+use workloads::{Workload, WorkloadClass};
+
+/// Profiling parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfilingConfig {
+    /// Platform to profile on (use a dedicated single-server config).
+    pub platform: PlatformConfig,
+    /// Profiling window for LS workloads (5 minutes in the paper).
+    pub window: SimTime,
+    /// Request rate the load generator drives LS workloads at.
+    pub ls_qps: f64,
+    /// Whether the profiled run starts from cold instances.
+    pub cold_start: bool,
+}
+
+impl ProfilingConfig {
+    /// Default profiling setup on a dedicated paper-spec node.
+    pub fn dedicated(seed: u64) -> Self {
+        let mut platform = PlatformConfig::paper_testbed(seed);
+        platform.cluster = cluster::ClusterConfig::homogeneous(
+            1,
+            cluster::ServerSpec::paper_node(),
+        );
+        Self {
+            platform,
+            window: SimTime::from_secs(300.0),
+            ls_qps: 20.0,
+            cold_start: true,
+        }
+    }
+}
+
+/// Profile one workload under a solo run, returning its per-function
+/// profiles and the report of the profiling run (whose QoS series give the
+/// workload's *solo* baselines: solo p99, solo IPC, solo JCT).
+pub fn profile_workload(
+    workload: &Workload,
+    config: &ProfilingConfig,
+) -> (WorkloadProfile, crate::report::RunReport) {
+    let mut sim = Simulation::new(config.platform.clone());
+    let mut rng = SimRng::new(config.platform.seed ^ 0x9E37_79B9);
+    let placement: Vec<Vec<PlacementDecision>> = (0..workload.graph.len())
+        .map(|_| vec![PlacementDecision { server: 0, socket: 0 }])
+        .collect();
+    let (arrivals, horizon) = match workload.class {
+        WorkloadClass::LatencySensitive => {
+            let arr = poisson_arrivals(config.ls_qps, config.window, &mut rng);
+            (ArrivalSpec::OpenLoop(arr), config.window)
+        }
+        _ => {
+            // One job, run to completion (plus slack for slowless margins).
+            let horizon = SimTime::from_secs(
+                workload.critical_path_duration().as_secs() * 3.0 + 60.0,
+            );
+            (ArrivalSpec::Jobs(vec![SimTime::ZERO]), horizon)
+        }
+    };
+    sim.deploy(Deployment {
+        workload: workload.clone(),
+        placement,
+        arrivals,
+    });
+    sim.run_until(horizon);
+    let interval = config.platform.collect_interval;
+    let report = sim.into_report();
+    let profile = profiles_from_report(&report, 0, workload, interval, config.cold_start);
+    (profile, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metricsd::Metric;
+
+    #[test]
+    fn sc_job_profile_covers_phases() {
+        let mut cfg = ProfilingConfig::dedicated(5);
+        cfg.platform.microarch.noise_sigma = 0.0;
+        let lr = workloads::functionbench::logistic_regression();
+        let (profile, report) = profile_workload(&lr, &cfg);
+        assert_eq!(profile.functions.len(), 1);
+        // ~430 one-second samples for a 430 s job.
+        let n = profile.functions[0].len();
+        assert!((420..=445).contains(&n), "sample count {n}");
+        // JCT recorded.
+        assert!((report.workloads[0].mean_jct_secs() - 430.0).abs() < 2.0);
+        // Early map phase has higher IPC than shuffle (different baselines).
+        let early = profile.functions[0].samples[10].metrics.get(Metric::Ipc);
+        let shuffle = profile.functions[0].samples[n - 10].metrics.get(Metric::Ipc);
+        assert!(early > shuffle, "early {early} vs shuffle {shuffle}");
+    }
+
+    #[test]
+    fn ls_profile_produces_samples_for_hot_functions() {
+        let mut cfg = ProfilingConfig::dedicated(6);
+        cfg.window = SimTime::from_secs(60.0);
+        cfg.ls_qps = 20.0;
+        let sn = workloads::socialnetwork::message_posting();
+        let (profile, report) = profile_workload(&sn, &cfg);
+        assert_eq!(profile.functions.len(), 9);
+        // The entry function executes on every request; it must have
+        // plenty of samples (it is busy a fraction of each second, but at
+        // 20 qps × 8ms service it is active ~16% of ticks at minimum).
+        assert!(profile.functions[0].len() > 5);
+        assert!(report.workloads[0].completions > 1000);
+        // Warm steady-state p99 (second half of the run, past the cold
+        // starts) sits well under the SLA.
+        let lats = &report.workloads[0].e2e_latencies_ms;
+        let warm = &lats[lats.len() / 2..];
+        let p99 = simcore::percentile(warm, 99.0);
+        assert!(p99 < workloads::socialnetwork::SLA_P99_MS, "p99 {p99}");
+    }
+}

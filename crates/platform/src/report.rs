@@ -1,0 +1,261 @@
+//! Run reports: everything an experiment needs to compute QoS, utilization
+//! and overhead statistics after a simulation.
+
+use metricsd::{Metric, MetricVector};
+use simcore::stats::{Cdf, Summary};
+use simcore::SimTime;
+
+/// Per-function observation series.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionSeries {
+    /// Local latencies (queue wait + own service) in ms, one per completed
+    /// invocation of this function.
+    pub local_latencies_ms: Vec<f64>,
+    /// 1 Hz metric samples (mean over the function's executing instances at
+    /// each tick; ticks with no execution produce no sample).
+    pub metric_samples: Vec<MetricVector>,
+    /// Completed invocation count.
+    pub completions: u64,
+    /// Cold-start count.
+    pub cold_starts: u64,
+}
+
+impl FunctionSeries {
+    /// Mean IPC over collected samples (NaN when empty).
+    pub fn mean_ipc(&self) -> f64 {
+        if self.metric_samples.is_empty() {
+            return f64::NAN;
+        }
+        self.metric_samples
+            .iter()
+            .map(|m| m.get(Metric::Ipc))
+            .sum::<f64>()
+            / self.metric_samples.len() as f64
+    }
+
+    /// Latency summary of this function's local latencies.
+    pub fn latency_summary(&self) -> Summary {
+        Summary::of(&self.local_latencies_ms)
+    }
+}
+
+/// Per-workload observation series.
+#[derive(Debug, Clone, Default)]
+pub struct WorkloadSeries {
+    /// End-to-end request latencies in ms (arrival at gateway → completion
+    /// of the last call-graph node). For SC/BG jobs this is the JCT.
+    pub e2e_latencies_ms: Vec<f64>,
+    /// Arrivals observed.
+    pub arrivals: u64,
+    /// Requests completed.
+    pub completions: u64,
+    /// Per-function series, indexed by call-graph node.
+    pub functions: Vec<FunctionSeries>,
+}
+
+impl WorkloadSeries {
+    /// End-to-end latency summary.
+    pub fn latency_summary(&self) -> Summary {
+        Summary::of(&self.e2e_latencies_ms)
+    }
+
+    /// Mean IPC across this workload's functions: the mean of each
+    /// function's own mean IPC (functions with no samples are skipped).
+    /// Averaging per function first keeps the label stable when functions
+    /// execute with very different duty cycles — a sample-weighted mean
+    /// would swing with whichever function happened to be busy.
+    pub fn mean_ipc(&self) -> f64 {
+        let per_fn: Vec<f64> = self
+            .functions
+            .iter()
+            .map(|f| f.mean_ipc())
+            .filter(|v| v.is_finite())
+            .collect();
+        if per_fn.is_empty() {
+            f64::NAN
+        } else {
+            per_fn.iter().sum::<f64>() / per_fn.len() as f64
+        }
+    }
+
+    /// Job completion time in seconds (mean of e2e latencies) — the SC QoS
+    /// metric.
+    pub fn mean_jct_secs(&self) -> f64 {
+        if self.e2e_latencies_ms.is_empty() {
+            return f64::NAN;
+        }
+        self.e2e_latencies_ms.iter().sum::<f64>() / self.e2e_latencies_ms.len() as f64 / 1e3
+    }
+
+    /// Total cold starts across functions.
+    pub fn cold_starts(&self) -> u64 {
+        self.functions.iter().map(|f| f.cold_starts).sum()
+    }
+}
+
+/// One utilization snapshot (taken each collect tick).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilizationSample {
+    /// Snapshot time.
+    pub at: SimTime,
+    /// Per-server CPU utilization fraction.
+    pub cpu: Vec<f64>,
+    /// Per-server memory utilization fraction.
+    pub memory: Vec<f64>,
+    /// Function instances deployed per *active* core (paper's function
+    /// density; an active server is one with ≥ 1 instance).
+    pub function_density: f64,
+    /// Total deployed instances.
+    pub instances: usize,
+}
+
+/// Complete output of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per-workload series, indexed by deployment order.
+    pub workloads: Vec<WorkloadSeries>,
+    /// Utilization snapshots over time.
+    pub utilization: Vec<UtilizationSample>,
+    /// Gateway forward latencies in ms.
+    pub gateway_forward_ms: Vec<f64>,
+    /// Scale-out events: `(time, workload, node)`.
+    pub scale_outs: Vec<(SimTime, usize, usize)>,
+    /// Wall-clock run time of the simulated horizon.
+    pub horizon: SimTime,
+}
+
+impl RunReport {
+    /// CDF of function density over time (Fig. 11(a)).
+    pub fn density_cdf(&self) -> Cdf {
+        Cdf::new(
+            self.utilization
+                .iter()
+                .map(|u| u.function_density)
+                .collect(),
+        )
+    }
+
+    /// CDF of mean CPU utilization across active servers (Fig. 11(b)).
+    pub fn cpu_util_cdf(&self) -> Cdf {
+        Cdf::new(
+            self.utilization
+                .iter()
+                .map(|u| mean_nonzero(&u.cpu))
+                .collect(),
+        )
+    }
+
+    /// CDF of mean memory utilization across active servers (Fig. 11(c)).
+    pub fn memory_util_cdf(&self) -> Cdf {
+        Cdf::new(
+            self.utilization
+                .iter()
+                .map(|u| mean_nonzero(&u.memory))
+                .collect(),
+        )
+    }
+
+    /// Fraction of collect ticks during which a workload's rolling p99 met
+    /// an SLA bound (Fig. 12's "SLA guaranteed X% of the time"), computed
+    /// over windows of `window` consecutive latencies.
+    pub fn sla_satisfaction(&self, wl: usize, sla_ms: f64, window: usize) -> f64 {
+        let lats = &self.workloads[wl].e2e_latencies_ms;
+        if lats.is_empty() || window == 0 {
+            return f64::NAN;
+        }
+        let mut ok = 0usize;
+        let mut total = 0usize;
+        let mut start = 0usize;
+        while start < lats.len() {
+            let end = (start + window).min(lats.len());
+            let p99 = simcore::percentile(&lats[start..end], 99.0);
+            if p99 <= sla_ms {
+                ok += 1;
+            }
+            total += 1;
+            start = end;
+        }
+        ok as f64 / total as f64
+    }
+}
+
+/// Mean over servers with non-zero utilization (an inactive server does not
+/// drag down the "achieved utilization" statistic).
+fn mean_nonzero(values: &[f64]) -> f64 {
+    let active: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if active.is_empty() {
+        0.0
+    } else {
+        active.iter().sum::<f64>() / active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_series_summaries() {
+        let mut ws = WorkloadSeries::default();
+        ws.e2e_latencies_ms = vec![10.0, 20.0, 30.0];
+        assert!((ws.latency_summary().mean - 20.0).abs() < 1e-12);
+        assert!((ws.mean_jct_secs() - 0.02).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_ipc_weighted_over_functions() {
+        let mut ws = WorkloadSeries::default();
+        let mut f1 = FunctionSeries::default();
+        let mut m1 = MetricVector::zero();
+        m1.set(Metric::Ipc, 1.0);
+        f1.metric_samples = vec![m1, m1];
+        let mut f2 = FunctionSeries::default();
+        let mut m2 = MetricVector::zero();
+        m2.set(Metric::Ipc, 4.0);
+        f2.metric_samples = vec![m2];
+        ws.functions = vec![f1, f2];
+        // Mean of per-function means: (1 + 4) / 2.
+        assert!((ws.mean_ipc() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_series_nan() {
+        let ws = WorkloadSeries::default();
+        assert!(ws.mean_ipc().is_nan());
+        assert!(ws.mean_jct_secs().is_nan());
+    }
+
+    #[test]
+    fn sla_satisfaction_windows() {
+        let mut r = RunReport::default();
+        let mut ws = WorkloadSeries::default();
+        // Two windows of 3: first all fast, second all slow.
+        ws.e2e_latencies_ms = vec![10.0, 10.0, 10.0, 100.0, 100.0, 100.0];
+        r.workloads.push(ws);
+        assert!((r.sla_satisfaction(0, 50.0, 3) - 0.5).abs() < 1e-12);
+        assert!((r.sla_satisfaction(0, 200.0, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_cdf_from_samples() {
+        let mut r = RunReport::default();
+        for (i, d) in [1.0, 2.0, 3.0].iter().enumerate() {
+            r.utilization.push(UtilizationSample {
+                at: SimTime::from_secs(i as f64),
+                cpu: vec![0.5, 0.0],
+                memory: vec![0.25, 0.0],
+                function_density: *d,
+                instances: 4,
+            });
+        }
+        let cdf = r.density_cdf();
+        assert_eq!(cdf.len(), 3);
+        assert!((r.cpu_util_cdf().mean() - 0.5).abs() < 1e-12, "inactive servers excluded");
+    }
+
+    #[test]
+    fn function_series_mean_ipc_nan_when_empty() {
+        let f = FunctionSeries::default();
+        assert!(f.mean_ipc().is_nan());
+    }
+}

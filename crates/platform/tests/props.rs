@@ -1,0 +1,108 @@
+//! Property-based tests of the platform engine: conservation, monotone
+//! time, and determinism over randomly generated single-function workloads
+//! and arrival patterns.
+
+use platform::scale::PlacementDecision;
+use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
+use proptest::prelude::*;
+use simcore::SimTime;
+use workloads::dag::CallGraph;
+use workloads::function::{FunctionSpec, PhaseSpec, Workload};
+use workloads::WorkloadClass;
+
+fn workload(duration_ms: u64, cpu: f64, concurrency: u32) -> Workload {
+    let phase = PhaseSpec {
+        duration: SimTime::from_micros(duration_ms * 1000),
+        demand: cluster::Demand::new(cpu, cpu * 4.0, cpu * 2.0, 0.0, 0.0, 0.25),
+        bounded: cluster::Boundedness::cpu_bound(),
+        sens: cluster::Sensitivity::new(1.0, 1.0, 0.5),
+        micro: cluster::microarch::MicroarchBaseline::generic(),
+    };
+    let mut f = FunctionSpec::single_phase("f", phase);
+    f.concurrency = concurrency;
+    Workload::new("w", WorkloadClass::LatencySensitive, CallGraph::single(f))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn conservation_and_positive_latencies(
+        duration_ms in 1u64..200,
+        cpu in 0.1f64..4.0,
+        concurrency in 1u32..8,
+        arrivals in prop::collection::vec(0u64..20_000_000u64, 1..40),
+        seed in any::<u64>(),
+    ) {
+        let w = workload(duration_ms, cpu, concurrency);
+        let mut sim = Simulation::new(PlatformConfig::paper_testbed(seed));
+        let mut times: Vec<SimTime> = arrivals.iter().map(|&us| SimTime(us)).collect();
+        times.sort();
+        let n = times.len() as u64;
+        sim.deploy(Deployment {
+            workload: w,
+            placement: vec![vec![PlacementDecision { server: 0, socket: 0 }]],
+            arrivals: ArrivalSpec::OpenLoop(times),
+        });
+        // Generous horizon: every request must finish.
+        sim.run_until(SimTime::from_secs(20.0 + 40.0 * duration_ms as f64));
+        let s = &sim.report().workloads[0];
+        prop_assert_eq!(s.arrivals, n);
+        prop_assert_eq!(s.completions, n, "all requests must complete");
+        prop_assert_eq!(s.e2e_latencies_ms.len(), n as usize);
+        for &l in &s.e2e_latencies_ms {
+            // Each latency covers at least the solo service time.
+            prop_assert!(l >= duration_ms as f64 - 1e-6, "latency {l} < work {duration_ms}");
+        }
+    }
+
+    #[test]
+    fn engine_deterministic(
+        duration_ms in 1u64..100,
+        arrivals in prop::collection::vec(0u64..5_000_000u64, 1..20),
+        seed in any::<u64>(),
+    ) {
+        let run = || {
+            let w = workload(duration_ms, 1.0, 2);
+            let mut sim = Simulation::new(PlatformConfig::paper_testbed(seed));
+            let mut times: Vec<SimTime> = arrivals.iter().map(|&us| SimTime(us)).collect();
+            times.sort();
+            sim.deploy(Deployment {
+                workload: w,
+                placement: vec![vec![PlacementDecision { server: 0, socket: 0 }]],
+                arrivals: ArrivalSpec::OpenLoop(times),
+            });
+            sim.run_until(SimTime::from_secs(60.0));
+            sim.report().workloads[0].e2e_latencies_ms.clone()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn fifo_within_instance(
+        duration_ms in 5u64..50,
+        gap_us in 0u64..30_000,
+        seed in any::<u64>(),
+    ) {
+        // Concurrency 1, uniform arrivals: completions must preserve
+        // arrival order, so latencies are non-decreasing whenever the
+        // queue is backed up and each is >= the service time.
+        let w = workload(duration_ms, 0.5, 1);
+        let mut sim = Simulation::new(PlatformConfig::paper_testbed(seed));
+        let times: Vec<SimTime> = (0..10).map(|i| SimTime(i * gap_us)).collect();
+        sim.deploy(Deployment {
+            workload: w,
+            placement: vec![vec![PlacementDecision { server: 0, socket: 0 }]],
+            arrivals: ArrivalSpec::OpenLoop(times),
+        });
+        sim.run_until(SimTime::from_secs(30.0));
+        let lats = &sim.report().workloads[0].e2e_latencies_ms;
+        prop_assert_eq!(lats.len(), 10);
+        if gap_us as f64 / 1000.0 <= duration_ms as f64 {
+            // Saturated: each successive request waits longer.
+            for w in lats.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-6, "queue should grow: {:?}", lats);
+            }
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Binary-search placement of a whole workload (paper §4).
+//!
+//! Search space: the number of servers `k` the new workload spreads over.
+//! Smaller `k` = tighter packing = more overlap = more interference.
+//! Assuming SLA satisfaction is monotone in `k` (more spread → less
+//! interference), binary search finds the smallest SLA-safe `k` with
+//! `O(log S)` predictor calls per function, checking one greedy
+//! configuration per attempt: *the function with maximum resource
+//! requirements goes to the server with the most available resources*.
+
+use cluster::Demand;
+use gsight::{ColoWorkload, GsightPredictor, Scenario};
+
+/// Result of a binary-search placement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinarySearchOutcome {
+    /// Chosen server per function of the new workload.
+    pub placement: Vec<usize>,
+    /// Number of distinct servers used.
+    pub spread: usize,
+    /// Predicted QoS of the new workload at the chosen placement.
+    pub predicted_qos: f64,
+    /// Number of predictor invocations performed.
+    pub predictor_calls: usize,
+}
+
+/// Greedy configuration for a given spread `k`: repeatedly assign the
+/// largest-demand function to the candidate server with the most remaining
+/// CPU headroom. `candidates` are ordered most-packed first, so taking the
+/// first `k` maximises overlap with existing load.
+fn greedy_assign(
+    demands: &[Demand],
+    capacity: &Demand,
+    headroom: &[f64],
+    candidates: &[usize],
+    k: usize,
+) -> Vec<usize> {
+    let chosen = &candidates[..k.min(candidates.len())];
+    let mut remaining: Vec<(usize, f64)> = chosen.iter().map(|&s| (s, headroom[s])).collect();
+    // Function order: biggest first.
+    let mut order: Vec<usize> = (0..demands.len()).collect();
+    order.sort_by(|&a, &b| {
+        demands[b]
+            .max_normalized(capacity)
+            .partial_cmp(&demands[a].max_normalized(capacity))
+            .expect("NaN demand")
+    });
+    let mut placement = vec![0usize; demands.len()];
+    for f in order {
+        let (slot, _) = remaining
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.1.partial_cmp(&b.1).expect("NaN headroom"))
+            .expect("k >= 1 candidate");
+        placement[f] = remaining[slot].0;
+        remaining[slot].1 -= demands[f].get(cluster::Resource::Cpu);
+    }
+    placement
+}
+
+/// Place a new workload with binary search over its spread.
+///
+/// * `new_workload` — profile/class/demands of the workload to place; its
+///   `placement` field is ignored and replaced by the search.
+/// * `existing` — currently deployed workloads (with real placements).
+/// * `candidates` — candidate servers ordered most-packed first (the
+///   experiment builds this from live utilization).
+/// * `headroom` — per-server remaining CPU (indexed by server id).
+/// * `capacity` — one server's total capacity (for demand normalisation).
+/// * `sla_min_qos` — the placement is accepted when the predicted QoS of
+///   the new workload is at least this (IPC threshold from the
+///   latency–IPC curve; use `f64::NEG_INFINITY` for BG workloads).
+///
+/// Returns `None` when even full spread violates the SLA.
+#[allow(clippy::too_many_arguments)]
+pub fn binary_search_placement(
+    predictor: &GsightPredictor,
+    new_workload: &ColoWorkload,
+    existing: &[ColoWorkload],
+    num_servers: usize,
+    candidates: &[usize],
+    headroom: &[f64],
+    capacity: &Demand,
+    sla_min_qos: f64,
+) -> Option<BinarySearchOutcome> {
+    assert!(!candidates.is_empty(), "no candidate servers");
+    let mut calls = 0usize;
+    let mut evaluate = |k: usize| -> (Vec<usize>, f64) {
+        let placement = greedy_assign(
+            &new_workload.demands,
+            capacity,
+            headroom,
+            candidates,
+            k,
+        );
+        let mut target = new_workload.clone();
+        target.placement = placement.clone();
+        let scenario = Scenario::new(target, existing.to_vec(), num_servers);
+        calls += 1;
+        (placement, predictor.predict(&scenario))
+    };
+
+    let max_k = candidates.len();
+    // Full overlap first (k = 1).
+    let (mut best_placement, mut best_qos) = evaluate(1);
+    if best_qos < sla_min_qos {
+        // Binary search the smallest k in [2, max_k] that satisfies the SLA.
+        let (mut lo, mut hi) = (2usize, max_k);
+        let mut found = None;
+        while lo <= hi {
+            let mid = (lo + hi) / 2;
+            let (placement, qos) = evaluate(mid);
+            if qos >= sla_min_qos {
+                found = Some((placement, qos, mid));
+                if mid == 2 {
+                    break;
+                }
+                hi = mid - 1;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        match found {
+            Some((p, q, _)) => {
+                best_placement = p;
+                best_qos = q;
+            }
+            None => return None,
+        }
+    }
+    let mut spread = best_placement.clone();
+    spread.sort_unstable();
+    spread.dedup();
+    Some(BinarySearchOutcome {
+        placement: best_placement,
+        spread: spread.len(),
+        predicted_qos: best_qos,
+        predictor_calls: calls,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Demand;
+    use gsight::{CodingConfig, GsightConfig, QosTarget};
+    use metricsd::{FunctionProfile, Metric, MetricVector, ProfileSample, WorkloadProfile};
+    use mlcore::ModelKind;
+    use simcore::{SimRng, SimTime};
+    use workloads::WorkloadClass;
+
+    fn colo(ipc: f64, l3: f64, placement: Vec<usize>) -> ColoWorkload {
+        let n = placement.len();
+        let mut m = MetricVector::zero();
+        m.set(Metric::Ipc, ipc);
+        m.set(Metric::L3Mpki, l3);
+        let profile = WorkloadProfile::new(
+            "w",
+            (0..n)
+                .map(|i| {
+                    FunctionProfile::new(
+                        format!("f{i}"),
+                        vec![ProfileSample {
+                            at: SimTime::ZERO,
+                            metrics: m,
+                        }],
+                        false,
+                    )
+                })
+                .collect(),
+        );
+        ColoWorkload::new(
+            profile,
+            WorkloadClass::LatencySensitive,
+            vec![Demand::new(1.0, 2.0, l3, 0.0, 0.0, 0.5); n],
+            placement,
+        )
+    }
+
+    /// Ground truth: target IPC shrinks with the number of its functions
+    /// sharing a server with the corunner.
+    fn truth(target: &ColoWorkload, others: &[ColoWorkload]) -> f64 {
+        let base = 2.0;
+        let mut overlap = 0usize;
+        for o in others {
+            for &s in &target.placement {
+                if o.placement.contains(&s) {
+                    overlap += 1;
+                }
+            }
+        }
+        base / (1.0 + 0.4 * overlap as f64)
+    }
+
+    fn trained_predictor() -> (GsightPredictor, ColoWorkload) {
+        let config = GsightConfig {
+            coding: CodingConfig {
+                num_servers: 4,
+                max_workloads: 3,
+            },
+            target: QosTarget::Ipc,
+            kind: ModelKind::Irfr,
+            update_batch: 50,
+            seed: 3,
+        };
+        let corunner = colo(1.0, 6.0, vec![0, 0]);
+        let mut rng = SimRng::new(1);
+        let mut samples = Vec::new();
+        for _ in 0..1500 {
+            let placement: Vec<usize> = (0..3).map(|_| rng.index(4)).collect();
+            let target = colo(2.0, 4.0, placement);
+            let y = truth(&target, std::slice::from_ref(&corunner));
+            samples.push((
+                Scenario::new(target, vec![corunner.clone()], 4),
+                y,
+            ));
+        }
+        let mut p = GsightPredictor::new(config);
+        p.bootstrap(&samples);
+        (p, corunner)
+    }
+
+    #[test]
+    fn loose_sla_packs_fully() {
+        let (p, corunner) = trained_predictor();
+        let new_wl = colo(2.0, 4.0, vec![0, 0, 0]);
+        let out = binary_search_placement(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[0, 1, 2, 3],
+            &[1.0, 2.0, 3.0, 4.0],
+            &Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0),
+            0.1, // trivially satisfied
+        )
+        .expect("placement found");
+        assert_eq!(out.spread, 1, "loose SLA should fully pack");
+        assert_eq!(out.predictor_calls, 1);
+    }
+
+    #[test]
+    fn tight_sla_spreads() {
+        let (p, corunner) = trained_predictor();
+        let new_wl = colo(2.0, 4.0, vec![0, 0, 0]);
+        // Full overlap on server 0 → 3 overlapping functions → IPC ≈ 0.9.
+        // Requiring ≥ 1.8 forces the workload away from the corunner.
+        let out = binary_search_placement(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[0, 1, 2, 3],
+            &[1.0, 2.0, 3.0, 4.0],
+            &Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0),
+            1.8,
+        )
+        .expect("placement found");
+        assert!(out.spread > 1, "tight SLA should spread, got {:?}", out);
+        assert!(out.predicted_qos >= 1.8);
+        // O(log S) probes: 1 (full) + ≤ 2 binary steps.
+        assert!(out.predictor_calls <= 4);
+    }
+
+    #[test]
+    fn impossible_sla_returns_none() {
+        let (p, corunner) = trained_predictor();
+        let new_wl = colo(2.0, 4.0, vec![0, 0, 0]);
+        let out = binary_search_placement(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[0, 1, 2, 3],
+            &[1.0, 2.0, 3.0, 4.0],
+            &Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0),
+            10.0, // unreachable IPC
+        );
+        assert!(out.is_none());
+    }
+
+    #[test]
+    fn greedy_assign_biggest_to_most_headroom() {
+        let demands = vec![
+            Demand::new(2.0, 0.0, 0.0, 0.0, 0.0, 0.0),
+            Demand::new(0.5, 0.0, 0.0, 0.0, 0.0, 0.0),
+        ];
+        let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
+        let headroom = vec![1.0, 4.0];
+        let p = greedy_assign(&demands, &cap, &headroom, &[0, 1], 2);
+        // Big function (idx 0) → server 1 (most headroom); then server 1
+        // drops to 2.0 headroom, still more than server 0's 1.0, so the
+        // small function lands there too.
+        assert_eq!(p, vec![1, 1]);
+    }
+}

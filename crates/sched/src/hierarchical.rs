@@ -1,0 +1,255 @@
+//! Hierarchical scheduling — the second scalability extension of paper
+//! §6.4 ("policies like ... hierarchy scheduling can be explored").
+//!
+//! Servers are grouped into racks; the scheduler first orders racks by
+//! packed-ness, then runs the §4 binary search *within* one rack at a time,
+//! stopping at the first rack that yields an SLA-safe placement. With `R`
+//! racks of `S/R` servers each, the happy path costs
+//! `O(M · P · log(S/R))` predictor calls instead of `O(M · P · log S)` —
+//! and, more importantly in practice, the candidate lists handed to the
+//! inner search stay small enough for its greedy configuration to stay
+//! meaningful on very large clusters.
+
+use crate::binary_search::{binary_search_placement, BinarySearchOutcome};
+use cluster::Demand;
+use gsight::{ColoWorkload, GsightPredictor};
+
+/// A named group of servers (a rack, a zone, a pod…).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rack {
+    /// Member server ids.
+    pub servers: Vec<usize>,
+}
+
+impl Rack {
+    /// Build from member ids.
+    pub fn new(servers: Vec<usize>) -> Self {
+        assert!(!servers.is_empty(), "empty rack");
+        Self { servers }
+    }
+}
+
+/// Partition `num_servers` into `n_racks` contiguous racks.
+pub fn contiguous_racks(num_servers: usize, n_racks: usize) -> Vec<Rack> {
+    assert!(n_racks > 0 && n_racks <= num_servers);
+    let per = num_servers.div_ceil(n_racks);
+    (0..num_servers)
+        .collect::<Vec<_>>()
+        .chunks(per)
+        .map(|c| Rack::new(c.to_vec()))
+        .collect()
+}
+
+/// Outcome of a hierarchical placement, with the rack that accepted it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HierarchicalOutcome {
+    /// The inner binary-search outcome.
+    pub inner: BinarySearchOutcome,
+    /// Index (into the rack list) of the accepting rack.
+    pub rack: usize,
+    /// Racks probed before success.
+    pub racks_probed: usize,
+}
+
+/// Place a workload hierarchically: racks ordered most-packed first (least
+/// total CPU headroom), inner §4 binary search per rack, first success
+/// wins. Returns `None` if no rack can satisfy the SLA.
+#[allow(clippy::too_many_arguments)]
+pub fn hierarchical_placement(
+    predictor: &GsightPredictor,
+    new_workload: &ColoWorkload,
+    existing: &[ColoWorkload],
+    num_servers: usize,
+    racks: &[Rack],
+    headroom: &[f64],
+    capacity: &Demand,
+    sla_min_qos: f64,
+) -> Option<HierarchicalOutcome> {
+    assert!(!racks.is_empty(), "need at least one rack");
+    // Order racks by total headroom ascending (densest first).
+    let mut order: Vec<usize> = (0..racks.len()).collect();
+    order.sort_by(|&a, &b| {
+        let ha: f64 = racks[a].servers.iter().map(|&s| headroom[s]).sum();
+        let hb: f64 = racks[b].servers.iter().map(|&s| headroom[s]).sum();
+        ha.partial_cmp(&hb).expect("NaN headroom")
+    });
+    for (probed, &rack_idx) in order.iter().enumerate() {
+        // Candidates within the rack, most-packed first.
+        let mut candidates = racks[rack_idx].servers.clone();
+        candidates.sort_by(|&a, &b| {
+            headroom[a].partial_cmp(&headroom[b]).expect("NaN headroom")
+        });
+        if let Some(inner) = binary_search_placement(
+            predictor,
+            new_workload,
+            existing,
+            num_servers,
+            &candidates,
+            headroom,
+            capacity,
+            sla_min_qos,
+        ) {
+            return Some(HierarchicalOutcome {
+                inner,
+                rack: rack_idx,
+                racks_probed: probed + 1,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::Demand;
+    use gsight::{CodingConfig, GsightConfig, QosTarget, Scenario};
+    use metricsd::{FunctionProfile, Metric, MetricVector, ProfileSample, WorkloadProfile};
+    use mlcore::ModelKind;
+    use simcore::{SimRng, SimTime};
+    use workloads::WorkloadClass;
+
+    const S: usize = 8;
+
+    fn colo(ipc: f64, l3: f64, placement: Vec<usize>) -> ColoWorkload {
+        let n = placement.len();
+        let mut m = MetricVector::zero();
+        m.set(Metric::Ipc, ipc);
+        m.set(Metric::L3Mpki, l3);
+        let profile = WorkloadProfile::new(
+            "w",
+            (0..n)
+                .map(|i| {
+                    FunctionProfile::new(
+                        format!("f{i}"),
+                        vec![ProfileSample {
+                            at: SimTime::ZERO,
+                            metrics: m,
+                        }],
+                        false,
+                    )
+                })
+                .collect(),
+        );
+        ColoWorkload::new(
+            profile,
+            WorkloadClass::LatencySensitive,
+            vec![Demand::new(1.0, 2.0, l3, 0.0, 0.0, 0.5); n],
+            placement,
+        )
+    }
+
+    fn truth(target: &ColoWorkload, others: &[ColoWorkload]) -> f64 {
+        let mut overlap = 0usize;
+        for o in others {
+            for &s in &target.placement {
+                if o.placement.contains(&s) {
+                    overlap += 1;
+                }
+            }
+        }
+        2.0 / (1.0 + 0.4 * overlap as f64)
+    }
+
+    fn trained() -> (GsightPredictor, ColoWorkload) {
+        let config = GsightConfig {
+            coding: CodingConfig {
+                num_servers: S,
+                max_workloads: 3,
+            },
+            target: QosTarget::Ipc,
+            kind: ModelKind::Irfr,
+            update_batch: 50,
+            seed: 5,
+        };
+        let corunner = colo(1.0, 6.0, vec![0, 0]);
+        let mut rng = SimRng::new(7);
+        let samples: Vec<(Scenario, f64)> = (0..2000)
+            .map(|_| {
+                let placement: Vec<usize> = (0..2).map(|_| rng.index(S)).collect();
+                let t = colo(2.0, 4.0, placement);
+                let y = truth(&t, std::slice::from_ref(&corunner));
+                (Scenario::new(t, vec![corunner.clone()], S), y)
+            })
+            .collect();
+        let mut p = GsightPredictor::new(config);
+        p.bootstrap(&samples);
+        (p, corunner)
+    }
+
+    #[test]
+    fn contiguous_racks_partition() {
+        let racks = contiguous_racks(8, 4);
+        assert_eq!(racks.len(), 4);
+        let all: Vec<usize> = racks.iter().flat_map(|r| r.servers.clone()).collect();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn picks_densest_feasible_rack() {
+        let (p, corunner) = trained();
+        let racks = contiguous_racks(S, 4); // {0,1} {2,3} {4,5} {6,7}
+        // Corunner lives on server 0; headroom says rack {0,1} is densest.
+        let headroom = vec![1.0, 2.0, 6.0, 6.0, 7.0, 7.0, 8.0, 8.0];
+        let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
+        let new_wl = colo(2.0, 4.0, vec![0, 0]);
+        // Loose SLA: densest rack ({0,1}) accepted immediately.
+        let out = hierarchical_placement(
+            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 0.1,
+        )
+        .expect("placement");
+        assert_eq!(out.rack, 0);
+        assert_eq!(out.racks_probed, 1);
+        assert!(out.inner.placement.iter().all(|s| racks[0].servers.contains(s)));
+    }
+
+    #[test]
+    fn tight_sla_escalates_to_emptier_rack() {
+        let (p, corunner) = trained();
+        let racks = contiguous_racks(S, 4);
+        let headroom = vec![1.0, 1.0, 6.0, 6.0, 7.0, 7.0, 8.0, 8.0];
+        let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
+        let new_wl = colo(2.0, 4.0, vec![0, 0]);
+        // SLA requiring near-solo IPC: the corunner's rack cannot host it…
+        let out = hierarchical_placement(
+            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 1.85,
+        )
+        .expect("placement");
+        // …so the placement escapes rack 0 entirely.
+        assert!(out.rack > 0, "should escalate, got rack {}", out.rack);
+        assert!(out.inner.predicted_qos >= 1.85);
+        assert!(
+            !out.inner.placement.contains(&0),
+            "must avoid the corunner's server: {:?}",
+            out.inner.placement
+        );
+    }
+
+    #[test]
+    fn impossible_sla_exhausts_racks() {
+        let (p, corunner) = trained();
+        let racks = contiguous_racks(S, 2);
+        let headroom = vec![2.0; S];
+        let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
+        let new_wl = colo(2.0, 4.0, vec![0, 0]);
+        assert!(hierarchical_placement(
+            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 10.0,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn fewer_probes_than_flat_search_scope() {
+        let (p, corunner) = trained();
+        let racks = contiguous_racks(S, 4);
+        let headroom = vec![1.0, 2.0, 6.0, 6.0, 7.0, 7.0, 8.0, 8.0];
+        let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
+        let new_wl = colo(2.0, 4.0, vec![0, 0]);
+        let out = hierarchical_placement(
+            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 0.1,
+        )
+        .unwrap();
+        // Inner search scope is 2 servers: at most 1 + log2(2) probes.
+        assert!(out.inner.predictor_calls <= 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! `sched` — the Gsight scheduling case study (paper §4, §6.3).
+//!
+//! The scheduler's goal: *maximize resource efficiency by deploying function
+//! instances on a minimum number of active servers while guaranteeing the
+//! QoS of colocated workloads*. Exhaustive search over placements is
+//! `O(P·S^M)`; the paper's binary-search strategy cuts it to
+//! `O(M·P·log S)` by attempting a half spatial overlap whenever the full
+//! overlap violates the SLA, checking a single greedy configuration per
+//! attempt.
+//!
+//! * [`binary_search`] — the placement algorithm for a whole M-function
+//!   workload.
+//! * [`placer`] — [`GsightPlacer`]: the per-instance autoscaling policy
+//!   driven by the predictor plus per-workload SLA thresholds (IPC
+//!   thresholds derived from the latency–IPC curve, §6.3).
+//! * [`overhead`] — wall-clock instrumentation of the scheduling pipeline
+//!   for the Fig. 14 overhead study.
+//! * [`hierarchical`] — rack-level two-stage search, the hierarchy-
+//!   scheduling extension proposed in §6.4's future work.
+//! * [`reschedule`] — §4's consolidation pass: migrate instances off
+//!   lightly-used servers when every SLA still holds, freeing machines
+//!   during load troughs.
+
+pub mod binary_search;
+pub mod hierarchical;
+pub mod overhead;
+pub mod placer;
+pub mod reschedule;
+
+pub use binary_search::{binary_search_placement, BinarySearchOutcome};
+pub use hierarchical::{contiguous_racks, hierarchical_placement, HierarchicalOutcome, Rack};
+pub use overhead::{DecisionTimer, OverheadBreakdown};
+pub use placer::{GsightPlacer, PythiaPlacer, SlaSpec, WorkloadEntry};
+pub use reschedule::{apply_plan, plan_consolidation, Migration, ReschedulePlan};

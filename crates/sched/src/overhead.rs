@@ -1,0 +1,148 @@
+//! Wall-clock instrumentation of the online scheduling pipeline
+//! (paper §6.4, Fig. 14).
+//!
+//! The paper decomposes online cost into four steps — *invocation
+//! forwarding*, *scheduling decision making*, *instance starting* and
+//! *resource allocation* — and reports that decision making takes a few
+//! milliseconds (inference ≈ 3.48 ms, incremental update ≈ 24.8 ms per
+//! call) while instance starting dominates.
+
+use std::time::{Duration, Instant};
+
+/// Accumulated wall-clock time per pipeline step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverheadBreakdown {
+    /// Gateway forwarding (simulated time, ms).
+    pub forwarding_ms: f64,
+    /// Scheduling decision making (real wall-clock, ms).
+    pub decision_ms: f64,
+    /// Instance starting / cold start (simulated time, ms).
+    pub instance_start_ms: f64,
+    /// Resource allocation bookkeeping (real wall-clock, ms).
+    pub allocation_ms: f64,
+}
+
+impl OverheadBreakdown {
+    /// Total across the four steps.
+    pub fn total_ms(&self) -> f64 {
+        self.forwarding_ms + self.decision_ms + self.instance_start_ms + self.allocation_ms
+    }
+
+    /// Fractions per step (same order as the fields); NaNs when total is 0.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total_ms();
+        [
+            self.forwarding_ms / t,
+            self.decision_ms / t,
+            self.instance_start_ms / t,
+            self.allocation_ms / t,
+        ]
+    }
+}
+
+/// Stopwatch for measuring real wall-clock spans of predictor calls.
+#[derive(Debug)]
+pub struct DecisionTimer {
+    spans: Vec<Duration>,
+    current: Option<Instant>,
+}
+
+impl Default for DecisionTimer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DecisionTimer {
+    /// Empty timer.
+    pub fn new() -> Self {
+        Self {
+            spans: Vec::new(),
+            current: None,
+        }
+    }
+
+    /// Start a span. Panics if one is already running.
+    pub fn start(&mut self) {
+        assert!(self.current.is_none(), "span already running");
+        self.current = Some(Instant::now());
+    }
+
+    /// Stop the running span, recording it. Panics if none is running.
+    pub fn stop(&mut self) {
+        let s = self.current.take().expect("no span running");
+        self.spans.push(s.elapsed());
+    }
+
+    /// Time a closure as one span, returning its result.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.start();
+        let out = f();
+        self.stop();
+        out
+    }
+
+    /// Number of recorded spans.
+    pub fn count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Mean span length in ms (NaN when empty).
+    pub fn mean_ms(&self) -> f64 {
+        if self.spans.is_empty() {
+            return f64::NAN;
+        }
+        self.spans.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / self.spans.len() as f64
+    }
+
+    /// Total recorded time in ms.
+    pub fn total_ms(&self) -> f64 {
+        self.spans.iter().map(|d| d.as_secs_f64() * 1e3).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_total_and_fractions() {
+        let b = OverheadBreakdown {
+            forwarding_ms: 1.0,
+            decision_ms: 3.0,
+            instance_start_ms: 5.0,
+            allocation_ms: 1.0,
+        };
+        assert_eq!(b.total_ms(), 10.0);
+        let f = b.fractions();
+        assert!((f[1] - 0.3).abs() < 1e-12);
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timer_records_spans() {
+        let mut t = DecisionTimer::new();
+        let x = t.time(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            42
+        });
+        assert_eq!(x, 42);
+        assert_eq!(t.count(), 1);
+        assert!(t.mean_ms() >= 1.5, "mean {}", t.mean_ms());
+    }
+
+    #[test]
+    fn empty_timer_nan_mean() {
+        let t = DecisionTimer::new();
+        assert!(t.mean_ms().is_nan());
+        assert_eq!(t.total_ms(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "span already running")]
+    fn double_start_panics() {
+        let mut t = DecisionTimer::new();
+        t.start();
+        t.start();
+    }
+}

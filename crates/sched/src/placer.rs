@@ -1,0 +1,466 @@
+//! The Gsight autoscaling placer (the paper's scheduling case study, §6.3).
+//!
+//! When the platform scales a function out, [`GsightPlacer`] chooses the
+//! target server by querying the predictor on hypothetical scenarios:
+//! candidate servers are ordered most-packed first (density objective) and
+//! binary-searched for the most-packed server at which every SLA-bearing
+//! workload's predicted IPC still clears its threshold — the per-instance
+//! analogue of §4's whole-workload search.
+
+use cluster::Demand;
+use gsight::{ColoWorkload, GsightPredictor, Scenario};
+use platform::scale::{ClusterView, PlacementDecision, Placer};
+use workloads::{FunctionSpec, Workload, WorkloadClass};
+
+/// Per-workload SLA: minimum predicted mean IPC, derived from the
+/// latency–IPC curve (paper §6.3: "we adopt the IPC model for scheduling by
+/// transforming the tail latency in SLA into IPC").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlaSpec {
+    /// Minimum acceptable predicted IPC. `None` for BG workloads.
+    pub min_ipc: Option<f64>,
+}
+
+/// A workload registered with the placer: its profiles, class, per-node
+/// demands, SLA, and the instances placed so far.
+pub struct WorkloadEntry {
+    /// Workload name (matched against the `Workload` the platform passes).
+    pub name: String,
+    /// Class.
+    pub class: WorkloadClass,
+    /// Solo profiles per call-graph node.
+    pub profile: metricsd::WorkloadProfile,
+    /// Mean demand per call-graph node.
+    pub demands: Vec<Demand>,
+    /// SLA.
+    pub sla: SlaSpec,
+    /// Placed instances: `(node, server)`.
+    pub instances: Vec<(usize, usize)>,
+}
+
+impl WorkloadEntry {
+    /// Build the scenario-view of this workload from its current instances
+    /// (each instance appears as one function entry — the spatial coding
+    /// aggregates same-server entries into virtual functions).
+    fn as_colo(&self) -> Option<ColoWorkload> {
+        if self.instances.is_empty() {
+            return None;
+        }
+        let functions: Vec<metricsd::FunctionProfile> = self
+            .instances
+            .iter()
+            .map(|&(node, _)| self.profile.functions[node].clone())
+            .collect();
+        let demands: Vec<Demand> = self
+            .instances
+            .iter()
+            .map(|&(node, _)| self.demands[node])
+            .collect();
+        let placement: Vec<usize> = self.instances.iter().map(|&(_, s)| s).collect();
+        Some(ColoWorkload::new(
+            metricsd::WorkloadProfile::new(self.name.clone(), functions),
+            self.class,
+            demands,
+            placement,
+        ))
+    }
+}
+
+/// The Gsight placement policy.
+pub struct GsightPlacer {
+    predictor: GsightPredictor,
+    entries: Vec<WorkloadEntry>,
+    /// Predictor invocations made (for the Fig. 14 overhead study).
+    pub predictor_calls: usize,
+}
+
+impl GsightPlacer {
+    /// New placer around a trained IPC predictor.
+    pub fn new(predictor: GsightPredictor) -> Self {
+        Self {
+            predictor,
+            entries: Vec::new(),
+            predictor_calls: 0,
+        }
+    }
+
+    /// Register a workload before deployment. Instances placed through
+    /// [`Placer::place`] (or recorded with [`GsightPlacer::record`]) extend
+    /// the entry.
+    pub fn register(&mut self, entry: WorkloadEntry) {
+        assert!(
+            self.entries.iter().all(|e| e.name != entry.name),
+            "workload {} already registered",
+            entry.name
+        );
+        self.entries.push(entry);
+    }
+
+    /// Record an externally decided placement (e.g. the initial deployment).
+    pub fn record(&mut self, workload: &str, node: usize, server: usize) {
+        let e = self
+            .entries
+            .iter_mut()
+            .find(|e| e.name == workload)
+            .expect("workload not registered");
+        e.instances.push((node, server));
+    }
+
+    /// Access the registered entries (for inspection in experiments).
+    pub fn entries(&self) -> &[WorkloadEntry] {
+        &self.entries
+    }
+
+    /// Predicted IPC of workload `target_idx` under the current placements,
+    /// with `extra` optionally describing a hypothetical additional instance
+    /// `(workload_idx, node, server)`.
+    fn predict_ipc(
+        &mut self,
+        target_idx: usize,
+        extra: Option<(usize, usize, usize)>,
+        num_servers: usize,
+    ) -> Option<f64> {
+        let build = |e: &WorkloadEntry, extra: Option<(usize, usize)>| -> Option<ColoWorkload> {
+            match extra {
+                None => e.as_colo(),
+                Some((node, server)) => {
+                    let mut tmp = WorkloadEntry {
+                        name: e.name.clone(),
+                        class: e.class,
+                        profile: e.profile.clone(),
+                        demands: e.demands.clone(),
+                        sla: e.sla,
+                        instances: e.instances.clone(),
+                    };
+                    tmp.instances.push((node, server));
+                    tmp.as_colo()
+                }
+            }
+        };
+        let target = build(
+            &self.entries[target_idx],
+            extra.and_then(|(w, n, s)| (w == target_idx).then_some((n, s))),
+        )?;
+        let others: Vec<ColoWorkload> = self
+            .entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != target_idx)
+            .filter_map(|(i, e)| {
+                build(e, extra.and_then(|(w, n, s)| (w == i).then_some((n, s))))
+            })
+            .collect();
+        self.predictor_calls += 1;
+        Some(self.predictor.predict(&Scenario::new(target, others, num_servers)))
+    }
+
+    /// Whether placing `(workload_idx, node)` on `server` keeps every
+    /// SLA-bearing workload's predicted IPC above its threshold.
+    fn sla_safe(&mut self, wl_idx: usize, node: usize, server: usize, num_servers: usize) -> bool {
+        for i in 0..self.entries.len() {
+            let Some(min_ipc) = self.entries[i].sla.min_ipc else {
+                continue;
+            };
+            match self.predict_ipc(i, Some((wl_idx, node, server)), num_servers) {
+                Some(ipc) if ipc >= min_ipc => {}
+                Some(_) => return false,
+                None => {} // unplaced workload: nothing to violate yet
+            }
+        }
+        true
+    }
+}
+
+impl Placer for GsightPlacer {
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        workload: &Workload,
+        node: usize,
+        spec: &FunctionSpec,
+    ) -> Option<PlacementDecision> {
+        let wl_idx = self.entries.iter().position(|e| e.name == workload.name)?;
+        let demand = spec.mean_demand();
+        // Candidates: feasible servers, most packed first.
+        let mut candidates: Vec<usize> = (0..view.num_servers())
+            .filter(|&s| view.fits(s, &demand))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.sort_by(|&a, &b| {
+            view.cpu_headroom(a)
+                .partial_cmp(&view.cpu_headroom(b))
+                .expect("NaN headroom")
+        });
+        let num_servers = view.num_servers();
+
+        // Binary search the most-packed SLA-safe candidate (assumes safety
+        // is monotone in spread, as §4 does).
+        let chosen = if self.sla_safe(wl_idx, node, candidates[0], num_servers) {
+            Some(candidates[0])
+        } else {
+            let (mut lo, mut hi) = (1usize, candidates.len().saturating_sub(1));
+            let mut found = None;
+            while lo <= hi {
+                let mid = (lo + hi) / 2;
+                if self.sla_safe(wl_idx, node, candidates[mid], num_servers) {
+                    found = Some(candidates[mid]);
+                    if mid == 1 {
+                        break;
+                    }
+                    hi = mid - 1;
+                } else {
+                    lo = mid + 1;
+                }
+            }
+            found
+        };
+        let server = chosen?;
+        self.entries[wl_idx].instances.push((node, server));
+        Some(PlacementDecision {
+            server,
+            socket: view.server(server).least_loaded_socket(None),
+        })
+    }
+}
+
+/// The Pythia comparison placer: Best-Fit packing gated by the
+/// placement-blind Pythia predictor.
+///
+/// Because Pythia's features carry no placement information, its SLA check
+/// returns the same verdict for every candidate server; when the (global)
+/// prediction violates a threshold the placer must refuse the scale-out
+/// outright — the structural conservatism that costs it density in the
+/// paper's Fig. 11.
+pub struct PythiaPlacer {
+    predictor: baselines::PythiaLike,
+    entries: Vec<WorkloadEntry>,
+}
+
+impl PythiaPlacer {
+    /// New placer around a trained Pythia predictor.
+    pub fn new(predictor: baselines::PythiaLike) -> Self {
+        Self {
+            predictor,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Register a workload (same bookkeeping as [`GsightPlacer`]).
+    pub fn register(&mut self, entry: WorkloadEntry) {
+        assert!(
+            self.entries.iter().all(|e| e.name != entry.name),
+            "workload {} already registered",
+            entry.name
+        );
+        self.entries.push(entry);
+    }
+
+    /// Blind SLA check: predicted IPC of every SLA workload given the whole
+    /// colocation (placement-independent by construction).
+    fn sla_safe(&self, wl_idx: usize, node: usize, num_servers: usize) -> bool {
+        use baselines::ScenarioPredictor;
+        for (i, e) in self.entries.iter().enumerate() {
+            let Some(min_ipc) = e.sla.min_ipc else { continue };
+            let Some(target) = e.as_colo() else { continue };
+            let others: Vec<gsight::ColoWorkload> = self
+                .entries
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .filter_map(|(j, o)| {
+                    if j == wl_idx {
+                        // Include the hypothetical new instance.
+                        let mut tmp = WorkloadEntry {
+                            name: o.name.clone(),
+                            class: o.class,
+                            profile: o.profile.clone(),
+                            demands: o.demands.clone(),
+                            sla: o.sla,
+                            instances: o.instances.clone(),
+                        };
+                        tmp.instances.push((node, 0));
+                        tmp.as_colo()
+                    } else {
+                        o.as_colo()
+                    }
+                })
+                .collect();
+            let scenario = gsight::Scenario::new(target, others, num_servers);
+            if self.predictor.predict(&scenario) < min_ipc {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Placer for PythiaPlacer {
+    fn place(
+        &mut self,
+        view: &ClusterView<'_>,
+        workload: &Workload,
+        node: usize,
+        spec: &FunctionSpec,
+    ) -> Option<PlacementDecision> {
+        let wl_idx = self.entries.iter().position(|e| e.name == workload.name)?;
+        if !self.sla_safe(wl_idx, node, view.num_servers()) {
+            return None; // blind refusal: no server can look better
+        }
+        let demand = spec.mean_demand();
+        // Best Fit: the feasible server with the smallest headroom.
+        let server = (0..view.num_servers())
+            .filter(|&s| view.fits(s, &demand))
+            .min_by(|&a, &b| {
+                view.cpu_headroom(a)
+                    .partial_cmp(&view.cpu_headroom(b))
+                    .expect("NaN headroom")
+            })?;
+        self.entries[wl_idx].instances.push((node, server));
+        Some(PlacementDecision {
+            server,
+            socket: view.server(server).least_loaded_socket(None),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cluster::{ServerSpec, ServerState};
+    use gsight::{CodingConfig, GsightConfig, QosTarget};
+    use metricsd::{FunctionProfile, Metric, MetricVector, ProfileSample, WorkloadProfile};
+    use mlcore::ModelKind;
+    use simcore::{SimRng, SimTime};
+
+    fn profile(n: usize, ipc: f64) -> WorkloadProfile {
+        let mut m = MetricVector::zero();
+        m.set(Metric::Ipc, ipc);
+        m.set(Metric::L3Mpki, 4.0);
+        WorkloadProfile::new(
+            "w",
+            (0..n)
+                .map(|i| {
+                    FunctionProfile::new(
+                        format!("f{i}"),
+                        vec![ProfileSample {
+                            at: SimTime::ZERO,
+                            metrics: m,
+                        }],
+                        false,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Train a predictor on the simple overlap-count ground truth.
+    fn predictor() -> GsightPredictor {
+        let config = GsightConfig {
+            coding: CodingConfig {
+                num_servers: 4,
+                max_workloads: 3,
+            },
+            target: QosTarget::Ipc,
+            kind: ModelKind::Irfr,
+            update_batch: 50,
+            seed: 11,
+        };
+        let mut rng = SimRng::new(2);
+        let mut samples = Vec::new();
+        for _ in 0..1500 {
+            let tp: Vec<usize> = (0..2).map(|_| rng.index(4)).collect();
+            let op: Vec<usize> = (0..2).map(|_| rng.index(4)).collect();
+            let overlap = tp.iter().filter(|s| op.contains(s)).count();
+            let y = 2.0 / (1.0 + 0.5 * overlap as f64);
+            let target = ColoWorkload::new(
+                profile(2, 2.0),
+                WorkloadClass::LatencySensitive,
+                vec![Demand::new(1.0, 2.0, 4.0, 0.0, 0.0, 0.5); 2],
+                tp,
+            );
+            let other = ColoWorkload::new(
+                profile(2, 1.0),
+                WorkloadClass::LatencySensitive,
+                vec![Demand::new(1.0, 2.0, 4.0, 0.0, 0.0, 0.5); 2],
+                op,
+            );
+            samples.push((Scenario::new(target, vec![other], 4), y));
+        }
+        let mut p = GsightPredictor::new(config);
+        p.bootstrap(&samples);
+        p
+    }
+
+    fn entry(name: &str, sla: Option<f64>) -> WorkloadEntry {
+        WorkloadEntry {
+            name: name.into(),
+            class: WorkloadClass::LatencySensitive,
+            profile: profile(2, if sla.is_some() { 2.0 } else { 1.0 }),
+            demands: vec![Demand::new(1.0, 2.0, 4.0, 0.0, 0.0, 0.5); 2],
+            sla: SlaSpec { min_ipc: sla },
+            instances: Vec::new(),
+        }
+    }
+
+    fn servers(n: usize) -> Vec<ServerState> {
+        (0..n).map(|_| ServerState::new(ServerSpec::small())).collect()
+    }
+
+    #[test]
+    fn packs_when_sla_loose() {
+        let mut placer = GsightPlacer::new(predictor());
+        placer.register(entry("victim", Some(0.1)));
+        placer.register(entry("agg", None));
+        placer.record("victim", 0, 0);
+        placer.record("victim", 1, 0);
+        let servers = servers(4);
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let mut agg_wl = w.clone();
+        agg_wl.name = "agg".into();
+        let spec = w.graph.func(w.graph.roots()[0]).clone();
+        let d = placer.place(&view, &agg_wl, 0, &spec).unwrap();
+        // All servers are empty per the view; candidates sorted by headroom
+        // keep server order, so packing lands on server 0 (tied headroom,
+        // stable order) and the loose SLA accepts it.
+        assert_eq!(d.server, 0);
+        assert_eq!(placer.entries()[1].instances, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn avoids_victim_when_sla_tight() {
+        let mut placer = GsightPlacer::new(predictor());
+        placer.register(entry("victim", Some(1.8)));
+        placer.register(entry("agg", None));
+        placer.record("victim", 0, 0);
+        placer.record("victim", 1, 0);
+        let servers = servers(4);
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let mut agg_wl = w.clone();
+        agg_wl.name = "agg".into();
+        let spec = w.graph.func(w.graph.roots()[0]).clone();
+        let d = placer.place(&view, &agg_wl, 0, &spec).unwrap();
+        assert_ne!(d.server, 0, "tight SLA must steer the aggressor away");
+    }
+
+    #[test]
+    fn unregistered_workload_refused() {
+        let mut placer = GsightPlacer::new(predictor());
+        let servers = servers(2);
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let spec = w.graph.func(w.graph.roots()[0]).clone();
+        assert!(placer.place(&view, &w, 0, &spec).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn duplicate_registration_rejected() {
+        let mut placer = GsightPlacer::new(predictor());
+        placer.register(entry("a", None));
+        placer.register(entry("a", None));
+    }
+}

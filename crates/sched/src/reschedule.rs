@@ -1,0 +1,374 @@
+//! Consolidation rescheduling (paper §4).
+//!
+//! *"When the invocation load varies but does not yet cause scaling-out
+//! operations, it is also possible to further optimize resource efficiency
+//! by rescheduling the existing instances."*
+//!
+//! The pass proposes migrations that empty lightly-used servers: instances
+//! on the least-loaded *donor* servers are moved onto more-loaded
+//! *receiver* servers whenever the predictor says every SLA still holds
+//! after the move. Emptied servers can then be powered down — the
+//! density/utilization win of Fig. 11 extended to load troughs.
+
+use crate::placer::WorkloadEntry;
+use cluster::Demand;
+use gsight::{ColoWorkload, GsightPredictor, Scenario};
+
+/// One proposed migration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Migration {
+    /// Workload name.
+    pub workload: String,
+    /// Index into the workload's instance list.
+    pub instance: usize,
+    /// Current server.
+    pub from: usize,
+    /// Proposed server.
+    pub to: usize,
+}
+
+/// Outcome of a consolidation pass.
+#[derive(Debug, Clone, Default)]
+pub struct ReschedulePlan {
+    /// Migrations, in application order.
+    pub migrations: Vec<Migration>,
+    /// Servers left empty if the plan is applied.
+    pub freed_servers: Vec<usize>,
+    /// Predictor invocations spent building the plan.
+    pub predictor_calls: usize,
+}
+
+/// Scenario view of an entry list, with instance `(wl, idx)` optionally
+/// re-homed to `server`.
+fn colo_views(
+    entries: &[WorkloadEntry],
+    moved: Option<(usize, usize, usize)>,
+) -> Vec<Option<ColoWorkload>> {
+    entries
+        .iter()
+        .enumerate()
+        .map(|(w, e)| {
+            if e.instances.is_empty() {
+                return None;
+            }
+            let functions: Vec<metricsd::FunctionProfile> = e
+                .instances
+                .iter()
+                .map(|&(node, _)| e.profile.functions[node].clone())
+                .collect();
+            let demands: Vec<Demand> =
+                e.instances.iter().map(|&(node, _)| e.demands[node]).collect();
+            let placement: Vec<usize> = e
+                .instances
+                .iter()
+                .enumerate()
+                .map(|(i, &(_, server))| match moved {
+                    Some((mw, mi, to)) if mw == w && mi == i => to,
+                    _ => server,
+                })
+                .collect();
+            Some(ColoWorkload::new(
+                metricsd::WorkloadProfile::new(e.name.clone(), functions),
+                e.class,
+                demands,
+                placement,
+            ))
+        })
+        .collect()
+}
+
+/// Check every SLA under a hypothetical placement.
+fn slas_hold(
+    predictor: &GsightPredictor,
+    entries: &[WorkloadEntry],
+    moved: Option<(usize, usize, usize)>,
+    num_servers: usize,
+    calls: &mut usize,
+) -> bool {
+    let views = colo_views(entries, moved);
+    for (i, e) in entries.iter().enumerate() {
+        let Some(min_ipc) = e.sla.min_ipc else { continue };
+        let Some(target) = views[i].clone() else { continue };
+        let others: Vec<ColoWorkload> = views
+            .iter()
+            .enumerate()
+            .filter(|(j, v)| *j != i && v.is_some())
+            .map(|(_, v)| v.clone().expect("filtered Some"))
+            .collect();
+        *calls += 1;
+        if predictor.predict(&Scenario::new(target, others, num_servers)) < min_ipc {
+            return false;
+        }
+    }
+    true
+}
+
+/// Build a consolidation plan: repeatedly try to empty the server hosting
+/// the fewest instances by migrating each of its instances onto the
+/// most-populated feasible server, accepting each move only when all SLAs
+/// still hold.
+///
+/// The entry list is *not* mutated; apply the returned migrations with
+/// [`apply_plan`] (and the corresponding platform/cluster actions) if
+/// accepted.
+pub fn plan_consolidation(
+    predictor: &GsightPredictor,
+    entries: &[WorkloadEntry],
+    num_servers: usize,
+) -> ReschedulePlan {
+    let mut working: Vec<WorkloadEntry> = entries
+        .iter()
+        .map(|e| WorkloadEntry {
+            name: e.name.clone(),
+            class: e.class,
+            profile: e.profile.clone(),
+            demands: e.demands.clone(),
+            sla: e.sla,
+            instances: e.instances.clone(),
+        })
+        .collect();
+    let mut plan = ReschedulePlan::default();
+
+    loop {
+        // Instance count per server.
+        let mut count = vec![0usize; num_servers];
+        for e in &working {
+            for &(_, s) in &e.instances {
+                count[s] += 1;
+            }
+        }
+        let active: Vec<usize> = (0..num_servers).filter(|&s| count[s] > 0).collect();
+        if active.len() < 2 {
+            break;
+        }
+        // Donor: fewest instances; receivers: everything else, most-loaded
+        // first.
+        let &donor = active
+            .iter()
+            .min_by_key(|&&s| count[s])
+            .expect("non-empty active set");
+        let mut receivers: Vec<usize> = active.iter().copied().filter(|&s| s != donor).collect();
+        receivers.sort_by_key(|&s| std::cmp::Reverse(count[s]));
+
+        // Try to move every donor instance; if any cannot move, the donor
+        // cannot be emptied and consolidation stops (moving a strict subset
+        // would not free a server).
+        let donor_instances: Vec<(usize, usize)> = working
+            .iter()
+            .enumerate()
+            .flat_map(|(w, e)| {
+                e.instances
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, s))| s == donor)
+                    .map(move |(i, _)| (w, i))
+            })
+            .collect();
+        let mut staged: Vec<Migration> = Vec::new();
+        let mut ok = true;
+        for (w, i) in donor_instances {
+            let mut placed = false;
+            for &to in &receivers {
+                if slas_hold(
+                    predictor,
+                    &working,
+                    Some((w, i, to)),
+                    num_servers,
+                    &mut plan.predictor_calls,
+                ) {
+                    staged.push(Migration {
+                        workload: working[w].name.clone(),
+                        instance: i,
+                        from: donor,
+                        to,
+                    });
+                    working[w].instances[i].1 = to;
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                ok = false;
+                break;
+            }
+        }
+        if !ok {
+            // Roll back the staged moves of this round.
+            for m in staged.iter().rev() {
+                let w = working
+                    .iter()
+                    .position(|e| e.name == m.workload)
+                    .expect("staged workload exists");
+                working[w].instances[m.instance].1 = m.from;
+            }
+            break;
+        }
+        plan.migrations.extend(staged);
+        plan.freed_servers.push(donor);
+    }
+    plan
+}
+
+/// Apply a plan to an entry list (the caller also performs the platform
+/// migrations).
+pub fn apply_plan(entries: &mut [WorkloadEntry], plan: &ReschedulePlan) {
+    for m in &plan.migrations {
+        let e = entries
+            .iter_mut()
+            .find(|e| e.name == m.workload)
+            .expect("workload in plan");
+        assert_eq!(e.instances[m.instance].1, m.from, "plan out of date");
+        e.instances[m.instance].1 = m.to;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placer::SlaSpec;
+    use gsight::{CodingConfig, GsightConfig, QosTarget};
+    use metricsd::{FunctionProfile, Metric, MetricVector, ProfileSample, WorkloadProfile};
+    use mlcore::ModelKind;
+    use simcore::{SimRng, SimTime};
+    use workloads::WorkloadClass;
+
+    const S: usize = 4;
+
+    fn profile(n: usize, ipc: f64) -> WorkloadProfile {
+        let mut m = MetricVector::zero();
+        m.set(Metric::Ipc, ipc);
+        m.set(Metric::L3Mpki, 4.0);
+        WorkloadProfile::new(
+            "w",
+            (0..n)
+                .map(|i| {
+                    FunctionProfile::new(
+                        format!("f{i}"),
+                        vec![ProfileSample {
+                            at: SimTime::ZERO,
+                            metrics: m,
+                        }],
+                        false,
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Ground truth: IPC shrinks with same-server overlap count.
+    fn predictor() -> GsightPredictor {
+        let config = GsightConfig {
+            coding: CodingConfig {
+                num_servers: S,
+                max_workloads: 3,
+            },
+            target: QosTarget::Ipc,
+            kind: ModelKind::Irfr,
+            update_batch: 50,
+            seed: 21,
+        };
+        let mut rng = SimRng::new(22);
+        let mut samples = Vec::new();
+        for _ in 0..1500 {
+            let tp: Vec<usize> = (0..2).map(|_| rng.index(S)).collect();
+            let op: Vec<usize> = (0..2).map(|_| rng.index(S)).collect();
+            let overlap = tp.iter().filter(|s| op.contains(s)).count();
+            let y = 2.0 / (1.0 + 0.15 * overlap as f64);
+            let mk = |p: Vec<usize>, ipc: f64| {
+                gsight::ColoWorkload::new(
+                    profile(2, ipc),
+                    WorkloadClass::LatencySensitive,
+                    vec![Demand::new(1.0, 2.0, 4.0, 0.0, 0.0, 0.5); 2],
+                    p,
+                )
+            };
+            samples.push((
+                Scenario::new(mk(tp, 2.0), vec![mk(op, 1.0)], S),
+                y,
+            ));
+        }
+        let mut p = GsightPredictor::new(config);
+        p.bootstrap(&samples);
+        p
+    }
+
+    fn entry(name: &str, sla: Option<f64>, instances: Vec<(usize, usize)>) -> WorkloadEntry {
+        WorkloadEntry {
+            name: name.into(),
+            class: WorkloadClass::LatencySensitive,
+            profile: profile(2, if sla.is_some() { 2.0 } else { 1.0 }),
+            demands: vec![Demand::new(1.0, 2.0, 4.0, 0.0, 0.0, 0.5); 2],
+            sla: SlaSpec { min_ipc: sla },
+            instances,
+        }
+    }
+
+    #[test]
+    fn loose_slas_consolidate_to_one_server() {
+        let p = predictor();
+        let entries = vec![
+            entry("a", Some(0.5), vec![(0, 0), (1, 0)]),
+            entry("b", None, vec![(0, 2), (1, 3)]),
+        ];
+        let plan = plan_consolidation(&p, &entries, S);
+        assert!(
+            !plan.freed_servers.is_empty(),
+            "spread instances should consolidate: {plan:?}"
+        );
+        // Apply and verify the freed servers really are empty.
+        let mut after = entries;
+        apply_plan(&mut after, &plan);
+        for &freed in &plan.freed_servers {
+            for e in &after {
+                assert!(e.instances.iter().all(|&(_, s)| s != freed));
+            }
+        }
+    }
+
+    #[test]
+    fn tight_sla_blocks_consolidation() {
+        let p = predictor();
+        // Predicted IPC at full overlap ≈ 2/(1+0.15·2·2) < 1.9; requiring
+        // 1.9 forbids stacking everything together.
+        let entries = vec![
+            entry("a", Some(1.95), vec![(0, 0), (1, 0)]),
+            entry("b", None, vec![(0, 1), (1, 1)]),
+        ];
+        let plan = plan_consolidation(&p, &entries, S);
+        assert!(
+            plan.freed_servers.is_empty(),
+            "tight SLA must block: {plan:?}"
+        );
+        assert!(plan.migrations.is_empty());
+    }
+
+    #[test]
+    fn single_active_server_is_a_noop() {
+        let p = predictor();
+        let entries = vec![entry("a", Some(0.5), vec![(0, 1), (1, 1)])];
+        let plan = plan_consolidation(&p, &entries, S);
+        assert!(plan.migrations.is_empty());
+        assert!(plan.freed_servers.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "plan out of date")]
+    fn stale_plan_rejected() {
+        let p = predictor();
+        let entries = vec![
+            entry("a", Some(0.5), vec![(0, 0), (1, 0)]),
+            entry("b", None, vec![(0, 2), (1, 3)]),
+        ];
+        let plan = plan_consolidation(&p, &entries, S);
+        let mut moved = entries;
+        // Placement changed since planning.
+        if let Some(m) = plan.migrations.first() {
+            let e = moved.iter_mut().find(|e| e.name == m.workload).unwrap();
+            e.instances[m.instance].1 = 9_999 % S;
+            if e.instances[m.instance].1 == m.from {
+                e.instances[m.instance].1 = (m.from + 1) % S;
+            }
+        }
+        apply_plan(&mut moved, &plan);
+    }
+}

@@ -1,0 +1,231 @@
+//! Probability distributions used by the simulator and workload generators.
+//!
+//! Implemented directly on [`SimRng`] rather than pulling
+//! in `rand_distr`, keeping the dependency surface to the offline-approved
+//! set while still covering everything the reproduction needs: Gaussian
+//! metric noise, log-normal service times, Poisson/exponential arrivals, and
+//! Zipf-like popularity skew for function invocation frequencies.
+
+use crate::rng::SimRng;
+
+/// Standard normal sample via the Marsaglia polar method.
+pub fn std_normal(rng: &mut SimRng) -> f64 {
+    loop {
+        let u = 2.0 * rng.f64() - 1.0;
+        let v = 2.0 * rng.f64() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Normal sample with the given mean and standard deviation.
+#[inline]
+pub fn normal(rng: &mut SimRng, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * std_normal(rng)
+}
+
+/// Log-normal sample parameterised by the *underlying* normal's `mu`/`sigma`.
+#[inline]
+pub fn lognormal(rng: &mut SimRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * std_normal(rng)).exp()
+}
+
+/// Multiplicative noise factor centred on 1.0: `exp(N(0, sigma) - sigma²/2)`.
+///
+/// The mean-correction term keeps `E[factor] = 1`, so noising a metric does
+/// not bias its expectation — important for the correlation study (Table 3).
+#[inline]
+pub fn noise_factor(rng: &mut SimRng, sigma: f64) -> f64 {
+    if sigma == 0.0 {
+        return 1.0;
+    }
+    lognormal(rng, -sigma * sigma / 2.0, sigma)
+}
+
+/// Exponential sample with the given rate (`lambda`), i.e. mean `1/lambda`.
+#[inline]
+pub fn exponential(rng: &mut SimRng, lambda: f64) -> f64 {
+    debug_assert!(lambda > 0.0);
+    // 1 - f64() is in (0, 1], so ln() is finite.
+    -(1.0 - rng.f64()).ln() / lambda
+}
+
+/// Poisson sample.
+///
+/// Knuth's product method for small means; normal approximation (rounded,
+/// clamped at zero) for large means where Knuth's loop would be slow.
+pub fn poisson(rng: &mut SimRng, mean: f64) -> u64 {
+    debug_assert!(mean >= 0.0);
+    if mean <= 0.0 {
+        return 0;
+    }
+    if mean < 30.0 {
+        let l = (-mean).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.f64();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let x = normal(rng, mean, mean.sqrt());
+        x.round().max(0.0) as u64
+    }
+}
+
+/// Zipf sampler over ranks `1..=n` with exponent `s`.
+///
+/// Precomputes the CDF once; sampling is a binary search. Used to skew
+/// invocation popularity across functions the way the Azure characterization
+/// reports (a few hot functions dominate invocations).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `s >= 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Sample a rank in `[0, n)` (0-based).
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.f64();
+        // partition_point returns the count of entries < u, i.e. the first
+        // index whose cumulative mass reaches u.
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the distribution is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0xC0FFEE)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal(&mut r, 3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_positive() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(lognormal(&mut r, 0.0, 1.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn noise_factor_mean_one() {
+        let mut r = rng();
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| noise_factor(&mut r, 0.3)).sum::<f64>() / n as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn noise_factor_zero_sigma_is_identity() {
+        let mut r = rng();
+        assert_eq!(noise_factor(&mut r, 0.0), 1.0);
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 0.5)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_small_mean() {
+        let mut r = rng();
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut r, 4.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_branch() {
+        let mut r = rng();
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| poisson(&mut r, 200.0) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn zipf_rank_zero_most_popular() {
+        let z = Zipf::new(20, 1.1);
+        let mut r = rng();
+        let mut counts = vec![0usize; 20];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[5]);
+        assert!(counts[5] > counts[19]);
+    }
+
+    #[test]
+    fn zipf_uniform_when_s_zero() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let mut counts = vec![0usize; 10];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        let min = *counts.iter().min().unwrap() as f64;
+        assert!(max / min < 1.1, "should be near-uniform: {counts:?}");
+    }
+
+    #[test]
+    fn zipf_single_rank() {
+        let z = Zipf::new(1, 2.0);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut r), 0);
+        }
+    }
+}

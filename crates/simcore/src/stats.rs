@@ -1,0 +1,502 @@
+//! Summary statistics used by the metric collector and the experiment
+//! harness: online moments (Welford), percentiles, CDFs, coefficient of
+//! variation, and simple rank utilities shared with the correlation module.
+
+/// Online mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable and O(1) per observation — used by the 1 Hz metric
+/// collector where keeping full sample vectors per instance would be wasteful.
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Coefficient of variation (std-dev / mean), 0 when the mean is 0.
+    pub fn cov(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.std_dev() / m
+        }
+    }
+
+    /// Minimum observation (NaN if empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Maximum observation (NaN if empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Merge another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n = self.n + other.n;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.n as f64 / n as f64;
+        self.m2 += other.m2 + delta * delta * (self.n as f64 * other.n as f64) / n as f64;
+        self.mean = mean;
+        self.n = n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Percentile of a sample by linear interpolation between closest ranks.
+///
+/// `p` is in `[0, 100]`. Returns NaN for an empty slice. The input does not
+/// need to be sorted; a sorted copy is made internally.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in percentile input"));
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted sample (ascending).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let p = p.clamp(0.0, 100.0);
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// One-shot summary of a sample: mean, std-dev, CoV, p50/p95/p99, min/max.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Coefficient of variation.
+    pub cov: f64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise a sample. Returns an all-NaN summary for empty input.
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary {
+                count: 0,
+                mean: f64::NAN,
+                std_dev: f64::NAN,
+                cov: f64::NAN,
+                p50: f64::NAN,
+                p95: f64::NAN,
+                p99: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        let mut acc = OnlineStats::new();
+        for &x in samples {
+            acc.push(x);
+        }
+        Summary {
+            count: samples.len(),
+            mean: acc.mean(),
+            std_dev: acc.std_dev(),
+            cov: acc.cov(),
+            p50: percentile_sorted(&sorted, 50.0),
+            p95: percentile_sorted(&sorted, 95.0),
+            p99: percentile_sorted(&sorted, 99.0),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+        }
+    }
+}
+
+/// Empirical CDF over a sample, evaluable at arbitrary points and exportable
+/// as `(value, fraction)` pairs for the scheduling-result figures (Fig. 11).
+#[derive(Debug, Clone)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Build from a sample (NaNs are rejected by panic — they indicate a bug
+    /// upstream, not valid data).
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("NaN in CDF input"));
+        Self { sorted: samples }
+    }
+
+    /// Fraction of observations `<= x`.
+    pub fn at(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        self.sorted.partition_point(|&v| v <= x) as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile), `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        percentile_sorted(&self.sorted, q * 100.0)
+    }
+
+    /// Evenly spaced `(value, cumulative fraction)` points for plotting.
+    pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        (0..n)
+            .map(|i| {
+                let q = i as f64 / (n - 1).max(1) as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the CDF holds no observations.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Mean of the underlying sample.
+    pub fn mean(&self) -> f64 {
+        if self.sorted.is_empty() {
+            f64::NAN
+        } else {
+            self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+        }
+    }
+}
+
+/// Fixed-capacity uniform reservoir sample (Vitter's Algorithm R).
+///
+/// Long scheduling runs produce millions of latency observations; a
+/// reservoir keeps an unbiased fixed-size sample for percentile estimation
+/// without unbounded memory.
+#[derive(Debug, Clone)]
+pub struct Reservoir {
+    items: Vec<f64>,
+    cap: usize,
+    seen: u64,
+}
+
+impl Reservoir {
+    /// Empty reservoir holding at most `cap` observations.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "reservoir capacity must be positive");
+        Self {
+            items: Vec::with_capacity(cap),
+            cap,
+            seen: 0,
+        }
+    }
+
+    /// Offer one observation.
+    pub fn push(&mut self, x: f64, rng: &mut crate::rng::SimRng) {
+        self.seen += 1;
+        if self.items.len() < self.cap {
+            self.items.push(x);
+        } else {
+            // Replace a random slot with probability cap/seen.
+            let j = (rng.f64() * self.seen as f64) as u64;
+            if (j as usize) < self.cap {
+                self.items[j as usize] = x;
+            }
+        }
+    }
+
+    /// Observations currently held.
+    pub fn items(&self) -> &[f64] {
+        &self.items
+    }
+
+    /// Total observations offered.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the reservoir holds nothing yet.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Percentile estimate over the held sample.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile(&self.items, p)
+    }
+}
+
+/// Average ranks of a sample (1-based, ties get the mean rank).
+///
+/// Shared helper for Spearman correlation; exposed here so the metrics crate
+/// and tests can reuse it.
+pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in ranks input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average 1-based rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn online_stats_basic() {
+        let mut s = OnlineStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert!((s.cov() - 0.4).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn online_stats_empty() {
+        let s = OnlineStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert!(s.min().is_nan());
+    }
+
+    #[test]
+    fn online_stats_merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = OnlineStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = OnlineStats::new();
+        let mut b = OnlineStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 100.0), 4.0);
+        assert!((percentile(&v, 50.0) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_single_value() {
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_empty_is_nan() {
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+
+    #[test]
+    fn p99_larger_than_p50_on_skewed_data() {
+        let v: Vec<f64> = (0..1000).map(|i| if i < 980 { 1.0 } else { 100.0 }).collect();
+        let s = Summary::of(&v);
+        assert_eq!(s.p50, 1.0);
+        assert!(s.p99 > 50.0);
+        assert!(s.cov > 1.0);
+    }
+
+    #[test]
+    fn summary_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let c = Cdf::new(vec![3.0, 1.0, 2.0, 2.0, 5.0]);
+        assert_eq!(c.at(0.0), 0.0);
+        assert_eq!(c.at(5.0), 1.0);
+        assert!((c.at(2.0) - 0.6).abs() < 1e-12);
+        let pts = c.points(11);
+        assert_eq!(pts.len(), 11);
+        for w in pts.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn cdf_quantile_roundtrip() {
+        let c = Cdf::new((0..101).map(|i| i as f64).collect());
+        assert!((c.quantile(0.5) - 50.0).abs() < 1e-9);
+        assert!((c.quantile(0.99) - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reservoir_fills_then_caps() {
+        let mut rng = crate::rng::SimRng::new(1);
+        let mut r = Reservoir::new(10);
+        for i in 0..5 {
+            r.push(i as f64, &mut rng);
+        }
+        assert_eq!(r.len(), 5);
+        for i in 5..1000 {
+            r.push(i as f64, &mut rng);
+        }
+        assert_eq!(r.len(), 10);
+        assert_eq!(r.seen(), 1000);
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform() {
+        // Push 0..10_000; the held sample's mean should approximate the
+        // stream's mean (~5000).
+        let mut rng = crate::rng::SimRng::new(2);
+        let mut r = Reservoir::new(500);
+        for i in 0..10_000 {
+            r.push(i as f64, &mut rng);
+        }
+        let mean = r.items().iter().sum::<f64>() / r.len() as f64;
+        assert!((mean - 5000.0).abs() < 400.0, "mean {mean}");
+        // Percentile estimate tracks the stream.
+        let p50 = r.percentile(50.0);
+        assert!((p50 - 5000.0).abs() < 700.0, "p50 {p50}");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn reservoir_rejects_zero_cap() {
+        Reservoir::new(0);
+    }
+
+    #[test]
+    fn ranks_simple() {
+        assert_eq!(ranks(&[10.0, 30.0, 20.0]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_ties_averaged() {
+        assert_eq!(ranks(&[1.0, 2.0, 2.0, 3.0]), vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

@@ -1,0 +1,166 @@
+//! Minimal plain-text table rendering for the experiment harness.
+//!
+//! Every regenerated paper table/figure series is printed as an aligned text
+//! table (and optionally CSV) so `cargo run -p bench --bin repro` output can
+//! be diffed against EXPERIMENTS.md.
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// New table with the given column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are right-padded with
+    /// empty cells; longer rows extend the width accounting.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.header.len()))
+            .max()
+            .unwrap_or(0);
+        let mut w = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            w[i] = w[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                w[i] = w[i].max(c.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Render as an aligned text table with a header separator.
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], w: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, width) in w.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}"));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &w));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &w));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (no quoting — experiment output never contains commas).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float with `digits` decimal places (helper for table cells).
+pub fn fnum(x: f64, digits: usize) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{x:.digits$}")
+    }
+}
+
+/// Format a fraction as a percentage with two decimals.
+pub fn fpct(x: f64) -> String {
+    if x.is_nan() {
+        "-".to_string()
+    } else {
+        format!("{:.2}%", x * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]);
+        t.row(vec!["longer", "2.5"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns align: "value" and "1" start at the same offset.
+        let off_header = lines[0].find("value").unwrap();
+        let off_row = lines[2].find('1').unwrap();
+        assert_eq!(off_header, off_row);
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = TextTable::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        assert_eq!(t.to_csv(), "a,b\n1,2\n");
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.row(vec!["only"]);
+        let s = t.render();
+        assert!(s.contains("only"));
+    }
+
+    #[test]
+    fn fnum_and_fpct() {
+        assert_eq!(fnum(1.23456, 2), "1.23");
+        assert_eq!(fnum(f64::NAN, 2), "-");
+        assert_eq!(fpct(0.1879), "18.79%");
+    }
+
+    #[test]
+    fn len_tracks_rows() {
+        let mut t = TextTable::new(vec!["x"]);
+        assert!(t.is_empty());
+        t.row(vec!["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

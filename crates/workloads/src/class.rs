@@ -1,0 +1,88 @@
+//! The paper's three-way workload taxonomy (Table 1).
+
+/// Workload class, determining which QoS metric applies and how the
+/// prediction model's temporal-overlap code is formed (paper §3.3):
+///
+/// * **LS** — QoS is IPC / p99 tail latency; `D = 0`, `T = 0` (invoked
+///   repeatedly, so QPS — not start delay — is the interference factor).
+/// * **SC** — QoS is job completion time; `D` is the start delay relative to
+///   the first-arriving job, `T` its solo-run lifetime.
+/// * **BG** — lenient requirements; never a prediction target, but still a
+///   source of interference (coded like SC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// Scheduled-background: triggered or scheduled intermittently, no
+    /// latency requirements (IoT data collection, monitoring).
+    Background,
+    /// Short-term computing: minute-level processing times; millisecond
+    /// changes in completion time are trivial (big data, linear algebra).
+    ShortTerm,
+    /// Latency-sensitive: frequent invocations; millisecond latency
+    /// increases degrade user experience (web search, e-commerce, social
+    /// networks).
+    LatencySensitive,
+}
+
+impl WorkloadClass {
+    /// Table-1 abbreviation.
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            WorkloadClass::Background => "BG",
+            WorkloadClass::ShortTerm => "SC",
+            WorkloadClass::LatencySensitive => "LS",
+        }
+    }
+
+    /// Table-1 description.
+    pub fn description(self) -> &'static str {
+        match self {
+            WorkloadClass::Background => {
+                "triggered or scheduled intermittently; run from time to time without latency requirements"
+            }
+            WorkloadClass::ShortTerm => {
+                "minute-level processing times; millisecond changes in completion times are trivial"
+            }
+            WorkloadClass::LatencySensitive => {
+                "frequent invocations; millisecond latency increases degrade user experience"
+            }
+        }
+    }
+
+    /// Whether this class is ever a QoS *prediction target*. BG+BG
+    /// colocations never call the predictor (paper §3.3).
+    pub fn is_prediction_target(self) -> bool {
+        !matches!(self, WorkloadClass::Background)
+    }
+
+    /// Whether the class uses the start-delay/lifetime temporal code
+    /// (SC/BG) rather than the zeroed LS form.
+    pub fn uses_temporal_code(self) -> bool {
+        !matches!(self, WorkloadClass::LatencySensitive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abbrevs_match_table1() {
+        assert_eq!(WorkloadClass::Background.abbrev(), "BG");
+        assert_eq!(WorkloadClass::ShortTerm.abbrev(), "SC");
+        assert_eq!(WorkloadClass::LatencySensitive.abbrev(), "LS");
+    }
+
+    #[test]
+    fn bg_is_never_a_target() {
+        assert!(!WorkloadClass::Background.is_prediction_target());
+        assert!(WorkloadClass::ShortTerm.is_prediction_target());
+        assert!(WorkloadClass::LatencySensitive.is_prediction_target());
+    }
+
+    #[test]
+    fn ls_zeroes_temporal_code() {
+        assert!(!WorkloadClass::LatencySensitive.uses_temporal_code());
+        assert!(WorkloadClass::ShortTerm.uses_temporal_code());
+        assert!(WorkloadClass::Background.uses_temporal_code());
+    }
+}

@@ -1,0 +1,456 @@
+//! Function call-path graphs (paper Fig. 2).
+//!
+//! A workload's request fans out over a DAG of functions connected by two
+//! edge kinds the paper distinguishes when explaining hotspot propagation
+//! (Observation 4, citing ServerlessBench's chain taxonomy):
+//!
+//! * [`CallKind::Async`] — a *sequence chain*: the child is invoked when the
+//!   parent completes; the parent's resources are released first.
+//! * [`CallKind::Nested`] — a *nested chain*: the child is invoked by the
+//!   running parent, which blocks (holding its instance slot) until the
+//!   child returns. Saturation in the child therefore propagates *upstream*.
+//!
+//! The module also provides solo-run schedule analysis (start/completion
+//! times with zero contention) and critical-path extraction, which the
+//! Figure 3(a) experiment uses to separate critical-path from
+//! non-critical-path interference.
+
+use crate::function::FunctionSpec;
+use simcore::SimTime;
+
+/// Index of a function node within its call graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// How a parent invokes a child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CallKind {
+    /// Sequence chain: child starts after the parent *completes*.
+    Async,
+    /// Nested chain: child starts after the parent's own service finishes,
+    /// and the parent's completion (and instance slot) waits for the child.
+    Nested,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Node {
+    func: FunctionSpec,
+    /// Outgoing edges.
+    children: Vec<(NodeId, CallKind)>,
+    /// Incoming edges (mirror of children).
+    parents: Vec<(NodeId, CallKind)>,
+}
+
+/// Solo-run timing of one node (no contention, warm instances).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoloTiming {
+    /// When the node's own service starts.
+    pub start: SimTime,
+    /// When the node's own service ends.
+    pub service_end: SimTime,
+    /// When the node *completes* (service end, extended by nested children).
+    pub completion: SimTime,
+}
+
+/// A validated-on-use DAG of function invocations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CallGraph {
+    nodes: Vec<Node>,
+}
+
+impl CallGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Single-function graph (microbenchmarks).
+    pub fn single(func: FunctionSpec) -> Self {
+        let mut g = Self::new();
+        g.add(func);
+        g
+    }
+
+    /// Add a function node, returning its id.
+    pub fn add(&mut self, func: FunctionSpec) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(Node {
+            func,
+            children: Vec::new(),
+            parents: Vec::new(),
+        });
+        id
+    }
+
+    /// Add an invocation edge. Panics on out-of-range ids, self-loops, or
+    /// edges that would create a cycle.
+    pub fn link(&mut self, from: NodeId, to: NodeId, kind: CallKind) {
+        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "bad node id");
+        assert_ne!(from, to, "self-loop");
+        self.nodes[from.0].children.push((to, kind));
+        self.nodes[to.0].parents.push((from, kind));
+        assert!(
+            self.topo_order().is_some(),
+            "edge {from:?} -> {to:?} creates a cycle"
+        );
+    }
+
+    /// Number of function nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The function at a node.
+    pub fn func(&self, id: NodeId) -> &FunctionSpec {
+        &self.nodes[id.0].func
+    }
+
+    /// Mutable access to the function at a node (used by experiment setup to
+    /// perturb individual functions).
+    pub fn func_mut(&mut self, id: NodeId) -> &mut FunctionSpec {
+        &mut self.nodes[id.0].func
+    }
+
+    /// Find a node by function name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|n| n.func.name == name)
+            .map(NodeId)
+    }
+
+    /// Outgoing edges of a node.
+    pub fn children(&self, id: NodeId) -> &[(NodeId, CallKind)] {
+        &self.nodes[id.0].children
+    }
+
+    /// Incoming edges of a node.
+    pub fn parents(&self, id: NodeId) -> &[(NodeId, CallKind)] {
+        &self.nodes[id.0].parents
+    }
+
+    /// Nodes with no incoming edges (request entry points).
+    pub fn roots(&self) -> Vec<NodeId> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].parents.is_empty())
+            .map(NodeId)
+            .collect()
+    }
+
+    /// All node ids in insertion order.
+    pub fn ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Kahn topological order; `None` if the graph has a cycle.
+    pub fn topo_order(&self) -> Option<Vec<NodeId>> {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.parents.len()).collect();
+        let mut queue: Vec<NodeId> = (0..n).filter(|&i| indeg[i] == 0).map(NodeId).collect();
+        let mut order = Vec::with_capacity(n);
+        let mut head = 0;
+        while head < queue.len() {
+            let u = queue[head];
+            head += 1;
+            order.push(u);
+            for &(v, _) in &self.nodes[u.0].children {
+                indeg[v.0] -= 1;
+                if indeg[v.0] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        (order.len() == n).then_some(order)
+    }
+
+    /// Solo-run schedule: start / service-end / completion per node with no
+    /// contention and warm instances. The platform executor must reproduce
+    /// these times exactly when run against an idle cluster.
+    pub fn solo_schedule(&self) -> Vec<SoloTiming> {
+        let n = self.nodes.len();
+        let order = self.topo_order().expect("cycle in call graph");
+        let mut start = vec![SimTime::ZERO; n];
+        let mut service_end = vec![SimTime::ZERO; n];
+        // Forward pass computes start & service_end. Async edges need the
+        // parent's completion, which depends on the parent's nested subtree
+        // — resolved lazily via a memoized recursion.
+        fn completion(
+            g: &CallGraph,
+            u: usize,
+            service_end: &[SimTime],
+            memo: &mut [Option<SimTime>],
+        ) -> SimTime {
+            if let Some(c) = memo[u] {
+                return c;
+            }
+            let mut c = service_end[u];
+            for &(v, kind) in &g.nodes[u].children {
+                if kind == CallKind::Nested {
+                    c = c.max(completion(g, v.0, service_end, memo));
+                }
+            }
+            memo[u] = Some(c);
+            c
+        }
+
+        for &u in &order {
+            let mut s = SimTime::ZERO;
+            for &(p, kind) in &self.nodes[u.0].parents {
+                let gate = match kind {
+                    // Parent's own service must be done first in both cases;
+                    // for Async the parent's *nested subtree* must also be
+                    // done. Computing the nested subtree honestly here would
+                    // require child times that are not final yet in the
+                    // forward pass, so we gate Async on service_end plus the
+                    // parent's nested-descendant chain, resolved after the
+                    // pass below.
+                    CallKind::Async => service_end[p.0],
+                    CallKind::Nested => service_end[p.0],
+                };
+                s = s.max(gate);
+            }
+            start[u.0] = s;
+            service_end[u.0] = s.plus(self.nodes[u.0].func.warm_duration());
+        }
+
+        // Iterate the forward pass until async gates that depend on nested
+        // completions converge (a DAG needs at most `n` rounds; in practice
+        // one extra round suffices).
+        for _ in 0..n {
+            let mut memo = vec![None; n];
+            let mut changed = false;
+            for &u in &order {
+                let mut s = SimTime::ZERO;
+                for &(p, kind) in &self.nodes[u.0].parents {
+                    let gate = match kind {
+                        CallKind::Async => completion(self, p.0, &service_end, &mut memo),
+                        CallKind::Nested => service_end[p.0],
+                    };
+                    s = s.max(gate);
+                }
+                if s != start[u.0] {
+                    changed = true;
+                }
+                start[u.0] = s;
+                service_end[u.0] = s.plus(self.nodes[u.0].func.warm_duration());
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut memo = vec![None; n];
+        (0..n)
+            .map(|u| SoloTiming {
+                start: start[u],
+                service_end: service_end[u],
+                completion: completion(self, u, &service_end, &mut memo),
+            })
+            .collect()
+    }
+
+    /// End-to-end solo latency: the latest completion across all nodes.
+    pub fn critical_path_duration(&self) -> SimTime {
+        self.solo_schedule()
+            .iter()
+            .map(|t| t.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO)
+    }
+
+    /// Nodes on the critical path: every node whose completion delay would
+    /// delay the end-to-end latency (computed by slack analysis on the solo
+    /// schedule: a node is critical when `start` equals the tightest gate
+    /// chain from a root and its completion chain reaches the makespan).
+    pub fn critical_path(&self) -> Vec<NodeId> {
+        let timing = self.solo_schedule();
+        let makespan = timing
+            .iter()
+            .map(|t| t.completion)
+            .max()
+            .unwrap_or(SimTime::ZERO);
+        // Walk back from the node(s) achieving the makespan through the
+        // gating structure: a parent is critical if it is the active gate of
+        // a critical child.
+        let mut critical = vec![false; self.nodes.len()];
+        let mut stack: Vec<usize> = timing
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.completion == makespan)
+            .map(|(i, _)| i)
+            .collect();
+        while let Some(u) = stack.pop() {
+            if critical[u] {
+                continue;
+            }
+            critical[u] = true;
+            // A nested child that extends our completion is critical.
+            for &(v, kind) in &self.nodes[u].children {
+                if kind == CallKind::Nested && timing[v.0].completion == timing[u].completion
+                    && timing[v.0].completion > timing[u].service_end
+                {
+                    stack.push(v.0);
+                }
+            }
+            // The parent whose gate determined our start is critical.
+            for &(p, kind) in &self.nodes[u].parents {
+                let gate = match kind {
+                    CallKind::Async => timing[p.0].completion,
+                    CallKind::Nested => timing[p.0].service_end,
+                };
+                if gate == timing[u].start {
+                    stack.push(p.0);
+                }
+            }
+        }
+        (0..self.nodes.len())
+            .filter(|&i| critical[i])
+            .map(NodeId)
+            .collect()
+    }
+
+    /// Whether a node lies on the critical path.
+    pub fn is_critical(&self, id: NodeId) -> bool {
+        self.critical_path().contains(&id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::function::PhaseSpec;
+    use cluster::microarch::MicroarchBaseline;
+    use cluster::{Boundedness, Demand, Sensitivity};
+
+    fn func(name: &str, ms: f64) -> FunctionSpec {
+        FunctionSpec::single_phase(
+            name,
+            PhaseSpec {
+                duration: SimTime::from_millis(ms),
+                demand: Demand::new(0.5, 1.0, 1.0, 0.0, 0.0, 0.25),
+                bounded: Boundedness::cpu_bound(),
+                sens: Sensitivity::new(1.0, 1.0, 0.5),
+                micro: MicroarchBaseline::generic(),
+            },
+        )
+    }
+
+    #[test]
+    fn chain_latency_sums() {
+        let mut g = CallGraph::new();
+        let a = g.add(func("a", 10.0));
+        let b = g.add(func("b", 20.0));
+        let c = g.add(func("c", 30.0));
+        g.link(a, b, CallKind::Async);
+        g.link(b, c, CallKind::Async);
+        assert_eq!(g.critical_path_duration(), SimTime::from_millis(60.0));
+        assert_eq!(g.roots(), vec![a]);
+    }
+
+    #[test]
+    fn parallel_branches_take_max() {
+        let mut g = CallGraph::new();
+        let a = g.add(func("a", 10.0));
+        let b = g.add(func("b", 50.0));
+        let c = g.add(func("c", 20.0));
+        let d = g.add(func("d", 10.0));
+        g.link(a, b, CallKind::Async);
+        g.link(a, c, CallKind::Async);
+        g.link(b, d, CallKind::Async);
+        g.link(c, d, CallKind::Async);
+        // a(10) -> max(b 50, c 20) -> d(10) = 70.
+        assert_eq!(g.critical_path_duration(), SimTime::from_millis(70.0));
+        let cp = g.critical_path();
+        assert!(cp.contains(&a) && cp.contains(&b) && cp.contains(&d));
+        assert!(!cp.contains(&c), "short branch must not be critical");
+    }
+
+    #[test]
+    fn nested_child_extends_parent_completion() {
+        let mut g = CallGraph::new();
+        let a = g.add(func("a", 10.0));
+        let b = g.add(func("b", 40.0));
+        g.link(a, b, CallKind::Nested);
+        let t = g.solo_schedule();
+        assert_eq!(t[b.0].start, SimTime::from_millis(10.0));
+        assert_eq!(t[a.0].service_end, SimTime::from_millis(10.0));
+        // a completes only when b returns.
+        assert_eq!(t[a.0].completion, SimTime::from_millis(50.0));
+        assert_eq!(g.critical_path_duration(), SimTime::from_millis(50.0));
+    }
+
+    #[test]
+    fn async_after_nested_waits_for_subtree() {
+        let mut g = CallGraph::new();
+        let a = g.add(func("a", 10.0));
+        let b = g.add(func("b", 40.0)); // nested under a
+        let c = g.add(func("c", 5.0)); // async after a
+        g.link(a, b, CallKind::Nested);
+        g.link(a, c, CallKind::Async);
+        let t = g.solo_schedule();
+        // c cannot start until a *completes*, i.e. until b returns at 50ms.
+        assert_eq!(t[c.0].start, SimTime::from_millis(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let mut g = CallGraph::new();
+        let a = g.add(func("a", 1.0));
+        let b = g.add(func("b", 1.0));
+        g.link(a, b, CallKind::Async);
+        g.link(b, a, CallKind::Async);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loop_rejected() {
+        let mut g = CallGraph::new();
+        let a = g.add(func("a", 1.0));
+        g.link(a, a, CallKind::Async);
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut g = CallGraph::new();
+        g.add(func("alpha", 1.0));
+        let beta = g.add(func("beta", 1.0));
+        assert_eq!(g.find("beta"), Some(beta));
+        assert_eq!(g.find("gamma"), None);
+    }
+
+    #[test]
+    fn single_graph_critical_path_is_itself() {
+        let g = CallGraph::single(func("only", 42.0));
+        assert_eq!(g.critical_path_duration(), SimTime::from_millis(42.0));
+        assert_eq!(g.critical_path(), vec![NodeId(0)]);
+        assert!(g.is_critical(NodeId(0)));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CallGraph::new();
+        assert!(g.is_empty());
+        assert_eq!(g.critical_path_duration(), SimTime::ZERO);
+        assert!(g.roots().is_empty());
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let mut g = CallGraph::new();
+        let a = g.add(func("a", 1.0));
+        let b = g.add(func("b", 1.0));
+        let c = g.add(func("c", 1.0));
+        g.link(a, c, CallKind::Async);
+        g.link(b, c, CallKind::Async);
+        let order = g.topo_order().unwrap();
+        let pos = |id: NodeId| order.iter().position(|&x| x == id).unwrap();
+        assert!(pos(a) < pos(c));
+        assert!(pos(b) < pos(c));
+    }
+}

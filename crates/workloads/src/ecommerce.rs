@@ -1,0 +1,158 @@
+//! A TPC-W-style *e-commerce* workload (paper §6.1 ports TPC-W to OpenFaaS;
+//! §6.3 states its p99 SLA as 88 ms).
+//!
+//! Six functions model a browse-and-buy request: a storefront entry point
+//! that synchronously queries the catalog, then asynchronous cart and order
+//! stages, with a nested promotion lookup inside the product-detail stage.
+
+use crate::class::WorkloadClass;
+use crate::dag::{CallGraph, CallKind};
+use crate::function::{FunctionSpec, PhaseSpec, Workload};
+use cluster::microarch::MicroarchBaseline;
+use cluster::{Boundedness, Demand, Sensitivity};
+use simcore::SimTime;
+
+/// The paper's stated p99 SLA for *e-commerce*: 88 ms (§6.3).
+pub const SLA_P99_MS: f64 = 88.0;
+
+/// Canonical function names.
+pub const FUNCTION_NAMES: [&str; 6] = [
+    "storefront",
+    "search-catalog",
+    "product-detail",
+    "price-promotion",
+    "cart-add",
+    "order-confirm",
+];
+
+fn func(name: &str, ms: f64, demand: Demand, sens: Sensitivity, ipc: f64) -> FunctionSpec {
+    let work = PhaseSpec {
+        duration: SimTime::from_millis(ms),
+        demand,
+        bounded: Boundedness::new(0.9, 0.0, 0.1),
+        sens,
+        micro: MicroarchBaseline {
+            ipc,
+            ..MicroarchBaseline::generic()
+        },
+    };
+    let cold = PhaseSpec {
+        duration: SimTime::from_millis(300.0),
+        demand: Demand::new(0.4, 2.0, 0.8, 50.0, 4.0, demand.get(cluster::Resource::Memory)),
+        bounded: Boundedness::new(0.4, 0.6, 0.0),
+        sens: Sensitivity::new(0.3, 0.3, 0.2),
+        micro: MicroarchBaseline {
+            ipc: 0.9,
+            ..MicroarchBaseline::generic()
+        },
+    };
+    FunctionSpec {
+        name: name.into(),
+        cold_start: Some(cold),
+        phases: vec![work],
+        memory_gb: demand.get(cluster::Resource::Memory),
+        concurrency: 2,
+    }
+}
+
+/// Build the six-function browse-and-buy workload.
+pub fn browse_and_buy() -> Workload {
+    let mut g = CallGraph::new();
+    let storefront = g.add(func(
+        "storefront",
+        4.0,
+        Demand::new(0.133, 0.667, 0.167, 0.0, 3.0, 0.2),
+        Sensitivity::new(0.3, 0.3, 0.3),
+        2.0,
+    ));
+    let search = g.add(func(
+        "search-catalog",
+        14.0,
+        Demand::new(0.333, 3.333, 1.0, 5.0, 4.0, 0.35),
+        Sensitivity::new(1.4, 1.6, 0.5),
+        1.1,
+    ));
+    let detail = g.add(func(
+        "product-detail",
+        9.0,
+        Demand::new(0.2, 1.667, 0.5, 2.5, 3.0, 0.25),
+        Sensitivity::new(0.8, 0.8, 0.4),
+        1.4,
+    ));
+    let promo = g.add(func(
+        "price-promotion",
+        6.0,
+        Demand::new(0.133, 1.0, 0.333, 0.0, 1.5, 0.15),
+        Sensitivity::new(0.7, 0.6, 0.3),
+        1.6,
+    ));
+    let cart = g.add(func(
+        "cart-add",
+        7.0,
+        Demand::new(0.167, 1.333, 0.4, 4.0, 2.0, 0.2),
+        Sensitivity::new(0.9, 0.8, 0.4),
+        1.3,
+    ));
+    let order = g.add(func(
+        "order-confirm",
+        8.0,
+        Demand::new(0.2, 1.667, 0.5, 7.5, 2.5, 0.25),
+        Sensitivity::new(1.0, 0.9, 0.4),
+        1.2,
+    ));
+
+    g.link(storefront, search, CallKind::Nested);
+    g.link(search, detail, CallKind::Async);
+    g.link(detail, promo, CallKind::Nested);
+    g.link(detail, cart, CallKind::Async);
+    g.link(cart, order, CallKind::Async);
+
+    Workload::new("e-commerce", WorkloadClass::LatencySensitive, g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_six_functions() {
+        let w = browse_and_buy();
+        assert_eq!(w.num_functions(), 6);
+        for name in FUNCTION_NAMES {
+            assert!(w.graph.find(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn solo_latency_fits_sla() {
+        let w = browse_and_buy();
+        let solo_ms = w.critical_path_duration().as_millis();
+        // storefront 4 + search 14 + detail 9 + max(promo chain, cart 7 +
+        // order 8) = 4+14+9+15 = 42 ms solo, comfortably under the 88 ms SLA.
+        assert!(solo_ms < SLA_P99_MS / 1.5, "solo {solo_ms} ms");
+        assert!(solo_ms > 30.0);
+    }
+
+    #[test]
+    fn is_latency_sensitive() {
+        assert_eq!(
+            browse_and_buy().class,
+            WorkloadClass::LatencySensitive
+        );
+    }
+
+    #[test]
+    fn search_is_the_sensitive_hotspot() {
+        let w = browse_and_buy();
+        let id = w.graph.find("search-catalog").unwrap();
+        let sens = w.graph.func(id).phases[0].sens;
+        assert!(sens.llc > 1.0);
+    }
+
+    #[test]
+    fn single_entry_point() {
+        let w = browse_and_buy();
+        assert_eq!(w.graph.roots().len(), 1);
+        assert_eq!(w.graph.roots()[0], w.graph.find("storefront").unwrap());
+    }
+}

@@ -1,0 +1,265 @@
+//! The DeathStarBench *social network* message-posting workload, ported to
+//! functions exactly as in paper Fig. 2: nine functions over multiple
+//! branches, with critical path ①→②→⑥→⑧→⑨ and non-critical functions
+//! ③, ④, ⑤, ⑦.
+
+use crate::class::WorkloadClass;
+use crate::dag::{CallGraph, CallKind, NodeId};
+use crate::function::{FunctionSpec, PhaseSpec, Workload};
+use cluster::microarch::MicroarchBaseline;
+use cluster::{Boundedness, Demand, Sensitivity};
+use simcore::SimTime;
+
+/// The paper's stated p99 SLA for *social network*: 267 ms (§6.3).
+pub const SLA_P99_MS: f64 = 267.0;
+
+/// Canonical function names in Fig. 2 numbering order.
+pub const FUNCTION_NAMES: [&str; 9] = [
+    "compose-post",         // ①
+    "upload-media",         // ②
+    "upload-text",          // ③
+    "upload-urls",          // ④
+    "upload-unique-id",     // ⑤
+    "compose-and-upload",   // ⑥
+    "post-storage",         // ⑦
+    "upload-home-timeline", // ⑧
+    "get-followers",        // ⑨
+];
+
+#[allow(clippy::too_many_arguments)]
+fn func(
+    name: &str,
+    ms: f64,
+    demand: Demand,
+    sens: Sensitivity,
+    micro: MicroarchBaseline,
+    concurrency: u32,
+) -> FunctionSpec {
+    let work = PhaseSpec {
+        duration: SimTime::from_millis(ms),
+        demand,
+        bounded: Boundedness::new(0.9, 0.0, 0.1),
+        sens,
+        micro,
+    };
+    // Cold start: container boot + runtime init, disk-heavy, ~400 ms.
+    let cold = PhaseSpec {
+        duration: SimTime::from_millis(400.0),
+        demand: Demand::new(0.5, 2.0, 1.0, 60.0, 5.0, demand.get(cluster::Resource::Memory)),
+        bounded: Boundedness::new(0.4, 0.6, 0.0),
+        sens: Sensitivity::new(0.3, 0.3, 0.2),
+        micro: MicroarchBaseline {
+            ipc: 0.9,
+            ..MicroarchBaseline::generic()
+        },
+    };
+    FunctionSpec {
+        name: name.into(),
+        cold_start: Some(cold),
+        phases: vec![work],
+        memory_gb: demand.get(cluster::Resource::Memory),
+        concurrency,
+    }
+}
+
+/// Build the nine-function message-posting workload.
+///
+/// Edge structure (Fig. 2): ① fans out to ②–⑤ as nested RPCs (the
+/// orchestrator waits for the uploads); ⑥ joins them asynchronously; ⑥
+/// forwards to ⑦ (storage, off the critical path) and ⑧; ⑧ calls ⑨ as a
+/// nested RPC.
+pub fn message_posting() -> Workload {
+    let mut g = CallGraph::new();
+    // Durations chosen so the solo critical path ≈ 128 ms, leaving the
+    // paper's 267 ms p99 SLA ≈ 2× headroom for load-dependent queueing.
+    let n1 = g.add(func(
+        "compose-post",
+        8.0,
+        Demand::new(0.167, 0.667, 0.267, 0.0, 2.5, 0.25),
+        Sensitivity::new(0.3, 0.3, 0.3),
+        MicroarchBaseline {
+            ipc: 1.8,
+            context_switches: 2000.0,
+            ..MicroarchBaseline::generic()
+        },
+        3,
+    ));
+    let n2 = g.add(func(
+        "upload-media",
+        45.0,
+        Demand::new(0.4, 2.667, 0.667, 10.0, 20.0, 0.4),
+        Sensitivity::new(0.8, 0.6, 0.4),
+        MicroarchBaseline {
+            ipc: 1.2,
+            l3_mpki: 2.5,
+            ..MicroarchBaseline::generic()
+        },
+        3,
+    ));
+    let n3 = g.add(func(
+        "upload-text",
+        10.0,
+        Demand::new(0.133, 0.667, 0.2, 0.0, 2.0, 0.125),
+        Sensitivity::new(0.5, 0.4, 0.3),
+        MicroarchBaseline::generic(),
+        3,
+    ));
+    let n4 = g.add(func(
+        "upload-urls",
+        12.0,
+        Demand::new(0.133, 0.667, 0.2, 0.0, 3.0, 0.125),
+        Sensitivity::new(0.5, 0.4, 0.3),
+        MicroarchBaseline::generic(),
+        3,
+    ));
+    let n5 = g.add(func(
+        "upload-unique-id",
+        6.0,
+        Demand::new(0.1, 0.333, 0.1, 0.0, 1.0, 0.125),
+        Sensitivity::new(0.4, 0.3, 0.3),
+        MicroarchBaseline {
+            ipc: 2.0,
+            ..MicroarchBaseline::generic()
+        },
+        3,
+    ));
+    let n6 = g.add(func(
+        "compose-and-upload",
+        30.0,
+        Demand::new(0.333, 3.333, 1.0, 0.0, 7.5, 0.4),
+        Sensitivity::new(1.0, 1.0, 0.5),
+        MicroarchBaseline {
+            ipc: 1.4,
+            l3_mpki: 3.0,
+            ..MicroarchBaseline::generic()
+        },
+        3,
+    ));
+    let n7 = g.add(func(
+        "post-storage",
+        15.0,
+        Demand::new(0.167, 1.333, 0.5, 20.0, 4.0, 0.25),
+        Sensitivity::new(0.6, 0.6, 0.3),
+        MicroarchBaseline {
+            ipc: 1.0,
+            ..MicroarchBaseline::generic()
+        },
+        3,
+    ));
+    let n8 = g.add(func(
+        "upload-home-timeline",
+        25.0,
+        Demand::new(0.267, 2.667, 0.833, 0.0, 6.0, 0.3),
+        Sensitivity::new(1.2, 1.0, 0.4),
+        MicroarchBaseline {
+            ipc: 1.3,
+            l3_mpki: 2.8,
+            ..MicroarchBaseline::generic()
+        },
+        3,
+    ));
+    // ⑨ get-followers: cache/memory-heavy fan-out read — the function the
+    // paper finds 3× more sensitive than ① (Observation 2).
+    let n9 = g.add(func(
+        "get-followers",
+        20.0,
+        Demand::new(0.333, 5.333, 1.333, 0.0, 5.0, 0.4),
+        Sensitivity::new(2.2, 2.5, 0.6),
+        MicroarchBaseline {
+            ipc: 0.9,
+            l3_mpki: 6.0,
+            l2_mpki: 9.0,
+            dtlb_mpki: 2.0,
+            ..MicroarchBaseline::generic()
+        },
+        3,
+    ));
+
+    g.link(n1, n2, CallKind::Nested);
+    g.link(n1, n3, CallKind::Nested);
+    g.link(n1, n4, CallKind::Nested);
+    g.link(n1, n5, CallKind::Nested);
+    g.link(n2, n6, CallKind::Async);
+    g.link(n3, n6, CallKind::Async);
+    g.link(n4, n6, CallKind::Async);
+    g.link(n5, n6, CallKind::Async);
+    g.link(n6, n7, CallKind::Async);
+    g.link(n6, n8, CallKind::Async);
+    g.link(n8, n9, CallKind::Nested);
+
+    Workload::new("social-network", WorkloadClass::LatencySensitive, g)
+}
+
+/// Node ids of the Fig. 2 functions in ①..⑨ order.
+pub fn numbered_nodes(w: &Workload) -> Vec<NodeId> {
+    FUNCTION_NAMES
+        .iter()
+        .map(|name| w.graph.find(name).expect("social network function missing"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_nine_functions_named_like_fig2() {
+        let w = message_posting();
+        assert_eq!(w.num_functions(), 9);
+        for name in FUNCTION_NAMES {
+            assert!(w.graph.find(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn critical_path_matches_paper() {
+        let w = message_posting();
+        let nodes = numbered_nodes(&w);
+        let cp = w.graph.critical_path();
+        // Critical: ① ② ⑥ ⑧ ⑨ (indices 0, 1, 5, 7, 8).
+        for &i in &[0usize, 1, 5, 7, 8] {
+            assert!(cp.contains(&nodes[i]), "fn {} should be critical", i + 1);
+        }
+        // Non-critical: ③ ④ ⑤ ⑦ (indices 2, 3, 4, 6).
+        for &i in &[2usize, 3, 4, 6] {
+            assert!(!cp.contains(&nodes[i]), "fn {} should not be critical", i + 1);
+        }
+    }
+
+    #[test]
+    fn solo_latency_under_sla() {
+        let w = message_posting();
+        let solo_ms = w.critical_path_duration().as_millis();
+        assert!(
+            solo_ms < SLA_P99_MS / 1.5,
+            "solo latency {solo_ms} ms leaves no SLA headroom"
+        );
+        assert!(solo_ms > 100.0, "solo latency {solo_ms} ms implausibly low");
+    }
+
+    #[test]
+    fn get_followers_most_sensitive() {
+        let w = message_posting();
+        let nodes = numbered_nodes(&w);
+        let sens9 = w.graph.func(nodes[8]).phases[0].sens;
+        let sens1 = w.graph.func(nodes[0]).phases[0].sens;
+        assert!(sens9.llc > 3.0 * sens1.llc, "Observation 2's 3x spread");
+    }
+
+    #[test]
+    fn all_functions_have_cold_starts() {
+        let w = message_posting();
+        for id in w.graph.ids() {
+            assert!(w.graph.func(id).cold_start.is_some());
+        }
+    }
+
+    #[test]
+    fn functions_are_small() {
+        // Azure characterization: 90 % of functions under 400 MB.
+        let w = message_posting();
+        for id in w.graph.ids() {
+            assert!(w.graph.func(id).memory_gb <= 0.4);
+        }
+    }
+}

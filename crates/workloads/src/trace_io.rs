@@ -1,0 +1,189 @@
+//! Invocation-trace import/export.
+//!
+//! The paper replays the (non-redistributable) Azure Functions production
+//! trace; this module lets a downstream user plug a *real* trace in: a CSV
+//! of `minute,invocations` rows — the shape of the published Azure dataset's
+//! per-function invocation counts — parses into a [`PiecewiseRate`] that the
+//! load generator can sample arrivals from, and any [`RateProfile`] can be
+//! exported back to the same format for inspection.
+
+use crate::azure_trace::RateProfile;
+use simcore::dist::poisson;
+use simcore::{SimRng, SimTime};
+
+/// A piecewise-constant request-rate profile (one rate per fixed-length
+/// bucket, requests/second).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseRate {
+    /// Bucket length.
+    pub bucket: SimTime,
+    /// Rate (req/s) per bucket.
+    pub rates: Vec<f64>,
+}
+
+impl PiecewiseRate {
+    /// Construct; panics on empty rates, zero bucket, or negative rates.
+    pub fn new(bucket: SimTime, rates: Vec<f64>) -> Self {
+        assert!(bucket > SimTime::ZERO, "bucket must be positive");
+        assert!(!rates.is_empty(), "need at least one bucket");
+        assert!(rates.iter().all(|&r| r >= 0.0), "negative rate");
+        Self { bucket, rates }
+    }
+
+    /// Rate at time `t` (zero past the end of the trace).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        let idx = (t.as_micros() / self.bucket.as_micros()) as usize;
+        self.rates.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Total covered duration.
+    pub fn duration(&self) -> SimTime {
+        SimTime(self.bucket.as_micros() * self.rates.len() as u64)
+    }
+
+    /// Sample Poisson arrival times over the whole trace.
+    pub fn arrivals(&self, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut out = Vec::new();
+        let bucket_s = self.bucket.as_secs();
+        for (i, &rate) in self.rates.iter().enumerate() {
+            let n = poisson(rng, rate * bucket_s);
+            let start = self.bucket.as_micros() * i as u64;
+            let mut in_bucket: Vec<u64> = (0..n)
+                .map(|_| start + (rng.f64() * self.bucket.as_micros() as f64) as u64)
+                .collect();
+            in_bucket.sort_unstable();
+            out.extend(in_bucket.into_iter().map(SimTime));
+        }
+        out
+    }
+
+    /// Parse from CSV text: header optional, rows `bucket_index,invocations`
+    /// (invocations per bucket, converted to req/s). Blank lines ignored.
+    pub fn from_csv(text: &str, bucket: SimTime) -> Result<Self, String> {
+        let mut rows: Vec<(usize, f64)> = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split(',');
+            let a = parts.next().unwrap_or("").trim();
+            let b = parts
+                .next()
+                .ok_or_else(|| format!("line {}: expected two columns", lineno + 1))?
+                .trim();
+            // Skip a header row.
+            if a.parse::<usize>().is_err() && lineno == 0 {
+                continue;
+            }
+            let idx: usize = a
+                .parse()
+                .map_err(|_| format!("line {}: bad bucket index {a:?}", lineno + 1))?;
+            let count: f64 = b
+                .parse()
+                .map_err(|_| format!("line {}: bad count {b:?}", lineno + 1))?;
+            if count < 0.0 {
+                return Err(format!("line {}: negative count", lineno + 1));
+            }
+            rows.push((idx, count));
+        }
+        if rows.is_empty() {
+            return Err("no data rows".into());
+        }
+        let max_idx = rows.iter().map(|r| r.0).max().expect("non-empty");
+        let mut rates = vec![0.0; max_idx + 1];
+        let bucket_s = bucket.as_secs();
+        for (idx, count) in rows {
+            rates[idx] = count / bucket_s;
+        }
+        Ok(Self::new(bucket, rates))
+    }
+
+    /// Serialise to the same CSV shape (counts per bucket).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("bucket,invocations\n");
+        let bucket_s = self.bucket.as_secs();
+        for (i, &rate) in self.rates.iter().enumerate() {
+            out.push_str(&format!("{},{}\n", i, (rate * bucket_s).round() as u64));
+        }
+        out
+    }
+}
+
+/// Sample a [`RateProfile`] into a per-minute piecewise trace covering
+/// `horizon` (deterministic: mean rates, no jitter).
+pub fn profile_to_piecewise(profile: &RateProfile, horizon: SimTime) -> PiecewiseRate {
+    let bucket = SimTime::from_secs(60.0);
+    let n = (horizon.as_micros().div_ceil(bucket.as_micros())) as usize;
+    let rates = (0..n)
+        .map(|i| profile.rate_at(SimTime(bucket.as_micros() * i as u64 + bucket.as_micros() / 2)))
+        .collect();
+    PiecewiseRate::new(bucket, rates)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_lookup_and_duration() {
+        let p = PiecewiseRate::new(SimTime::from_secs(60.0), vec![1.0, 5.0, 2.0]);
+        assert_eq!(p.rate_at(SimTime::from_secs(30.0)), 1.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(90.0)), 5.0);
+        assert_eq!(p.rate_at(SimTime::from_secs(1000.0)), 0.0);
+        assert_eq!(p.duration(), SimTime::from_secs(180.0));
+    }
+
+    #[test]
+    fn arrivals_follow_rates() {
+        let p = PiecewiseRate::new(SimTime::from_secs(60.0), vec![1.0, 20.0]);
+        let mut rng = SimRng::new(1);
+        let arr = p.arrivals(&mut rng);
+        let first: usize = arr.iter().filter(|t| t.as_secs() < 60.0).count();
+        let second = arr.len() - first;
+        assert!(second > 5 * first, "{first} vs {second}");
+        // Sorted.
+        for w in arr.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let p = PiecewiseRate::new(SimTime::from_secs(60.0), vec![1.0, 5.0, 0.0, 2.5]);
+        let csv = p.to_csv();
+        let back = PiecewiseRate::from_csv(&csv, SimTime::from_secs(60.0)).unwrap();
+        assert_eq!(back.rates.len(), 4);
+        assert!((back.rates[1] - 5.0).abs() < 1e-9);
+        // 2.5 req/s × 60 s = 150 invocations → exact roundtrip.
+        assert!((back.rates[3] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_with_header_and_gaps() {
+        let text = "bucket,invocations\n0,60\n3,120\n";
+        let p = PiecewiseRate::from_csv(text, SimTime::from_secs(60.0)).unwrap();
+        assert_eq!(p.rates.len(), 4);
+        assert_eq!(p.rates[0], 1.0);
+        assert_eq!(p.rates[1], 0.0, "gap bucket defaults to zero");
+        assert_eq!(p.rates[3], 2.0);
+    }
+
+    #[test]
+    fn csv_errors() {
+        assert!(PiecewiseRate::from_csv("", SimTime::from_secs(60.0)).is_err());
+        assert!(PiecewiseRate::from_csv("0", SimTime::from_secs(60.0)).is_err());
+        assert!(PiecewiseRate::from_csv("0,-5", SimTime::from_secs(60.0)).is_err());
+        assert!(PiecewiseRate::from_csv("x,5\n1,y", SimTime::from_secs(60.0)).is_err());
+    }
+
+    #[test]
+    fn profile_sampling_preserves_diurnal_shape() {
+        let profile = RateProfile::azure_like(50.0);
+        let p = profile_to_piecewise(&profile, SimTime::from_secs(86_400.0));
+        assert_eq!(p.rates.len(), 1440);
+        let peak = p.rate_at(SimTime::from_secs(15.0 * 3600.0));
+        let trough = p.rate_at(SimTime::from_secs(3.0 * 3600.0));
+        assert!(peak > 2.0 * trough);
+    }
+}

@@ -1,0 +1,106 @@
+//! Quickstart: the whole Gsight pipeline in one file.
+//!
+//! 1. Profile two workloads solo (the only per-workload measurement Gsight
+//!    needs).
+//! 2. Generate a small labeled corpus by colocating them at random
+//!    placements on the simulated 8-node testbed.
+//! 3. Bootstrap an IRFR predictor on the corpus.
+//! 4. Ask the predictor about two hypothetical placements of a new
+//!    colocation — packed vs separated — and compare with the simulator's
+//!    ground truth.
+//!
+//! Run with: `cargo run --release -p bench --example quickstart`
+
+use cluster::ClusterConfig;
+use experiments::corpus::{run_colocation, ColoSetup, ProfileBook};
+use gsight::{GsightConfig, GsightPredictor, QosTarget, Scenario};
+use simcore::rng::seed_stream;
+use simcore::{SimRng, SimTime};
+use std::sync::Arc;
+
+fn main() {
+    let seed = 42;
+    let cluster = ClusterConfig::paper_testbed();
+
+    // ---- 1. solo-run profiling ----
+    println!("profiling workloads solo (dedicated node, 1 Hz metrics)...");
+    let mut book = ProfileBook::new();
+    book.add(&workloads::socialnetwork::message_posting(), 20.0, seed, true);
+    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, seed, true);
+    let sn = book.get("social-network", 20.0);
+    let mm = book.get("matrix-multiplication", 0.0);
+    println!(
+        "  social-network: solo IPC {:.2}, solo p99 {:.1} ms",
+        sn.solo_ipc, sn.solo_p99_ms
+    );
+    println!("  matmul:         solo JCT {:.0} s", mm.solo_jct_s);
+
+    // ---- 2. labeled corpus from random colocations ----
+    println!("\ngenerating a labeled corpus (120 colocation runs)...");
+    let mut rng = SimRng::new(seed);
+    let mut samples: Vec<(Scenario, f64)> = Vec::new();
+    for i in 0..120 {
+        // Half the corpus uses fully packed placements (like the queries
+        // below), half uses per-function random spread.
+        let sn_placement: Vec<usize> = if rng.chance(0.5) {
+            vec![rng.index(2); 9]
+        } else {
+            (0..9).map(|_| rng.index(2)).collect()
+        };
+        let mm_server = rng.index(2);
+        let target = ColoSetup {
+            placement: sn_placement,
+            qps: 20.0,
+            start_delay: SimTime::ZERO,
+            pw: Arc::clone(&sn),
+        };
+        let corun = ColoSetup::packed(Arc::clone(&mm), mm_server);
+        let out = run_colocation(
+            &cluster,
+            &[target, corun],
+            SimTime::from_secs(20.0),
+            seed_stream(seed, i),
+        );
+        samples.push((out.scenario, out.ipc));
+    }
+
+    // ---- 3. train the predictor ----
+    let mut predictor = GsightPredictor::new(GsightConfig::paper(QosTarget::Ipc, seed));
+    predictor.bootstrap(&samples);
+    println!(
+        "trained IRFR on {} samples ({} feature dims)",
+        predictor.samples_seen(),
+        predictor.feature_dim()
+    );
+
+    // ---- 4. what-if: packed vs separated placement ----
+    println!("\nwhat-if analysis for a new colocation:");
+    for (label, sn_server, mm_server) in [("packed (same server)", 0usize, 0usize),
+                                          ("separated            ", 0, 1)] {
+        let target = ColoSetup {
+            placement: vec![sn_server; 9],
+            qps: 20.0,
+            start_delay: SimTime::ZERO,
+            pw: Arc::clone(&sn),
+        };
+        let corun = ColoSetup::packed(Arc::clone(&mm), mm_server);
+        let scenario = Scenario::new(
+            target.as_colo(),
+            vec![corun.as_colo()],
+            cluster.num_servers(),
+        );
+        let predicted = predictor.predict(&scenario);
+        let actual = run_colocation(
+            &cluster,
+            &[target, corun],
+            SimTime::from_secs(20.0),
+            seed ^ 0xABCD,
+        )
+        .ipc;
+        println!(
+            "  {label}: predicted IPC {predicted:.3}, simulated IPC {actual:.3} (error {:.1}%)",
+            100.0 * (predicted - actual).abs() / actual
+        );
+    }
+    println!("\nthe packed placement predicts (and measures) lower IPC — that is partial interference.");
+}

