@@ -39,6 +39,10 @@ impl Placer for BestFit {
             socket: least_loaded_socket(view, server),
         })
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
 }
 
 /// Worst-Fit: the feasible server with the *largest* CPU headroom.
@@ -65,6 +69,10 @@ impl Placer for WorstFit {
             server,
             socket: least_loaded_socket(view, server),
         })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

@@ -1,27 +1,73 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [id...]     run the named experiments (default: all)
+//! repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [id...]
 //! repro --list                list experiment ids
 //! ```
 //!
 //! Full mode uses paper-scale parameters and can take tens of minutes; pass
 //! `--quick` for a CI-sized pass with the same code paths.
+//!
+//! Observability: `--obs` collects telemetry/audit/profiling summaries into
+//! the rendered output; `--trace-dir DIR` additionally records request
+//! traces and writes the artifacts (Chrome trace JSON for Perfetto /
+//! `chrome://tracing`, telemetry + audit JSONL) under `DIR`. Every run also
+//! emits a machine-readable summary — per-experiment wall time and headline
+//! metrics — to `BENCH_repro.json` (override with `--json PATH`).
 
-use experiments::all_experiments;
+use experiments::{all_experiments, RunOpts};
+use obs::json::Json;
+use std::path::PathBuf;
+
+struct Cli {
+    opts: RunOpts,
+    list: bool,
+    json_path: PathBuf,
+    ids: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        opts: RunOpts::full(),
+        list: false,
+        json_path: PathBuf::from("BENCH_repro.json"),
+        ids: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => cli.opts.quick = true,
+            "--obs" => cli.opts.obs = true,
+            "--list" => cli.list = true,
+            "--trace-dir" => {
+                let dir = it.next().ok_or("--trace-dir requires a directory")?;
+                cli.opts.trace_dir = Some(PathBuf::from(dir));
+            }
+            "--json" => {
+                let p = it.next().ok_or("--json requires a path")?;
+                cli.json_path = PathBuf::from(p);
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            id => cli.ids.push(id.to_string()),
+        }
+    }
+    Ok(cli)
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let list = args.iter().any(|a| a == "--list");
-    let ids: Vec<&str> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .collect();
+    let cli = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!(
+                "{e}; usage: repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [id...]"
+            );
+            std::process::exit(2);
+        }
+    };
 
     let experiments = all_experiments();
-    if list {
+    if cli.list {
         for e in &experiments {
             println!("{:8}  {}", e.id, e.title);
         }
@@ -29,24 +75,47 @@ fn main() {
     }
     let selected: Vec<_> = experiments
         .iter()
-        .filter(|e| ids.is_empty() || ids.contains(&e.id))
+        .filter(|e| cli.ids.is_empty() || cli.ids.iter().any(|id| id == e.id))
         .collect();
     if selected.is_empty() {
-        eprintln!("no experiment matches {ids:?}; try --list");
+        eprintln!("no experiment matches {:?}; try --list", cli.ids);
         std::process::exit(1);
     }
     println!(
-        "# Gsight reproduction — {} mode\n",
-        if quick { "quick" } else { "full" }
+        "# Gsight reproduction — {} mode{}\n",
+        if cli.opts.quick { "quick" } else { "full" },
+        match &cli.opts.trace_dir {
+            Some(d) => format!(", tracing to {}", d.display()),
+            None if cli.opts.obs => ", observability on".to_string(),
+            None => String::new(),
+        }
     );
+    let suite_start = std::time::Instant::now();
+    let mut bench_entries: Vec<Json> = Vec::new();
     for e in selected {
         let start = std::time::Instant::now();
-        let result = (e.run)(quick);
+        let result = (e.run)(&cli.opts);
+        let wall_s = start.elapsed().as_secs_f64();
         println!("{}", result.render());
-        println!(
-            "[{} finished in {:.1} s]\n",
-            e.id,
-            start.elapsed().as_secs_f64()
+        println!("[{} finished in {wall_s:.1} s]\n", e.id);
+        let metrics = result
+            .metrics
+            .iter()
+            .fold(Json::obj(), |o, (k, v)| o.field(k.as_str(), *v));
+        bench_entries.push(
+            Json::obj()
+                .field("id", e.id)
+                .field("title", e.title)
+                .field("wall_s", wall_s)
+                .field("metrics", metrics),
         );
+    }
+    let bench = Json::obj()
+        .field("mode", if cli.opts.quick { "quick" } else { "full" })
+        .field("total_wall_s", suite_start.elapsed().as_secs_f64())
+        .field("experiments", Json::Arr(bench_entries));
+    match std::fs::write(&cli.json_path, bench.render() + "\n") {
+        Ok(()) => println!("machine-readable summary -> {}", cli.json_path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", cli.json_path.display()),
     }
 }

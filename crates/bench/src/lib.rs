@@ -38,7 +38,16 @@ pub fn synthetic_colo(rng: &mut SimRng, n_funcs: usize, num_servers: usize) -> C
         .collect();
     let placement: Vec<usize> = (0..n_funcs).map(|_| rng.index(num_servers)).collect();
     let demands: Vec<Demand> = (0..n_funcs)
-        .map(|_| Demand::new(rng.f64() * 2.0, rng.f64() * 10.0, rng.f64() * 5.0, 0.0, 0.0, 0.3))
+        .map(|_| {
+            Demand::new(
+                rng.f64() * 2.0,
+                rng.f64() * 10.0,
+                rng.f64() * 5.0,
+                0.0,
+                0.0,
+                0.3,
+            )
+        })
         .collect();
     ColoWorkload::new(
         WorkloadProfile::new("w", functions),

@@ -404,7 +404,15 @@ mod tests {
     #[test]
     fn mixed_boundedness_weights_components() {
         let mut s = ServerState::new(ServerSpec::small());
-        let mixed = inst(2.0, 0.0, 0.0, 150.0, 0.0, Boundedness::new(0.5, 0.5, 0.0), 0);
+        let mixed = inst(
+            2.0,
+            0.0,
+            0.0,
+            150.0,
+            0.0,
+            Boundedness::new(0.5, 0.5, 0.0),
+            0,
+        );
         s.add(mixed);
         s.add(mixed);
         let ic = s.contention().instance(&mixed);

@@ -173,8 +173,14 @@ mod tests {
             .instance(&victim)
             .slowdown;
         let part = Partitioning::new(vec![
-            PartitionClass { llc_fraction: 0.2, membw_fraction: 0.2 },
-            PartitionClass { llc_fraction: 0.8, membw_fraction: 0.8 },
+            PartitionClass {
+                llc_fraction: 0.2,
+                membw_fraction: 0.2,
+            },
+            PartitionClass {
+                llc_fraction: 0.8,
+                membw_fraction: 0.8,
+            },
         ]);
         let shielded = part
             .instance(&spec(), &[(victim, 0), (aggressor, 1)], 0)

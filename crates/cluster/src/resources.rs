@@ -153,7 +153,10 @@ pub struct Boundedness {
 impl Boundedness {
     /// Construct and validate (fractions non-negative, summing to 1 ± 1e-6).
     pub fn new(cpu: f64, disk: f64, net: f64) -> Self {
-        assert!(cpu >= 0.0 && disk >= 0.0 && net >= 0.0, "negative boundedness");
+        assert!(
+            cpu >= 0.0 && disk >= 0.0 && net >= 0.0,
+            "negative boundedness"
+        );
         let sum = cpu + disk + net;
         assert!(
             (sum - 1.0).abs() < 1e-6,

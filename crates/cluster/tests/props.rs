@@ -1,3 +1,8 @@
+// Property-based suites need the crates.io `proptest` crate, which this
+// offline workspace cannot fetch; the whole file is compiled only when the
+// crate's `proptest` feature is enabled (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for the contention model's physical invariants.
 
 use cluster::{Boundedness, Demand, InstanceLoad, Sensitivity, ServerSpec, ServerState};
@@ -5,15 +10,15 @@ use proptest::prelude::*;
 
 fn arb_load(sockets: usize) -> impl Strategy<Value = InstanceLoad> {
     (
-        0.1f64..6.0,  // cpu
-        0.0f64..40.0, // membw
-        0.0f64..15.0, // llc
+        0.1f64..6.0,   // cpu
+        0.0f64..40.0,  // membw
+        0.0f64..15.0,  // llc
         0.0f64..300.0, // disk
         0.0f64..600.0, // net
-        0.1f64..4.0,  // memory
-        0.0f64..2.0,  // sens membw
-        0.0f64..2.0,  // sens llc
-        0.0f64..1.0,  // sens smt
+        0.1f64..4.0,   // memory
+        0.0f64..2.0,   // sens membw
+        0.0f64..2.0,   // sens llc
+        0.0f64..1.0,   // sens smt
         0..sockets,
     )
         .prop_map(

@@ -156,11 +156,7 @@ mod tests {
     fn temporal_code_at_tail() {
         let cfg = small_config();
         let sc = colo(1.0, 0, WorkloadClass::ShortTerm).with_timing(60.0, 430.0);
-        let s = crate::scenario::Scenario::new(
-            colo(1.0, 1, WorkloadClass::ShortTerm),
-            vec![sc],
-            2,
-        );
+        let s = crate::scenario::Scenario::new(colo(1.0, 1, WorkloadClass::ShortTerm), vec![sc], 2);
         let x = featurize(&s, &cfg);
         let spatial = 3 * 2 * 2 * 16;
         // D = [0, 60, 0], T = [0, 430, 0].

@@ -151,6 +151,24 @@ impl GsightPredictor {
         self.model.update(&data);
     }
 
+    /// [`predict`](Self::predict) with wall-clock profiling: the call is
+    /// recorded under the `"predictor.predict"` stage (Fig. 14's inference
+    /// cost).
+    pub fn predict_profiled(&self, scenario: &Scenario, prof: &mut obs::WallProfiler) -> f64 {
+        prof.time("predictor.predict", || self.predict(scenario))
+    }
+
+    /// Incremental update with wall-clock profiling, recorded under the
+    /// `"predictor.partial_fit"` stage (Fig. 14's update cost). Equivalent
+    /// to [`update_batch`](Self::update_batch).
+    pub fn partial_fit_profiled(
+        &mut self,
+        samples: &[(Scenario, f64)],
+        prof: &mut obs::WallProfiler,
+    ) {
+        prof.time("predictor.partial_fit", || self.update_batch(samples));
+    }
+
     /// Total samples absorbed.
     pub fn samples_seen(&self) -> usize {
         self.model.samples_seen()
@@ -173,13 +191,7 @@ impl GsightPredictor {
                 *v /= total;
             }
         }
-        Some(
-            Metric::SELECTED
-                .iter()
-                .copied()
-                .zip(by_metric)
-                .collect(),
-        )
+        Some(Metric::SELECTED.iter().copied().zip(by_metric).collect())
     }
 }
 

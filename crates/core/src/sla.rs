@@ -67,7 +67,11 @@ impl LatencyIpcCurve {
         if self.points.is_empty() || bins == 0 {
             return None;
         }
-        let min_ipc = self.points.iter().map(|(i, _)| *i).fold(f64::INFINITY, f64::min);
+        let min_ipc = self
+            .points
+            .iter()
+            .map(|(i, _)| *i)
+            .fold(f64::INFINITY, f64::min);
         let max_ipc = self
             .points
             .iter()
@@ -102,7 +106,11 @@ impl LatencyIpcCurve {
         if self.points.is_empty() || bins == 0 {
             return Vec::new();
         }
-        let min_ipc = self.points.iter().map(|(i, _)| *i).fold(f64::INFINITY, f64::min);
+        let min_ipc = self
+            .points
+            .iter()
+            .map(|(i, _)| *i)
+            .fold(f64::INFINITY, f64::min);
         let max_ipc = self
             .points
             .iter()
@@ -113,7 +121,8 @@ impl LatencyIpcCurve {
             .filter_map(|b| {
                 let lo = min_ipc + b as f64 * width;
                 let hi = lo + width + if b == bins - 1 { 1e-9 } else { 0.0 };
-                self.mean_latency_in(lo, hi).map(|lat| (lo + width / 2.0, lat))
+                self.mean_latency_in(lo, hi)
+                    .map(|lat| (lo + width / 2.0, lat))
             })
             .collect()
     }
@@ -231,12 +240,8 @@ mod tests {
 
     #[test]
     fn flat_curve_knee_is_lowest_bin() {
-        let c = LatencyIpcCurve::from_points(&[
-            (0.5, 100.0),
-            (1.0, 100.0),
-            (1.5, 100.0),
-            (2.0, 100.0),
-        ]);
+        let c =
+            LatencyIpcCurve::from_points(&[(0.5, 100.0), (1.0, 100.0), (1.5, 100.0), (2.0, 100.0)]);
         let knee = c.knee(4, 1.5).unwrap();
         // `binned` reports bin centres; the lowest bin's centre is 0.6875.
         assert!(knee <= 0.7, "flat curve: knee at the bottom, got {knee}");

@@ -13,7 +13,7 @@
 //!    why static partitioning suits neither high-density serverless.
 
 use crate::corpus::{generate_mixed, labeled_for, merge_scenario, standard_profile_book};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use cluster::{
     Boundedness, ClusterConfig, ContentionState, Demand, InstanceLoad, PartitionClass,
     Partitioning, Sensitivity, ServerSpec,
@@ -171,7 +171,8 @@ pub fn partitioning_study() -> Vec<(String, f64, f64)> {
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let mut result = ExperimentResult::new("ablation", "design-choice ablations (extension)");
     let book = standard_profile_book(SEED, quick);
     let cluster = ClusterConfig::paper_testbed();
@@ -248,10 +249,17 @@ pub fn run(quick: bool) -> ExperimentResult {
         fnum(full_err * 100.0, 2) + "%",
         "-".to_string(),
     ]);
-    result.table(format!("(3) PCA compression (paper SS6.4 future work)\n{}", t.render()));
+    result.table(format!(
+        "(3) PCA compression (paper SS6.4 future work)\n{}",
+        t.render()
+    ));
 
     // ---- 4. partitioning study ----
-    let mut t = TextTable::new(vec!["mix", "shared slowdown", "partitioned (50/50) slowdown"]);
+    let mut t = TextTable::new(vec![
+        "mix",
+        "shared slowdown",
+        "partitioned (50/50) slowdown",
+    ]);
     for (name, shared, partitioned) in partitioning_study() {
         t.row(vec![name, fnum(shared, 2), fnum(partitioned, 2)]);
     }
@@ -263,6 +271,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         "partitioning shields light victims but penalises anything whose demand \
          exceeds its slice — the capacity-waste argument of the paper's introduction",
     );
+    result.metric("pca_full_dim_err", full_err);
     result
 }
 

@@ -15,7 +15,7 @@ use platform::profiling::{profile_workload, ProfilingConfig};
 use platform::report::RunReport;
 use platform::scale::PlacementDecision;
 use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
-use rayon::prelude::*;
+use simcore::par::par_map_range;
 use simcore::rng::seed_stream;
 use simcore::{SimRng, SimTime};
 use std::collections::HashMap;
@@ -320,7 +320,12 @@ pub const QPS_LEVELS: [f64; 3] = [10.0, 20.0, 30.0];
 pub fn standard_profile_book(seed: u64, quick: bool) -> ProfileBook {
     let mut book = ProfileBook::new();
     for qps in QPS_LEVELS {
-        book.add(&workloads::socialnetwork::message_posting(), qps, seed, quick);
+        book.add(
+            &workloads::socialnetwork::message_posting(),
+            qps,
+            seed,
+            quick,
+        );
         book.add(&workloads::ecommerce::browse_and_buy(), qps, seed, quick);
     }
     for w in workloads::functionbench::all() {
@@ -344,9 +349,16 @@ const SCBG_POOL: [&str; 5] = [
 
 /// Random placement of a workload's nodes over `spread` of the first
 /// `server_pool` servers.
-fn random_placement(n_nodes: usize, server_pool: usize, spread: usize, rng: &mut SimRng) -> Vec<usize> {
+fn random_placement(
+    n_nodes: usize,
+    server_pool: usize,
+    spread: usize,
+    rng: &mut SimRng,
+) -> Vec<usize> {
     let servers: Vec<usize> = rng.sample_indices(server_pool, spread.max(1));
-    (0..n_nodes).map(|_| servers[rng.index(servers.len())]).collect()
+    (0..n_nodes)
+        .map(|_| servers[rng.index(servers.len())])
+        .collect()
 }
 
 /// Generate one random sample of a group.
@@ -401,7 +413,11 @@ fn generate_sample(
             setups.push(setup(t, qps, 0.0, &mut rng));
             for i in 0..n_corun {
                 let c = SCBG_POOL[rng.index(SCBG_POOL.len())];
-                let delay = if i == 0 { 0.0 } else { window.as_secs() / 4.0 * rng.index(3) as f64 };
+                let delay = if i == 0 {
+                    0.0
+                } else {
+                    window.as_secs() / 4.0 * rng.index(3) as f64
+                };
                 setups.push(setup(c, 0.0, delay, &mut rng));
             }
         }
@@ -443,10 +459,7 @@ pub fn merge_scenario(s: &Scenario) -> Scenario {
     let merge = |w: &ColoWorkload| -> ColoWorkload {
         let merged_profile =
             metricsd::WorkloadProfile::new(w.profile.workload.clone(), vec![w.profile.merged()]);
-        let total_demand = w
-            .demands
-            .iter()
-            .fold(Demand::zero(), |acc, d| acc.add(d));
+        let total_demand = w.demands.iter().fold(Demand::zero(), |acc, d| acc.add(d));
         let mut c = ColoWorkload::new(
             merged_profile,
             w.class,
@@ -490,19 +503,16 @@ pub fn generate_group_n(
     quick: bool,
     max_corunners: usize,
 ) -> Vec<LabeledSample> {
-    (0..n)
-        .into_par_iter()
-        .map(|i| {
-            generate_sample(
-                group,
-                book,
-                cluster,
-                seed_stream(seed, i as u64),
-                quick,
-                max_corunners,
-            )
-        })
-        .collect()
+    par_map_range(n, |i| {
+        generate_sample(
+            group,
+            book,
+            cluster,
+            seed_stream(seed, i as u64),
+            quick,
+            max_corunners,
+        )
+    })
 }
 
 /// Generate a mixed corpus across all three groups.
@@ -546,56 +556,53 @@ pub fn generate_custom(
     } else {
         SimTime::from_secs(60.0)
     };
-    (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = SimRng::new(seed_stream(seed, i as u64));
-            let (tname, tqps) = targets[rng.index(targets.len())];
-            let target_pw = book.get(tname, tqps);
-            let n_nodes = target_pw.workload.graph.len();
-            let spread = 1 + rng.index(2);
-            let target = ColoSetup {
-                placement: random_placement(n_nodes, pool, spread, &mut rng),
-                qps: tqps,
-                start_delay: SimTime::ZERO,
-                pw: target_pw.clone(),
-            };
-            let mut setups = vec![target];
-            let n_corun = 1 + rng.index(2);
-            for k in 0..n_corun {
-                let cname = corunners[rng.index(corunners.len())];
-                let pw = book.get(cname, 0.0);
-                let cn = pw.workload.graph.len();
-                let cspread = 1 + rng.index(2);
-                setups.push(ColoSetup {
-                    placement: random_placement(cn, pool, cspread, &mut rng),
-                    qps: 0.0,
-                    start_delay: SimTime::from_secs(30.0 * k as f64),
-                    pw,
-                });
-            }
-            let out = run_colocation(cluster, &setups, window, seed_stream(seed, 7000 + i as u64));
-            let mut observed = Vec::new();
-            for f in &out.report.workloads[0].functions {
-                observed.extend_from_slice(&f.metric_samples);
-            }
-            LabeledSample {
-                scenario: out.scenario,
-                ipc: out.ipc,
-                p99_ms: out.p99_ms,
-                jct_s: out.jct_s,
-                group: if target_pw.workload.class == WorkloadClass::LatencySensitive {
-                    ColoGroup::LsScBg
-                } else {
-                    ColoGroup::ScScBg
-                },
-                observed: metricsd::MetricVector::mean_of(&observed),
-                solo_ipc: target_pw.solo_ipc,
-                solo_p99_ms: target_pw.solo_p99_ms,
-                solo_jct_s: target_pw.solo_jct_s,
-            }
-        })
-        .collect()
+    par_map_range(n, |i| {
+        let mut rng = SimRng::new(seed_stream(seed, i as u64));
+        let (tname, tqps) = targets[rng.index(targets.len())];
+        let target_pw = book.get(tname, tqps);
+        let n_nodes = target_pw.workload.graph.len();
+        let spread = 1 + rng.index(2);
+        let target = ColoSetup {
+            placement: random_placement(n_nodes, pool, spread, &mut rng),
+            qps: tqps,
+            start_delay: SimTime::ZERO,
+            pw: target_pw.clone(),
+        };
+        let mut setups = vec![target];
+        let n_corun = 1 + rng.index(2);
+        for k in 0..n_corun {
+            let cname = corunners[rng.index(corunners.len())];
+            let pw = book.get(cname, 0.0);
+            let cn = pw.workload.graph.len();
+            let cspread = 1 + rng.index(2);
+            setups.push(ColoSetup {
+                placement: random_placement(cn, pool, cspread, &mut rng),
+                qps: 0.0,
+                start_delay: SimTime::from_secs(30.0 * k as f64),
+                pw,
+            });
+        }
+        let out = run_colocation(cluster, &setups, window, seed_stream(seed, 7000 + i as u64));
+        let mut observed = Vec::new();
+        for f in &out.report.workloads[0].functions {
+            observed.extend_from_slice(&f.metric_samples);
+        }
+        LabeledSample {
+            scenario: out.scenario,
+            ipc: out.ipc,
+            p99_ms: out.p99_ms,
+            jct_s: out.jct_s,
+            group: if target_pw.workload.class == WorkloadClass::LatencySensitive {
+                ColoGroup::LsScBg
+            } else {
+                ColoGroup::ScScBg
+            },
+            observed: metricsd::MetricVector::mean_of(&observed),
+            solo_ipc: target_pw.solo_ipc,
+            solo_p99_ms: target_pw.solo_p99_ms,
+            solo_jct_s: target_pw.solo_jct_s,
+        }
+    })
 }
 
 /// Convert samples into `(Scenario, label)` pairs for a given QoS target,
@@ -621,10 +628,7 @@ pub fn labeled_for_filtered(
 
 /// Convert samples into `(Scenario, label)` pairs for a given QoS target,
 /// skipping samples whose label is NaN for that target.
-pub fn labeled_for(
-    samples: &[LabeledSample],
-    target: gsight::QosTarget,
-) -> Vec<(Scenario, f64)> {
+pub fn labeled_for(samples: &[LabeledSample], target: gsight::QosTarget) -> Vec<(Scenario, f64)> {
     samples
         .iter()
         .filter_map(|s| {
@@ -654,7 +658,11 @@ mod tests {
         book.add(&dd, 0.0, 1, true);
         assert_eq!(book.len(), 1);
         let pw = book.get("dd", 0.0);
-        assert!(pw.solo_jct_s > 80.0 && pw.solo_jct_s < 100.0, "{}", pw.solo_jct_s);
+        assert!(
+            pw.solo_jct_s > 80.0 && pw.solo_jct_s < 100.0,
+            "{}",
+            pw.solo_jct_s
+        );
     }
 
     #[test]

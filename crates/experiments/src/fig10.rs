@@ -15,7 +15,7 @@ use crate::corpus::{
     ColoGroup, LabeledSample,
 };
 use crate::fig9::{gsight_with, mean_error};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use baselines::ScenarioPredictor;
 use cluster::ClusterConfig;
 use gsight::{QosTarget, Scenario};
@@ -62,7 +62,8 @@ pub fn merged_labeled(samples: &[LabeledSample], target: QosTarget) -> Vec<(Scen
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let book = standard_profile_book(SEED, quick);
     let cluster = ClusterConfig::paper_testbed();
     let n_per_group = if quick { 25 } else { 250 };
@@ -156,6 +157,13 @@ pub fn run(quick: bool) -> ExperimentResult {
         ]);
     }
     result.table(format!("(c) error vs colocation count\n{}", t.render()));
+    if let Some(worst) = by_count
+        .values()
+        .map(|errs| errs.iter().sum::<f64>() / errs.len() as f64)
+        .max_by(|a, b| a.partial_cmp(b).expect("NaN error"))
+    {
+        result.metric("worst_mean_err_by_count", worst);
+    }
     result.note("paper: error < 3% for any number of colocated workloads");
     result
 }
@@ -186,7 +194,11 @@ mod tests {
             serverless[0].1,
             serverful[0].1
         );
-        assert!(serverless[0].1 < 0.25, "error too high: {}", serverless[0].1);
+        assert!(
+            serverless[0].1 < 0.25,
+            "error too high: {}",
+            serverless[0].1
+        );
     }
 
     #[test]

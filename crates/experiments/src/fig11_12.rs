@@ -17,7 +17,7 @@
 //! with SLA guarantees ≈ 95.39 % (social network) and 93.33 % (e-commerce).
 
 use crate::corpus::{generate_mixed, labeled_for, standard_profile_book, ProfileBook};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use baselines::{PythiaLike, ScenarioPredictor, WorstFit};
 use cluster::ClusterConfig;
 use gsight::{GsightConfig, GsightPredictor, LatencyIpcCurve, QosTarget};
@@ -32,7 +32,6 @@ use simcore::table::{fnum, fpct, TextTable};
 use simcore::{SimRng, SimTime};
 use workloads::azure_trace::RateProfile;
 use workloads::loadgen::profile_arrivals;
-
 
 const SEED: u64 = 0xF1_611;
 
@@ -66,6 +65,11 @@ pub struct SchedulingOutcome {
     pub sn_idx: usize,
     /// Index of the e-commerce workload.
     pub ec_idx: usize,
+    /// Platform telemetry (observed runs only).
+    pub telemetry: Option<obs::Telemetry>,
+    /// Audit log of the policy's placement decisions (observed Gsight runs
+    /// only — the other policies do not keep one).
+    pub audit: Option<obs::AuditLog>,
 }
 
 /// Per-workload SLA IPC thresholds derived from the corpus via the
@@ -131,7 +135,9 @@ impl Planner {
         let spec = workload.graph.func(workloads::NodeId(node));
         let d = {
             let view = platform::scale::ClusterView::new(&self.servers);
-            placer.place(&view, workload, node, spec).unwrap_or(fallback)
+            placer
+                .place(&view, workload, node, spec)
+                .unwrap_or(fallback)
         };
         let phase = spec.phases.first().copied();
         if let Some(ph) = phase {
@@ -148,6 +154,18 @@ impl Planner {
 
 /// Run the scheduling case study under one policy.
 pub fn scheduling_run(policy: Policy, quick: bool, seed: u64) -> SchedulingOutcome {
+    scheduling_run_observed(policy, quick, seed, false)
+}
+
+/// [`scheduling_run`] with optional observability: telemetry counters on the
+/// platform plus, under Gsight, an audit log with one record per autoscaling
+/// placement decision.
+pub fn scheduling_run_observed(
+    policy: Policy,
+    quick: bool,
+    seed: u64,
+    observe: bool,
+) -> SchedulingOutcome {
     let book = standard_profile_book(seed, quick);
     let cluster = ClusterConfig::paper_testbed();
     let horizon = SimTime::from_secs(if quick { 90.0 } else { 600.0 });
@@ -181,6 +199,9 @@ pub fn scheduling_run(policy: Policy, quick: bool, seed: u64) -> SchedulingOutco
             let mut predictor = GsightPredictor::new(config);
             ScenarioPredictor::bootstrap(&mut predictor, &labeled);
             let mut p = GsightPlacer::new(predictor);
+            if observe {
+                p.enable_audit();
+            }
             let mut entries = Vec::new();
             mk_entries(&mut entries);
             for e in entries {
@@ -206,17 +227,20 @@ pub fn scheduling_run(policy: Policy, quick: bool, seed: u64) -> SchedulingOutco
     let mut config = PlatformConfig::paper_testbed(seed ^ 0x5C_ED);
     config.cluster = cluster.clone();
     let mut sim = Simulation::new(config);
+    if observe {
+        sim.set_obs(obs::Obs::telemetry_only());
+    }
     let mut rng = SimRng::new(seed ^ 0xFEED);
 
     // Initial placement: one instance per node, chosen by the policy on a
     // reservation-aware planning view, so policies control initial packing.
     let mut planner = Planner::new(&cluster);
     let deploy_ls = |sim: &mut Simulation,
-                         placer: &mut Box<dyn Placer>,
-                         planner: &mut Planner,
-                         name: &str,
-                         profile: &RateProfile,
-                         rng: &mut SimRng|
+                     placer: &mut Box<dyn Placer>,
+                     planner: &mut Planner,
+                     name: &str,
+                     profile: &RateProfile,
+                     rng: &mut SimRng|
      -> usize {
         let pw = book.get(name, 20.0);
         let placement: Vec<Vec<PlacementDecision>> = pw
@@ -239,8 +263,22 @@ pub fn scheduling_run(policy: Policy, quick: bool, seed: u64) -> SchedulingOutco
         })
         .0
     };
-    let sn_idx = deploy_ls(&mut sim, &mut placer, &mut planner, "social-network", &sn_qps_profile, &mut rng);
-    let ec_idx = deploy_ls(&mut sim, &mut placer, &mut planner, "e-commerce", &ec_qps_profile, &mut rng);
+    let sn_idx = deploy_ls(
+        &mut sim,
+        &mut placer,
+        &mut planner,
+        "social-network",
+        &sn_qps_profile,
+        &mut rng,
+    );
+    let ec_idx = deploy_ls(
+        &mut sim,
+        &mut placer,
+        &mut planner,
+        "e-commerce",
+        &ec_qps_profile,
+        &mut rng,
+    );
 
     // SC/BG job streams: recurring submissions through the horizon.
     for (i, name) in ["matrix-multiplication", "video-processing", "dd"]
@@ -273,16 +311,28 @@ pub fn scheduling_run(policy: Policy, quick: bool, seed: u64) -> SchedulingOutco
             max_instances_per_node: 24,
         },
     );
+    if observe {
+        sim.set_sla_ms(platform::engine::WorkloadId(sn_idx), sn_sla);
+        sim.set_sla_ms(platform::engine::WorkloadId(ec_idx), ec_sla);
+    }
     sim.run_until(horizon);
+    let audit = sim
+        .placer()
+        .and_then(|p| p.as_any().downcast_ref::<GsightPlacer>())
+        .and_then(|g| g.audit().cloned());
+    let telemetry = sim.take_obs().telemetry;
     SchedulingOutcome {
         report: sim.into_report(),
         sn_idx,
         ec_idx,
+        telemetry,
+        audit,
     }
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let policies = [
         Policy::Gsight(ModelKind::Irfr),
         Policy::Pythia,
@@ -290,7 +340,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     ];
     let outcomes: Vec<(Policy, SchedulingOutcome)> = policies
         .iter()
-        .map(|&p| (p, scheduling_run(p, quick, SEED)))
+        .map(|&p| (p, scheduling_run_observed(p, quick, SEED, opts.observing())))
         .collect();
 
     let mut result = ExperimentResult::new(
@@ -316,10 +366,14 @@ pub fn run(quick: bool) -> ExperimentResult {
             fnum(density.mean(), 3),
             fpct(cpu.mean()),
             fpct(mem.mean()),
-            fpct(o.report
-                .sla_satisfaction(o.sn_idx, workloads::socialnetwork::SLA_P99_MS, 50)),
-            fpct(o.report
-                .sla_satisfaction(o.ec_idx, workloads::ecommerce::SLA_P99_MS, 50)),
+            fpct(
+                o.report
+                    .sla_satisfaction(o.sn_idx, workloads::socialnetwork::SLA_P99_MS, 50),
+            ),
+            fpct(
+                o.report
+                    .sla_satisfaction(o.ec_idx, workloads::ecommerce::SLA_P99_MS, 50),
+            ),
         ]);
     }
     result.table(t.render());
@@ -331,13 +385,91 @@ pub fn run(quick: bool) -> ExperimentResult {
             .unwrap_or(f64::NAN)
     };
     let g = density_of(Policy::Gsight(ModelKind::Irfr));
+    let vs_pythia = (g / density_of(Policy::Pythia) - 1.0) * 100.0;
+    let vs_worstfit = (g / density_of(Policy::WorstFit) - 1.0) * 100.0;
     result.note(format!(
-        "density: Gsight +{:.1}% vs Pythia (paper +18.79%), +{:.1}% vs WorstFit (paper +48.48%)",
-        (g / density_of(Policy::Pythia) - 1.0) * 100.0,
-        (g / density_of(Policy::WorstFit) - 1.0) * 100.0
+        "density: Gsight +{vs_pythia:.1}% vs Pythia (paper +18.79%), \
+         +{vs_worstfit:.1}% vs WorstFit (paper +48.48%)",
     ));
     result.note("paper SLA: social network 95.39%, e-commerce 93.33%");
     result
+        .metric("gsight_density_mean", g)
+        .metric("density_gain_vs_pythia_pct", vs_pythia)
+        .metric("density_gain_vs_worstfit_pct", vs_worstfit);
+    for (p, o) in &outcomes {
+        if *p == Policy::Gsight(ModelKind::Irfr) {
+            result
+                .metric(
+                    "gsight_sn_sla",
+                    o.report
+                        .sla_satisfaction(o.sn_idx, workloads::socialnetwork::SLA_P99_MS, 50),
+                )
+                .metric(
+                    "gsight_ec_sla",
+                    o.report
+                        .sla_satisfaction(o.ec_idx, workloads::ecommerce::SLA_P99_MS, 50),
+                );
+        }
+    }
+    if opts.observing() {
+        observability_report(opts, &mut result, &outcomes);
+    }
+    result
+}
+
+/// Summarise telemetry and the Gsight audit log, exporting both when a trace
+/// directory was given.
+fn observability_report(
+    opts: &RunOpts,
+    result: &mut ExperimentResult,
+    outcomes: &[(Policy, SchedulingOutcome)],
+) {
+    let mut t = TextTable::new(vec![
+        "policy",
+        "cold starts",
+        "scale-outs",
+        "rejections",
+        "contention recomputes",
+        "SLA violations",
+    ]);
+    for (p, o) in outcomes {
+        let Some(tel) = o.telemetry.as_ref() else {
+            continue;
+        };
+        t.row(vec![
+            p.name(),
+            tel.counter("instances.cold_starts").to_string(),
+            tel.counter("autoscaler.scale_outs").to_string(),
+            tel.counter("autoscaler.rejections").to_string(),
+            tel.counter("contention.recomputes").to_string(),
+            tel.counter("sla.violations").to_string(),
+        ]);
+        let stem = p.name().to_lowercase().replace([' ', '(', ')'], "_");
+        opts.write_artifact(&format!("fig11_{stem}.telemetry.jsonl"), &tel.to_jsonl());
+    }
+    result.table(format!("platform telemetry\n{}", t.render()));
+    for (p, o) in outcomes {
+        let Some(audit) = o.audit.as_ref() else {
+            continue;
+        };
+        let n = audit.records().len();
+        let probes: usize = audit.records().iter().map(|r| r.evaluated.len()).sum();
+        let calls: usize = audit.records().iter().map(|r| r.predictor_calls).sum();
+        result.note(format!(
+            "{} audit: {} placement decisions ({} accepted), {:.1} candidate \
+             probes and {:.1} predictor calls per decision",
+            p.name(),
+            n,
+            audit.accepted(),
+            probes as f64 / n.max(1) as f64,
+            calls as f64 / n.max(1) as f64,
+        ));
+        result.metric("audit_decisions", n as f64);
+        result.metric("audit_accepted", audit.accepted() as f64);
+        if let Some(path) = opts.write_artifact("fig11_gsight.audit.jsonl", &audit.to_jsonl()) {
+            result.note(format!("audit log -> {}", path.display()));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -350,12 +482,26 @@ mod tests {
         let w = scheduling_run(Policy::WorstFit, true, 3);
         let gd = g.report.density_cdf().mean();
         let wd = w.report.density_cdf().mean();
-        assert!(
-            gd > wd,
-            "Gsight density {gd} should exceed WorstFit {wd}"
-        );
+        assert!(gd > wd, "Gsight density {gd} should exceed WorstFit {wd}");
         // Both runs actually processed traffic.
         assert!(g.report.workloads[g.sn_idx].completions > 100);
+    }
+
+    #[test]
+    fn observed_run_collects_audit_and_telemetry() {
+        let g = scheduling_run_observed(Policy::Gsight(ModelKind::Irfr), true, 3, true);
+        let tel = g.telemetry.expect("telemetry should be collected");
+        assert!(tel.counter("requests.arrivals") > 0);
+        assert!(tel.counter("requests.completions") > 0);
+        let audit = g.audit.expect("Gsight should keep an audit log");
+        // Initial placement alone makes over twenty decisions (9 SN + 9 EC
+        // functions + 3 jobs), each with at least one probe.
+        assert!(audit.records().len() >= 21, "{}", audit.records().len());
+        for r in audit.records() {
+            if let Some(i) = r.chosen {
+                assert!(r.evaluated[i].sla_ok, "accepted probe must be SLA-ok");
+            }
+        }
     }
 
     #[test]

@@ -9,12 +9,12 @@
 
 use crate::corpus::{labeled_for, run_colocation, ColoSetup, LabeledSample, ProfileBook};
 use crate::fig9::{gsight_with, mean_error};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use baselines::ScenarioPredictor;
 use cluster::ClusterConfig;
 use gsight::QosTarget;
 use mlcore::ModelKind;
-use rayon::prelude::*;
+use simcore::par::par_map_range;
 use simcore::rng::seed_stream;
 use simcore::table::TextTable;
 use simcore::{SimRng, SimTime};
@@ -40,57 +40,58 @@ pub fn generate_shift_group(
 ) -> Vec<LabeledSample> {
     let cluster = ClusterConfig::paper_testbed();
     let window = SimTime::from_secs(if quick { 20.0 } else { 60.0 });
-    (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut rng = SimRng::new(seed_stream(seed, i as u64));
-            let (target_name, target_qps, corunner_pool): (&str, f64, &[&str]) = match group {
-                ShiftGroup::IoIntensive => (
-                    "social-network",
-                    crate::corpus::QPS_LEVELS[rng.index(3)],
-                    &["dd", "iperf"],
-                ),
-                ShiftGroup::CpuIntensive => (
-                    ["matrix-multiplication", "video-processing"][rng.index(2)],
-                    0.0,
-                    &["matrix-multiplication", "video-processing", "float-operation"],
-                ),
-            };
-            let target_pw = book.get(target_name, target_qps);
-            let n_nodes = target_pw.workload.graph.len();
-            // Keep placements within two servers so even the quick corpus
-            // covers the (target server, corunner server) grid densely.
-            let target = ColoSetup {
-                placement: (0..n_nodes).map(|_| rng.index(2)).collect(),
-                qps: target_qps,
-                start_delay: SimTime::ZERO,
-                pw: target_pw.clone(),
-            };
-            let corun_name = corunner_pool[rng.index(corunner_pool.len())];
-            let corun = ColoSetup::packed(book.get(corun_name, 0.0), rng.index(2));
-            let out = run_colocation(
-                &cluster,
-                &[target, corun],
-                window,
-                seed_stream(seed, 5000 + i as u64),
-            );
-            let mut observed = Vec::new();
-            for f in &out.report.workloads[0].functions {
-                observed.extend_from_slice(&f.metric_samples);
-            }
-            LabeledSample {
-                scenario: out.scenario,
-                ipc: out.ipc,
-                p99_ms: out.p99_ms,
-                jct_s: out.jct_s,
-                group: crate::corpus::ColoGroup::LsScBg,
-                observed: metricsd::MetricVector::mean_of(&observed),
-                solo_ipc: target_pw.solo_ipc,
-                solo_p99_ms: target_pw.solo_p99_ms,
-                solo_jct_s: target_pw.solo_jct_s,
-            }
-        })
-        .collect()
+    par_map_range(n, |i| {
+        let mut rng = SimRng::new(seed_stream(seed, i as u64));
+        let (target_name, target_qps, corunner_pool): (&str, f64, &[&str]) = match group {
+            ShiftGroup::IoIntensive => (
+                "social-network",
+                crate::corpus::QPS_LEVELS[rng.index(3)],
+                &["dd", "iperf"],
+            ),
+            ShiftGroup::CpuIntensive => (
+                ["matrix-multiplication", "video-processing"][rng.index(2)],
+                0.0,
+                &[
+                    "matrix-multiplication",
+                    "video-processing",
+                    "float-operation",
+                ],
+            ),
+        };
+        let target_pw = book.get(target_name, target_qps);
+        let n_nodes = target_pw.workload.graph.len();
+        // Keep placements within two servers so even the quick corpus
+        // covers the (target server, corunner server) grid densely.
+        let target = ColoSetup {
+            placement: (0..n_nodes).map(|_| rng.index(2)).collect(),
+            qps: target_qps,
+            start_delay: SimTime::ZERO,
+            pw: target_pw.clone(),
+        };
+        let corun_name = corunner_pool[rng.index(corunner_pool.len())];
+        let corun = ColoSetup::packed(book.get(corun_name, 0.0), rng.index(2));
+        let out = run_colocation(
+            &cluster,
+            &[target, corun],
+            window,
+            seed_stream(seed, 5000 + i as u64),
+        );
+        let mut observed = Vec::new();
+        for f in &out.report.workloads[0].functions {
+            observed.extend_from_slice(&f.metric_samples);
+        }
+        LabeledSample {
+            scenario: out.scenario,
+            ipc: out.ipc,
+            p99_ms: out.p99_ms,
+            jct_s: out.jct_s,
+            group: crate::corpus::ColoGroup::LsScBg,
+            observed: metricsd::MetricVector::mean_of(&observed),
+            solo_ipc: target_pw.solo_ipc,
+            solo_p99_ms: target_pw.solo_p99_ms,
+            solo_jct_s: target_pw.solo_jct_s,
+        }
+    })
 }
 
 /// The shift/recovery trajectory: error on CPU-group test data before any
@@ -98,7 +99,12 @@ pub fn generate_shift_group(
 pub fn shift_recovery(quick: bool) -> Vec<(usize, f64)> {
     let mut book = ProfileBook::new();
     for qps in crate::corpus::QPS_LEVELS {
-        book.add(&workloads::socialnetwork::message_posting(), qps, SEED, quick);
+        book.add(
+            &workloads::socialnetwork::message_posting(),
+            qps,
+            SEED,
+            quick,
+        );
     }
     for w in workloads::functionbench::all() {
         book.add(&w, 0.0, SEED, quick);
@@ -107,10 +113,27 @@ pub fn shift_recovery(quick: bool) -> Vec<(usize, f64)> {
     let n_cpu = if quick { 100 } else { 400 };
     let n_test = if quick { 15 } else { 60 };
 
-    let io = generate_shift_group(ShiftGroup::IoIntensive, n_io, &book, seed_stream(SEED, 1), quick);
-    let cpu = generate_shift_group(ShiftGroup::CpuIntensive, n_cpu, &book, seed_stream(SEED, 2), quick);
-    let cpu_test =
-        generate_shift_group(ShiftGroup::CpuIntensive, n_test, &book, seed_stream(SEED, 3), quick);
+    let io = generate_shift_group(
+        ShiftGroup::IoIntensive,
+        n_io,
+        &book,
+        seed_stream(SEED, 1),
+        quick,
+    );
+    let cpu = generate_shift_group(
+        ShiftGroup::CpuIntensive,
+        n_cpu,
+        &book,
+        seed_stream(SEED, 2),
+        quick,
+    );
+    let cpu_test = generate_shift_group(
+        ShiftGroup::CpuIntensive,
+        n_test,
+        &book,
+        seed_stream(SEED, 3),
+        quick,
+    );
 
     let train_io = labeled_for(&io, QosTarget::Ipc);
     let train_cpu = labeled_for(&cpu, QosTarget::Ipc);
@@ -131,7 +154,8 @@ pub fn shift_recovery(quick: bool) -> Vec<(usize, f64)> {
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let traj = shift_recovery(quick);
     let mut result = ExperimentResult::new("fig13", "distribution-shift recovery");
     let mut t = TextTable::new(vec!["CPU-group samples absorbed", "IPC error"]);
@@ -144,6 +168,8 @@ pub fn run(quick: bool) -> ExperimentResult {
         traj.first().unwrap().1 * 100.0,
         traj.last().unwrap().1 * 100.0
     ));
+    result.metric("err_before_shift", traj.first().unwrap().1);
+    result.metric("err_after_recovery", traj.last().unwrap().1);
     result
 }
 

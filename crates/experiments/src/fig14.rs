@@ -10,15 +10,16 @@
 
 use crate::corpus::{generate_mixed, labeled_for, standard_profile_book};
 use crate::fig9::gsight_with;
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use baselines::ScenarioPredictor;
 use cluster::ClusterConfig;
 use gsight::QosTarget;
 use mlcore::ModelKind;
+use obs::WallProfiler;
 use platform::config::GatewayConfig;
 use platform::scale::PlacementDecision;
 use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
-use sched::overhead::{DecisionTimer, OverheadBreakdown};
+use sched::overhead::PipelineProfile;
 use simcore::rng::seed_stream;
 use simcore::table::{fnum, TextTable};
 use simcore::{SimRng, SimTime};
@@ -29,6 +30,13 @@ const SEED: u64 = 0xF1_614;
 /// Measure mean gateway forward latency with `instances_per_node` instances
 /// of each social-network function deployed (9 × that many instances).
 pub fn measured_forward_ms(instances_per_node: usize, quick: bool, seed: u64) -> (usize, f64) {
+    let (n, samples) = forward_samples(instances_per_node, quick, seed);
+    (n, samples.iter().sum::<f64>() / samples.len().max(1) as f64)
+}
+
+/// Like [`measured_forward_ms`] but returning every per-request forwarding
+/// sample, so the pipeline profile can report percentiles.
+pub fn forward_samples(instances_per_node: usize, quick: bool, seed: u64) -> (usize, Vec<f64>) {
     let sn = workloads::socialnetwork::message_posting();
     let mut config = PlatformConfig::paper_testbed(seed);
     config.cluster = ClusterConfig::paper_testbed();
@@ -54,14 +62,14 @@ pub fn measured_forward_ms(instances_per_node: usize, quick: bool, seed: u64) ->
     });
     let total = sim.instance_count();
     sim.run_until(window);
-    let fwd = &sim.report().gateway_forward_ms;
-    let mean = fwd.iter().sum::<f64>() / fwd.len().max(1) as f64;
-    (total, mean)
+    (total, sim.report().gateway_forward_ms.clone())
 }
 
-/// Wall-clock inference and incremental-update cost of the paper-shaped
-/// IRFR predictor (2580-dimensional input).
-pub fn predictor_costs(quick: bool) -> (f64, f64, usize) {
+/// Wall-clock profile of the paper-shaped IRFR predictor
+/// (2580-dimensional input): 50 inference samples under
+/// `"predictor.predict"` and 5 incremental-update samples under
+/// `"predictor.partial_fit"`, plus the feature dimension.
+pub fn predictor_cost_profile(quick: bool) -> (WallProfiler, usize) {
     let book = standard_profile_book(SEED, true);
     let cluster = ClusterConfig::paper_testbed();
     let n = if quick { 20 } else { 60 };
@@ -71,19 +79,31 @@ pub fn predictor_costs(quick: bool) -> (f64, f64, usize) {
     let (train, probe) = labeled.split_at(labeled.len() * 4 / 5);
     ScenarioPredictor::bootstrap(&mut p, train);
 
-    let mut infer = DecisionTimer::new();
+    let mut prof = WallProfiler::new();
     for (s, _) in probe.iter().cycle().take(50) {
-        infer.time(|| p.predict(s));
+        p.predict_profiled(s, &mut prof);
     }
-    let mut update = DecisionTimer::new();
     for _ in 0..5 {
-        update.time(|| ScenarioPredictor::update(&mut p, probe));
+        p.partial_fit_profiled(probe, &mut prof);
     }
-    (infer.mean_ms(), update.mean_ms(), p.feature_dim())
+    let dim = p.feature_dim();
+    (prof, dim)
+}
+
+/// Mean wall-clock inference and incremental-update cost of the predictor
+/// (see [`predictor_cost_profile`] for the full percentile profile).
+pub fn predictor_costs(quick: bool) -> (f64, f64, usize) {
+    let (prof, dim) = predictor_cost_profile(quick);
+    (
+        prof.mean_ms("predictor.predict"),
+        prof.mean_ms("predictor.partial_fit"),
+        dim,
+    )
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let mut result = ExperimentResult::new("fig14", "online overhead & gateway scalability");
 
     // ---- gateway cost model + measured forwards ----
@@ -94,25 +114,42 @@ pub fn run(quick: bool) -> ExperimentResult {
     }
     result.table(format!("(b) gateway forwarding cost model\n{}", t.render()));
 
-    let low = measured_forward_ms(1, quick, seed_stream(SEED, 2));
+    let (low_n, low_fwd) = forward_samples(1, quick, seed_stream(SEED, 2));
+    let low_mean = low_fwd.iter().sum::<f64>() / low_fwd.len().max(1) as f64;
     let high = measured_forward_ms(if quick { 14 } else { 15 }, quick, seed_stream(SEED, 3));
     result.note(format!(
-        "measured mean forward: {:.3} ms at {} instances vs {:.3} ms at {} instances \
-         (paper: stable <110, degrades >120)",
-        low.1, low.0, high.1, high.0
+        "measured mean forward: {low_mean:.3} ms at {low_n} instances vs {:.3} ms at {} \
+         instances (paper: stable <110, degrades >120)",
+        high.1, high.0
     ));
 
     // ---- predictor costs + pipeline breakdown ----
-    let (infer_ms, update_ms, dim) = predictor_costs(quick);
+    let (prof, dim) = predictor_cost_profile(quick);
+    let infer_ms = prof.mean_ms("predictor.predict");
+    let update_ms = prof.mean_ms("predictor.partial_fit");
     let cold_ms = 400.0; // social-network cold-start phase
-    let breakdown = OverheadBreakdown {
-        forwarding_ms: low.1,
-        decision_ms: infer_ms * 3.0, // log2(8) binary-search probes
-        instance_start_ms: cold_ms,
-        allocation_ms: 0.05,
-    };
+
+    // Per-stage samples: simulated forwards, one decision per inference
+    // (3 probes ≈ log2(8 servers) binary-search steps), constant cold start
+    // and allocation bookkeeping.
+    let mut pipeline = PipelineProfile::new();
+    for &ms in &low_fwd {
+        pipeline.forward_ms(ms);
+    }
+    for &ms in prof.samples("predictor.predict") {
+        pipeline.decide_ms(ms * 3.0);
+    }
+    pipeline.start_ms(cold_ms);
+    pipeline.allocate_ms(0.05);
+
+    let breakdown = pipeline.breakdown();
     let mut t = TextTable::new(vec!["step", "ms", "fraction"]);
-    let names = ["invocation forwarding", "scheduling decision", "instance starting", "resource allocation"];
+    let names = [
+        "invocation forwarding",
+        "scheduling decision",
+        "instance starting",
+        "resource allocation",
+    ];
     let vals = [
         breakdown.forwarding_ms,
         breakdown.decision_ms,
@@ -120,14 +157,40 @@ pub fn run(quick: bool) -> ExperimentResult {
         breakdown.allocation_ms,
     ];
     for (name, (v, f)) in names.iter().zip(vals.iter().zip(breakdown.fractions())) {
-        t.row(vec![name.to_string(), fnum(*v, 3), fnum(f * 100.0, 1) + "%"]);
+        t.row(vec![
+            name.to_string(),
+            fnum(*v, 3),
+            fnum(f * 100.0, 1) + "%",
+        ]);
     }
-    result.table(format!("(a) per-scale-out pipeline breakdown\n{}", t.render()));
+    result.table(format!(
+        "(a) per-scale-out pipeline breakdown\n{}",
+        t.render()
+    ));
+    result.table(format!(
+        "(a') pipeline stage percentiles\n{}",
+        pipeline.render_table()
+    ));
+    result.table(format!(
+        "predictor wall-clock percentiles\n{}",
+        prof.render_table()
+    ));
+    if let Some(path) = opts.write_artifact(
+        "fig14_pipeline.profile.jsonl",
+        &format!("{}{}", pipeline.profiler().to_jsonl(), prof.to_jsonl()),
+    ) {
+        result.note(format!("stage profiles -> {}", path.display()));
+    }
     result.note(format!(
         "inference {infer_ms:.2} ms (paper 3.48 ms), incremental update {update_ms:.2} ms \
          (paper 24.78 ms) at {dim} feature dimensions"
     ));
     result.note("instance starting dominates, as in the paper");
+    result
+        .metric("infer_ms", infer_ms)
+        .metric("update_ms", update_ms)
+        .metric("forward_low_ms", low_mean)
+        .metric("forward_high_ms", high.1);
     result
 }
 
@@ -153,6 +216,9 @@ mod tests {
         let (infer, update, dim) = predictor_costs(true);
         assert_eq!(dim, 2580);
         assert!(infer.is_finite() && infer > 0.0);
-        assert!(update > infer, "update {update} should cost more than inference {infer}");
+        assert!(
+            update > infer,
+            "update {update} should cost more than inference {infer}"
+        );
     }
 }

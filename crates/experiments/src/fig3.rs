@@ -18,9 +18,9 @@
 
 use crate::corpus::{run_colocation, ColoSetup, ProfileBook};
 use crate::fig4::{run_condition, Condition};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use cluster::ClusterConfig;
-use rayon::prelude::*;
+use simcore::par::par_map;
 use simcore::rng::seed_stream;
 use simcore::table::{fnum, TextTable};
 use simcore::SimTime;
@@ -62,27 +62,24 @@ pub fn sweep_36(book: &ProfileBook, quick: bool) -> (f64, f64, Vec<ScenarioOutco
         .enumerate()
         .flat_map(|(c, _)| (0..9).map(move |f| (c, f)))
         .collect();
-    let outcomes: Vec<ScenarioOutcome> = jobs
-        .par_iter()
-        .map(|&(c, f)| {
-            let r = run_condition(
-                book,
-                corunners[c],
-                f,
-                Condition::Interfered,
-                qps,
-                quick,
-                seed_stream(SEED, (c * 9 + f) as u64),
-            );
-            ScenarioOutcome {
-                corunner: corunners[c].to_string(),
-                function: f + 1,
-                p99_ms: r.e2e_p99_ms,
-                cov: r.e2e_cov,
-                ipc: r.ipc,
-            }
-        })
-        .collect();
+    let outcomes: Vec<ScenarioOutcome> = par_map(jobs, |(c, f)| {
+        let r = run_condition(
+            book,
+            corunners[c],
+            f,
+            Condition::Interfered,
+            qps,
+            quick,
+            seed_stream(SEED, (c * 9 + f) as u64),
+        );
+        ScenarioOutcome {
+            corunner: corunners[c].to_string(),
+            function: f + 1,
+            p99_ms: r.e2e_p99_ms,
+            cov: r.e2e_cov,
+            ipc: r.ipc,
+        }
+    });
     (baseline.e2e_p99_ms, baseline.ipc, outcomes)
 }
 
@@ -107,32 +104,35 @@ pub fn sweep_delays(book: &ProfileBook, quick: bool) -> Vec<DelayOutcome> {
     } else {
         (0..7).map(|i| 60.0 * i as f64).collect()
     };
-    delays
-        .par_iter()
-        .map(|&delay_s| {
-            let target = ColoSetup::packed(Arc::clone(&lr), 0);
-            let mut corun = ColoSetup::packed(Arc::clone(&km), 0);
-            corun.start_delay = SimTime::from_secs(delay_s);
-            let out = run_colocation(
-                &cluster,
-                &[target, corun],
-                SimTime::from_secs(60.0),
-                seed_stream(SEED, 2000 + delay_s as u64),
-            );
-            let km_jct = out.report.workloads[1].mean_jct_secs();
-            DelayOutcome {
-                delay_s,
-                lr_jct_s: out.jct_s,
-                km_jct_s: km_jct,
-            }
-        })
-        .collect()
+    par_map(delays, |delay_s| {
+        let target = ColoSetup::packed(Arc::clone(&lr), 0);
+        let mut corun = ColoSetup::packed(Arc::clone(&km), 0);
+        corun.start_delay = SimTime::from_secs(delay_s);
+        let out = run_colocation(
+            &cluster,
+            &[target, corun],
+            SimTime::from_secs(60.0),
+            seed_stream(SEED, 2000 + delay_s as u64),
+        );
+        let km_jct = out.report.workloads[1].mean_jct_secs();
+        DelayOutcome {
+            delay_s,
+            lr_jct_s: out.jct_s,
+            km_jct_s: km_jct,
+        }
+    })
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let mut book = ProfileBook::new();
-    book.add(&workloads::socialnetwork::message_posting(), 40.0, SEED, quick);
+    book.add(
+        &workloads::socialnetwork::message_posting(),
+        40.0,
+        SEED,
+        quick,
+    );
     for w in workloads::functionbench::all() {
         book.add(&w, 0.0, SEED, quick);
     }
@@ -160,11 +160,15 @@ pub fn run(quick: bool) -> ExperimentResult {
     ));
 
     let max_p99 = outcomes.iter().map(|o| o.p99_ms).fold(0.0, f64::max);
-    let min_p99 = outcomes.iter().map(|o| o.p99_ms).fold(f64::INFINITY, f64::min);
+    let min_p99 = outcomes
+        .iter()
+        .map(|o| o.p99_ms)
+        .fold(f64::INFINITY, f64::min);
     result.note(format!(
         "p99 spread across scenarios: {:.1}x (paper reports ~7x)",
         max_p99 / min_p99
     ));
+    result.metric("p99_spread_x", max_p99 / min_p99);
     let ipc_of = |name: &str| {
         let v: Vec<f64> = outcomes
             .iter()
@@ -197,6 +201,7 @@ pub fn run(quick: bool) -> ExperimentResult {
         max_lr,
         max_lr / lr_solo
     ));
+    result.metric("lr_jct_slowdown_x", max_lr / lr_solo);
     result
 }
 
@@ -208,11 +213,21 @@ mod tests {
     fn book() -> ProfileBook {
         let mut b = ProfileBook::new();
         b.add(&workloads::socialnetwork::message_posting(), 40.0, 1, true);
-        b.add(&workloads::functionbench::matrix_multiplication(), 0.0, 1, true);
+        b.add(
+            &workloads::functionbench::matrix_multiplication(),
+            0.0,
+            1,
+            true,
+        );
         b.add(&workloads::functionbench::iperf(), 0.0, 1, true);
         b.add(&workloads::functionbench::dd(), 0.0, 1, true);
         b.add(&workloads::functionbench::video_processing(), 0.0, 1, true);
-        b.add(&workloads::functionbench::logistic_regression(), 0.0, 1, true);
+        b.add(
+            &workloads::functionbench::logistic_regression(),
+            0.0,
+            1,
+            true,
+        );
         b.add(&workloads::functionbench::kmeans(), 0.0, 1, true);
         b
     }
@@ -275,7 +290,13 @@ mod tests {
         );
         // JCT varies with delay.
         let max = outs.iter().map(|o| o.lr_jct_s).fold(0.0, f64::max);
-        let min = outs.iter().map(|o| o.lr_jct_s).fold(f64::INFINITY, f64::min);
-        assert!(max / min > 1.05, "temporal variation too weak: {min}..{max}");
+        let min = outs
+            .iter()
+            .map(|o| o.lr_jct_s)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max / min > 1.05,
+            "temporal variation too weak: {min}..{max}"
+        );
     }
 }

@@ -13,8 +13,9 @@
 //!   the functions on the destination socket instead.
 
 use crate::corpus::ProfileBook;
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use cluster::ClusterConfig;
+use obs::Obs;
 use platform::scale::PlacementDecision;
 use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
 use simcore::rng::seed_stream;
@@ -25,7 +26,7 @@ use workloads::loadgen::poisson_arrivals;
 const SEED: u64 = 0xF1_604;
 
 /// Per-function results of one interference run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PropagationRun {
     /// p99 local latency per Fig. 2 function (index 0 = ①).
     pub p99_ms: [f64; 9],
@@ -62,11 +63,31 @@ pub fn run_condition(
     quick: bool,
     seed: u64,
 ) -> PropagationRun {
+    run_condition_observed(book, corunner, victim, condition, qps, quick, seed, false).0
+}
+
+/// [`run_condition`] with optional observability: when `record` is set the
+/// simulation runs with [`Obs::recording`] and the collected trace +
+/// telemetry come back alongside the measurements.
+#[allow(clippy::too_many_arguments)]
+pub fn run_condition_observed(
+    book: &ProfileBook,
+    corunner: &str,
+    victim: usize,
+    condition: Condition,
+    qps: f64,
+    quick: bool,
+    seed: u64,
+    record: bool,
+) -> (PropagationRun, Obs) {
     let window = SimTime::from_secs(if quick { 20.0 } else { 60.0 });
     let sn = book.get("social-network", 40.0);
     let mut config = PlatformConfig::paper_testbed(seed);
     config.cluster = ClusterConfig::homogeneous(1, cluster::ServerSpec::paper_node());
     let mut sim = Simulation::new(config);
+    if record {
+        sim.set_obs(Obs::recording());
+    }
     let mut rng = SimRng::new(seed ^ 0x404);
 
     let mut rr = 0usize;
@@ -108,6 +129,7 @@ pub fn run_condition(
         });
     }
     sim.run_until(window);
+    let obs = sim.take_obs();
     let report = sim.into_report();
     let series = &report.workloads[0];
     // Warm-phase statistics: drop the first 20 % of each series so the
@@ -122,17 +144,21 @@ pub fn run_condition(
     }
     let e2e_lats = warm(&series.e2e_latencies_ms);
     let e2e = simcore::stats::Summary::of(e2e_lats);
-    PropagationRun {
-        p99_ms: p99,
-        e2e_p99_ms: e2e.p99,
-        e2e_cov: e2e.cov,
-        ipc: series.mean_ipc(),
-        completions: series.completions,
-    }
+    (
+        PropagationRun {
+            p99_ms: p99,
+            e2e_p99_ms: e2e.p99,
+            e2e_cov: e2e.cov,
+            ipc: series.mean_ipc(),
+            completions: series.completions,
+        },
+        obs,
+    )
 }
 
 /// Entry point: reproduces both panels (interference at ① and at ⑥).
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let mut book = ProfileBook::new();
     book.add(
         &workloads::socialnetwork::message_posting(),
@@ -152,9 +178,40 @@ pub fn run(quick: bool) -> ExperimentResult {
         ("(b) interference at 6:compose-and-upload", 5usize),
     ] {
         let seed = seed_stream(SEED, victim as u64);
-        let base = run_condition(&book, "matrix-multiplication", victim, Condition::Baseline, 40.0, quick, seed);
-        let inter = run_condition(&book, "matrix-multiplication", victim, Condition::Interfered, 40.0, quick, seed);
-        let iso = run_condition(&book, "matrix-multiplication", victim, Condition::Isolated, 40.0, quick, seed);
+        let record = opts.observing();
+        let (base, base_obs) = run_condition_observed(
+            &book,
+            "matrix-multiplication",
+            victim,
+            Condition::Baseline,
+            40.0,
+            quick,
+            seed,
+            record,
+        );
+        let (inter, inter_obs) = run_condition_observed(
+            &book,
+            "matrix-multiplication",
+            victim,
+            Condition::Interfered,
+            40.0,
+            quick,
+            seed,
+            record,
+        );
+        let iso = run_condition(
+            &book,
+            "matrix-multiplication",
+            victim,
+            Condition::Isolated,
+            40.0,
+            quick,
+            seed,
+        );
+        if record {
+            let tag = if victim == 0 { "a" } else { "b" };
+            observe_panel(opts, &mut result, tag, &base_obs, &inter_obs);
+        }
         let mut t = TextTable::new(vec![
             "fn",
             "baseline p99(ms)",
@@ -180,12 +237,61 @@ pub fn run(quick: bool) -> ExperimentResult {
             "{panel}: victim p99 {:.2} -> {:.2} (interfered) -> {:.2} (isolated)",
             base.p99_ms[victim], inter.p99_ms[victim], iso.p99_ms[victim]
         ));
+        let tag = if victim == 0 { "a" } else { "b" };
+        result
+            .metric(format!("{tag}.victim_p99_baseline_ms"), base.p99_ms[victim])
+            .metric(
+                format!("{tag}.victim_p99_interfered_ms"),
+                inter.p99_ms[victim],
+            )
+            .metric(format!("{tag}.victim_p99_isolated_ms"), iso.p99_ms[victim])
+            .metric(format!("{tag}.e2e_p99_interfered_ms"), inter.e2e_p99_ms);
     }
     result.note(
         "paper shape: interference raises the victim's local p99, lowers the \
          other functions' (throttled arrivals); isolation restores the victim",
     );
     result
+}
+
+/// Export the recorded traces/telemetry of one panel and note the hotspot
+/// signature: queue-wait spans lengthen at the interfered function, which is
+/// directly visible on that function's lane in Perfetto.
+fn observe_panel(
+    opts: &RunOpts,
+    result: &mut ExperimentResult,
+    tag: &str,
+    base: &Obs,
+    inter: &Obs,
+) {
+    for (cond, obs) in [("baseline", base), ("interfered", inter)] {
+        if let Some(sink) = obs.memory_sink() {
+            if let Some(path) = opts.write_artifact(
+                &format!("fig4_{tag}_{cond}.trace.json"),
+                &sink.chrome_trace_json(),
+            ) {
+                result.note(format!(
+                    "({tag}) {cond} trace -> {} (open in Perfetto / chrome://tracing)",
+                    path.display()
+                ));
+            }
+        }
+        if let Some(t) = obs.telemetry.as_ref() {
+            opts.write_artifact(&format!("fig4_{tag}_{cond}.telemetry.jsonl"), &t.to_jsonl());
+        }
+    }
+    let wait_p95 = |o: &Obs| {
+        o.telemetry
+            .as_ref()
+            .and_then(|t| t.histogram("instance.queue_wait_ms"))
+            .map(|h| h.quantile(0.95))
+    };
+    if let (Some(b), Some(i)) = (wait_p95(base), wait_p95(inter)) {
+        result.note(format!(
+            "({tag}) queue-wait p95: {b:.2} ms baseline -> {i:.2} ms interfered"
+        ));
+        result.metric(format!("{tag}.queue_wait_p95_interfered_ms"), i);
+    }
 }
 
 #[cfg(test)]
@@ -195,15 +301,36 @@ mod tests {
     fn book() -> ProfileBook {
         let mut b = ProfileBook::new();
         b.add(&workloads::socialnetwork::message_posting(), 40.0, 1, true);
-        b.add(&workloads::functionbench::matrix_multiplication(), 0.0, 1, true);
+        b.add(
+            &workloads::functionbench::matrix_multiplication(),
+            0.0,
+            1,
+            true,
+        );
         b
     }
 
     #[test]
     fn interference_raises_victim_latency() {
         let b = book();
-        let base = run_condition(&b, "matrix-multiplication", 5, Condition::Baseline, 40.0, true, 7);
-        let inter = run_condition(&b, "matrix-multiplication", 5, Condition::Interfered, 40.0, true, 7);
+        let base = run_condition(
+            &b,
+            "matrix-multiplication",
+            5,
+            Condition::Baseline,
+            40.0,
+            true,
+            7,
+        );
+        let inter = run_condition(
+            &b,
+            "matrix-multiplication",
+            5,
+            Condition::Interfered,
+            40.0,
+            true,
+            7,
+        );
         assert!(
             inter.p99_ms[5] > 1.2 * base.p99_ms[5],
             "victim p99 {} vs baseline {}",
@@ -215,8 +342,24 @@ mod tests {
     #[test]
     fn isolation_restores_victim() {
         let b = book();
-        let inter = run_condition(&b, "matrix-multiplication", 5, Condition::Interfered, 40.0, true, 9);
-        let iso = run_condition(&b, "matrix-multiplication", 5, Condition::Isolated, 40.0, true, 9);
+        let inter = run_condition(
+            &b,
+            "matrix-multiplication",
+            5,
+            Condition::Interfered,
+            40.0,
+            true,
+            9,
+        );
+        let iso = run_condition(
+            &b,
+            "matrix-multiplication",
+            5,
+            Condition::Isolated,
+            40.0,
+            true,
+            9,
+        );
         assert!(
             iso.p99_ms[5] < inter.p99_ms[5],
             "isolated {} should be below interfered {}",
@@ -228,7 +371,15 @@ mod tests {
     #[test]
     fn all_functions_complete() {
         let b = book();
-        let r = run_condition(&b, "matrix-multiplication", 0, Condition::Interfered, 40.0, true, 11);
+        let r = run_condition(
+            &b,
+            "matrix-multiplication",
+            0,
+            Condition::Interfered,
+            40.0,
+            true,
+            11,
+        );
         assert!(r.completions > 100);
         assert!(r.p99_ms.iter().all(|&v| v.is_finite() && v > 0.0));
     }

@@ -10,9 +10,11 @@
 //! extremes) and cuts its variance by an order of magnitude; panel (c)
 //! shows the RFR-driven scheduler achieving the lowest p99.
 
-use crate::corpus::{generate_custom, labeled_for, merge_scenario, standard_profile_book, LabeledSample};
+use crate::corpus::{
+    generate_custom, labeled_for, merge_scenario, standard_profile_book, LabeledSample,
+};
 use crate::fig9::gsight_with;
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use baselines::ScenarioPredictor;
 use cluster::ClusterConfig;
 use gsight::{QosTarget, Scenario};
@@ -145,12 +147,15 @@ pub fn scheduling_p99(kinds: &[ModelKind], quick: bool) -> Vec<(ModelKind, f64)>
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
-    let mut result =
-        ExperimentResult::new("fig5", "function-level vs workload-level profiling");
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
+    let mut result = ExperimentResult::new("fig5", "function-level vs workload-level profiling");
     for (panel, target) in [
         ("(a) IPC prediction error", QosTarget::Ipc),
-        ("(b) tail-latency degradation prediction error", QosTarget::TailLatencyMs),
+        (
+            "(b) tail-latency degradation prediction error",
+            QosTarget::TailLatencyMs,
+        ),
     ] {
         let dists = error_distributions(target, quick);
         let mut t = TextTable::new(vec![
@@ -184,6 +189,13 @@ pub fn run(quick: bool) -> ExperimentResult {
         t.row(vec![k.name().to_string(), fnum(*p99, 1)]);
     }
     result.table(format!("(c) p99 under scheduling\n{}", t.render()));
+    if let Some(best) = p99s
+        .iter()
+        .map(|(_, p)| *p)
+        .min_by(|a, b| a.partial_cmp(b).expect("NaN p99"))
+    {
+        result.metric("best_scheduling_p99_ms", best);
+    }
     result.note("paper: function-level median ~2x lower (max 4x), variance ~13x lower; RFR gives lowest scheduling p99");
     result
 }

@@ -9,10 +9,10 @@
 //! low-IPC region holds only ~4 % of samples.
 
 use crate::corpus::{run_colocation, ColoSetup, ProfileBook};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use cluster::ClusterConfig;
 use gsight::LatencyIpcCurve;
-use rayon::prelude::*;
+use simcore::par::par_map;
 use simcore::rng::seed_stream;
 use simcore::table::{fnum, TextTable};
 use simcore::SimTime;
@@ -38,43 +38,61 @@ pub fn collect_points(book: &ProfileBook, quick: bool) -> Vec<(f64, f64)> {
             }
         }
     }
-    jobs.par_iter()
-        .map(|&(qps, n_corun, rep)| {
-            let sn = book.get("social-network", qps);
-            let mut setups = vec![ColoSetup {
-                placement: vec![0; sn.workload.graph.len()],
-                qps,
-                start_delay: SimTime::ZERO,
-                pw: sn,
-            }];
-            for i in 0..n_corun {
-                let name = ["matrix-multiplication", "video-processing", "matrix-multiplication"][i % 3];
-                setups.push(ColoSetup::packed(Arc::clone(&book.get(name, 0.0)), 0));
-            }
-            let out = run_colocation(
-                &cluster,
-                &setups,
-                window,
-                seed_stream(SEED, (qps as u64) << 8 | (n_corun as u64) << 4 | rep),
-            );
-            // Warm-phase p99: skip the first 20 % of latencies so the
-            // cold-start transient does not mask the steady-state curve
-            // (the paper's 30-minute runs dilute cold starts naturally).
-            let lats = &out.report.workloads[0].e2e_latencies_ms;
-            let warm = &lats[lats.len() / 5..];
-            (out.ipc, simcore::percentile(warm, 99.0))
-        })
-        .collect()
+    par_map(jobs, |(qps, n_corun, rep)| {
+        let sn = book.get("social-network", qps);
+        let mut setups = vec![ColoSetup {
+            placement: vec![0; sn.workload.graph.len()],
+            qps,
+            start_delay: SimTime::ZERO,
+            pw: sn,
+        }];
+        for i in 0..n_corun {
+            let name = [
+                "matrix-multiplication",
+                "video-processing",
+                "matrix-multiplication",
+            ][i % 3];
+            setups.push(ColoSetup::packed(Arc::clone(&book.get(name, 0.0)), 0));
+        }
+        let out = run_colocation(
+            &cluster,
+            &setups,
+            window,
+            seed_stream(SEED, (qps as u64) << 8 | (n_corun as u64) << 4 | rep),
+        );
+        // Warm-phase p99: skip the first 20 % of latencies so the
+        // cold-start transient does not mask the steady-state curve
+        // (the paper's 30-minute runs dilute cold starts naturally).
+        let lats = &out.report.workloads[0].e2e_latencies_ms;
+        let warm = &lats[lats.len() / 5..];
+        (out.ipc, simcore::percentile(warm, 99.0))
+    })
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let mut book = ProfileBook::new();
     for qps in crate::corpus::QPS_LEVELS {
-        book.add(&workloads::socialnetwork::message_posting(), qps, SEED, quick);
+        book.add(
+            &workloads::socialnetwork::message_posting(),
+            qps,
+            SEED,
+            quick,
+        );
     }
-    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, SEED, quick);
-    book.add(&workloads::functionbench::video_processing(), 0.0, SEED, quick);
+    book.add(
+        &workloads::functionbench::matrix_multiplication(),
+        0.0,
+        SEED,
+        quick,
+    );
+    book.add(
+        &workloads::functionbench::video_processing(),
+        0.0,
+        SEED,
+        quick,
+    );
 
     let points = collect_points(&book, quick);
     let curve = LatencyIpcCurve::from_points(&points);
@@ -87,6 +105,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     let sla = workloads::socialnetwork::SLA_P99_MS;
     match curve.ipc_threshold(sla, 10) {
         Some(thr) => {
+            result.metric("ipc_threshold", thr);
             result.note(format!(
                 "IPC threshold for the {sla} ms SLA: {thr:.3}; {:.1}% of sweep samples fall below it \
                  (the paper's 4.1% is over production-mix samples; this sweep deliberately \
@@ -111,7 +130,12 @@ mod tests {
         let mut book = ProfileBook::new();
         book.add(&workloads::socialnetwork::message_posting(), 10.0, 1, true);
         book.add(&workloads::socialnetwork::message_posting(), 30.0, 1, true);
-        book.add(&workloads::functionbench::matrix_multiplication(), 0.0, 1, true);
+        book.add(
+            &workloads::functionbench::matrix_multiplication(),
+            0.0,
+            1,
+            true,
+        );
         book.add(&workloads::functionbench::video_processing(), 0.0, 1, true);
         let points = collect_points(&book, true);
         assert!(points.len() >= 8);

@@ -6,7 +6,7 @@
 //! distribution over the selected 16 and flag degenerate concentrations).
 
 use crate::corpus::{generate_mixed, labeled_for, standard_profile_book};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use cluster::ClusterConfig;
 use gsight::{GsightConfig, GsightPredictor, QosTarget};
 use metricsd::Metric;
@@ -28,7 +28,8 @@ pub fn importances(quick: bool) -> Vec<(Metric, f64)> {
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let imp = importances(quick);
     let mut result = ExperimentResult::new("fig8", "impurity-based metric importances");
     let mut sorted = imp.clone();
@@ -42,6 +43,7 @@ pub fn run(quick: bool) -> ExperimentResult {
     result.note(format!(
         "{informative}/16 metrics carry >0.5% importance (paper: all but disk I/O informative)"
     ));
+    result.metric("informative_metrics", informative as f64);
     result
 }
 

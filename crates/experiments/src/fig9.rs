@@ -8,8 +8,10 @@
 //! model (paper: 28.6 % for Gsight's latency model before low-IPC-sample
 //! filtering).
 
-use crate::corpus::{generate_group, labeled_for, labeled_for_filtered, standard_profile_book, ColoGroup};
-use crate::registry::ExperimentResult;
+use crate::corpus::{
+    generate_group, labeled_for, labeled_for_filtered, standard_profile_book, ColoGroup,
+};
+use crate::registry::{ExperimentResult, RunOpts};
 use baselines::{EspLike, PythiaLike, ScenarioPredictor};
 use cluster::ClusterConfig;
 use gsight::{GsightConfig, GsightPredictor, QosTarget, Scenario};
@@ -21,10 +23,7 @@ use simcore::table::{fnum, TextTable};
 const SEED: u64 = 0xF1_609;
 
 /// Mean prediction error of a predictor over a labeled test set.
-pub fn mean_error<P: ScenarioPredictor + ?Sized>(
-    p: &P,
-    test: &[(Scenario, f64)],
-) -> f64 {
+pub fn mean_error<P: ScenarioPredictor + ?Sized>(p: &P, test: &[(Scenario, f64)]) -> f64 {
     let errs: Vec<f64> = test
         .iter()
         .map(|(s, y)| prediction_error(p.predict(s), *y))
@@ -56,7 +55,10 @@ pub fn evaluate_target_filtered(
     let cluster = ClusterConfig::paper_testbed();
     let mut rows: Vec<(String, [f64; 3])> = Vec::new();
     // Model list: the five incremental learners + two baselines.
-    let mut names: Vec<String> = ModelKind::ALL.iter().map(|k| k.name().to_string()).collect();
+    let mut names: Vec<String> = ModelKind::ALL
+        .iter()
+        .map(|k| k.name().to_string())
+        .collect();
     names.push("Pythia".into());
     names.push("ESP".into());
     for name in &names {
@@ -134,13 +136,17 @@ pub fn evaluate_target(
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let (n_train, n_test) = if quick { (40, 15) } else { (400, 80) };
-    let mut result =
-        ExperimentResult::new("fig9", "prediction error across models & colocations");
+    let mut result = ExperimentResult::new("fig9", "prediction error across models & colocations");
     for (panel, target, min_ipc_frac) in [
         ("(a) IPC prediction error", QosTarget::Ipc, 0.0),
-        ("(b) tail latency / JCT prediction error", QosTarget::TailLatencyMs, 0.0),
+        (
+            "(b) tail latency / JCT prediction error",
+            QosTarget::TailLatencyMs,
+            0.0,
+        ),
         (
             "(b') tail latency / JCT error after removing low-IPC samples (paper SS3.2)",
             QosTarget::TailLatencyMs,
@@ -158,6 +164,11 @@ pub fn run(quick: bool) -> ExperimentResult {
             ]);
         }
         result.table(format!("{panel}\n{}", t.render()));
+        if target == QosTarget::Ipc {
+            if let Some((_, errs)) = rows.iter().find(|(n, _)| n.contains("IRFR")) {
+                result.metric("irfr_ipc_err_ls_scbg", errs[1]);
+            }
+        }
     }
     result.note("paper: IRFR IPC error 1.71% (LS+SC/BG), <5% worst case; Pythia/ESP worst; latency harder than IPC");
     result

@@ -1,9 +1,10 @@
 //! `experiments` — one module per table/figure of the paper's evaluation.
 //!
-//! Each module exposes a `run(quick: bool) -> ExperimentResult` entry point:
-//! `quick` mode shrinks sample counts and simulation windows so the whole
-//! suite runs in CI; full mode uses paper-scale parameters and is what the
-//! `repro` binary and EXPERIMENTS.md use.
+//! Each module exposes a `run(opts: &RunOpts) -> ExperimentResult` entry
+//! point: `opts.quick` shrinks sample counts and simulation windows so the
+//! whole suite runs in CI; full mode uses paper-scale parameters and is what
+//! the `repro` binary and EXPERIMENTS.md use. `opts.obs` / `opts.trace_dir`
+//! turn on observability collection and artifact export (see [`registry`]).
 //!
 //! | module | paper artifact |
 //! |---|---|
@@ -35,4 +36,4 @@ pub mod fig9;
 pub mod registry;
 pub mod table3;
 
-pub use registry::{all_experiments, Experiment, ExperimentResult};
+pub use registry::{all_experiments, Experiment, ExperimentResult, RunOpts};

@@ -1,6 +1,76 @@
 //! Experiment registry: uniform naming and output packaging so the `repro`
 //! binary can regenerate any (or every) paper artifact by id.
 
+use std::path::{Path, PathBuf};
+
+/// Options shared by every experiment run.
+///
+/// `quick` shrinks scales for CI; `obs` turns on telemetry/audit collection
+/// (tables are appended to the result); `trace_dir` additionally enables
+/// request tracing and names the directory where experiments drop their
+/// artifacts (Chrome traces, telemetry JSONL, audit logs).
+#[derive(Debug, Clone, Default)]
+pub struct RunOpts {
+    /// Shrink scales for CI.
+    pub quick: bool,
+    /// Collect telemetry / audit / profiling output even without a
+    /// `trace_dir`.
+    pub obs: bool,
+    /// Where to write observability artifacts; `None` disables export.
+    pub trace_dir: Option<PathBuf>,
+}
+
+impl RunOpts {
+    /// Quick mode, observability off.
+    pub fn quick() -> Self {
+        Self {
+            quick: true,
+            ..Self::default()
+        }
+    }
+
+    /// Full (paper-scale) mode, observability off.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// Quick mode with observability on (no file export).
+    pub fn quick_observing() -> Self {
+        Self {
+            quick: true,
+            obs: true,
+            trace_dir: None,
+        }
+    }
+
+    /// Whether experiments should collect observability data at all.
+    pub fn observing(&self) -> bool {
+        self.obs || self.trace_dir.is_some()
+    }
+
+    /// Whether experiments should record full request traces (requires an
+    /// export directory — traces are too big to only print).
+    pub fn tracing(&self) -> bool {
+        self.trace_dir.is_some()
+    }
+
+    /// Write `contents` to `<trace_dir>/<name>`, creating the directory.
+    /// Returns the written path for display, `None` when export is off or
+    /// the write failed (non-fatal, but warned on stderr — a bad
+    /// `--trace-dir` must not silently drop every artifact).
+    pub fn write_artifact(&self, name: &str, contents: &str) -> Option<PathBuf> {
+        let dir: &Path = self.trace_dir.as_deref()?;
+        let path = dir.join(name);
+        match std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, contents)) {
+            Ok(()) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write artifact {}: {e}", path.display());
+                None
+            }
+        }
+    }
+}
+
 /// Rendered output of one experiment.
 #[derive(Debug, Clone)]
 pub struct ExperimentResult {
@@ -12,6 +82,8 @@ pub struct ExperimentResult {
     pub tables: Vec<String>,
     /// Free-form notes: paper-vs-measured comparisons, caveats.
     pub notes: Vec<String>,
+    /// Headline metrics for machine consumption (`BENCH_repro.json`).
+    pub metrics: Vec<(String, f64)>,
 }
 
 impl ExperimentResult {
@@ -22,6 +94,7 @@ impl ExperimentResult {
             title,
             tables: Vec::new(),
             notes: Vec::new(),
+            metrics: Vec::new(),
         }
     }
 
@@ -34,6 +107,12 @@ impl ExperimentResult {
     /// Append a note line.
     pub fn note(&mut self, n: impl Into<String>) -> &mut Self {
         self.notes.push(n.into());
+        self
+    }
+
+    /// Record a headline metric (exported to `BENCH_repro.json`).
+    pub fn metric(&mut self, name: impl Into<String>, value: f64) -> &mut Self {
+        self.metrics.push((name.into(), value));
         self
     }
 
@@ -58,8 +137,8 @@ pub struct Experiment {
     pub id: &'static str,
     /// Short description.
     pub title: &'static str,
-    /// Entry point. `quick` shrinks scales for CI.
-    pub run: fn(quick: bool) -> ExperimentResult,
+    /// Entry point.
+    pub run: fn(opts: &RunOpts) -> ExperimentResult,
 }
 
 /// Every experiment, in paper order.
@@ -122,7 +201,8 @@ pub fn all_experiments() -> Vec<Experiment> {
         },
         Experiment {
             id: "ablation",
-            title: "design-choice ablations: coding blocks, forest size, PCA, partitioning (extension)",
+            title:
+                "design-choice ablations: coding blocks, forest size, PCA, partitioning (extension)",
             run: crate::ablation::run,
         },
     ]
@@ -145,9 +225,30 @@ mod tests {
     fn result_renders_tables_and_notes() {
         let mut r = ExperimentResult::new("figX", "demo");
         r.table("a b\n---\n1 2\n".into()).note("hello");
+        r.metric("speed", 1.5);
         let s = r.render();
         assert!(s.contains("figX"));
         assert!(s.contains("1 2"));
         assert!(s.contains("note: hello"));
+        assert_eq!(r.metrics, vec![("speed".to_string(), 1.5)]);
+    }
+
+    #[test]
+    fn run_opts_modes() {
+        assert!(!RunOpts::quick().observing());
+        assert!(!RunOpts::full().quick);
+        let o = RunOpts::quick_observing();
+        assert!(o.observing() && !o.tracing());
+        let t = RunOpts {
+            quick: true,
+            obs: false,
+            trace_dir: Some(std::env::temp_dir()),
+        };
+        assert!(t.observing() && t.tracing());
+    }
+
+    #[test]
+    fn write_artifact_none_without_dir() {
+        assert!(RunOpts::quick().write_artifact("x.json", "{}").is_none());
     }
 }

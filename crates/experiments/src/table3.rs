@@ -9,7 +9,7 @@
 //! I/O and disk I/O fall below the 0.1 threshold and are dropped.
 
 use crate::corpus::{generate_mixed, standard_profile_book, LabeledSample};
-use crate::registry::ExperimentResult;
+use crate::registry::{ExperimentResult, RunOpts};
 use cluster::ClusterConfig;
 use metricsd::{paper_keeps, paper_table3, select_metrics, CorrelationReport};
 use simcore::table::{fnum, TextTable};
@@ -31,7 +31,8 @@ pub fn correlation_report(samples: &[LabeledSample]) -> CorrelationReport {
 }
 
 /// Entry point.
-pub fn run(quick: bool) -> ExperimentResult {
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let quick = opts.quick;
     let book = standard_profile_book(SEED, quick);
     let cluster = ClusterConfig::paper_testbed();
     let n = if quick { 15 } else { 120 };
@@ -54,7 +55,12 @@ pub fn run(quick: bool) -> ExperimentResult {
             e.metric.name().to_string(),
             fnum(e.pearson, 2),
             fnum(e.spearman, 2),
-            if e.passes(report.threshold) { "yes" } else { "no" }.to_string(),
+            if e.passes(report.threshold) {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             fnum(pp, 2),
             fnum(ps, 2),
             if paper_keeps(e.metric) { "yes" } else { "no" }.to_string(),
@@ -73,6 +79,8 @@ pub fn run(quick: bool) -> ExperimentResult {
     result.note(format!(
         "selection agrees with the paper on {agree}/19 metrics"
     ));
+    result.metric("metrics_selected", report.selected().len() as f64);
+    result.metric("paper_agreement", agree as f64);
     result.note(
         "orientation: we correlate against degradation (>=1), so signs flip \
          relative to the paper's 'performance' orientation",
@@ -98,7 +106,14 @@ mod tests {
         }
         let cluster = ClusterConfig::paper_testbed();
         let mut samples = generate_group(ColoGroup::LsScBg, 20, &book, &cluster, 5, true);
-        samples.extend(generate_group(ColoGroup::ScScBg, 20, &book, &cluster, 7, true));
+        samples.extend(generate_group(
+            ColoGroup::ScScBg,
+            20,
+            &book,
+            &cluster,
+            7,
+            true,
+        ));
         let report = correlation_report(&samples);
         // IPC must anti-correlate with degradation, strongly.
         let ipc = report.entry(Metric::Ipc).unwrap();

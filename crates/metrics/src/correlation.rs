@@ -99,7 +99,9 @@ mod tests {
     fn uncorrelated_near_zero() {
         // Deterministic "noise": alternating pattern orthogonal to trend.
         let x: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let y: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let y: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(pearson(&x, &y).abs() < 0.1);
         assert!(spearman(&x, &y).abs() < 0.1);
     }

@@ -34,7 +34,11 @@ pub struct FunctionProfile {
 
 impl FunctionProfile {
     /// Build a profile from raw samples.
-    pub fn new(function: impl Into<String>, samples: Vec<ProfileSample>, includes_cold_start: bool) -> Self {
+    pub fn new(
+        function: impl Into<String>,
+        samples: Vec<ProfileSample>,
+        includes_cold_start: bool,
+    ) -> Self {
         Self {
             function: function.into(),
             samples,
@@ -45,13 +49,7 @@ impl FunctionProfile {
     /// Mean metric vector over the whole window — the row the spatial
     /// overlap matrix carries for this function.
     pub fn mean(&self) -> MetricVector {
-        MetricVector::mean_of(
-            &self
-                .samples
-                .iter()
-                .map(|s| s.metrics)
-                .collect::<Vec<_>>(),
-        )
+        MetricVector::mean_of(&self.samples.iter().map(|s| s.metrics).collect::<Vec<_>>())
     }
 
     /// Mean metric vector restricted to a time window `[from, to)` —
@@ -228,10 +226,7 @@ mod tests {
 
     #[test]
     fn merged_propagates_cold_start_flag() {
-        let w = WorkloadProfile::new(
-            "sn",
-            vec![FunctionProfile::new("a", vec![], true)],
-        );
+        let w = WorkloadProfile::new("sn", vec![FunctionProfile::new("a", vec![], true)]);
         assert!(w.merged().includes_cold_start);
     }
 }

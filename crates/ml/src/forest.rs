@@ -1,14 +1,14 @@
 //! Random-forest regression — the paper's chosen model family (RFR / IRFR).
 //!
 //! Bagging (bootstrap per tree) plus per-split feature subsampling,
-//! prediction by averaging. Training parallelises across trees with rayon;
-//! each tree derives its own RNG stream from the forest seed, so the fitted
-//! model is identical regardless of thread count (the determinism rule the
-//! workspace follows everywhere).
+//! prediction by averaging. Training parallelises across trees with
+//! [`simcore::par`]; each tree derives its own RNG stream from the forest
+//! seed, so the fitted model is identical regardless of thread count (the
+//! determinism rule the workspace follows everywhere).
 
 use crate::dataset::Dataset;
 use crate::tree::{RegressionTree, TreeParams};
-use rayon::prelude::*;
+use simcore::par::{par_map, par_map_range};
 use simcore::rng::seed_stream;
 use simcore::SimRng;
 
@@ -52,14 +52,11 @@ impl RandomForest {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(params.n_trees > 0, "forest needs at least one tree");
         let n_sample = ((data.len() as f64) * params.sample_frac).ceil().max(1.0) as usize;
-        let trees: Vec<RegressionTree> = (0..params.n_trees)
-            .into_par_iter()
-            .map(|i| {
-                let mut rng = SimRng::new(seed_stream(seed, i as u64));
-                let rows = data.bootstrap(n_sample, &mut rng);
-                RegressionTree::fit_rows(data, &rows, params.tree, &mut rng)
-            })
-            .collect();
+        let trees: Vec<RegressionTree> = par_map_range(params.n_trees, |i| {
+            let mut rng = SimRng::new(seed_stream(seed, i as u64));
+            let rows = data.bootstrap(n_sample, &mut rng);
+            RegressionTree::fit_rows(data, &rows, params.tree, &mut rng)
+        });
         let n = trees.len();
         Self {
             trees,
@@ -89,17 +86,17 @@ impl RandomForest {
         let n_sample = ((data.len() as f64) * self.params.sample_frac)
             .ceil()
             .max(1.0) as usize;
-        let rebuilt: Vec<(usize, RegressionTree)> = victims
-            .into_par_iter()
-            .map(|i| {
-                let mut rng = SimRng::new(seed_stream(
-                    self.seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    i as u64,
-                ));
-                let rows = data.bootstrap(n_sample, &mut rng);
-                (i, RegressionTree::fit_rows(data, &rows, self.params.tree, &mut rng))
-            })
-            .collect();
+        let rebuilt: Vec<(usize, RegressionTree)> = par_map(victims, |i| {
+            let mut rng = SimRng::new(seed_stream(
+                self.seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                i as u64,
+            ));
+            let rows = data.bootstrap(n_sample, &mut rng);
+            (
+                i,
+                RegressionTree::fit_rows(data, &rows, self.params.tree, &mut rng),
+            )
+        });
         for (i, tree) in rebuilt {
             self.trees[i] = tree;
             self.birth[i] = generation;
@@ -152,7 +149,10 @@ mod tests {
             let x0 = rng.f64() * 10.0;
             let x1 = rng.f64() * 10.0;
             let noise = rng.f64() * 0.1;
-            d.push(&[x0, x1, rng.f64()], 3.0 * x0 - 2.0 * x1 + x0 * x1 + 10.0 + noise);
+            d.push(
+                &[x0, x1, rng.f64()],
+                3.0 * x0 - 2.0 * x1 + x0 * x1 + 10.0 + noise,
+            );
         }
         d
     }

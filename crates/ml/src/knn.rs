@@ -52,11 +52,7 @@ impl KnnRegressor {
         let mut best: Vec<(f64, f64)> = Vec::with_capacity(self.k + 1);
         for i in 0..self.store.len() {
             let row = scaler.transform(self.store.row(i));
-            let d2: f64 = row
-                .iter()
-                .zip(&q)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2: f64 = row.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
             if best.len() < self.k {
                 best.push((d2, self.store.target(i)));
                 best.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN distance"));

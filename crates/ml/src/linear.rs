@@ -142,7 +142,12 @@ impl RidgeSgd {
         }
         let n = data.len() as f64;
         let mean = data.targets().iter().sum::<f64>() / n;
-        let var = data.targets().iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        let var = data
+            .targets()
+            .iter()
+            .map(|y| (y - mean).powi(2))
+            .sum::<f64>()
+            / n;
         self.y_mean = mean;
         self.y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
     }

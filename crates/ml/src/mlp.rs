@@ -109,7 +109,12 @@ impl MlpRegressor {
         }
         let n = data.len() as f64;
         let mean = data.targets().iter().sum::<f64>() / n;
-        let var = data.targets().iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        let var = data
+            .targets()
+            .iter()
+            .map(|y| (y - mean).powi(2))
+            .sum::<f64>()
+            / n;
         self.y_mean = mean;
         self.y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
     }
@@ -119,8 +124,7 @@ impl MlpRegressor {
         let h: Vec<f64> = (0..self.params.hidden)
             .map(|j| {
                 let row = &self.w1[j * self.dim..(j + 1) * self.dim];
-                let z = self.b1[j]
-                    + row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
+                let z = self.b1[j] + row.iter().zip(x).map(|(w, xi)| w * xi).sum::<f64>();
                 z.max(0.0) // ReLU
             })
             .collect();

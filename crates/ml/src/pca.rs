@@ -211,7 +211,10 @@ mod tests {
         let pca = Pca::fit(&data, 3, 9);
         let ev = pca.explained_variance();
         assert!(ev[0] > ev[1] && ev[1] >= ev[2]);
-        assert!(ev[0] > 100.0 * ev[2], "dominant direction should dwarf noise");
+        assert!(
+            ev[0] > 100.0 * ev[2],
+            "dominant direction should dwarf noise"
+        );
     }
 
     #[test]

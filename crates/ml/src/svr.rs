@@ -131,7 +131,12 @@ impl LinearSvr {
         }
         let n = data.len() as f64;
         let mean = data.targets().iter().sum::<f64>() / n;
-        let var = data.targets().iter().map(|y| (y - mean).powi(2)).sum::<f64>() / n;
+        let var = data
+            .targets()
+            .iter()
+            .map(|y| (y - mean).powi(2))
+            .sum::<f64>()
+            / n;
         self.y_mean = mean;
         self.y_std = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
     }
@@ -157,7 +162,15 @@ mod tests {
     fn fits_within_tube() {
         let train = linear_data(600, 1);
         let test = linear_data(100, 2);
-        let mut m = LinearSvr::new(2, 0.1, SgdParams { epochs: 60, ..Default::default() }, 3);
+        let mut m = LinearSvr::new(
+            2,
+            0.1,
+            SgdParams {
+                epochs: 60,
+                ..Default::default()
+            },
+            3,
+        );
         m.fit(&train);
         let preds: Vec<f64> = (0..test.len()).map(|i| m.predict(test.row(i))).collect();
         let err = mape(&preds, test.targets());
@@ -169,7 +182,15 @@ mod tests {
         // One massive outlier: SVR's bounded gradient limits its pull.
         let mut train = linear_data(200, 4);
         train.push(&[5.0, 5.0], 1e6);
-        let mut m = LinearSvr::new(2, 0.1, SgdParams { epochs: 60, ..Default::default() }, 5);
+        let mut m = LinearSvr::new(
+            2,
+            0.1,
+            SgdParams {
+                epochs: 60,
+                ..Default::default()
+            },
+            5,
+        );
         m.fit(&train);
         let p = m.predict(&[5.0, 5.0]);
         // True value 55. The outlier inflates the target-standardization

@@ -208,12 +208,7 @@ fn partition(data: &Dataset, rows: &mut [usize], feature: usize, threshold: f64)
 impl RegressionTree {
     /// Fit a tree on the given rows of `data` (duplicates allowed — this is
     /// how bagging passes bootstrap samples).
-    pub fn fit_rows(
-        data: &Dataset,
-        rows: &[usize],
-        params: TreeParams,
-        rng: &mut SimRng,
-    ) -> Self {
+    pub fn fit_rows(data: &Dataset, rows: &[usize], params: TreeParams, rng: &mut SimRng) -> Self {
         assert!(!rows.is_empty(), "cannot fit a tree on zero rows");
         let mtry = if params.mtry == 0 {
             (data.dim() as f64).sqrt().ceil() as usize
@@ -254,7 +249,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    idx = if x[*feature] <= *threshold { *left } else { *right };
+                    idx = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -294,7 +293,14 @@ mod tests {
     fn learns_step_function() {
         let d = step_data();
         let mut rng = SimRng::new(1);
-        let t = RegressionTree::fit(&d, TreeParams { mtry: 2, ..Default::default() }, &mut rng);
+        let t = RegressionTree::fit(
+            &d,
+            TreeParams {
+                mtry: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!((t.predict(&[0.2, 0.0]) - 1.0).abs() < 1e-9);
         assert!((t.predict(&[0.8, 0.0]) - 5.0).abs() < 1e-9);
     }
@@ -303,7 +309,14 @@ mod tests {
     fn importance_on_informative_feature() {
         let d = step_data();
         let mut rng = SimRng::new(2);
-        let t = RegressionTree::fit(&d, TreeParams { mtry: 2, ..Default::default() }, &mut rng);
+        let t = RegressionTree::fit(
+            &d,
+            TreeParams {
+                mtry: 2,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert!(t.importances()[0] > 0.0);
         assert_eq!(t.importances()[1], 0.0, "constant feature can't split");
     }

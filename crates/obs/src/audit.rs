@@ -1,0 +1,157 @@
+//! The scheduler audit log.
+//!
+//! Gsight's binary-search scheduler probes a handful of candidate spreads
+//! per placement decision, each probe running the predictor over a
+//! hypothetical colocation. The audit log keeps one [`DecisionRecord`] per
+//! decision with every probe's predicted QoS and SLA verdict plus the
+//! chosen placement — enough to answer "why did the scheduler put this
+//! function there?" after the fact.
+
+use crate::json::Json;
+
+/// One candidate spread the binary search evaluated.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateEval {
+    /// Spread: how many servers the workload was hypothetically split over.
+    pub spread: usize,
+    /// Per-function server assignment produced by the greedy packer.
+    pub placement: Vec<usize>,
+    /// Predictor output (IPC or latency, per the active QoS target).
+    pub predicted_qos: f64,
+    /// Whether the prediction met the SLA threshold.
+    pub sla_ok: bool,
+}
+
+/// One placement decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionRecord {
+    /// Sim time of the decision, in ms.
+    pub at_ms: f64,
+    /// Workload being placed.
+    pub workload: String,
+    /// SLA threshold the probes were judged against (minimum QoS).
+    pub sla_min_qos: f64,
+    /// Every probe, in evaluation order.
+    pub evaluated: Vec<CandidateEval>,
+    /// Index into `evaluated` of the accepted probe; `None` = rejected
+    /// (no spread satisfied the SLA).
+    pub chosen: Option<usize>,
+    /// Total predictor invocations the decision cost.
+    pub predictor_calls: usize,
+}
+
+impl DecisionRecord {
+    fn to_json(&self) -> Json {
+        let evaluated: Vec<Json> = self
+            .evaluated
+            .iter()
+            .map(|e| {
+                Json::obj()
+                    .field("spread", e.spread)
+                    .field("placement", e.placement.clone())
+                    .field("predicted_qos", e.predicted_qos)
+                    .field("sla_ok", e.sla_ok)
+            })
+            .collect();
+        let chosen = match self.chosen {
+            Some(i) => Json::from(i),
+            None => Json::Null,
+        };
+        Json::obj()
+            .field("at_ms", self.at_ms)
+            .field("workload", self.workload.as_str())
+            .field("sla_min_qos", self.sla_min_qos)
+            .field("evaluated", Json::Arr(evaluated))
+            .field("chosen", chosen)
+            .field("predictor_calls", self.predictor_calls)
+    }
+}
+
+/// Append-only decision log.
+#[derive(Debug, Clone, Default)]
+pub struct AuditLog {
+    records: Vec<DecisionRecord>,
+}
+
+impl AuditLog {
+    /// Empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a decision.
+    pub fn push(&mut self, record: DecisionRecord) {
+        self.records.push(record);
+    }
+
+    /// All records, in decision order.
+    pub fn records(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    /// Number of decisions that were accepted (a spread met the SLA).
+    pub fn accepted(&self) -> usize {
+        self.records.iter().filter(|r| r.chosen.is_some()).count()
+    }
+
+    /// One JSON object per decision (JSONL).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&r.to_json().render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(chosen: Option<usize>) -> DecisionRecord {
+        DecisionRecord {
+            at_ms: 1500.0,
+            workload: "social-network".to_string(),
+            sla_min_qos: 1.1,
+            evaluated: vec![
+                CandidateEval {
+                    spread: 1,
+                    placement: vec![0, 0, 0],
+                    predicted_qos: 0.9,
+                    sla_ok: false,
+                },
+                CandidateEval {
+                    spread: 2,
+                    placement: vec![0, 1, 0],
+                    predicted_qos: 1.2,
+                    sla_ok: true,
+                },
+            ],
+            chosen,
+            predictor_calls: 2,
+        }
+    }
+
+    #[test]
+    fn jsonl_roundtrips_schema() {
+        let mut log = AuditLog::new();
+        log.push(record(Some(1)));
+        log.push(record(None));
+        assert_eq!(log.accepted(), 1);
+        let jsonl = log.to_jsonl();
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            first.get("workload").unwrap().as_str(),
+            Some("social-network")
+        );
+        assert_eq!(first.get("chosen").unwrap().as_f64(), Some(1.0));
+        let evals = first.get("evaluated").unwrap().as_arr().unwrap();
+        assert_eq!(evals.len(), 2);
+        assert_eq!(evals[1].get("sla_ok"), Some(&Json::Bool(true)));
+        let second = Json::parse(lines[1]).unwrap();
+        assert_eq!(second.get("chosen"), Some(&Json::Null));
+    }
+}

@@ -1,0 +1,115 @@
+//! Observability for the simulated serverless platform.
+//!
+//! Four independent facilities, all **nullable**: every producer site in the
+//! platform/scheduler checks a cheap `enabled()` flag first, so a run with
+//! observability off pays one branch per site and allocates nothing.
+//!
+//! * [`trace`] — sim-time request tracing. Each invocation becomes a span
+//!   tree (gateway forward → queue wait → cold start → phase execution →
+//!   nested/async downstream calls) recorded through the [`trace::TraceSink`]
+//!   trait and exportable as Chrome trace-event JSON that Perfetto and
+//!   `chrome://tracing` load directly.
+//! * [`telemetry`] — a registry of named counters, gauges and log-bucket
+//!   histograms (queue depth, cold starts, autoscaler actions, contention
+//!   recomputes, SLA violations, …) dumped as JSONL or CSV.
+//! * [`profile`] — *wall-clock* stage profiling (predictor inference /
+//!   incremental update, scheduler pipeline stages) with percentile
+//!   summaries on top of `simcore::stats`.
+//! * [`audit`] — the scheduler audit log: one record per placement decision
+//!   with every candidate spread the binary search evaluated, its predicted
+//!   QoS, the SLA verdict, and the chosen placement.
+//!
+//! [`json`] is the hand-rolled JSON writer/parser the exporters share — the
+//! workspace is offline, so no serde.
+
+pub mod audit;
+pub mod json;
+pub mod profile;
+pub mod telemetry;
+pub mod trace;
+
+pub use audit::{AuditLog, CandidateEval, DecisionRecord};
+pub use profile::WallProfiler;
+pub use telemetry::Telemetry;
+pub use trace::{MemorySink, NullSink, SpanRecord, TraceSink, Track};
+
+/// The bundle of sinks a simulation carries. `Obs::off()` is the default:
+/// a [`NullSink`] trace (whose `enabled()` is `false`) and no telemetry.
+pub struct Obs {
+    /// Span sink; [`NullSink`] when tracing is off.
+    pub trace: Box<dyn TraceSink>,
+    /// Metric registry; `None` when telemetry is off.
+    pub telemetry: Option<Telemetry>,
+}
+
+impl Obs {
+    /// Observability fully off — the zero-overhead default.
+    pub fn off() -> Self {
+        Self {
+            trace: Box::new(NullSink),
+            telemetry: None,
+        }
+    }
+
+    /// Tracing into an in-memory sink, telemetry on.
+    pub fn recording() -> Self {
+        Self {
+            trace: Box::new(MemorySink::new()),
+            telemetry: Some(Telemetry::new()),
+        }
+    }
+
+    /// Telemetry only (no spans).
+    pub fn telemetry_only() -> Self {
+        Self {
+            trace: Box::new(NullSink),
+            telemetry: Some(Telemetry::new()),
+        }
+    }
+
+    /// Whether the span sink is live.
+    pub fn tracing(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    /// The in-memory sink, when that is what `trace` is.
+    pub fn memory_sink(&self) -> Option<&MemorySink> {
+        self.trace.as_any().downcast_ref::<MemorySink>()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("tracing", &self.tracing())
+            .field("telemetry", &self.telemetry.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_is_disabled() {
+        let obs = Obs::off();
+        assert!(!obs.tracing());
+        assert!(obs.telemetry.is_none());
+        assert!(obs.memory_sink().is_none());
+    }
+
+    #[test]
+    fn recording_is_enabled() {
+        let obs = Obs::recording();
+        assert!(obs.tracing());
+        assert!(obs.telemetry.is_some());
+        assert!(obs.memory_sink().is_some());
+    }
+}

@@ -1,0 +1,163 @@
+//! Wall-clock stage profiling.
+//!
+//! Unlike everything else in the workspace, these timers measure *host*
+//! time (`std::time::Instant`), because they answer the paper's Fig. 14
+//! question: what does the scheduler itself cost on real hardware? Each
+//! named stage keeps every sample so percentile summaries
+//! (`simcore::stats::Summary`) are exact, not bucketed.
+
+use crate::json::Json;
+use simcore::stats::Summary;
+use simcore::table::{fnum, TextTable};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Per-stage wall-clock sample store.
+#[derive(Debug, Clone, Default)]
+pub struct WallProfiler {
+    stages: BTreeMap<String, Vec<f64>>, // milliseconds
+}
+
+impl WallProfiler {
+    /// Empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time one call of `f` under `stage`.
+    pub fn time<T>(&mut self, stage: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record_ms(stage, t0.elapsed().as_secs_f64() * 1e3);
+        out
+    }
+
+    /// Record an externally measured duration (ms) under `stage`.
+    pub fn record_ms(&mut self, stage: &str, ms: f64) {
+        self.stages.entry(stage.to_string()).or_default().push(ms);
+    }
+
+    /// Stage names in sorted order.
+    pub fn stages(&self) -> impl Iterator<Item = &str> {
+        self.stages.keys().map(String::as_str)
+    }
+
+    /// Number of samples recorded for a stage.
+    pub fn count(&self, stage: &str) -> usize {
+        self.stages.get(stage).map_or(0, Vec::len)
+    }
+
+    /// Raw samples of a stage (ms), in recording order.
+    pub fn samples(&self, stage: &str) -> &[f64] {
+        self.stages.get(stage).map_or(&[], Vec::as_slice)
+    }
+
+    /// Mean of a stage's samples in ms (0 when empty).
+    pub fn mean_ms(&self, stage: &str) -> f64 {
+        match self.stages.get(stage) {
+            Some(v) if !v.is_empty() => v.iter().sum::<f64>() / v.len() as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Full percentile summary of a stage, if it has samples.
+    pub fn summary(&self, stage: &str) -> Option<Summary> {
+        self.stages
+            .get(stage)
+            .filter(|v| !v.is_empty())
+            .map(|v| Summary::of(v))
+    }
+
+    /// Render all stages as a text table (mean / p50 / p95 / p99 / max ms).
+    pub fn render_table(&self) -> String {
+        let mut t = TextTable::new(vec![
+            "stage", "samples", "mean ms", "p50 ms", "p95 ms", "p99 ms", "max ms",
+        ]);
+        for (stage, samples) in &self.stages {
+            if samples.is_empty() {
+                continue;
+            }
+            let s = Summary::of(samples);
+            t.row(vec![
+                stage.clone(),
+                format!("{}", samples.len()),
+                fnum(s.mean, 3),
+                fnum(s.p50, 3),
+                fnum(s.p95, 3),
+                fnum(s.p99, 3),
+                fnum(s.max, 3),
+            ]);
+        }
+        t.render()
+    }
+
+    /// One JSON object per stage (JSONL), same fields as the table.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (stage, samples) in &self.stages {
+            if samples.is_empty() {
+                continue;
+            }
+            let s = Summary::of(samples);
+            out.push_str(
+                &Json::obj()
+                    .field("stage", stage.as_str())
+                    .field("samples", samples.len())
+                    .field("mean_ms", s.mean)
+                    .field("p50_ms", s.p50)
+                    .field("p95_ms", s.p95)
+                    .field("p99_ms", s.p99)
+                    .field("max_ms", s.max)
+                    .render(),
+            );
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_positive_samples() {
+        let mut p = WallProfiler::new();
+        let out = p.time("work", || {
+            let mut acc = 0u64;
+            for i in 0..10_000 {
+                acc = acc.wrapping_add(i);
+            }
+            acc
+        });
+        assert_eq!(out, 49_995_000);
+        assert_eq!(p.count("work"), 1);
+        assert!(p.mean_ms("work") >= 0.0);
+    }
+
+    #[test]
+    fn summary_percentiles_ordered() {
+        let mut p = WallProfiler::new();
+        for i in 1..=100 {
+            p.record_ms("s", i as f64);
+        }
+        let s = p.summary("s").unwrap();
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99 && s.p99 <= s.max);
+        assert_eq!(s.count, 100);
+        assert!(p.summary("missing").is_none());
+    }
+
+    #[test]
+    fn table_and_jsonl_cover_all_stages() {
+        let mut p = WallProfiler::new();
+        p.record_ms("a", 1.0);
+        p.record_ms("b", 2.0);
+        let table = p.render_table();
+        assert!(table.contains("a") && table.contains("b"));
+        let jsonl = p.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        for line in jsonl.lines() {
+            assert!(crate::json::Json::parse(line).is_ok());
+        }
+    }
+}

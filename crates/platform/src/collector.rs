@@ -58,23 +58,21 @@ mod tests {
     fn profile_shapes_follow_graph() {
         let w = workloads::socialnetwork::message_posting();
         let mut report = RunReport::default();
-        let mut series = WorkloadSeries::default();
-        series.functions = vec![FunctionSeries::default(); w.graph.len()];
+        let mut series = WorkloadSeries {
+            functions: vec![FunctionSeries::default(); w.graph.len()],
+            ..Default::default()
+        };
         let mut m = MetricVector::zero();
         m.set(Metric::Ipc, 1.5);
         series.functions[0].metric_samples = vec![m, m, m];
         report.workloads.push(series);
 
-        let profile =
-            profiles_from_report(&report, 0, &w, SimTime::from_secs(1.0), true);
+        let profile = profiles_from_report(&report, 0, &w, SimTime::from_secs(1.0), true);
         assert_eq!(profile.functions.len(), 9);
         assert_eq!(profile.functions[0].len(), 3);
         assert_eq!(profile.functions[0].function, "compose-post");
         assert!(profile.functions[0].includes_cold_start);
-        assert_eq!(
-            profile.functions[0].samples[2].at,
-            SimTime::from_secs(2.0)
-        );
+        assert_eq!(profile.functions[0].samples[2].at, SimTime::from_secs(2.0));
         assert_eq!(profile.functions[1].len(), 0);
     }
 }

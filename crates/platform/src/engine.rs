@@ -20,10 +20,12 @@ use crate::report::{FunctionSeries, RunReport, UtilizationSample, WorkloadSeries
 use crate::scale::{ClusterView, PlacementDecision, Placer};
 use cluster::{InstanceId, ServerState};
 use metricsd::MetricVector;
+use obs::json::Json;
+use obs::{Obs, SpanRecord, Track};
 use simcore::{EventQueue, SimRng, SimTime};
+use std::collections::VecDeque;
 use workloads::dag::CallKind;
 use workloads::{PhaseSpec, Workload};
-use std::collections::VecDeque;
 
 /// Handle to a deployed workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +107,14 @@ struct Task {
     enqueued_at: SimTime,
     load_id: Option<InstanceId>,
     server: usize,
+    /// Whether this invocation paid a cold start.
+    cold: bool,
+    /// When the task left its instance queue and began executing.
+    exec_started: SimTime,
+    /// When the currently-executing phase began (tracing only).
+    phase_started: SimTime,
+    /// When the task's own service finished (start of any nested wait).
+    service_done: SimTime,
 }
 
 #[derive(Debug)]
@@ -164,6 +174,9 @@ pub struct Simulation {
     instance_count: usize,
     next_collect: SimTime,
     arrivals_pending: Vec<VecDeque<SimTime>>,
+    obs: Obs,
+    /// Optional per-workload e2e SLA (ms), for the `sla.violations` counter.
+    sla_ms: Vec<Option<f64>>,
 }
 
 impl Simulation {
@@ -194,6 +207,8 @@ impl Simulation {
             instance_count: 0,
             next_collect: SimTime::ZERO,
             arrivals_pending: Vec::new(),
+            obs: Obs::off(),
+            sla_ms: Vec::new(),
         }
     }
 
@@ -201,6 +216,36 @@ impl Simulation {
     pub fn set_placer(&mut self, placer: Box<dyn Placer>, scale: ScaleConfig) {
         self.placer = Some(placer);
         self.scale = scale;
+    }
+
+    /// The installed placement policy, if any — downcast via
+    /// [`Placer::as_any`] to read a concrete policy's audit log after a run.
+    pub fn placer(&self) -> Option<&dyn Placer> {
+        self.placer.as_deref()
+    }
+
+    /// Install observability sinks. The default is [`Obs::off`], under
+    /// which every instrumentation site reduces to a flag check.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The live observability bundle (telemetry counters are readable
+    /// mid-run).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Detach the observability bundle (e.g. to export a trace after the
+    /// run), leaving observability off.
+    pub fn take_obs(&mut self) -> Obs {
+        std::mem::take(&mut self.obs)
+    }
+
+    /// Declare an end-to-end latency SLA for a deployed workload; requests
+    /// finishing above it bump the `sla.violations` telemetry counter.
+    pub fn set_sla_ms(&mut self, wl: WorkloadId, sla_ms: f64) {
+        self.sla_ms[wl.0] = Some(sla_ms);
     }
 
     /// Deploy a workload. Panics on invalid placement (empty node placement,
@@ -263,12 +308,15 @@ impl Simulation {
             ..Default::default()
         });
 
+        self.sla_ms.push(None);
+
         let mut arrivals: VecDeque<SimTime> = arrivals.times().iter().copied().collect();
         // Schedule only the first arrival; each Arrival event schedules its
         // successor, keeping the event queue small for long traces.
         if let Some(&first) = arrivals.front() {
             arrivals.pop_front();
-            self.queue.schedule(first.max(self.queue.now()), Ev::Arrival { wl });
+            self.queue
+                .schedule(first.max(self.queue.now()), Ev::Arrival { wl });
         }
         self.arrivals_pending.push(arrivals);
 
@@ -288,8 +336,7 @@ impl Simulation {
     pub fn run_until(&mut self, end: SimTime) {
         if self.next_collect == SimTime::ZERO {
             self.next_collect = self.config.collect_interval;
-            self.queue
-                .schedule(self.next_collect, Ev::Collect);
+            self.queue.schedule(self.next_collect, Ev::Collect);
         }
         while let Some(at) = self.queue.peek_time() {
             if at > end {
@@ -362,6 +409,15 @@ impl Simulation {
             done: false,
         });
         self.report.workloads[wl].arrivals += 1;
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            t.incr("requests.arrivals", 1);
+        }
+        if self.obs.tracing() {
+            let name = &self.deployed[wl].workload.name;
+            self.obs
+                .trace
+                .name_track(Track::request(req), &format!("{name} req{req}"), "request");
+        }
         for node in roots {
             self.forward(now, req, wl, node);
         }
@@ -384,13 +440,16 @@ impl Simulation {
             .gateway
             .begin_service(&self.config.gateway, self.instance_count)
         {
-            self.queue
-                .schedule(now.plus(dur), Ev::GatewayDone { fwd });
+            self.queue.schedule(now.plus(dur), Ev::GatewayDone { fwd });
         }
     }
 
     fn on_gateway_done(&mut self, now: SimTime, fwd: Forward) {
         self.gateway.record_latency(fwd.enqueued_at, now);
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            t.incr("gateway.forwards", 1);
+            t.observe("gateway.forward_ms", now.since(fwd.enqueued_at).as_millis());
+        }
         self.deliver(now, fwd);
         self.gateway_begin(now);
     }
@@ -418,8 +477,30 @@ impl Simulation {
             enqueued_at: now,
             load_id: None,
             server: inst.server,
+            cold: false,
+            exec_started: now,
+            phase_started: now,
+            service_done: now,
         });
         self.requests[fwd.req as usize].node_task[fwd.node] = Some(task_id);
+        if self.obs.tracing() {
+            let d = &self.deployed[fwd.wl];
+            let func = d.workload.graph.func(workloads::NodeId(fwd.node));
+            let track = Track::node(fwd.req, fwd.node);
+            self.obs.trace.name_track(
+                track,
+                &format!("{} req{}", d.workload.name, fwd.req),
+                &func.name,
+            );
+            self.obs.trace.span(SpanRecord {
+                name: "gateway forward".to_string(),
+                cat: "gateway",
+                track,
+                start: fwd.enqueued_at,
+                end: now,
+                args: vec![("instance", Json::from(inst_idx))],
+            });
+        }
         self.deployed[fwd.wl].instances[fwd.node][inst_idx]
             .queue
             .push_back(task_id);
@@ -441,8 +522,7 @@ impl Simulation {
                     return;
                 }
                 task_id = inst.queue.pop_front().expect("queue emptied unexpectedly");
-                cold = !inst.used
-                    || now.since(inst.last_finish) > self.config.keep_alive;
+                cold = !inst.used || now.since(inst.last_finish) > self.config.keep_alive;
                 inst.used = true;
                 inst.active.push(task_id);
             }
@@ -456,10 +536,33 @@ impl Simulation {
             if cold {
                 self.report.workloads[wl].functions[node].cold_starts += 1;
             }
+            {
+                let wait_ms = now.since(self.tasks[task_id].enqueued_at).as_millis();
+                if let Some(t) = self.obs.telemetry.as_mut() {
+                    if cold {
+                        t.incr("instances.cold_starts", 1);
+                    }
+                    t.observe("instance.queue_wait_ms", wait_ms);
+                }
+                if self.obs.tracing() {
+                    let t = &self.tasks[task_id];
+                    self.obs.trace.span(SpanRecord {
+                        name: "queue wait".to_string(),
+                        cat: "queue",
+                        track: Track::node(t.req, t.node),
+                        start: t.enqueued_at,
+                        end: now,
+                        args: vec![("wait_ms", Json::from(wait_ms))],
+                    });
+                }
+            }
             if phases.is_empty() {
                 // Degenerate zero-work function: complete immediately.
                 let t = &mut self.tasks[task_id];
                 t.state = TaskState::Executing;
+                t.cold = cold;
+                t.exec_started = now;
+                t.phase_started = now;
                 self.finish_service(now, task_id);
                 continue;
             }
@@ -470,6 +573,9 @@ impl Simulation {
                 t.phase_idx = 0;
                 t.remaining_us = t.phases[0].duration.as_micros() as f64;
                 t.last_update = now;
+                t.cold = cold;
+                t.exec_started = now;
+                t.phase_started = now;
                 t.server
             };
             let socket = self.deployed[wl].instances[node][inst_idx].socket;
@@ -498,6 +604,9 @@ impl Simulation {
     /// Recompute contention on a server and (re)schedule every executing
     /// task's phase-end event.
     fn reschedule_server(&mut self, now: SimTime, server: usize) {
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            t.incr("contention.recomputes", 1);
+        }
         let contention = self.servers[server].contention();
         let tids: Vec<usize> = self.server_tasks[server].clone();
         for tid in tids {
@@ -530,6 +639,33 @@ impl Simulation {
         // exactly the remaining work, so clamp to zero.
         self.tasks[task_id].remaining_us = 0.0;
 
+        if self.obs.tracing() {
+            let t = &self.tasks[task_id];
+            let (name, cat) = if t.cold && t.phase_idx == 0 {
+                ("cold start".to_string(), "cold")
+            } else {
+                (format!("phase {}", t.phase_idx - t.cold as usize), "phase")
+            };
+            self.obs.trace.span(SpanRecord {
+                name,
+                cat,
+                track: Track::node(t.req, t.node),
+                start: t.phase_started,
+                end: now,
+                args: vec![
+                    ("slowdown", Json::from(t.slowdown)),
+                    ("server", Json::from(t.server)),
+                ],
+            });
+        }
+        if self.tasks[task_id].cold && self.tasks[task_id].phase_idx == 0 {
+            if let Some(t) = self.obs.telemetry.as_mut() {
+                let t0 = self.tasks[task_id].phase_started;
+                t.observe("instance.cold_start_ms", now.since(t0).as_millis());
+            }
+        }
+        self.tasks[task_id].phase_started = now;
+
         let has_more_phases = {
             let t = &mut self.tasks[task_id];
             t.phase_idx += 1;
@@ -542,7 +678,9 @@ impl Simulation {
             };
             let socket = self.deployed[wl].instances[node][inst_idx].socket;
             self.tasks[task_id].remaining_us = phase.duration.as_micros() as f64;
-            let load_id = self.tasks[task_id].load_id.expect("executing task without load");
+            let load_id = self.tasks[task_id]
+                .load_id
+                .expect("executing task without load");
             self.servers[server].update(load_id, phase.load(socket));
             self.reschedule_server(now, server);
         } else {
@@ -558,10 +696,15 @@ impl Simulation {
             (t.wl, t.node, t.req, t.server)
         };
         let local_ms = now.since(self.tasks[task_id].enqueued_at).as_millis();
+        self.tasks[task_id].service_done = now;
         {
             let fs = &mut self.report.workloads[wl].functions[node];
             fs.local_latencies_ms.push(local_ms);
             fs.completions += 1;
+        }
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            t.incr("functions.completions", 1);
+            t.observe("function.local_ms", local_ms);
         }
         if let Some(load_id) = self.tasks[task_id].load_id.take() {
             self.servers[server].remove(load_id);
@@ -591,11 +734,45 @@ impl Simulation {
     /// its slot, fire async children, notify a nested parent, and close the
     /// request when every node is done.
     fn complete_task(&mut self, now: SimTime, task_id: usize) {
+        let was_nested_wait = self.tasks[task_id].state == TaskState::NestedWait;
         let (wl, node, req, inst_idx) = {
             let t = &mut self.tasks[task_id];
             t.state = TaskState::Done;
             (t.wl, t.node, t.req, t.inst)
         };
+        if self.obs.tracing() {
+            let t = &self.tasks[task_id];
+            let track = Track::node(req, node);
+            if was_nested_wait {
+                self.obs.trace.span(SpanRecord {
+                    name: "nested wait".to_string(),
+                    cat: "wait",
+                    track,
+                    start: t.service_done,
+                    end: now,
+                    args: vec![],
+                });
+            }
+            let func_name = self.deployed[wl]
+                .workload
+                .graph
+                .func(workloads::NodeId(node))
+                .name
+                .clone();
+            let t = &self.tasks[task_id];
+            self.obs.trace.span(SpanRecord {
+                name: func_name,
+                cat: "task",
+                track,
+                start: t.enqueued_at,
+                end: now,
+                args: vec![
+                    ("server", Json::from(t.server)),
+                    ("instance", Json::from(inst_idx)),
+                    ("cold", Json::from(t.cold)),
+                ],
+            });
+        }
         {
             let inst = &mut self.deployed[wl].instances[node][inst_idx];
             inst.active.retain(|&t| t != task_id);
@@ -644,10 +821,29 @@ impl Simulation {
         if finished_request {
             let r = &mut self.requests[req as usize];
             r.done = true;
-            let e2e = now.since(r.arrival).as_millis();
+            let arrival = r.arrival;
+            let e2e = now.since(arrival).as_millis();
             let series = &mut self.report.workloads[wl];
             series.e2e_latencies_ms.push(e2e);
             series.completions += 1;
+            if let Some(t) = self.obs.telemetry.as_mut() {
+                t.incr("requests.completions", 1);
+                t.observe("request.e2e_ms", e2e);
+                if self.sla_ms[wl].is_some_and(|sla| e2e > sla) {
+                    t.incr("sla.violations", 1);
+                }
+            }
+            if self.obs.tracing() {
+                let name = self.deployed[wl].workload.name.clone();
+                self.obs.trace.span(SpanRecord {
+                    name,
+                    cat: "request",
+                    track: Track::request(req),
+                    start: arrival,
+                    end: now,
+                    args: vec![("e2e_ms", Json::from(e2e))],
+                });
+            }
         }
     }
 
@@ -721,6 +917,20 @@ impl Simulation {
             instances: self.instance_count,
         });
 
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            let queued: usize = self
+                .deployed
+                .iter()
+                .flat_map(|d| d.instances.iter().flatten())
+                .map(|i| i.queue.len())
+                .sum();
+            let executing: usize = self.server_tasks.iter().map(Vec::len).sum();
+            t.gauge("gateway.depth", self.gateway.depth() as f64);
+            t.gauge("instances.total", self.instance_count as f64);
+            t.gauge("tasks.queued", queued as f64);
+            t.gauge("tasks.executing", executing as f64);
+        }
+
         self.autoscale(now);
 
         self.next_collect = now.plus(self.config.collect_interval);
@@ -760,6 +970,7 @@ impl Simulation {
                 let view = ClusterView::new(&self.servers);
                 let d = &self.deployed[wl];
                 let spec = d.workload.graph.func(workloads::NodeId(node));
+                placer.note_time(now.as_millis());
                 placer.place(&view, &d.workload, node, spec)
             };
             if let Some(p) = decision {
@@ -774,6 +985,11 @@ impl Simulation {
                 });
                 self.instance_count += 1;
                 self.report.scale_outs.push((now, wl, node));
+                if let Some(t) = self.obs.telemetry.as_mut() {
+                    t.incr("autoscaler.scale_outs", 1);
+                }
+            } else if let Some(t) = self.obs.telemetry.as_mut() {
+                t.incr("autoscaler.rejections", 1);
             }
         }
     }
@@ -909,13 +1125,16 @@ mod tests {
         assert!(lats.len() > 50);
         let early = lats[2];
         let late = lats[lats.len() - 1];
-        assert!(late > 4.0 * early, "queueing should inflate: {early} -> {late}");
+        assert!(
+            late > 4.0 * early,
+            "queueing should inflate: {early} -> {late}"
+        );
     }
 
     #[test]
     fn colocation_slows_execution() {
         // Same socket: matmul corunner inflates a CPU-bound function's time.
-        let mut run = |colocate: bool| {
+        let run = |colocate: bool| {
             let mut sim = Simulation::new(PlatformConfig::small(7));
             let mut victim = functionbench::float_operation();
             {
@@ -964,7 +1183,11 @@ mod tests {
         });
         sim.run_until(SimTime::from_secs(30.0));
         let samples = &sim.report().workloads[0].functions[0].metric_samples;
-        assert!(samples.len() >= 25, "expected ~30 1Hz samples, got {}", samples.len());
+        assert!(
+            samples.len() >= 25,
+            "expected ~30 1Hz samples, got {}",
+            samples.len()
+        );
         // dd's baseline IPC is 0.9; noisy samples should hover nearby.
         let ipc = sim.report().workloads[0].functions[0].mean_ipc();
         assert!((ipc - 0.9).abs() < 0.1, "ipc {ipc}");
@@ -1011,10 +1234,7 @@ mod tests {
             sim.deploy(Deployment {
                 workload: w,
                 placement,
-                arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(
-                    5.0,
-                    SimTime::from_secs(5.0),
-                )),
+                arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(5.0, SimTime::from_secs(5.0))),
             });
             sim.run_until(SimTime::from_secs(30.0));
             sim.report().workloads[0].e2e_latencies_ms.clone()
@@ -1029,9 +1249,108 @@ mod tests {
         let w = socialnetwork::message_posting();
         sim.deploy(Deployment {
             workload: w,
-            placement: vec![vec![PlacementDecision { server: 0, socket: 0 }]],
+            placement: vec![vec![PlacementDecision {
+                server: 0,
+                socket: 0,
+            }]],
             arrivals: ArrivalSpec::OpenLoop(vec![]),
         });
+    }
+
+    fn traced_social_run() -> (RunReport, obs::Obs) {
+        let mut sim = Simulation::new(PlatformConfig::small(42));
+        let w = socialnetwork::message_posting();
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(5.0, SimTime::from_secs(3.0))),
+        });
+        sim.set_obs(obs::Obs::recording());
+        sim.run_until(SimTime::from_secs(30.0));
+        let o = sim.take_obs();
+        (sim.into_report(), o)
+    }
+
+    #[test]
+    fn tracing_produces_well_nested_spans() {
+        let (report, o) = traced_social_run();
+        assert!(report.workloads[0].completions > 10);
+        let sink = o.memory_sink().expect("recording obs has a memory sink");
+        for cat in ["gateway", "queue", "phase", "cold", "task", "request"] {
+            assert!(
+                sink.spans_in(cat).next().is_some(),
+                "no '{cat}' spans recorded"
+            );
+        }
+        // One request-root span per completed request, one task span per
+        // completed invocation.
+        let requests = sink.spans_in("request").count() as u64;
+        assert_eq!(requests, report.workloads[0].completions);
+        let tasks = sink.spans_in("task").count() as u64;
+        let invocations: u64 = report.workloads[0]
+            .functions
+            .iter()
+            .map(|f| f.completions)
+            .sum();
+        assert_eq!(tasks, invocations);
+        let violations = obs::trace::nesting_violations(sink.spans());
+        assert!(violations.is_empty(), "nesting violations: {violations:?}");
+    }
+
+    #[test]
+    fn telemetry_counters_match_report() {
+        let (report, o) = traced_social_run();
+        let t = o.telemetry.expect("recording obs has telemetry");
+        assert_eq!(t.counter("requests.arrivals"), report.workloads[0].arrivals);
+        assert_eq!(
+            t.counter("requests.completions"),
+            report.workloads[0].completions
+        );
+        assert_eq!(
+            t.counter("instances.cold_starts"),
+            report.workloads[0].cold_starts()
+        );
+        assert!(t.counter("contention.recomputes") > 0);
+        assert!(t.histogram("request.e2e_ms").unwrap().count() > 0);
+        assert!(t.gauge_value("instances.total").is_some());
+    }
+
+    #[test]
+    fn sla_violations_counted() {
+        let mut sim = Simulation::new(PlatformConfig::small(42));
+        let w = functionbench::float_operation(); // ~400 ms service
+        let placement = place_all(&w, 0, 0);
+        let id = sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::OpenLoop(vec![SimTime::from_secs(0.1)]),
+        });
+        sim.set_sla_ms(id, 1.0); // impossible SLA: every request violates
+        sim.set_obs(obs::Obs::telemetry_only());
+        sim.run_until(SimTime::from_secs(10.0));
+        let t = sim.take_obs().telemetry.unwrap();
+        assert_eq!(t.counter("sla.violations"), 1);
+    }
+
+    #[test]
+    fn observability_does_not_perturb_the_simulation() {
+        let run = |record: bool| {
+            let mut sim = Simulation::new(PlatformConfig::small(42));
+            let w = socialnetwork::message_posting();
+            let placement = place_all(&w, 0, 0);
+            sim.deploy(Deployment {
+                workload: w,
+                placement,
+                arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(5.0, SimTime::from_secs(3.0))),
+            });
+            if record {
+                sim.set_obs(obs::Obs::recording());
+            }
+            sim.run_until(SimTime::from_secs(30.0));
+            sim.into_report()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

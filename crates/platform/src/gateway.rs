@@ -108,7 +108,10 @@ mod tests {
     fn first_enqueue_starts_service() {
         let mut g = Gateway::new();
         assert!(g.enqueue(fwd(1)));
-        assert!(!g.enqueue(fwd(2)), "second enqueue must not restart service");
+        assert!(
+            !g.enqueue(fwd(2)),
+            "second enqueue must not restart service"
+        );
         assert_eq!(g.depth(), 2);
     }
 

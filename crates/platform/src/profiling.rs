@@ -33,10 +33,8 @@ impl ProfilingConfig {
     /// Default profiling setup on a dedicated paper-spec node.
     pub fn dedicated(seed: u64) -> Self {
         let mut platform = PlatformConfig::paper_testbed(seed);
-        platform.cluster = cluster::ClusterConfig::homogeneous(
-            1,
-            cluster::ServerSpec::paper_node(),
-        );
+        platform.cluster =
+            cluster::ClusterConfig::homogeneous(1, cluster::ServerSpec::paper_node());
         Self {
             platform,
             window: SimTime::from_secs(300.0),
@@ -56,7 +54,12 @@ pub fn profile_workload(
     let mut sim = Simulation::new(config.platform.clone());
     let mut rng = SimRng::new(config.platform.seed ^ 0x9E37_79B9);
     let placement: Vec<Vec<PlacementDecision>> = (0..workload.graph.len())
-        .map(|_| vec![PlacementDecision { server: 0, socket: 0 }])
+        .map(|_| {
+            vec![PlacementDecision {
+                server: 0,
+                socket: 0,
+            }]
+        })
         .collect();
     let (arrivals, horizon) = match workload.class {
         WorkloadClass::LatencySensitive => {
@@ -65,9 +68,8 @@ pub fn profile_workload(
         }
         _ => {
             // One job, run to completion (plus slack for slowless margins).
-            let horizon = SimTime::from_secs(
-                workload.critical_path_duration().as_secs() * 3.0 + 60.0,
-            );
+            let horizon =
+                SimTime::from_secs(workload.critical_path_duration().as_secs() * 3.0 + 60.0);
             (ArrivalSpec::Jobs(vec![SimTime::ZERO]), horizon)
         }
     };
@@ -102,7 +104,9 @@ mod tests {
         assert!((report.workloads[0].mean_jct_secs() - 430.0).abs() < 2.0);
         // Early map phase has higher IPC than shuffle (different baselines).
         let early = profile.functions[0].samples[10].metrics.get(Metric::Ipc);
-        let shuffle = profile.functions[0].samples[n - 10].metrics.get(Metric::Ipc);
+        let shuffle = profile.functions[0].samples[n - 10]
+            .metrics
+            .get(Metric::Ipc);
         assert!(early > shuffle, "early {early} vs shuffle {shuffle}");
     }
 

@@ -6,7 +6,7 @@ use simcore::stats::{Cdf, Summary};
 use simcore::SimTime;
 
 /// Per-function observation series.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct FunctionSeries {
     /// Local latencies (queue wait + own service) in ms, one per completed
     /// invocation of this function.
@@ -40,7 +40,7 @@ impl FunctionSeries {
 }
 
 /// Per-workload observation series.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorkloadSeries {
     /// End-to-end request latencies in ms (arrival at gateway → completion
     /// of the last call-graph node). For SC/BG jobs this is the JCT.
@@ -110,7 +110,11 @@ pub struct UtilizationSample {
 }
 
 /// Complete output of one simulation run.
-#[derive(Debug, Clone, Default)]
+///
+/// Derives `PartialEq` so tests can assert that two runs are *identical* —
+/// in particular, that turning observability on does not perturb the
+/// simulation (the determinism-preservation test).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Per-workload series, indexed by deployment order.
     pub workloads: Vec<WorkloadSeries>,
@@ -196,8 +200,10 @@ mod tests {
 
     #[test]
     fn workload_series_summaries() {
-        let mut ws = WorkloadSeries::default();
-        ws.e2e_latencies_ms = vec![10.0, 20.0, 30.0];
+        let ws = WorkloadSeries {
+            e2e_latencies_ms: vec![10.0, 20.0, 30.0],
+            ..Default::default()
+        };
         assert!((ws.latency_summary().mean - 20.0).abs() < 1e-12);
         assert!((ws.mean_jct_secs() - 0.02).abs() < 1e-12);
     }
@@ -228,9 +234,11 @@ mod tests {
     #[test]
     fn sla_satisfaction_windows() {
         let mut r = RunReport::default();
-        let mut ws = WorkloadSeries::default();
         // Two windows of 3: first all fast, second all slow.
-        ws.e2e_latencies_ms = vec![10.0, 10.0, 10.0, 100.0, 100.0, 100.0];
+        let ws = WorkloadSeries {
+            e2e_latencies_ms: vec![10.0, 10.0, 10.0, 100.0, 100.0, 100.0],
+            ..Default::default()
+        };
         r.workloads.push(ws);
         assert!((r.sla_satisfaction(0, 50.0, 3) - 0.5).abs() < 1e-12);
         assert!((r.sla_satisfaction(0, 200.0, 3) - 1.0).abs() < 1e-12);
@@ -250,7 +258,10 @@ mod tests {
         }
         let cdf = r.density_cdf();
         assert_eq!(cdf.len(), 3);
-        assert!((r.cpu_util_cdf().mean() - 0.5).abs() < 1e-12, "inactive servers excluded");
+        assert!(
+            (r.cpu_util_cdf().mean() - 0.5).abs() < 1e-12,
+            "inactive servers excluded"
+        );
     }
 
     #[test]

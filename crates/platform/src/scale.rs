@@ -73,6 +73,16 @@ pub trait Placer {
         node: usize,
         spec: &FunctionSpec,
     ) -> Option<PlacementDecision>;
+
+    /// Simulation-time hint, called by the platform right before
+    /// [`Placer::place`] so audit-logging policies can timestamp their
+    /// decision records. Default: ignored.
+    fn note_time(&mut self, _now_ms: f64) {}
+
+    /// Downcast support, so experiments can recover a concrete policy (and
+    /// its audit log / predictor-call counters) from the boxed trait object
+    /// the simulation owns.
+    fn as_any(&self) -> &dyn std::any::Any;
 }
 
 /// A policy that never scales out — used by the controlled interference
@@ -89,6 +99,10 @@ impl Placer for NoScaling {
         _spec: &FunctionSpec,
     ) -> Option<PlacementDecision> {
         None
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 

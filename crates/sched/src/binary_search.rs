@@ -10,6 +10,7 @@
 
 use cluster::Demand;
 use gsight::{ColoWorkload, GsightPredictor, Scenario};
+use obs::{AuditLog, CandidateEval, DecisionRecord};
 
 /// Result of a binary-search placement.
 #[derive(Debug, Clone, PartialEq)]
@@ -83,35 +84,103 @@ pub fn binary_search_placement(
     capacity: &Demand,
     sla_min_qos: f64,
 ) -> Option<BinarySearchOutcome> {
+    search(
+        predictor,
+        new_workload,
+        existing,
+        num_servers,
+        candidates,
+        headroom,
+        capacity,
+        sla_min_qos,
+    )
+    .0
+}
+
+/// [`binary_search_placement`] plus an audit trail: appends one
+/// [`DecisionRecord`] per call — every evaluated spread with its predicted
+/// QoS and SLA verdict, and which probe (if any) was accepted. Rejected
+/// placements are logged too.
+#[allow(clippy::too_many_arguments)]
+pub fn binary_search_placement_audited(
+    predictor: &GsightPredictor,
+    new_workload: &ColoWorkload,
+    existing: &[ColoWorkload],
+    num_servers: usize,
+    candidates: &[usize],
+    headroom: &[f64],
+    capacity: &Demand,
+    sla_min_qos: f64,
+    at_ms: f64,
+    workload_name: &str,
+    audit: &mut AuditLog,
+) -> Option<BinarySearchOutcome> {
+    let (outcome, evaluated, chosen) = search(
+        predictor,
+        new_workload,
+        existing,
+        num_servers,
+        candidates,
+        headroom,
+        capacity,
+        sla_min_qos,
+    );
+    audit.push(DecisionRecord {
+        at_ms,
+        workload: workload_name.to_string(),
+        sla_min_qos,
+        predictor_calls: evaluated.len(),
+        evaluated,
+        chosen,
+    });
+    outcome
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    predictor: &GsightPredictor,
+    new_workload: &ColoWorkload,
+    existing: &[ColoWorkload],
+    num_servers: usize,
+    candidates: &[usize],
+    headroom: &[f64],
+    capacity: &Demand,
+    sla_min_qos: f64,
+) -> (
+    Option<BinarySearchOutcome>,
+    Vec<CandidateEval>,
+    Option<usize>,
+) {
     assert!(!candidates.is_empty(), "no candidate servers");
-    let mut calls = 0usize;
-    let mut evaluate = |k: usize| -> (Vec<usize>, f64) {
-        let placement = greedy_assign(
-            &new_workload.demands,
-            capacity,
-            headroom,
-            candidates,
-            k,
-        );
+    let mut evals: Vec<CandidateEval> = Vec::new();
+    let evaluate = |k: usize, evals: &mut Vec<CandidateEval>| -> (Vec<usize>, f64) {
+        let placement = greedy_assign(&new_workload.demands, capacity, headroom, candidates, k);
         let mut target = new_workload.clone();
         target.placement = placement.clone();
         let scenario = Scenario::new(target, existing.to_vec(), num_servers);
-        calls += 1;
-        (placement, predictor.predict(&scenario))
+        let qos = predictor.predict(&scenario);
+        evals.push(CandidateEval {
+            spread: k,
+            placement: placement.clone(),
+            predicted_qos: qos,
+            sla_ok: qos >= sla_min_qos,
+        });
+        (placement, qos)
     };
 
     let max_k = candidates.len();
     // Full overlap first (k = 1).
-    let (mut best_placement, mut best_qos) = evaluate(1);
+    let (mut best_placement, mut best_qos) = evaluate(1, &mut evals);
+    let mut chosen = Some(0usize);
     if best_qos < sla_min_qos {
         // Binary search the smallest k in [2, max_k] that satisfies the SLA.
         let (mut lo, mut hi) = (2usize, max_k);
         let mut found = None;
         while lo <= hi {
             let mid = (lo + hi) / 2;
-            let (placement, qos) = evaluate(mid);
+            let (placement, qos) = evaluate(mid, &mut evals);
             if qos >= sla_min_qos {
-                found = Some((placement, qos, mid));
+                found = Some((placement, qos, evals.len() - 1));
                 if mid == 2 {
                     break;
                 }
@@ -121,22 +190,24 @@ pub fn binary_search_placement(
             }
         }
         match found {
-            Some((p, q, _)) => {
+            Some((p, q, idx)) => {
                 best_placement = p;
                 best_qos = q;
+                chosen = Some(idx);
             }
-            None => return None,
+            None => return (None, evals, None),
         }
     }
     let mut spread = best_placement.clone();
     spread.sort_unstable();
     spread.dedup();
-    Some(BinarySearchOutcome {
+    let outcome = BinarySearchOutcome {
         placement: best_placement,
         spread: spread.len(),
         predicted_qos: best_qos,
-        predictor_calls: calls,
-    })
+        predictor_calls: evals.len(),
+    };
+    (Some(outcome), evals, chosen)
 }
 
 #[cfg(test)]
@@ -210,10 +281,7 @@ mod tests {
             let placement: Vec<usize> = (0..3).map(|_| rng.index(4)).collect();
             let target = colo(2.0, 4.0, placement);
             let y = truth(&target, std::slice::from_ref(&corunner));
-            samples.push((
-                Scenario::new(target, vec![corunner.clone()], 4),
-                y,
-            ));
+            samples.push((Scenario::new(target, vec![corunner.clone()], 4), y));
         }
         let mut p = GsightPredictor::new(config);
         p.bootstrap(&samples);
@@ -277,6 +345,68 @@ mod tests {
             10.0, // unreachable IPC
         );
         assert!(out.is_none());
+    }
+
+    #[test]
+    fn audited_search_logs_every_probe() {
+        let (p, corunner) = trained_predictor();
+        let new_wl = colo(2.0, 4.0, vec![0, 0, 0]);
+        let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
+        let mut audit = AuditLog::new();
+        // Accepted decision under a tight SLA.
+        let out = binary_search_placement_audited(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[0, 1, 2, 3],
+            &[1.0, 2.0, 3.0, 4.0],
+            &cap,
+            1.8,
+            1000.0,
+            "new-workload",
+            &mut audit,
+        )
+        .expect("placement found");
+        // Rejected decision under an impossible SLA.
+        let rejected = binary_search_placement_audited(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[0, 1, 2, 3],
+            &[1.0, 2.0, 3.0, 4.0],
+            &cap,
+            10.0,
+            2000.0,
+            "new-workload",
+            &mut audit,
+        );
+        assert!(rejected.is_none());
+
+        assert_eq!(audit.records().len(), 2);
+        assert_eq!(audit.accepted(), 1);
+        let first = &audit.records()[0];
+        assert_eq!(first.evaluated.len(), out.predictor_calls);
+        let chosen = &first.evaluated[first.chosen.expect("accepted")];
+        assert_eq!(chosen.placement, out.placement);
+        assert!(chosen.sla_ok && chosen.predicted_qos >= 1.8);
+        // The audited path must not change the decision.
+        let plain = binary_search_placement(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[0, 1, 2, 3],
+            &[1.0, 2.0, 3.0, 4.0],
+            &cap,
+            1.8,
+        )
+        .unwrap();
+        assert_eq!(plain, out);
+        let second = &audit.records()[1];
+        assert!(second.chosen.is_none());
+        assert!(second.evaluated.iter().all(|e| !e.sla_ok));
     }
 
     #[test]

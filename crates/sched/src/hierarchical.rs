@@ -76,9 +76,7 @@ pub fn hierarchical_placement(
     for (probed, &rack_idx) in order.iter().enumerate() {
         // Candidates within the rack, most-packed first.
         let mut candidates = racks[rack_idx].servers.clone();
-        candidates.sort_by(|&a, &b| {
-            headroom[a].partial_cmp(&headroom[b]).expect("NaN headroom")
-        });
+        candidates.sort_by(|&a, &b| headroom[a].partial_cmp(&headroom[b]).expect("NaN headroom"));
         if let Some(inner) = binary_search_placement(
             predictor,
             new_workload,
@@ -189,18 +187,29 @@ mod tests {
     fn picks_densest_feasible_rack() {
         let (p, corunner) = trained();
         let racks = contiguous_racks(S, 4); // {0,1} {2,3} {4,5} {6,7}
-        // Corunner lives on server 0; headroom says rack {0,1} is densest.
+                                            // Corunner lives on server 0; headroom says rack {0,1} is densest.
         let headroom = vec![1.0, 2.0, 6.0, 6.0, 7.0, 7.0, 8.0, 8.0];
         let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
         let new_wl = colo(2.0, 4.0, vec![0, 0]);
         // Loose SLA: densest rack ({0,1}) accepted immediately.
         let out = hierarchical_placement(
-            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 0.1,
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            S,
+            &racks,
+            &headroom,
+            &cap,
+            0.1,
         )
         .expect("placement");
         assert_eq!(out.rack, 0);
         assert_eq!(out.racks_probed, 1);
-        assert!(out.inner.placement.iter().all(|s| racks[0].servers.contains(s)));
+        assert!(out
+            .inner
+            .placement
+            .iter()
+            .all(|s| racks[0].servers.contains(s)));
     }
 
     #[test]
@@ -212,7 +221,14 @@ mod tests {
         let new_wl = colo(2.0, 4.0, vec![0, 0]);
         // SLA requiring near-solo IPC: the corunner's rack cannot host it…
         let out = hierarchical_placement(
-            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 1.85,
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            S,
+            &racks,
+            &headroom,
+            &cap,
+            1.85,
         )
         .expect("placement");
         // …so the placement escapes rack 0 entirely.
@@ -233,7 +249,14 @@ mod tests {
         let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
         let new_wl = colo(2.0, 4.0, vec![0, 0]);
         assert!(hierarchical_placement(
-            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 10.0,
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            S,
+            &racks,
+            &headroom,
+            &cap,
+            10.0,
         )
         .is_none());
     }
@@ -246,7 +269,14 @@ mod tests {
         let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
         let new_wl = colo(2.0, 4.0, vec![0, 0]);
         let out = hierarchical_placement(
-            &p, &new_wl, std::slice::from_ref(&corunner), S, &racks, &headroom, &cap, 0.1,
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            S,
+            &racks,
+            &headroom,
+            &cap,
+            0.1,
         )
         .unwrap();
         // Inner search scope is 2 servers: at most 1 + log2(2) probes.

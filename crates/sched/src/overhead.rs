@@ -7,7 +7,18 @@
 //! milliseconds (inference ≈ 3.48 ms, incremental update ≈ 24.8 ms per
 //! call) while instance starting dominates.
 
+use obs::WallProfiler;
+use simcore::stats::Summary;
 use std::time::{Duration, Instant};
+
+/// Stage names for [`PipelineProfile`], matching the paper's four steps.
+pub const STAGE_FORWARD: &str = "invocation forwarding";
+/// Scheduling decision making (predictor probes of the binary search).
+pub const STAGE_DECIDE: &str = "scheduling decision";
+/// Instance starting (cold start).
+pub const STAGE_START: &str = "instance starting";
+/// Resource allocation bookkeeping.
+pub const STAGE_ALLOCATE: &str = "resource allocation";
 
 /// Accumulated wall-clock time per pipeline step.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -37,6 +48,74 @@ impl OverheadBreakdown {
             self.instance_start_ms / t,
             self.allocation_ms / t,
         ]
+    }
+}
+
+/// Per-stage sample store for the scheduling pipeline, keeping *every*
+/// sample so the Fig. 14 breakdown can report percentiles, not just means.
+///
+/// [`OverheadBreakdown`] summarises one number per stage; this wraps an
+/// [`obs::WallProfiler`] with the four canonical stage names and converts
+/// between the two.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineProfile {
+    profiler: WallProfiler,
+}
+
+impl PipelineProfile {
+    /// Empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a forwarding sample (ms).
+    pub fn forward_ms(&mut self, ms: f64) {
+        self.profiler.record_ms(STAGE_FORWARD, ms);
+    }
+
+    /// Record a decision-making sample (ms).
+    pub fn decide_ms(&mut self, ms: f64) {
+        self.profiler.record_ms(STAGE_DECIDE, ms);
+    }
+
+    /// Time a decision-making closure (wall clock).
+    pub fn time_decide<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        self.profiler.time(STAGE_DECIDE, f)
+    }
+
+    /// Record an instance-starting sample (ms).
+    pub fn start_ms(&mut self, ms: f64) {
+        self.profiler.record_ms(STAGE_START, ms);
+    }
+
+    /// Record a resource-allocation sample (ms).
+    pub fn allocate_ms(&mut self, ms: f64) {
+        self.profiler.record_ms(STAGE_ALLOCATE, ms);
+    }
+
+    /// Percentile summary of one stage (see the `STAGE_*` constants).
+    pub fn summary(&self, stage: &str) -> Option<Summary> {
+        self.profiler.summary(stage)
+    }
+
+    /// Mean-per-stage breakdown in the classic Fig. 14 shape.
+    pub fn breakdown(&self) -> OverheadBreakdown {
+        OverheadBreakdown {
+            forwarding_ms: self.profiler.mean_ms(STAGE_FORWARD),
+            decision_ms: self.profiler.mean_ms(STAGE_DECIDE),
+            instance_start_ms: self.profiler.mean_ms(STAGE_START),
+            allocation_ms: self.profiler.mean_ms(STAGE_ALLOCATE),
+        }
+    }
+
+    /// Text table of per-stage percentiles.
+    pub fn render_table(&self) -> String {
+        self.profiler.render_table()
+    }
+
+    /// The underlying profiler (for JSONL export).
+    pub fn profiler(&self) -> &WallProfiler {
+        &self.profiler
     }
 }
 
@@ -92,7 +171,11 @@ impl DecisionTimer {
         if self.spans.is_empty() {
             return f64::NAN;
         }
-        self.spans.iter().map(|d| d.as_secs_f64() * 1e3).sum::<f64>() / self.spans.len() as f64
+        self.spans
+            .iter()
+            .map(|d| d.as_secs_f64() * 1e3)
+            .sum::<f64>()
+            / self.spans.len() as f64
     }
 
     /// Total recorded time in ms.
@@ -144,5 +227,39 @@ mod tests {
         let mut t = DecisionTimer::new();
         t.start();
         t.start();
+    }
+
+    #[test]
+    fn pipeline_profile_breakdown_and_percentiles() {
+        let mut p = PipelineProfile::new();
+        for i in 1..=10 {
+            p.forward_ms(i as f64);
+            p.decide_ms(2.0 * i as f64);
+        }
+        p.start_ms(400.0);
+        p.allocate_ms(0.05);
+        let b = p.breakdown();
+        assert!((b.forwarding_ms - 5.5).abs() < 1e-12);
+        assert!((b.decision_ms - 11.0).abs() < 1e-12);
+        assert_eq!(b.instance_start_ms, 400.0);
+        let s = p.summary(STAGE_DECIDE).unwrap();
+        assert_eq!(s.count, 10);
+        assert!(s.p50 <= s.p95 && s.p95 <= s.max);
+        assert!(p.summary("nonexistent stage").is_none());
+        let table = p.render_table();
+        assert!(table.contains(STAGE_FORWARD) && table.contains(STAGE_START));
+    }
+
+    #[test]
+    fn time_decide_measures_wall_clock() {
+        let mut p = PipelineProfile::new();
+        let out = p.time_decide(|| {
+            std::thread::sleep(Duration::from_millis(2));
+            7
+        });
+        assert_eq!(out, 7);
+        let s = p.summary(STAGE_DECIDE).unwrap();
+        assert_eq!(s.count, 1);
+        assert!(s.mean >= 1.5);
     }
 }

@@ -9,6 +9,7 @@
 
 use cluster::Demand;
 use gsight::{ColoWorkload, GsightPredictor, Scenario};
+use obs::{AuditLog, CandidateEval, DecisionRecord};
 use platform::scale::{ClusterView, PlacementDecision, Placer};
 use workloads::{FunctionSpec, Workload, WorkloadClass};
 
@@ -72,6 +73,8 @@ pub struct GsightPlacer {
     entries: Vec<WorkloadEntry>,
     /// Predictor invocations made (for the Fig. 14 overhead study).
     pub predictor_calls: usize,
+    audit: Option<AuditLog>,
+    now_ms: f64,
 }
 
 impl GsightPlacer {
@@ -81,7 +84,20 @@ impl GsightPlacer {
             predictor,
             entries: Vec::new(),
             predictor_calls: 0,
+            audit: None,
+            now_ms: 0.0,
         }
+    }
+
+    /// Start recording one [`DecisionRecord`] per [`Placer::place`] call.
+    pub fn enable_audit(&mut self) {
+        self.audit.get_or_insert_with(AuditLog::new);
+    }
+
+    /// The audit log collected so far (when [`Self::enable_audit`] was
+    /// called).
+    pub fn audit(&self) -> Option<&AuditLog> {
+        self.audit.as_ref()
     }
 
     /// Register a workload before deployment. Instances placed through
@@ -146,28 +162,67 @@ impl GsightPlacer {
             .iter()
             .enumerate()
             .filter(|(i, _)| *i != target_idx)
-            .filter_map(|(i, e)| {
-                build(e, extra.and_then(|(w, n, s)| (w == i).then_some((n, s))))
-            })
+            .filter_map(|(i, e)| build(e, extra.and_then(|(w, n, s)| (w == i).then_some((n, s)))))
             .collect();
         self.predictor_calls += 1;
-        Some(self.predictor.predict(&Scenario::new(target, others, num_servers)))
+        Some(
+            self.predictor
+                .predict(&Scenario::new(target, others, num_servers)),
+        )
     }
 
     /// Whether placing `(workload_idx, node)` on `server` keeps every
-    /// SLA-bearing workload's predicted IPC above its threshold.
-    fn sla_safe(&mut self, wl_idx: usize, node: usize, server: usize, num_servers: usize) -> bool {
+    /// SLA-bearing workload's predicted IPC above its threshold, plus the
+    /// lowest predicted IPC seen (the binding constraint; NaN when no SLA
+    /// workload could be evaluated).
+    fn sla_eval(
+        &mut self,
+        wl_idx: usize,
+        node: usize,
+        server: usize,
+        num_servers: usize,
+    ) -> (bool, f64) {
+        let mut worst = f64::NAN;
         for i in 0..self.entries.len() {
             let Some(min_ipc) = self.entries[i].sla.min_ipc else {
                 continue;
             };
-            match self.predict_ipc(i, Some((wl_idx, node, server)), num_servers) {
-                Some(ipc) if ipc >= min_ipc => {}
-                Some(_) => return false,
-                None => {} // unplaced workload: nothing to violate yet
+            // `None` means an unplaced workload: nothing to violate yet.
+            if let Some(ipc) = self.predict_ipc(i, Some((wl_idx, node, server)), num_servers) {
+                if worst.is_nan() || ipc < worst {
+                    worst = ipc;
+                }
+                if ipc < min_ipc {
+                    return (false, worst);
+                }
             }
         }
-        true
+        (true, worst)
+    }
+
+    /// One audited probe: evaluate a candidate (ranked `rank` in the
+    /// most-packed-first order) and, when auditing, append the evaluation.
+    fn probe(
+        &mut self,
+        wl_idx: usize,
+        node: usize,
+        rank: usize,
+        server: usize,
+        num_servers: usize,
+        evals: &mut Vec<CandidateEval>,
+    ) -> bool {
+        let (ok, qos) = self.sla_eval(wl_idx, node, server, num_servers);
+        if self.audit.is_some() {
+            evals.push(CandidateEval {
+                // Per-instance analogue of §4's spread: how far down the
+                // most-packed-first candidate order the probe sits.
+                spread: rank + 1,
+                placement: vec![server],
+                predicted_qos: qos,
+                sla_ok: ok,
+            });
+        }
+        ok
     }
 }
 
@@ -181,47 +236,74 @@ impl Placer for GsightPlacer {
     ) -> Option<PlacementDecision> {
         let wl_idx = self.entries.iter().position(|e| e.name == workload.name)?;
         let demand = spec.mean_demand();
+        let calls_before = self.predictor_calls;
+        let mut evals: Vec<CandidateEval> = Vec::new();
+        let mut chosen_eval: Option<usize> = None;
         // Candidates: feasible servers, most packed first.
         let mut candidates: Vec<usize> = (0..view.num_servers())
             .filter(|&s| view.fits(s, &demand))
             .collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        candidates.sort_by(|&a, &b| {
-            view.cpu_headroom(a)
-                .partial_cmp(&view.cpu_headroom(b))
-                .expect("NaN headroom")
-        });
-        let num_servers = view.num_servers();
-
-        // Binary search the most-packed SLA-safe candidate (assumes safety
-        // is monotone in spread, as §4 does).
-        let chosen = if self.sla_safe(wl_idx, node, candidates[0], num_servers) {
-            Some(candidates[0])
+        let chosen = if candidates.is_empty() {
+            None
         } else {
-            let (mut lo, mut hi) = (1usize, candidates.len().saturating_sub(1));
-            let mut found = None;
-            while lo <= hi {
-                let mid = (lo + hi) / 2;
-                if self.sla_safe(wl_idx, node, candidates[mid], num_servers) {
-                    found = Some(candidates[mid]);
-                    if mid == 1 {
-                        break;
+            candidates.sort_by(|&a, &b| {
+                view.cpu_headroom(a)
+                    .partial_cmp(&view.cpu_headroom(b))
+                    .expect("NaN headroom")
+            });
+            let num_servers = view.num_servers();
+
+            // Binary search the most-packed SLA-safe candidate (assumes
+            // safety is monotone in spread, as §4 does).
+            if self.probe(wl_idx, node, 0, candidates[0], num_servers, &mut evals) {
+                chosen_eval = Some(evals.len().saturating_sub(1));
+                Some(candidates[0])
+            } else {
+                let (mut lo, mut hi) = (1usize, candidates.len().saturating_sub(1));
+                let mut found = None;
+                while lo <= hi {
+                    let mid = (lo + hi) / 2;
+                    if self.probe(wl_idx, node, mid, candidates[mid], num_servers, &mut evals) {
+                        found = Some(candidates[mid]);
+                        chosen_eval = Some(evals.len().saturating_sub(1));
+                        if mid == 1 {
+                            break;
+                        }
+                        hi = mid - 1;
+                    } else {
+                        lo = mid + 1;
                     }
-                    hi = mid - 1;
-                } else {
-                    lo = mid + 1;
                 }
+                found
             }
-            found
         };
+        if let Some(audit) = self.audit.as_mut() {
+            audit.push(DecisionRecord {
+                at_ms: self.now_ms,
+                workload: workload.name.clone(),
+                sla_min_qos: self.entries[wl_idx]
+                    .sla
+                    .min_ipc
+                    .unwrap_or(f64::NEG_INFINITY),
+                evaluated: evals,
+                chosen: chosen_eval,
+                predictor_calls: self.predictor_calls - calls_before,
+            });
+        }
         let server = chosen?;
         self.entries[wl_idx].instances.push((node, server));
         Some(PlacementDecision {
             server,
             socket: view.server(server).least_loaded_socket(None),
         })
+    }
+
+    fn note_time(&mut self, now_ms: f64) {
+        self.now_ms = now_ms;
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -262,7 +344,9 @@ impl PythiaPlacer {
     fn sla_safe(&self, wl_idx: usize, node: usize, num_servers: usize) -> bool {
         use baselines::ScenarioPredictor;
         for (i, e) in self.entries.iter().enumerate() {
-            let Some(min_ipc) = e.sla.min_ipc else { continue };
+            let Some(min_ipc) = e.sla.min_ipc else {
+                continue;
+            };
             let Some(target) = e.as_colo() else { continue };
             let others: Vec<gsight::ColoWorkload> = self
                 .entries
@@ -322,6 +406,10 @@ impl Placer for PythiaPlacer {
             server,
             socket: view.server(server).least_loaded_socket(None),
         })
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
     }
 }
 
@@ -405,7 +493,9 @@ mod tests {
     }
 
     fn servers(n: usize) -> Vec<ServerState> {
-        (0..n).map(|_| ServerState::new(ServerSpec::small())).collect()
+        (0..n)
+            .map(|_| ServerState::new(ServerSpec::small()))
+            .collect()
     }
 
     #[test]

@@ -56,8 +56,11 @@ fn colo_views(
                 .iter()
                 .map(|&(node, _)| e.profile.functions[node].clone())
                 .collect();
-            let demands: Vec<Demand> =
-                e.instances.iter().map(|&(node, _)| e.demands[node]).collect();
+            let demands: Vec<Demand> = e
+                .instances
+                .iter()
+                .map(|&(node, _)| e.demands[node])
+                .collect();
             let placement: Vec<usize> = e
                 .instances
                 .iter()
@@ -87,8 +90,12 @@ fn slas_hold(
 ) -> bool {
     let views = colo_views(entries, moved);
     for (i, e) in entries.iter().enumerate() {
-        let Some(min_ipc) = e.sla.min_ipc else { continue };
-        let Some(target) = views[i].clone() else { continue };
+        let Some(min_ipc) = e.sla.min_ipc else {
+            continue;
+        };
+        let Some(target) = views[i].clone() else {
+            continue;
+        };
         let others: Vec<ColoWorkload> = views
             .iter()
             .enumerate()
@@ -282,10 +289,7 @@ mod tests {
                     p,
                 )
             };
-            samples.push((
-                Scenario::new(mk(tp, 2.0), vec![mk(op, 1.0)], S),
-                y,
-            ));
+            samples.push((Scenario::new(mk(tp, 2.0), vec![mk(op, 1.0)], S), y));
         }
         let mut p = GsightPredictor::new(config);
         p.bootstrap(&samples);

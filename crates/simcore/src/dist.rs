@@ -199,7 +199,7 @@ mod tests {
     fn zipf_rank_zero_most_popular() {
         let z = Zipf::new(20, 1.1);
         let mut r = rng();
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..50_000 {
             counts[z.sample(&mut r)] += 1;
         }

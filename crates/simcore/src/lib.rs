@@ -13,6 +13,8 @@
 //!   the experiment harness.
 //! * [`events`] — a discrete-event queue with stable FIFO tie-breaking and a
 //!   microsecond-resolution simulation clock.
+//! * [`par`] — order-preserving parallel maps on scoped threads for the
+//!   embarrassingly parallel experiment sweeps.
 //! * [`table`] — plain-text table rendering for regenerated paper tables.
 //!
 //! # Examples
@@ -38,6 +40,7 @@
 
 pub mod dist;
 pub mod events;
+pub mod par;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -1,0 +1,110 @@
+//! Order-preserving parallel maps on scoped threads.
+//!
+//! The experiment sweeps and forest training are embarrassingly parallel:
+//! independent jobs, each seeded through [`crate::seed_stream`], whose
+//! results are collected in input order. [`par_map`] covers that shape with
+//! `std::thread::scope` — no work stealing, no external dependency — by
+//! splitting the input into one contiguous chunk per available core.
+//! Determinism is unaffected: job `i` computes the same value regardless of
+//! which thread runs it, and outputs are reassembled in input order.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for `n` jobs.
+fn threads_for(n: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    cores.min(n).max(1)
+}
+
+/// Map `f` over `items` in parallel, preserving input order.
+///
+/// `f` must be `Sync` (it is shared by reference across workers) and is
+/// called exactly once per item. Panics in `f` propagate to the caller.
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads_for(n);
+    if workers == 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(workers);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        let mut iter = items.into_iter();
+        loop {
+            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
+            if batch.is_empty() {
+                break;
+            }
+            handles.push(scope.spawn(move || batch.into_iter().map(f).collect::<Vec<U>>()));
+        }
+        // Joining in spawn order concatenates chunks back in input order.
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    })
+}
+
+/// Map `f` over `0..n` in parallel, preserving index order — the common
+/// "generate the i-th sample" shape of the corpus sweeps.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map((0..n).collect(), f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map((0..1000).collect::<Vec<i64>>(), |x| x * 2);
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = par_map(Vec::<i32>::new(), |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(par_map(vec![7], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn range_variant() {
+        assert_eq!(par_map_range(5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn non_copy_items_moved_once() {
+        let items: Vec<String> = (0..64).map(|i| format!("s{i}")).collect();
+        let out = par_map(items, |s| s.len());
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[0], 2);
+        assert_eq!(out[10], 3);
+    }
+
+    #[test]
+    fn matches_sequential_for_seeded_work() {
+        let seq: Vec<u64> = (0..100u64).map(|i| crate::seed_stream(42, i)).collect();
+        let par = par_map_range(100, |i| crate::seed_stream(42, i as u64));
+        assert_eq!(seq, par);
+    }
+}

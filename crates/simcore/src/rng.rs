@@ -3,10 +3,8 @@
 //! Every stochastic component in the workspace is seeded explicitly so that
 //! any experiment can be replayed exactly. The generator is `xoshiro256**`
 //! (Blackman & Vigna), seeded through SplitMix64 as its authors recommend.
-//! Parallel work (rayon sweeps, per-tree bootstraps) never shares a
+//! Parallel work (parallel sweeps, per-tree bootstraps) never shares a
 //! generator: [`seed_stream`] derives independent child seeds instead.
-
-use rand::RngCore;
 
 /// SplitMix64 step — used both to expand seeds and to derive child seeds.
 #[inline]
@@ -35,8 +33,7 @@ pub fn seed_stream(parent: u64, index: u64) -> u64 {
 /// `xoshiro256**` pseudo-random generator.
 ///
 /// Small (32 bytes of state), fast, and with a 2^256-1 period — far more than
-/// any sweep here needs. Implements [`rand::RngCore`] so it can also drive
-/// `rand`-based utilities (e.g. proptest strategies in tests).
+/// any sweep here needs.
 #[derive(Debug, Clone)]
 pub struct SimRng {
     s: [u64; 4],
@@ -65,10 +62,7 @@ impl SimRng {
 
     #[inline]
     fn next_u64_raw(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -126,20 +120,21 @@ impl SimRng {
         idx.truncate(k);
         idx
     }
-}
 
-impl RngCore for SimRng {
+    /// Uniform `u32` (upper bits of the next raw output).
     #[inline]
-    fn next_u32(&mut self) -> u32 {
+    pub fn next_u32(&mut self) -> u32 {
         (self.next_u64_raw() >> 32) as u32
     }
 
+    /// Uniform `u64`.
     #[inline]
-    fn next_u64(&mut self) -> u64 {
+    pub fn next_u64(&mut self) -> u64 {
         self.next_u64_raw()
     }
 
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fill a byte slice with uniform random bytes.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         let mut chunks = dest.chunks_exact_mut(8);
         for chunk in &mut chunks {
             chunk.copy_from_slice(&self.next_u64_raw().to_le_bytes());
@@ -149,11 +144,6 @@ impl RngCore for SimRng {
             let bytes = self.next_u64_raw().to_le_bytes();
             rem.copy_from_slice(&bytes[..rem.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

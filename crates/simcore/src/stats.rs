@@ -333,7 +333,11 @@ impl Reservoir {
 pub fn ranks(values: &[f64]) -> Vec<f64> {
     let n = values.len();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("NaN in ranks input"));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN in ranks input")
+    });
     let mut out = vec![0.0; n];
     let mut i = 0;
     while i < n {
@@ -418,7 +422,9 @@ mod tests {
 
     #[test]
     fn p99_larger_than_p50_on_skewed_data() {
-        let v: Vec<f64> = (0..1000).map(|i| if i < 980 { 1.0 } else { 100.0 }).collect();
+        let v: Vec<f64> = (0..1000)
+            .map(|i| if i < 980 { 1.0 } else { 100.0 })
+            .collect();
         let s = Summary::of(&v);
         assert_eq!(s.p50, 1.0);
         assert!(s.p99 > 50.0);

@@ -54,9 +54,8 @@ impl RateProfile {
         let secs = t.as_secs();
         let day_frac = (secs % DAY_SECS) / DAY_SECS;
         // Peak at 15:00, trough at 03:00.
-        let diurnal = 1.0
-            + self.diurnal_amplitude
-                * (2.0 * std::f64::consts::PI * (day_frac - 0.625)).cos();
+        let diurnal =
+            1.0 + self.diurnal_amplitude * (2.0 * std::f64::consts::PI * (day_frac - 0.625)).cos();
         let day_index = (secs / DAY_SECS).floor() as u64 % 7;
         let weekly = if day_index >= 5 {
             self.weekend_factor

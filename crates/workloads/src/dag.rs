@@ -85,7 +85,10 @@ impl CallGraph {
     /// Add an invocation edge. Panics on out-of-range ids, self-loops, or
     /// edges that would create a cycle.
     pub fn link(&mut self, from: NodeId, to: NodeId, kind: CallKind) {
-        assert!(from.0 < self.nodes.len() && to.0 < self.nodes.len(), "bad node id");
+        assert!(
+            from.0 < self.nodes.len() && to.0 < self.nodes.len(),
+            "bad node id"
+        );
         assert_ne!(from, to, "self-loop");
         self.nodes[from.0].children.push((to, kind));
         self.nodes[to.0].parents.push((from, kind));
@@ -291,7 +294,8 @@ impl CallGraph {
             critical[u] = true;
             // A nested child that extends our completion is critical.
             for &(v, kind) in &self.nodes[u].children {
-                if kind == CallKind::Nested && timing[v.0].completion == timing[u].completion
+                if kind == CallKind::Nested
+                    && timing[v.0].completion == timing[u].completion
                     && timing[v.0].completion > timing[u].service_end
                 {
                     stack.push(v.0);

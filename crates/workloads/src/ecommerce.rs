@@ -38,7 +38,14 @@ fn func(name: &str, ms: f64, demand: Demand, sens: Sensitivity, ipc: f64) -> Fun
     };
     let cold = PhaseSpec {
         duration: SimTime::from_millis(300.0),
-        demand: Demand::new(0.4, 2.0, 0.8, 50.0, 4.0, demand.get(cluster::Resource::Memory)),
+        demand: Demand::new(
+            0.4,
+            2.0,
+            0.8,
+            50.0,
+            4.0,
+            demand.get(cluster::Resource::Memory),
+        ),
         bounded: Boundedness::new(0.4, 0.6, 0.0),
         sens: Sensitivity::new(0.3, 0.3, 0.2),
         micro: MicroarchBaseline {
@@ -135,10 +142,7 @@ mod tests {
 
     #[test]
     fn is_latency_sensitive() {
-        assert_eq!(
-            browse_and_buy().class,
-            WorkloadClass::LatencySensitive
-        );
+        assert_eq!(browse_and_buy().class, WorkloadClass::LatencySensitive);
     }
 
     #[test]

@@ -252,12 +252,7 @@ pub fn kmeans() -> Workload {
     let f = FunctionSpec {
         name: "kmeans".into(),
         cold_start: None,
-        phases: vec![
-            compute(140.0),
-            shuffle(60.0),
-            compute(120.0),
-            shuffle(60.0),
-        ],
+        phases: vec![compute(140.0), shuffle(60.0), compute(120.0), shuffle(60.0)],
         memory_gb: 5.0,
         concurrency: 1,
     };
@@ -266,12 +261,7 @@ pub fn kmeans() -> Workload {
 
 /// The four Observation-1 corunners in paper order (Fig. 3(a)'s columns).
 pub fn observation1_corunners() -> Vec<Workload> {
-    vec![
-        matrix_multiplication(),
-        dd(),
-        iperf(),
-        video_processing(),
-    ]
+    vec![matrix_multiplication(), dd(), iperf(), video_processing()]
 }
 
 /// Every FunctionBench-derived workload in this module.

@@ -32,11 +32,7 @@ pub fn poisson_arrivals(rps: f64, horizon: SimTime, rng: &mut SimRng) -> Vec<Sim
 /// Generate arrivals following a time-varying [`RateProfile`] by thinning:
 /// candidate arrivals are drawn at the profile's peak rate and accepted with
 /// probability `rate(t)/peak`.
-pub fn profile_arrivals(
-    profile: &RateProfile,
-    horizon: SimTime,
-    rng: &mut SimRng,
-) -> Vec<SimTime> {
+pub fn profile_arrivals(profile: &RateProfile, horizon: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
     let peak = profile.base_rps * (1.0 + profile.diurnal_amplitude) * (1.0 + profile.jitter);
     if peak <= 0.0 {
         return Vec::new();

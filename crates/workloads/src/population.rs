@@ -173,12 +173,20 @@ mod tests {
     #[test]
     fn demands_small_enough_for_high_density() {
         // §1's premise: a 256 GB server fits hundreds of such functions.
-        let pop = generate(&PopulationConfig { size: 300, ..Default::default() }, 5);
+        let pop = generate(
+            &PopulationConfig {
+                size: 300,
+                ..Default::default()
+            },
+            5,
+        );
         let total_mem: f64 = pop
             .iter()
             .map(|m| {
                 let root = m.workload.graph.roots()[0];
-                m.workload.graph.func(root).phases[0].demand.get(Resource::Memory)
+                m.workload.graph.func(root).phases[0]
+                    .demand
+                    .get(Resource::Memory)
             })
             .sum();
         assert!(

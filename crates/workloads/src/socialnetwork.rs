@@ -45,7 +45,14 @@ fn func(
     // Cold start: container boot + runtime init, disk-heavy, ~400 ms.
     let cold = PhaseSpec {
         duration: SimTime::from_millis(400.0),
-        demand: Demand::new(0.5, 2.0, 1.0, 60.0, 5.0, demand.get(cluster::Resource::Memory)),
+        demand: Demand::new(
+            0.5,
+            2.0,
+            1.0,
+            60.0,
+            5.0,
+            demand.get(cluster::Resource::Memory),
+        ),
         bounded: Boundedness::new(0.4, 0.6, 0.0),
         sens: Sensitivity::new(0.3, 0.3, 0.2),
         micro: MicroarchBaseline {
@@ -222,7 +229,11 @@ mod tests {
         }
         // Non-critical: ③ ④ ⑤ ⑦ (indices 2, 3, 4, 6).
         for &i in &[2usize, 3, 4, 6] {
-            assert!(!cp.contains(&nodes[i]), "fn {} should not be critical", i + 1);
+            assert!(
+                !cp.contains(&nodes[i]),
+                "fn {} should not be critical",
+                i + 1
+            );
         }
     }
 

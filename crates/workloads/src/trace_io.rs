@@ -116,7 +116,11 @@ pub fn profile_to_piecewise(profile: &RateProfile, horizon: SimTime) -> Piecewis
     let bucket = SimTime::from_secs(60.0);
     let n = (horizon.as_micros().div_ceil(bucket.as_micros())) as usize;
     let rates = (0..n)
-        .map(|i| profile.rate_at(SimTime(bucket.as_micros() * i as u64 + bucket.as_micros() / 2)))
+        .map(|i| {
+            profile.rate_at(SimTime(
+                bucket.as_micros() * i as u64 + bucket.as_micros() / 2,
+            ))
+        })
         .collect();
     PiecewiseRate::new(bucket, rates)
 }

@@ -27,7 +27,13 @@ pub const FUNCTION_NAMES: [&str; 4] = [
     "rank-aggregate",
 ];
 
-fn func(name: &str, ms: f64, demand: Demand, sens: Sensitivity, micro: MicroarchBaseline) -> FunctionSpec {
+fn func(
+    name: &str,
+    ms: f64,
+    demand: Demand,
+    sens: Sensitivity,
+    micro: MicroarchBaseline,
+) -> FunctionSpec {
     let work = PhaseSpec {
         duration: SimTime::from_millis(ms),
         demand,
@@ -37,7 +43,14 @@ fn func(name: &str, ms: f64, demand: Demand, sens: Sensitivity, micro: Microarch
     };
     let cold = PhaseSpec {
         duration: SimTime::from_millis(350.0),
-        demand: Demand::new(0.4, 2.0, 1.0, 50.0, 4.0, demand.get(cluster::Resource::Memory)),
+        demand: Demand::new(
+            0.4,
+            2.0,
+            1.0,
+            50.0,
+            4.0,
+            demand.get(cluster::Resource::Memory),
+        ),
         bounded: Boundedness::new(0.4, 0.6, 0.0),
         sens: Sensitivity::new(0.3, 0.3, 0.2),
         micro: MicroarchBaseline {

@@ -1,3 +1,8 @@
+// Property-based suites need the crates.io `proptest` crate, which this
+// offline workspace cannot fetch; the whole file is compiled only when the
+// crate's `proptest` feature is enabled (see Cargo.toml).
+#![cfg(feature = "proptest")]
+
 //! Property-based tests for call-graph analysis invariants.
 
 use proptest::prelude::*;

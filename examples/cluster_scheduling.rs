@@ -26,12 +26,12 @@ fn main() {
             o.report.density_cdf().mean(),
             100.0 * o.report.cpu_util_cdf().mean(),
             100.0 * o.report.memory_util_cdf().mean(),
-            100.0 * o
-                .report
-                .sla_satisfaction(o.sn_idx, workloads::socialnetwork::SLA_P99_MS, 50),
-            100.0 * o
-                .report
-                .sla_satisfaction(o.ec_idx, workloads::ecommerce::SLA_P99_MS, 50),
+            100.0
+                * o.report
+                    .sla_satisfaction(o.sn_idx, workloads::socialnetwork::SLA_P99_MS, 50),
+            100.0
+                * o.report
+                    .sla_satisfaction(o.ec_idx, workloads::ecommerce::SLA_P99_MS, 50),
         );
     }
     println!(

@@ -25,8 +25,18 @@ fn main() {
     // ---- 1. solo-run profiling ----
     println!("profiling workloads solo (dedicated node, 1 Hz metrics)...");
     let mut book = ProfileBook::new();
-    book.add(&workloads::socialnetwork::message_posting(), 20.0, seed, true);
-    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, seed, true);
+    book.add(
+        &workloads::socialnetwork::message_posting(),
+        20.0,
+        seed,
+        true,
+    );
+    book.add(
+        &workloads::functionbench::matrix_multiplication(),
+        0.0,
+        seed,
+        true,
+    );
     let sn = book.get("social-network", 20.0);
     let mm = book.get("matrix-multiplication", 0.0);
     println!(
@@ -75,8 +85,10 @@ fn main() {
 
     // ---- 4. what-if: packed vs separated placement ----
     println!("\nwhat-if analysis for a new colocation:");
-    for (label, sn_server, mm_server) in [("packed (same server)", 0usize, 0usize),
-                                          ("separated            ", 0, 1)] {
+    for (label, sn_server, mm_server) in [
+        ("packed (same server)", 0usize, 0usize),
+        ("separated            ", 0, 1),
+    ] {
         let target = ColoSetup {
             placement: vec![sn_server; 9],
             qps: 20.0,
@@ -102,5 +114,7 @@ fn main() {
             100.0 * (predicted - actual).abs() / actual
         );
     }
-    println!("\nthe packed placement predicts (and measures) lower IPC — that is partial interference.");
+    println!(
+        "\nthe packed placement predicts (and measures) lower IPC — that is partial interference."
+    );
 }

@@ -12,8 +12,18 @@ use workloads::socialnetwork::FUNCTION_NAMES;
 fn main() {
     let seed = 7;
     let mut book = ProfileBook::new();
-    book.add(&workloads::socialnetwork::message_posting(), 40.0, seed, true);
-    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, seed, true);
+    book.add(
+        &workloads::socialnetwork::message_posting(),
+        40.0,
+        seed,
+        true,
+    );
+    book.add(
+        &workloads::functionbench::matrix_multiplication(),
+        0.0,
+        seed,
+        true,
+    );
 
     let w = workloads::socialnetwork::message_posting();
     let critical = w.graph.critical_path();
@@ -28,14 +38,14 @@ fn main() {
         true,
         seed,
     );
-    println!(
-        "  e2e p99 {:.1} ms, IPC {:.2}\n",
-        base.e2e_p99_ms, base.ipc
-    );
+    println!("  e2e p99 {:.1} ms, IPC {:.2}\n", base.e2e_p99_ms, base.ipc);
 
     println!("colocating matmul with each function in turn:");
-    println!("{:<4} {:<22} {:>10} {:>8} {:>10}", "fn", "name", "p99 (ms)", "IPC", "critical?");
-    for victim in 0..9 {
+    println!(
+        "{:<4} {:<22} {:>10} {:>8} {:>10}",
+        "fn", "name", "p99 (ms)", "IPC", "critical?"
+    );
+    for (victim, name) in FUNCTION_NAMES.iter().enumerate() {
         let r = run_condition(
             &book,
             "matrix-multiplication",
@@ -49,7 +59,7 @@ fn main() {
         println!(
             "{:<4} {:<22} {:>10.1} {:>8.2} {:>10}",
             victim + 1,
-            FUNCTION_NAMES[victim],
+            name,
             r.e2e_p99_ms,
             r.ipc,
             if is_critical { "yes" } else { "no" }

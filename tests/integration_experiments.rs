@@ -6,7 +6,7 @@
 //! by their own module tests; re-running all of them here would double the
 //! suite's cost for no extra coverage.)
 
-use experiments::{all_experiments, ExperimentResult};
+use experiments::{all_experiments, ExperimentResult, RunOpts};
 
 #[test]
 fn registry_covers_every_paper_artifact() {
@@ -38,7 +38,7 @@ fn assert_result_shape(r: &ExperimentResult, min_tables: usize) {
 fn table3_quick_run_produces_full_table() {
     let exps = all_experiments();
     let e = exps.iter().find(|e| e.id == "table3").unwrap();
-    let r = (e.run)(true);
+    let r = (e.run)(&RunOpts::quick());
     assert_result_shape(&r, 1);
     // All 19 candidate metrics appear.
     assert!(r.tables[0].lines().count() >= 20);
@@ -50,7 +50,7 @@ fn table3_quick_run_produces_full_table() {
 fn fig8_quick_run_produces_importances() {
     let exps = all_experiments();
     let e = exps.iter().find(|e| e.id == "fig8").unwrap();
-    let r = (e.run)(true);
+    let r = (e.run)(&RunOpts::quick());
     assert_result_shape(&r, 1);
     assert!(r.tables[0].lines().count() >= 17, "16 metrics + header");
 }
@@ -59,7 +59,7 @@ fn fig8_quick_run_produces_importances() {
 fn fig14_quick_run_measures_overheads() {
     let exps = all_experiments();
     let e = exps.iter().find(|e| e.id == "fig14").unwrap();
-    let r = (e.run)(true);
+    let r = (e.run)(&RunOpts::quick());
     assert_result_shape(&r, 2);
     let joined = r.notes.join("\n");
     assert!(joined.contains("inference"), "notes: {joined}");
@@ -70,7 +70,7 @@ fn fig14_quick_run_measures_overheads() {
 fn fig7_quick_run_finds_threshold() {
     let exps = all_experiments();
     let e = exps.iter().find(|e| e.id == "fig7").unwrap();
-    let r = (e.run)(true);
+    let r = (e.run)(&RunOpts::quick());
     assert_result_shape(&r, 1);
     let joined = r.notes.join("\n");
     assert!(
@@ -83,7 +83,7 @@ fn fig7_quick_run_finds_threshold() {
 fn fig4_quick_run_shows_restoration() {
     let exps = all_experiments();
     let e = exps.iter().find(|e| e.id == "fig4").unwrap();
-    let r = (e.run)(true);
+    let r = (e.run)(&RunOpts::quick());
     // Two panels, each a full 9-function table.
     assert_result_shape(&r, 2);
     for t in &r.tables {

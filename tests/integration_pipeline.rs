@@ -5,9 +5,7 @@
 
 use baselines::ScenarioPredictor;
 use cluster::ClusterConfig;
-use experiments::corpus::{
-    generate_group, labeled_for, standard_profile_book, ColoGroup,
-};
+use experiments::corpus::{generate_group, labeled_for, standard_profile_book, ColoGroup};
 use experiments::fig9::{gsight_with, mean_error};
 use gsight::QosTarget;
 use mlcore::ModelKind;
@@ -56,8 +54,18 @@ fn scenario_labels_reflect_interference_direction() {
     use std::sync::Arc;
 
     let mut book = ProfileBook::new();
-    book.add(&workloads::functionbench::logistic_regression(), 0.0, 5, true);
-    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, 5, true);
+    book.add(
+        &workloads::functionbench::logistic_regression(),
+        0.0,
+        5,
+        true,
+    );
+    book.add(
+        &workloads::functionbench::matrix_multiplication(),
+        0.0,
+        5,
+        true,
+    );
     let cluster = ClusterConfig::paper_testbed();
     let lr = book.get("logistic-regression", 0.0);
     let mm = book.get("matrix-multiplication", 0.0);
@@ -106,7 +114,12 @@ fn temporal_code_changes_prediction_inputs() {
 
     let book = {
         let mut b = experiments::corpus::ProfileBook::new();
-        b.add(&workloads::functionbench::logistic_regression(), 0.0, 9, true);
+        b.add(
+            &workloads::functionbench::logistic_regression(),
+            0.0,
+            9,
+            true,
+        );
         b.add(&workloads::functionbench::kmeans(), 0.0, 9, true);
         b
     };

@@ -24,11 +24,7 @@ fn request_conservation() {
     sim.deploy(Deployment {
         workload: w,
         placement,
-        arrivals: ArrivalSpec::OpenLoop(poisson_arrivals(
-            30.0,
-            SimTime::from_secs(20.0),
-            &mut rng,
-        )),
+        arrivals: ArrivalSpec::OpenLoop(poisson_arrivals(30.0, SimTime::from_secs(20.0), &mut rng)),
     });
     sim.run_until(SimTime::from_secs(40.0));
     let s = &sim.report().workloads[0];
@@ -184,7 +180,10 @@ fn high_density_population_run() {
         total_arrivals += w.arrivals;
         total_completions += w.completions;
     }
-    assert!(total_arrivals > 300, "population saw {total_arrivals} arrivals");
+    assert!(
+        total_arrivals > 300,
+        "population saw {total_arrivals} arrivals"
+    );
     assert!(
         total_completions as f64 >= 0.95 * total_arrivals as f64,
         "{total_completions}/{total_arrivals} completed"
@@ -226,17 +225,16 @@ fn live_socket_migration_restores_victim_mid_run() {
     sim.deploy(Deployment {
         workload: victim,
         placement,
-        arrivals: ArrivalSpec::OpenLoop(poisson_arrivals(
-            40.0,
-            SimTime::from_secs(60.0),
-            &mut rng,
-        )),
+        arrivals: ArrivalSpec::OpenLoop(poisson_arrivals(40.0, SimTime::from_secs(60.0), &mut rng)),
     });
     // Aggressor: matmul jobs on socket 0, resubmitted through the window.
     let mm = workloads::functionbench::matrix_multiplication();
     let mm_id = sim.deploy(Deployment {
         workload: mm,
-        placement: vec![vec![PlacementDecision { server: 0, socket: 0 }]],
+        placement: vec![vec![PlacementDecision {
+            server: 0,
+            socket: 0,
+        }]],
         arrivals: ArrivalSpec::Jobs(vec![SimTime::ZERO, SimTime::from_secs(125.0)]),
     });
 

@@ -16,7 +16,12 @@ use std::sync::Arc;
 /// over a 4-server candidate set.
 fn trained_on_simulator() -> (gsight::GsightPredictor, ProfileBook) {
     let mut book = ProfileBook::new();
-    book.add(&workloads::functionbench::matrix_multiplication(), 0.0, 21, true);
+    book.add(
+        &workloads::functionbench::matrix_multiplication(),
+        0.0,
+        21,
+        true,
+    );
     let cluster = ClusterConfig::paper_testbed();
     let mm = book.get("matrix-multiplication", 0.0);
     let mut rng = SimRng::new(22);
@@ -63,11 +68,7 @@ fn binary_search_avoids_predicted_violations() {
     );
     let mut spread_wl = new_wl.clone();
     spread_wl.placement = vec![2];
-    let spread_pred = p.predict(&gsight::Scenario::new(
-        spread_wl,
-        vec![existing.clone()],
-        8,
-    ));
+    let spread_pred = p.predict(&gsight::Scenario::new(spread_wl, vec![existing.clone()], 8));
     assert!(
         spread_pred < packed_pred,
         "separated placement must predict lower JCT: {spread_pred} vs {packed_pred}"
