@@ -26,6 +26,19 @@ pub fn feature_dim(config: &CodingConfig) -> usize {
 /// Panics if the scenario has more workloads than `config.max_workloads` or
 /// touches a server `≥ config.num_servers`.
 pub fn featurize(scenario: &Scenario, config: &CodingConfig) -> Vec<f64> {
+    let mut out = Vec::with_capacity(feature_dim(config));
+    featurize_into(scenario, config, &mut out);
+    out
+}
+
+/// [`featurize`] into a caller-owned scratch buffer, clearing it first.
+///
+/// The scheduler's binary search and the consolidation pass featurize one
+/// hypothetical scenario per probe; reusing one scratch vector across
+/// probes avoids a fresh `32nS + 2n`-dimensional allocation (2580 doubles
+/// at the paper's coding) on every predictor call. The contents written are
+/// identical to [`featurize`]'s return value.
+pub fn featurize_into(scenario: &Scenario, config: &CodingConfig, out: &mut Vec<f64>) {
     assert!(
         scenario.len() <= config.max_workloads,
         "scenario has {} workloads, coding allows {}",
@@ -38,7 +51,8 @@ pub fn featurize(scenario: &Scenario, config: &CodingConfig) -> Vec<f64> {
         scenario.num_servers,
         config.num_servers
     );
-    let mut out = Vec::with_capacity(feature_dim(config));
+    out.clear();
+    out.reserve(feature_dim(config));
     let per_slot = 2 * config.num_servers * NUM_SELECTED;
     for w in scenario.workloads() {
         for row in spatial_utilization_code(w, config.num_servers) {
@@ -50,17 +64,14 @@ pub fn featurize(scenario: &Scenario, config: &CodingConfig) -> Vec<f64> {
     }
     // Zero-pad the unused slots.
     out.resize(config.max_workloads * per_slot, 0.0);
-    // Temporal code.
-    let mut delays = vec![0.0; config.max_workloads];
-    let mut lifetimes = vec![0.0; config.max_workloads];
+    // Temporal code, written in place (no temporary vectors).
+    let base = out.len();
+    out.resize(base + 2 * config.max_workloads, 0.0);
     for (i, w) in scenario.workloads().enumerate() {
-        delays[i] = w.start_delay_s;
-        lifetimes[i] = w.lifetime_s;
+        out[base + i] = w.start_delay_s;
+        out[base + config.max_workloads + i] = w.lifetime_s;
     }
-    out.extend_from_slice(&delays);
-    out.extend_from_slice(&lifetimes);
     debug_assert_eq!(out.len(), feature_dim(config));
-    out
 }
 
 /// Map a feature index back to the metric column it encodes, if it lies in
@@ -191,6 +202,30 @@ mod tests {
         assert_eq!(metric_of_feature(64, &cfg), Some(0));
         // Temporal tail.
         assert_eq!(metric_of_feature(192, &cfg), None);
+    }
+
+    #[test]
+    fn featurize_into_reuses_scratch_bitwise() {
+        let cfg = small_config();
+        let a = crate::scenario::Scenario::new(
+            colo(1.5, 0, WorkloadClass::LatencySensitive),
+            vec![colo(2.0, 1, WorkloadClass::LatencySensitive)],
+            2,
+        );
+        let b = crate::scenario::Scenario::new(
+            colo(0.9, 1, WorkloadClass::ShortTerm).with_timing(5.0, 50.0),
+            vec![],
+            2,
+        );
+        let mut scratch = Vec::new();
+        featurize_into(&a, &cfg, &mut scratch);
+        assert_eq!(scratch, featurize(&a, &cfg));
+        let cap = scratch.capacity();
+        // Reuse for a different scenario: stale contents fully overwritten,
+        // no reallocation needed.
+        featurize_into(&b, &cfg, &mut scratch);
+        assert_eq!(scratch, featurize(&b, &cfg));
+        assert_eq!(scratch.capacity(), cap);
     }
 
     #[test]

@@ -12,10 +12,11 @@
 //!    [`GsightPredictor::observe`], incrementally refining the model.
 
 use crate::coding::CodingConfig;
-use crate::features::{feature_dim, featurize, metric_of_feature};
+use crate::features::{feature_dim, featurize, featurize_into, metric_of_feature};
 use crate::scenario::Scenario;
 use metricsd::{Metric, NUM_SELECTED};
 use mlcore::{Dataset, IncrementalModel, IncrementalParams, ModelKind};
+use simcore::par::par_map_range;
 
 /// Which QoS value the predictor outputs for the target workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -123,6 +124,31 @@ impl GsightPredictor {
             .predict(&featurize(scenario, &self.config.coding))
     }
 
+    /// [`predict`](Self::predict) reusing a caller-owned featurization
+    /// scratch buffer — the allocation-free hot path for schedulers that
+    /// probe many hypothetical scenarios in a row. Returns exactly the same
+    /// value as `predict`.
+    pub fn predict_with_scratch(&self, scenario: &Scenario, scratch: &mut Vec<f64>) -> f64 {
+        featurize_into(scenario, &self.config.coding, scratch);
+        self.model.predict(scratch)
+    }
+
+    /// Predict many scenarios in one call.
+    ///
+    /// Featurization parallelises over scenarios and (for IRFR) tree
+    /// evaluation parallelises over trees via `simcore::par`; results are
+    /// bit-identical to calling [`predict`](Self::predict) on each scenario
+    /// in order, at any thread count.
+    pub fn predict_batch(&self, scenarios: &[Scenario]) -> Vec<f64> {
+        if scenarios.is_empty() {
+            return Vec::new();
+        }
+        let rows: Vec<Vec<f64>> = par_map_range(scenarios.len(), |i| {
+            featurize(&scenarios[i], &self.config.coding)
+        });
+        self.model.predict_batch(&rows)
+    }
+
     /// Record an observed outcome; fires an incremental update every
     /// `update_batch` observations.
     pub fn observe(&mut self, scenario: &Scenario, actual: f64) {
@@ -156,6 +182,17 @@ impl GsightPredictor {
     /// cost).
     pub fn predict_profiled(&self, scenario: &Scenario, prof: &mut obs::WallProfiler) -> f64 {
         prof.time("predictor.predict", || self.predict(scenario))
+    }
+
+    /// [`predict_batch`](Self::predict_batch) with wall-clock profiling,
+    /// recorded under the `"predictor.predict_batch"` stage (one sample per
+    /// batch, whole-batch wall time).
+    pub fn predict_batch_profiled(
+        &self,
+        scenarios: &[Scenario],
+        prof: &mut obs::WallProfiler,
+    ) -> Vec<f64> {
+        prof.time("predictor.predict_batch", || self.predict_batch(scenarios))
     }
 
     /// Incremental update with wall-clock profiling, recorded under the
@@ -340,6 +377,26 @@ mod tests {
         // no signal in this corpus.
         assert!(get(Metric::Ipc) > get(Metric::ContextSwitches));
         assert!(get(Metric::L3Mpki) > get(Metric::ContextSwitches));
+    }
+
+    #[test]
+    fn predict_batch_and_scratch_bitwise_equal_predict() {
+        let mut rng = SimRng::new(6);
+        let train: Vec<_> = (0..600).map(|_| sample(&mut rng)).collect();
+        let mut p = GsightPredictor::new(small_config(QosTarget::Ipc));
+        p.bootstrap(&train);
+        // Exercise the post-refresh IRFR state as well.
+        p.update_batch(&(0..60).map(|_| sample(&mut rng)).collect::<Vec<_>>());
+        let probes: Vec<Scenario> = (0..25).map(|_| sample(&mut rng).0).collect();
+        let seq: Vec<f64> = probes.iter().map(|s| p.predict(s)).collect();
+        assert_eq!(p.predict_batch(&probes), seq);
+        let mut scratch = Vec::new();
+        let scratched: Vec<f64> = probes
+            .iter()
+            .map(|s| p.predict_with_scratch(s, &mut scratch))
+            .collect();
+        assert_eq!(scratched, seq);
+        assert!(p.predict_batch(&[]).is_empty());
     }
 
     #[test]

@@ -101,6 +101,75 @@ pub fn predictor_costs(quick: bool) -> (f64, f64, usize) {
     )
 }
 
+/// Sequential vs batched prediction throughput on the paper-shaped
+/// predictor (n = 10 workload slots × S = 8 servers, 2580-dim input).
+#[derive(Debug, Clone, Copy)]
+pub struct PredictThroughput {
+    /// Rows in the measured batch.
+    pub rows: usize,
+    /// Row-at-a-time `predict` throughput, rows/s.
+    pub seq_rows_per_s: f64,
+    /// `predict_batch` throughput, rows/s.
+    pub batch_rows_per_s: f64,
+    /// `batch_rows_per_s / seq_rows_per_s`.
+    pub speedup: f64,
+    /// Whether the batch output matched sequential bit-for-bit.
+    pub bitwise_equal: bool,
+    /// Worker threads the batch path had available.
+    pub threads: usize,
+}
+
+/// Measure [`PredictThroughput`]: one warm-up pass, then the same scenario
+/// batch through `predict` row-by-row and through `predict_batch`.
+///
+/// The batch path parallelizes featurization over rows and the forest over
+/// trees; the speedup scales with core count (a single-core host reports
+/// ≈ 1×, minus thread overhead).
+pub fn predict_throughput(quick: bool) -> PredictThroughput {
+    let book = standard_profile_book(SEED, true);
+    let cluster = ClusterConfig::paper_testbed();
+    let n = if quick { 20 } else { 60 };
+    let samples = generate_mixed(n, &book, &cluster, seed_stream(SEED, 4), true);
+    let labeled = labeled_for(&samples, QosTarget::Ipc);
+    let mut p = gsight_with(ModelKind::Irfr, QosTarget::Ipc, SEED);
+    let (train, probe) = labeled.split_at(labeled.len() * 4 / 5);
+    ScenarioPredictor::bootstrap(&mut p, train);
+
+    let rows = if quick { 128 } else { 512 };
+    let batch: Vec<gsight::Scenario> = probe
+        .iter()
+        .cycle()
+        .take(rows)
+        .map(|(s, _)| s.clone())
+        .collect();
+
+    // Warm up both paths (thread pool spin-up, branch predictors).
+    let _ = p.predict_batch(&batch[..rows.min(16)]);
+    for s in &batch[..rows.min(16)] {
+        p.predict(s);
+    }
+
+    let t0 = std::time::Instant::now();
+    let sequential: Vec<f64> = batch.iter().map(|s| p.predict(s)).collect();
+    let seq_s = t0.elapsed().as_secs_f64();
+    let t0 = std::time::Instant::now();
+    let batched = p.predict_batch(&batch);
+    let batch_s = t0.elapsed().as_secs_f64();
+
+    let seq_rows_per_s = rows as f64 / seq_s.max(1e-12);
+    let batch_rows_per_s = rows as f64 / batch_s.max(1e-12);
+    PredictThroughput {
+        rows,
+        seq_rows_per_s,
+        batch_rows_per_s,
+        speedup: batch_rows_per_s / seq_rows_per_s,
+        bitwise_equal: sequential == batched,
+        threads: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+    }
+}
+
 /// Entry point.
 pub fn run(opts: &RunOpts) -> ExperimentResult {
     let quick = opts.quick;
@@ -186,11 +255,38 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
          (paper 24.78 ms) at {dim} feature dimensions"
     ));
     result.note("instance starting dominates, as in the paper");
+
+    // ---- batched prediction throughput ----
+    let tp = predict_throughput(quick);
+    let mut t = TextTable::new(vec!["path", "rows/s"]);
+    t.row(vec![
+        "sequential predict".into(),
+        fnum(tp.seq_rows_per_s, 1),
+    ]);
+    t.row(vec!["predict_batch".into(), fnum(tp.batch_rows_per_s, 1)]);
+    result.table(format!(
+        "(c) prediction throughput, {} rows, {} thread(s)\n{}",
+        tp.rows,
+        tp.threads,
+        t.render()
+    ));
+    result.note(format!(
+        "predict_batch speedup {:.2}x over sequential ({} threads), bit-identical: {}",
+        tp.speedup, tp.threads, tp.bitwise_equal
+    ));
     result
         .metric("infer_ms", infer_ms)
         .metric("update_ms", update_ms)
         .metric("forward_low_ms", low_mean)
-        .metric("forward_high_ms", high.1);
+        .metric("forward_high_ms", high.1)
+        .metric("seq_rows_per_s", tp.seq_rows_per_s)
+        .metric("batch_rows_per_s", tp.batch_rows_per_s)
+        .metric("batch_speedup", tp.speedup)
+        .metric("batch_threads", tp.threads as f64)
+        .metric(
+            "batch_bitwise_equal",
+            if tp.bitwise_equal { 1.0 } else { 0.0 },
+        );
     result
 }
 
@@ -209,6 +305,18 @@ mod tests {
             low.1,
             high.1
         );
+    }
+
+    #[test]
+    fn predict_throughput_is_bit_identical_and_finite() {
+        let tp = predict_throughput(true);
+        assert_eq!(tp.rows, 128);
+        assert!(tp.bitwise_equal, "batch must match sequential bit-for-bit");
+        assert!(tp.seq_rows_per_s.is_finite() && tp.seq_rows_per_s > 0.0);
+        assert!(tp.batch_rows_per_s.is_finite() && tp.batch_rows_per_s > 0.0);
+        assert!(tp.speedup.is_finite() && tp.speedup > 0.0);
+        // No wall-clock speedup assertion: the figure scales with core
+        // count and CI hosts may expose a single core.
     }
 
     #[test]

@@ -8,9 +8,10 @@
 
 use crate::dataset::Dataset;
 use crate::tree::{RegressionTree, TreeParams};
-use simcore::par::{par_map, par_map_range};
+use simcore::par::{par_map, par_map_range, par_map_workers};
 use simcore::rng::seed_stream;
 use simcore::SimRng;
+use std::num::NonZeroUsize;
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,6 +72,59 @@ impl RandomForest {
     pub fn predict(&self, x: &[f64]) -> f64 {
         debug_assert_eq!(x.len(), self.dim, "feature dimension mismatch");
         self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Predict many rows at once, parallelising over trees.
+    ///
+    /// Each worker walks one tree over every row (tree-major order keeps a
+    /// tree's nodes hot in cache), and the per-tree columns are then reduced
+    /// *in tree order* — the exact summation order of [`predict`]'s
+    /// sequential `sum()` — so the result is bit-identical to calling
+    /// [`predict`](Self::predict) per row, at any thread count.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        let workers = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1);
+        self.predict_batch_workers(rows, workers)
+    }
+
+    /// [`predict_batch`](Self::predict_batch) with an explicit worker count
+    /// (`1` runs inline) — the hook the determinism tests pin.
+    pub fn predict_batch_workers(&self, rows: &[Vec<f64>], workers: usize) -> Vec<f64> {
+        if rows.is_empty() {
+            return Vec::new();
+        }
+        for x in rows {
+            debug_assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        }
+        let mut out = vec![0.0; rows.len()];
+        if workers <= 1 {
+            // Row-major inline path: one row's features stay hot while all
+            // trees walk it. Per row the terms still add in tree order —
+            // the same order as the column reduction below — so the result
+            // is bit-identical to the parallel path.
+            for (acc, x) in out.iter_mut().zip(rows) {
+                for tree in &self.trees {
+                    *acc += tree.predict(x);
+                }
+            }
+        } else {
+            let per_tree: Vec<Vec<f64>> =
+                par_map_workers((0..self.trees.len()).collect(), workers, |t| {
+                    let tree = &self.trees[t];
+                    rows.iter().map(|x| tree.predict(x)).collect()
+                });
+            for col in &per_tree {
+                for (acc, &v) in out.iter_mut().zip(col) {
+                    *acc += v;
+                }
+            }
+        }
+        let n = self.trees.len() as f64;
+        for acc in &mut out {
+            *acc /= n;
+        }
+        out
     }
 
     /// Replace the `k` stalest trees with trees trained on the current
@@ -237,5 +291,43 @@ mod tests {
     #[should_panic(expected = "empty dataset")]
     fn empty_fit_panics() {
         RandomForest::fit(&Dataset::new(2), ForestParams::default(), 1);
+    }
+
+    fn probe_rows(n: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = SimRng::new(seed);
+        (0..n)
+            .map(|_| vec![rng.f64() * 10.0, rng.f64() * 10.0, rng.f64()])
+            .collect()
+    }
+
+    #[test]
+    fn predict_batch_bitwise_equals_sequential() {
+        let train = make_data(300, 21);
+        let f = RandomForest::fit(&train, ForestParams::default(), 23);
+        let rows = probe_rows(37, 24);
+        let seq: Vec<f64> = rows.iter().map(|x| f.predict(x)).collect();
+        for workers in [1, 2, 3, 8, 64] {
+            let batch = f.predict_batch_workers(&rows, workers);
+            assert_eq!(batch, seq, "workers = {workers}");
+        }
+        assert_eq!(f.predict_batch(&rows), seq);
+        assert!(f.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn predict_batch_bitwise_after_refresh() {
+        // The IRFR state after stalest-tree replacement must batch
+        // identically too: refreshed trees sit at their original slots, so
+        // the tree-order reduction still mirrors sequential prediction.
+        let train = make_data(300, 25);
+        let mut f = RandomForest::fit(&train, ForestParams::default(), 27);
+        for gen in 1..=4 {
+            f.refresh_stalest(&make_data(120, 30 + gen), 10, gen);
+        }
+        let rows = probe_rows(29, 31);
+        let seq: Vec<f64> = rows.iter().map(|x| f.predict(x)).collect();
+        for workers in [1, 2, 5, 16] {
+            assert_eq!(f.predict_batch_workers(&rows, workers), seq);
+        }
     }
 }

@@ -239,6 +239,18 @@ impl IncrementalModel {
         }
     }
 
+    /// Predict many rows at once. For IRFR this dispatches to the forest's
+    /// tree-parallel [`RandomForest::predict_batch`], whose results are
+    /// bit-identical to per-row [`predict`](Self::predict); the other
+    /// families fall back to a per-row loop (their predictions are cheap
+    /// enough that batching buys nothing).
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        match &self.inner {
+            Inner::Irfr(Some(f)) => f.predict_batch(rows),
+            _ => rows.iter().map(|x| self.predict(x)).collect(),
+        }
+    }
+
     /// IRFR impurity importances (None for other kinds or before fit).
     pub fn importances(&self) -> Option<Vec<f64>> {
         match &self.inner {
@@ -352,6 +364,20 @@ mod tests {
         m.update(&gen(100, 14, 0.0));
         assert_eq!(m.buffer.data.len(), 150);
         assert_eq!(m.samples_seen(), 200);
+    }
+
+    #[test]
+    fn predict_batch_matches_sequential_for_all_kinds() {
+        let train = gen(300, 20, 0.0);
+        let rows: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 * 0.25, 3.0]).collect();
+        for kind in ModelKind::ALL {
+            let mut m = IncrementalModel::new(IncrementalParams::new(kind, 2, 7));
+            m.bootstrap(&train);
+            // Drive an incremental update so IRFR is in post-refresh state.
+            m.update(&gen(100, 21, 0.0));
+            let seq: Vec<f64> = rows.iter().map(|x| m.predict(x)).collect();
+            assert_eq!(m.predict_batch(&rows), seq, "{}", kind.name());
+        }
     }
 
     #[test]

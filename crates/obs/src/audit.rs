@@ -20,6 +20,10 @@ pub struct CandidateEval {
     pub predicted_qos: f64,
     /// Whether the prediction met the SLA threshold.
     pub sla_ok: bool,
+    /// Whether the placement fit every touched server's remaining CPU
+    /// headroom (an infeasible probe is never accepted, however good its
+    /// predicted QoS).
+    pub feasible: bool,
 }
 
 /// One placement decision.
@@ -51,6 +55,7 @@ impl DecisionRecord {
                     .field("placement", e.placement.clone())
                     .field("predicted_qos", e.predicted_qos)
                     .field("sla_ok", e.sla_ok)
+                    .field("feasible", e.feasible)
             })
             .collect();
         let chosen = match self.chosen {
@@ -120,12 +125,14 @@ mod tests {
                     placement: vec![0, 0, 0],
                     predicted_qos: 0.9,
                     sla_ok: false,
+                    feasible: true,
                 },
                 CandidateEval {
                     spread: 2,
                     placement: vec![0, 1, 0],
                     predicted_qos: 1.2,
                     sla_ok: true,
+                    feasible: true,
                 },
             ],
             chosen,

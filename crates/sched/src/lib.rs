@@ -20,6 +20,25 @@
 //! * [`reschedule`] — §4's consolidation pass: migrate instances off
 //!   lightly-used servers when every SLA still holds, freeing machines
 //!   during load troughs.
+//!
+//! # Predictor-call efficiency
+//!
+//! Scheduling cost is dominated by predictor invocations (the Fig. 14
+//! overhead study), so both search paths are built on the batched pipeline:
+//!
+//! * [`binary_search`] probes reject placements that would overcommit a
+//!   server's CPU headroom before consulting the predictor, and every probe
+//!   featurizes into one reused scratch buffer
+//!   (`GsightPredictor::predict_with_scratch`) instead of allocating a
+//!   fresh `32nS + 2n` vector per call.
+//! * [`reschedule`]'s SLA check gathers all scenario evaluations of one
+//!   hypothetical move into a single `GsightPredictor::predict_batch` call
+//!   and skips SLA entries with no instance on the donor or receiver
+//!   server — the move cannot change their colocation, so their satisfied
+//!   prediction stands. Plans are unchanged (batch prediction is
+//!   bit-identical to sequential) while strictly fewer scenario
+//!   evaluations are spent whenever an SLA workload sits away from the
+//!   move.
 
 pub mod binary_search;
 pub mod hierarchical;

@@ -220,6 +220,8 @@ impl GsightPlacer {
                 placement: vec![server],
                 predicted_qos: qos,
                 sla_ok: ok,
+                // Candidates were pre-filtered by `view.fits`.
+                feasible: true,
             });
         }
         ok

@@ -9,6 +9,25 @@
 //! *receiver* servers whenever the predictor says every SLA still holds
 //! after the move. Emptied servers can then be powered down — the
 //! density/utilization win of Fig. 11 extended to load troughs.
+//!
+//! # Predictor-call reduction
+//!
+//! Checking one hypothetical move used to issue one predictor call per
+//! SLA-bearing workload. Two optimizations cut that cost:
+//!
+//! 1. **Batching** — all per-entry scenarios of one move are gathered into
+//!    a single [`GsightPredictor::predict_batch`] call, which featurizes
+//!    rows in parallel and runs the forest tree-major over the whole batch
+//!    (bit-identical to per-row `predict`).
+//! 2. **Skipping** — under the spatial-overlap interference model, a move
+//!    only changes colocation on the donor and receiver servers; an SLA
+//!    entry with no instance on either server keeps its overlap pattern,
+//!    so its (already satisfied) prediction is not re-evaluated.
+//!
+//! [`ReschedulePlan::predictor_calls`] counts *scenario evaluations* (batch
+//! rows), so counts stay comparable with the pre-batching implementation —
+//! the skip makes them strictly smaller whenever an SLA entry sits away
+//! from the move.
 
 use crate::placer::WorkloadEntry;
 use cluster::Demand;
@@ -17,7 +36,11 @@ use gsight::{ColoWorkload, GsightPredictor, Scenario};
 /// One proposed migration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Migration {
-    /// Workload name.
+    /// Index of the workload in the entry list handed to
+    /// [`plan_consolidation`]. Rollback and [`apply_plan`] resolve the
+    /// entry by this index — names may repeat across entries.
+    pub entry: usize,
+    /// Workload name (display only; not used for resolution).
     pub workload: String,
     /// Index into the workload's instance list.
     pub instance: usize,
@@ -34,7 +57,9 @@ pub struct ReschedulePlan {
     pub migrations: Vec<Migration>,
     /// Servers left empty if the plan is applied.
     pub freed_servers: Vec<usize>,
-    /// Predictor invocations spent building the plan.
+    /// Predictor scenario evaluations spent building the plan (rows fed to
+    /// [`GsightPredictor::predict_batch`], equivalent to single-scenario
+    /// `predict` calls).
     pub predictor_calls: usize,
 }
 
@@ -80,7 +105,12 @@ fn colo_views(
         .collect()
 }
 
-/// Check every SLA under a hypothetical placement.
+/// Check every SLA under a hypothetical placement, batching all scenario
+/// evaluations of the move into one `predict_batch` call.
+///
+/// When `moved` is set, SLA entries with no instance on the donor or
+/// receiver server are skipped: the move does not change colocation on any
+/// server they occupy, so their previously satisfied prediction stands.
 fn slas_hold(
     predictor: &GsightPredictor,
     entries: &[WorkloadEntry],
@@ -89,6 +119,11 @@ fn slas_hold(
     calls: &mut usize,
 ) -> bool {
     let views = colo_views(entries, moved);
+    // Servers whose colocation the move changes: the instance's current
+    // home (`entries` is not yet mutated) and its proposed one.
+    let touched: Option<(usize, usize)> = moved.map(|(w, i, to)| (entries[w].instances[i].1, to));
+    let mut thresholds: Vec<f64> = Vec::new();
+    let mut scenarios: Vec<Scenario> = Vec::new();
     for (i, e) in entries.iter().enumerate() {
         let Some(min_ipc) = e.sla.min_ipc else {
             continue;
@@ -96,18 +131,26 @@ fn slas_hold(
         let Some(target) = views[i].clone() else {
             continue;
         };
+        if let Some((from, to)) = touched {
+            if !e.instances.iter().any(|&(_, s)| s == from || s == to) {
+                continue;
+            }
+        }
         let others: Vec<ColoWorkload> = views
             .iter()
             .enumerate()
             .filter(|(j, v)| *j != i && v.is_some())
             .map(|(_, v)| v.clone().expect("filtered Some"))
             .collect();
-        *calls += 1;
-        if predictor.predict(&Scenario::new(target, others, num_servers)) < min_ipc {
-            return false;
-        }
+        scenarios.push(Scenario::new(target, others, num_servers));
+        thresholds.push(min_ipc);
     }
-    true
+    *calls += scenarios.len();
+    let predicted = predictor.predict_batch(&scenarios);
+    predicted
+        .iter()
+        .zip(&thresholds)
+        .all(|(ipc, min_ipc)| ipc >= min_ipc)
 }
 
 /// Build a consolidation plan: repeatedly try to empty the server hosting
@@ -184,6 +227,7 @@ pub fn plan_consolidation(
                     &mut plan.predictor_calls,
                 ) {
                     staged.push(Migration {
+                        entry: w,
                         workload: working[w].name.clone(),
                         instance: i,
                         from: donor,
@@ -200,13 +244,10 @@ pub fn plan_consolidation(
             }
         }
         if !ok {
-            // Roll back the staged moves of this round.
+            // Roll back the staged moves of this round, resolving each
+            // entry by index (names may repeat across entries).
             for m in staged.iter().rev() {
-                let w = working
-                    .iter()
-                    .position(|e| e.name == m.workload)
-                    .expect("staged workload exists");
-                working[w].instances[m.instance].1 = m.from;
+                working[m.entry].instances[m.instance].1 = m.from;
             }
             break;
         }
@@ -217,13 +258,12 @@ pub fn plan_consolidation(
 }
 
 /// Apply a plan to an entry list (the caller also performs the platform
-/// migrations).
+/// migrations). Entries are resolved by [`Migration::entry`] index, so the
+/// list must be the one (or a same-order copy of the one) the plan was
+/// built from; duplicate workload names are fine.
 pub fn apply_plan(entries: &mut [WorkloadEntry], plan: &ReschedulePlan) {
     for m in &plan.migrations {
-        let e = entries
-            .iter_mut()
-            .find(|e| e.name == m.workload)
-            .expect("workload in plan");
+        let e = &mut entries[m.entry];
         assert_eq!(e.instances[m.instance].1, m.from, "plan out of date");
         e.instances[m.instance].1 = m.to;
     }
@@ -367,12 +407,69 @@ mod tests {
         let mut moved = entries;
         // Placement changed since planning.
         if let Some(m) = plan.migrations.first() {
-            let e = moved.iter_mut().find(|e| e.name == m.workload).unwrap();
+            let e = &mut moved[m.entry];
             e.instances[m.instance].1 = 9_999 % S;
             if e.instances[m.instance].1 == m.from {
                 e.instances[m.instance].1 = (m.from + 1) % S;
             }
         }
         apply_plan(&mut moved, &plan);
+    }
+
+    #[test]
+    fn duplicate_names_resolve_by_entry_index() {
+        // Regression: two distinct entries share the name "dup". The old
+        // name-based resolution in apply_plan/rollback always picked the
+        // first match, mutating the wrong entry (the stale-plan assert
+        // fired spuriously). Resolution by entry index ignores the clash.
+        let p = predictor();
+        let entries = vec![
+            entry("dup", Some(0.5), vec![(0, 0), (1, 0)]),
+            entry("dup", None, vec![(0, 2)]),
+        ];
+        let plan = plan_consolidation(&p, &entries, S);
+        assert!(
+            plan.migrations.iter().all(|m| m.entry == 1),
+            "only the second 'dup' occupies the donor: {plan:?}"
+        );
+        let mut after = entries;
+        apply_plan(&mut after, &plan);
+        assert_eq!(
+            after[0].instances,
+            vec![(0, 0), (1, 0)],
+            "first 'dup' untouched"
+        );
+        for &freed in &plan.freed_servers {
+            for e in &after {
+                assert!(e.instances.iter().all(|&(_, s)| s != freed));
+            }
+        }
+    }
+
+    #[test]
+    fn untouched_sla_entries_are_not_reevaluated() {
+        // Entry "c" has an SLA but sits on server 3, which the first
+        // round's move (donor 2 → receiver 0) never touches — its scenario
+        // must not be re-evaluated, so the whole plan costs strictly fewer
+        // scenario evaluations than the two-per-check naive pass.
+        let p = predictor();
+        let entries = vec![
+            entry("a", Some(0.5), vec![(0, 0), (1, 0)]),
+            entry("b", None, vec![(0, 2)]),
+            entry("c", Some(0.5), vec![(0, 3), (1, 3)]),
+        ];
+        let plan = plan_consolidation(&p, &entries, S);
+        assert!(
+            !plan.migrations.is_empty(),
+            "loose SLAs should allow consolidation: {plan:?}"
+        );
+        // Two SLA entries → a naive all-entries check costs 2 rows per
+        // accepted move; the donor-2 round skips "c" (server 3 untouched).
+        assert!(
+            plan.predictor_calls < 2 * plan.migrations.len(),
+            "skip must save evaluations: {} calls for {} migrations",
+            plan.predictor_calls,
+            plan.migrations.len()
+        );
     }
 }

@@ -1,14 +1,19 @@
 //! Order-preserving parallel maps on scoped threads.
 //!
-//! The experiment sweeps and forest training are embarrassingly parallel:
-//! independent jobs, each seeded through [`crate::seed_stream`], whose
-//! results are collected in input order. [`par_map`] covers that shape with
-//! `std::thread::scope` — no work stealing, no external dependency — by
-//! splitting the input into one contiguous chunk per available core.
-//! Determinism is unaffected: job `i` computes the same value regardless of
-//! which thread runs it, and outputs are reassembled in input order.
+//! The experiment sweeps, forest training, and the batched prediction
+//! pipeline are embarrassingly parallel: independent jobs, each seeded
+//! through [`crate::seed_stream`], whose results are collected in input
+//! order. [`par_map`] covers that shape with `std::thread::scope` — no work
+//! stealing, no external dependency — using *chunked self-scheduling*:
+//! workers repeatedly pull small batches of jobs off a shared queue, so
+//! skewed per-item costs (trees of different depth, scenarios of different
+//! size) do not serialise the whole map on whichever contiguous chunk
+//! happened to be slowest. Determinism is unaffected: job `i` computes the
+//! same value regardless of which thread runs it, and outputs are
+//! reassembled in input order.
 
 use std::num::NonZeroUsize;
+use std::sync::Mutex;
 
 /// Number of worker threads to use for `n` jobs.
 fn threads_for(n: usize) -> usize {
@@ -21,8 +26,23 @@ fn threads_for(n: usize) -> usize {
 /// Map `f` over `items` in parallel, preserving input order.
 ///
 /// `f` must be `Sync` (it is shared by reference across workers) and is
-/// called exactly once per item. Panics in `f` propagate to the caller.
+/// called exactly once per item. Panics in `f` propagate to the caller with
+/// the worker's original panic payload.
 pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let workers = threads_for(items.len());
+    par_map_workers(items, workers, f)
+}
+
+/// [`par_map`] with an explicit worker count (capped at the item count).
+///
+/// Exposed so callers — and the determinism tests — can pin the thread
+/// count; `workers == 1` runs inline without spawning.
+pub fn par_map_workers<T, U, F>(items: Vec<T>, workers: usize, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
@@ -32,28 +52,57 @@ where
     if n == 0 {
         return Vec::new();
     }
-    let workers = threads_for(n);
+    let workers = workers.clamp(1, n);
     if workers == 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunk = n.div_ceil(workers);
+    // Chunked self-scheduling: small batches amortise the queue lock while
+    // keeping enough grains in flight that a few expensive items cannot
+    // leave the other workers idle (the failure mode of the previous
+    // one-contiguous-chunk-per-core split).
+    let chunk = (n / (workers * 8)).max(1);
     let f = &f;
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(workers);
-        let mut iter = items.into_iter();
-        loop {
-            let batch: Vec<T> = iter.by_ref().take(chunk).collect();
-            if batch.is_empty() {
-                break;
+    let queue = Mutex::new(items.into_iter().enumerate());
+    let queue = &queue;
+    let mut indexed: Vec<(usize, U)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, U)> = Vec::new();
+                    loop {
+                        // A panicking worker poisons the lock mid-drain; the
+                        // survivors keep draining and the payload is
+                        // re-thrown at join time.
+                        let batch: Vec<(usize, T)> = {
+                            let mut q = queue.lock().unwrap_or_else(|e| e.into_inner());
+                            q.by_ref().take(chunk).collect()
+                        };
+                        if batch.is_empty() {
+                            break;
+                        }
+                        for (i, item) in batch {
+                            local.push((i, f(item)));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        let mut acc: Vec<(usize, U)> = Vec::with_capacity(n);
+        let mut panic_payload = None;
+        for h in handles {
+            match h.join() {
+                Ok(part) => acc.extend(part),
+                Err(payload) => panic_payload = Some(payload),
             }
-            handles.push(scope.spawn(move || batch.into_iter().map(f).collect::<Vec<U>>()));
         }
-        // Joining in spawn order concatenates chunks back in input order.
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("par_map worker panicked"))
-            .collect()
-    })
+        if let Some(payload) = panic_payload {
+            std::panic::resume_unwind(payload);
+        }
+        acc
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, u)| u).collect()
 }
 
 /// Map `f` over `0..n` in parallel, preserving index order — the common
@@ -106,5 +155,52 @@ mod tests {
         let seq: Vec<u64> = (0..100u64).map(|i| crate::seed_stream(42, i)).collect();
         let par = par_map_range(100, |i| crate::seed_stream(42, i as u64));
         assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree() {
+        let items: Vec<i64> = (0..257).collect();
+        let expect: Vec<i64> = items.iter().map(|x| x * x - 3).collect();
+        for workers in [1, 2, 3, 5, 8, 64, 1000] {
+            let got = par_map_workers(items.clone(), workers, |x| x * x - 3);
+            assert_eq!(got, expect, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn skewed_item_costs_complete() {
+        // A few items are far more expensive than the rest; the chunked
+        // queue must still return every result in order.
+        let out = par_map_workers((0..64u64).collect::<Vec<u64>>(), 4, |i| {
+            let spins = if i % 16 == 0 { 200_000 } else { 10 };
+            let mut acc = i;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        assert_eq!(out.len(), 64);
+        for (idx, (i, _)) in out.iter().enumerate() {
+            assert_eq!(*i, idx as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "boom at 7")]
+    fn worker_panic_payload_propagates() {
+        // The caller must see the worker's own message, not a generic
+        // "worker panicked" wrapper.
+        par_map_workers((0..64).collect::<Vec<i32>>(), 4, |x| {
+            if x == 7 {
+                panic!("boom at {x}");
+            }
+            x
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom inline")]
+    fn inline_panic_propagates_too() {
+        par_map_workers(vec![1], 1, |_| -> i32 { panic!("boom inline") });
     }
 }
