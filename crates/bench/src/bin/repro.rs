@@ -1,7 +1,7 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [id...]
+//! repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [--seed N] [id...]
 //! repro --list                list experiment ids
 //! ```
 //!
@@ -47,6 +47,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let p = it.next().ok_or("--json requires a path")?;
                 cli.json_path = PathBuf::from(p);
             }
+            "--seed" => {
+                let s = it.next().ok_or("--seed requires a u64")?;
+                cli.opts.seed = Some(s.parse().map_err(|_| format!("bad seed {s}"))?);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => cli.ids.push(id.to_string()),
         }
@@ -60,7 +64,7 @@ fn main() {
         Ok(c) => c,
         Err(e) => {
             eprintln!(
-                "{e}; usage: repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [id...]"
+                "{e}; usage: repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [--seed N] [id...]"
             );
             std::process::exit(2);
         }

@@ -20,9 +20,11 @@
 //! | [`fig11_12`] | Fig. 11 scheduling density/utilization CDFs; Fig. 12 SLA satisfaction |
 //! | [`fig14`] | Fig. 14 online overhead & gateway scalability |
 //! | [`ablation`] | design-choice ablations (extension, not a paper figure) |
+//! | [`fault_sweep`] | chaos sweep: availability & p99 under seeded fault injection (extension) |
 
 pub mod ablation;
 pub mod corpus;
+pub mod fault_sweep;
 pub mod fig10;
 pub mod fig11_12;
 pub mod fig13;

@@ -18,6 +18,11 @@ pub struct RunOpts {
     pub obs: bool,
     /// Where to write observability artifacts; `None` disables export.
     pub trace_dir: Option<PathBuf>,
+    /// Override the experiment's base RNG seed (`repro --seed N`). Used by
+    /// seed-parameterised experiments like `fault_sweep`, where one seed
+    /// pins one exactly replayable fault storyline; `None` = the
+    /// experiment's built-in default.
+    pub seed: Option<u64>,
 }
 
 impl RunOpts {
@@ -39,7 +44,7 @@ impl RunOpts {
         Self {
             quick: true,
             obs: true,
-            trace_dir: None,
+            ..Self::default()
         }
     }
 
@@ -205,6 +210,11 @@ pub fn all_experiments() -> Vec<Experiment> {
                 "design-choice ablations: coding blocks, forest size, PCA, partitioning (extension)",
             run: crate::ablation::run,
         },
+        Experiment {
+            id: "fault_sweep",
+            title: "chaos sweep: availability & p99 under seeded fault injection (extension)",
+            run: crate::fault_sweep::run,
+        },
     ]
 }
 
@@ -243,6 +253,7 @@ mod tests {
             quick: true,
             obs: false,
             trace_dir: Some(std::env::temp_dir()),
+            seed: None,
         };
         assert!(t.observing() && t.tracing());
     }

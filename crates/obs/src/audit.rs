@@ -42,6 +42,10 @@ pub struct DecisionRecord {
     pub chosen: Option<usize>,
     /// Total predictor invocations the decision cost.
     pub predictor_calls: usize,
+    /// True if the decision was made in degraded mode (predictor stale or
+    /// unavailable): the placer fell back to an interference-oblivious
+    /// policy and `predicted_qos` values are not predictor outputs.
+    pub degraded: bool,
 }
 
 impl DecisionRecord {
@@ -69,6 +73,7 @@ impl DecisionRecord {
             .field("evaluated", Json::Arr(evaluated))
             .field("chosen", chosen)
             .field("predictor_calls", self.predictor_calls)
+            .field("degraded", self.degraded)
     }
 }
 
@@ -137,6 +142,7 @@ mod tests {
             ],
             chosen,
             predictor_calls: 2,
+            degraded: false,
         }
     }
 

@@ -23,12 +23,14 @@
 //! workspace is offline, so no serde.
 
 pub mod audit;
+pub mod faultlog;
 pub mod json;
 pub mod profile;
 pub mod telemetry;
 pub mod trace;
 
 pub use audit::{AuditLog, CandidateEval, DecisionRecord};
+pub use faultlog::{FaultLog, FaultRecord};
 pub use profile::WallProfiler;
 pub use telemetry::Telemetry;
 pub use trace::{MemorySink, NullSink, SpanRecord, TraceSink, Track};
@@ -40,6 +42,8 @@ pub struct Obs {
     pub trace: Box<dyn TraceSink>,
     /// Metric registry; `None` when telemetry is off.
     pub telemetry: Option<Telemetry>,
+    /// Fault/recovery event log; `None` unless a chaos run asked for it.
+    pub faults: Option<FaultLog>,
 }
 
 impl Obs {
@@ -48,6 +52,7 @@ impl Obs {
         Self {
             trace: Box::new(NullSink),
             telemetry: None,
+            faults: None,
         }
     }
 
@@ -56,6 +61,7 @@ impl Obs {
         Self {
             trace: Box::new(MemorySink::new()),
             telemetry: Some(Telemetry::new()),
+            faults: None,
         }
     }
 
@@ -64,7 +70,15 @@ impl Obs {
         Self {
             trace: Box::new(NullSink),
             telemetry: Some(Telemetry::new()),
+            faults: None,
         }
+    }
+
+    /// Builder: attach a fault log (chaos runs record injected faults and
+    /// the platform's recovery actions into it).
+    pub fn with_fault_log(mut self) -> Self {
+        self.faults = Some(FaultLog::new());
+        self
     }
 
     /// Whether the span sink is live.
@@ -89,6 +103,7 @@ impl std::fmt::Debug for Obs {
         f.debug_struct("Obs")
             .field("tracing", &self.tracing())
             .field("telemetry", &self.telemetry.is_some())
+            .field("faults", &self.faults.is_some())
             .finish()
     }
 }
@@ -103,6 +118,14 @@ mod tests {
         assert!(!obs.tracing());
         assert!(obs.telemetry.is_none());
         assert!(obs.memory_sink().is_none());
+        assert!(obs.faults.is_none());
+    }
+
+    #[test]
+    fn with_fault_log_attaches_empty_log() {
+        let obs = Obs::off().with_fault_log();
+        assert!(obs.faults.is_some());
+        assert!(obs.faults.unwrap().records().is_empty());
     }
 
     #[test]

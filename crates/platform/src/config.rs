@@ -38,6 +38,59 @@ impl GatewayConfig {
     }
 }
 
+/// Degradation policy: per-request timeout, bounded retries with
+/// exponential backoff + jitter, and gateway load shedding.
+///
+/// The default disables everything (no timeout, zero retries, no shedding),
+/// which keeps fault-free runs bit-identical to builds without the
+/// resilience layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceConfig {
+    /// End-to-end deadline per attempt; `None` = never time out.
+    pub request_timeout: Option<SimTime>,
+    /// Retries after the first attempt fails (crash/drop/OOM/timeout).
+    pub max_retries: u32,
+    /// Backoff before retry `k` (0-based) is `backoff_base · 2^k`, scaled
+    /// by `1 + jitter·u` with `u ~ U[0,1)`.
+    pub backoff_base: SimTime,
+    /// Jitter fraction in `[0, 1]`; values above 1 are clamped so that
+    /// consecutive backoff delays still strictly increase.
+    pub backoff_jitter: f64,
+    /// Shed new arrivals while the gateway queue is at or past this depth.
+    pub shed_queue_depth: Option<usize>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            request_timeout: None,
+            max_retries: 0,
+            backoff_base: SimTime::from_millis(100.0),
+            backoff_jitter: 0.5,
+            shed_queue_depth: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// True if any degradation mechanism is active.
+    pub fn enabled(&self) -> bool {
+        self.request_timeout.is_some() || self.max_retries > 0 || self.shed_queue_depth.is_some()
+    }
+
+    /// Backoff delay before 0-based retry `attempt`, given a uniform draw
+    /// `u ∈ [0, 1)`. Exponential in the attempt with multiplicative jitter.
+    /// Strictly increasing in `attempt` for any draws: the jitter factor is
+    /// `< 2`, so (flooring) the worst delay of attempt `k` stays below the
+    /// best delay of attempt `k+1`.
+    pub fn backoff_delay(&self, attempt: u32, u: f64) -> SimTime {
+        let base = self.backoff_base.as_micros() as f64;
+        let jitter = 1.0 + self.backoff_jitter.clamp(0.0, 1.0) * u.clamp(0.0, 0.999_999);
+        let us = base * (1u64 << attempt.min(20)) as f64 * jitter;
+        SimTime::from_micros((us.floor() as u64).max(1))
+    }
+}
+
 /// Full simulator configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlatformConfig {
@@ -110,6 +163,34 @@ mod tests {
             assert!(t >= prev);
             prev = t;
         }
+    }
+
+    #[test]
+    fn resilience_default_is_disabled() {
+        let r = ResilienceConfig::default();
+        assert!(!r.enabled());
+        assert!(r.request_timeout.is_none());
+        assert_eq!(r.max_retries, 0);
+    }
+
+    #[test]
+    fn backoff_exponential_and_strictly_increasing() {
+        let r = ResilienceConfig {
+            backoff_base: SimTime::from_millis(100.0),
+            backoff_jitter: 1.0,
+            ..ResilienceConfig::default()
+        };
+        // Worst case for monotonicity: max jitter at attempt k, zero at k+1.
+        for k in 0..8 {
+            let worst_prev = r.backoff_delay(k, 0.999_999);
+            let best_next = r.backoff_delay(k + 1, 0.0);
+            assert!(
+                best_next > worst_prev,
+                "attempt {k}: {worst_prev:?} -> {best_next:?} not strictly increasing"
+            );
+        }
+        assert_eq!(r.backoff_delay(0, 0.0), SimTime::from_millis(100.0));
+        assert_eq!(r.backoff_delay(2, 0.0), SimTime::from_millis(400.0));
     }
 
     #[test]

@@ -14,16 +14,18 @@
 //! starts prepend the function's cold phase when an instance is new or has
 //! been idle past the keep-alive.
 
-use crate::config::PlatformConfig;
+use crate::config::{PlatformConfig, ResilienceConfig};
 use crate::gateway::{Forward, Gateway};
 use crate::report::{FunctionSeries, RunReport, UtilizationSample, WorkloadSeries};
 use crate::scale::{ClusterView, PlacementDecision, Placer};
 use cluster::{InstanceId, ServerState};
+use faults::{FaultConfig, FaultInjector, FaultKind};
 use metricsd::MetricVector;
 use obs::json::Json;
-use obs::{Obs, SpanRecord, Track};
+use obs::{FaultRecord, Obs, SpanRecord, Track};
+use simcore::rng::seed_stream;
 use simcore::{EventQueue, SimRng, SimTime};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 use workloads::dag::CallKind;
 use workloads::{PhaseSpec, Workload};
 
@@ -69,6 +71,9 @@ struct Instance {
     queue: VecDeque<usize>,
     last_finish: SimTime,
     used: bool,
+    /// False once the instance's server crashed or it was OOM-killed; dead
+    /// instances receive no deliveries and do not count as capacity.
+    alive: bool,
 }
 
 #[derive(Debug)]
@@ -117,22 +122,66 @@ struct Task {
     service_done: SimTime,
 }
 
+/// Terminal state of a request — every arrival ends in exactly one of these
+/// (the conservation property the chaos tests assert).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed normally (possibly after retries).
+    Completed,
+    /// Rejected at the gateway by load shedding; never forwarded.
+    Shed,
+    /// Exhausted its retry budget after crashes/drops/OOM-kills/timeouts.
+    Failed,
+}
+
 #[derive(Debug)]
 struct RequestState {
     arrival: SimTime,
+    wl: usize,
     remaining_async: Vec<u32>,
     nested_pending: Vec<u32>,
     node_task: Vec<Option<usize>>,
     nodes_remaining: usize,
     done: bool,
+    /// Current delivery attempt (0 = first try). Bumped on every abort so
+    /// in-flight forwards/timeouts of the old attempt become stale.
+    attempt: u32,
+    outcome: Option<Outcome>,
 }
 
 #[derive(Debug)]
 enum Ev {
-    Arrival { wl: usize },
-    GatewayDone { fwd: Forward },
-    PhaseEnd { task: usize, token: u64 },
+    Arrival {
+        wl: usize,
+    },
+    GatewayDone {
+        fwd: Forward,
+    },
+    PhaseEnd {
+        task: usize,
+        token: u64,
+    },
     Collect,
+    /// Next injected fault fires (chaos runs only).
+    FaultTick,
+    /// A transient server slowdown ends (stale if the token moved on).
+    SlowdownEnd {
+        server: usize,
+        token: u64,
+    },
+    /// A crashed server rejoins the cluster (empty).
+    ServerRecover {
+        server: usize,
+    },
+    /// Per-attempt request deadline.
+    RequestTimeout {
+        req: u64,
+        attempt: u32,
+    },
+    /// Backoff elapsed: re-issue the request's root forwards.
+    RetryRequest {
+        req: u64,
+    },
 }
 
 /// Autoscaling policy knobs.
@@ -177,6 +226,24 @@ pub struct Simulation {
     obs: Obs,
     /// Optional per-workload e2e SLA (ms), for the `sla.violations` counter.
     sla_ms: Vec<Option<f64>>,
+    /// Fault injector; `None` (the default) leaves every code path on the
+    /// fault-free fast track, bit-identical to a build without faults.
+    faults: Option<FaultInjector>,
+    /// Degradation policy (timeout/retry/shed); default fully disabled.
+    resilience: ResilienceConfig,
+    /// Private stream for backoff jitter, separate from the simulation RNG
+    /// so retries never perturb metric synthesis.
+    retry_rng: SimRng,
+    /// Per-server liveness.
+    alive: Vec<bool>,
+    /// Per-server transient service-time multiplier (1.0 = healthy).
+    slow_mult: Vec<f64>,
+    /// Staleness tokens for scheduled `SlowdownEnd` events.
+    slow_token: Vec<u64>,
+    /// Until this instant every dispatch is treated as a cold start.
+    cold_storm_until: SimTime,
+    /// Until this instant the predictor is reported unavailable to placers.
+    predictor_down_until: SimTime,
 }
 
 impl Simulation {
@@ -190,7 +257,8 @@ impl Simulation {
             .map(ServerState::new)
             .collect();
         let n = servers.len();
-        let rng = SimRng::new(config.seed);
+        let seed = config.seed;
+        let rng = SimRng::new(seed);
         Self {
             config,
             servers,
@@ -209,6 +277,14 @@ impl Simulation {
             arrivals_pending: Vec::new(),
             obs: Obs::off(),
             sla_ms: Vec::new(),
+            faults: None,
+            resilience: ResilienceConfig::default(),
+            retry_rng: SimRng::new(seed_stream(seed, 0xFA17)),
+            alive: vec![true; n],
+            slow_mult: vec![1.0; n],
+            slow_token: vec![0; n],
+            cold_storm_until: SimTime::ZERO,
+            predictor_down_until: SimTime::ZERO,
         }
     }
 
@@ -228,6 +304,50 @@ impl Simulation {
     /// which every instrumentation site reduces to a flag check.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+    }
+
+    /// Install a fault-injection config. With any class enabled, the first
+    /// fault tick is scheduled from the injector's private seeded stream;
+    /// with everything at zero this is a no-op and the run stays on the
+    /// fault-free fast path. Call before `run_until`.
+    pub fn set_faults(&mut self, config: FaultConfig) {
+        if !config.enabled() {
+            return;
+        }
+        let mut injector = FaultInjector::new(config);
+        if let Some(at) = injector.next_event_after(self.queue.now()) {
+            self.queue.schedule(at, Ev::FaultTick);
+        }
+        self.faults = Some(injector);
+    }
+
+    /// Install the degradation policy (per-request timeout, bounded retries
+    /// with exponential backoff + jitter, gateway load shedding). The
+    /// default [`ResilienceConfig`] disables all three.
+    pub fn set_resilience(&mut self, resilience: ResilienceConfig) {
+        self.resilience = resilience;
+    }
+
+    /// Whether a server is currently up.
+    pub fn server_alive(&self, server: usize) -> bool {
+        self.alive[server]
+    }
+
+    /// A request's terminal outcome, if it reached one.
+    pub fn request_outcome(&self, req: u64) -> Option<Outcome> {
+        self.requests[req as usize].outcome
+    }
+
+    /// Number of requests observed so far.
+    pub fn request_count(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Test/experiment hook: crash a server immediately (same effect as an
+    /// injected [`FaultKind::ServerCrash`], minus the recovery timer).
+    pub fn inject_server_crash(&mut self, server: usize) {
+        let now = self.queue.now();
+        self.crash_server(now, server);
     }
 
     /// The live observability bundle (telemetry counters are readable
@@ -297,6 +417,7 @@ impl Simulation {
                     queue: VecDeque::new(),
                     last_finish: SimTime::ZERO,
                     used: false,
+                    alive: true,
                 });
                 self.instance_count += 1;
             }
@@ -348,6 +469,11 @@ impl Simulation {
                 Ev::GatewayDone { fwd } => self.on_gateway_done(now, fwd),
                 Ev::PhaseEnd { task, token } => self.on_phase_end(now, task, token),
                 Ev::Collect => self.on_collect(now, end),
+                Ev::FaultTick => self.on_fault_tick(now),
+                Ev::SlowdownEnd { server, token } => self.on_slowdown_end(now, server, token),
+                Ev::ServerRecover { server } => self.on_server_recover(now, server),
+                Ev::RequestTimeout { req, attempt } => self.on_request_timeout(now, req, attempt),
+                Ev::RetryRequest { req } => self.on_retry_request(now, req),
             }
         }
         self.report.horizon = end;
@@ -402,15 +528,35 @@ impl Simulation {
         let nodes = g.len();
         self.requests.push(RequestState {
             arrival: now,
+            wl,
             remaining_async: self.deployed[wl].async_parents.clone(),
             nested_pending: vec![0; nodes],
             node_task: vec![None; nodes],
             nodes_remaining: nodes,
             done: false,
+            attempt: 0,
+            outcome: None,
         });
         self.report.workloads[wl].arrivals += 1;
         if let Some(t) = self.obs.telemetry.as_mut() {
             t.incr("requests.arrivals", 1);
+        }
+        // Load shedding: refuse the request outright while the gateway
+        // queue is at or past the configured depth.
+        if self
+            .resilience
+            .shed_queue_depth
+            .is_some_and(|d| self.gateway.depth() >= d)
+        {
+            let r = &mut self.requests[req as usize];
+            r.outcome = Some(Outcome::Shed);
+            r.done = true;
+            self.report.workloads[wl].shed += 1;
+            if let Some(t) = self.obs.telemetry.as_mut() {
+                t.incr("requests.shed", 1);
+            }
+            self.log_fault(now, "shed", req as i64, self.gateway.depth() as f64);
+            return;
         }
         if self.obs.tracing() {
             let name = &self.deployed[wl].workload.name;
@@ -421,6 +567,10 @@ impl Simulation {
         for node in roots {
             self.forward(now, req, wl, node);
         }
+        if let Some(timeout) = self.resilience.request_timeout {
+            self.queue
+                .schedule(now.plus(timeout), Ev::RequestTimeout { req, attempt: 0 });
+        }
     }
 
     fn forward(&mut self, now: SimTime, req: u64, wl: usize, node: usize) {
@@ -429,6 +579,7 @@ impl Simulation {
             wl,
             node,
             enqueued_at: now,
+            attempt: self.requests[req as usize].attempt,
         };
         if self.gateway.enqueue(fwd) {
             self.gateway_begin(now);
@@ -440,6 +591,10 @@ impl Simulation {
             .gateway
             .begin_service(&self.config.gateway, self.instance_count)
         {
+            let dur = match self.faults.as_mut() {
+                Some(f) => dur.plus(f.gateway_jitter()),
+                None => dur,
+            };
             self.queue.schedule(now.plus(dur), Ev::GatewayDone { fwd });
         }
     }
@@ -450,15 +605,59 @@ impl Simulation {
             t.incr("gateway.forwards", 1);
             t.observe("gateway.forward_ms", now.since(fwd.enqueued_at).as_millis());
         }
+        // Forwards from an aborted attempt (or a settled request) are stale:
+        // the gateway spent service time on them, but nothing is delivered.
+        {
+            let r = &self.requests[fwd.req as usize];
+            if r.outcome.is_some() || r.attempt != fwd.attempt {
+                self.gateway_begin(now);
+                return;
+            }
+        }
+        // Injected gateway request drop.
+        if self.faults.as_mut().is_some_and(|f| f.gateway_drop()) {
+            self.log_fault(now, "gateway_drop", fwd.req as i64, 0.0);
+            if let Some(t) = self.obs.telemetry.as_mut() {
+                t.incr("faults.gateway_drops", 1);
+            }
+            self.fail_or_retry(now, fwd.req);
+            self.gateway_begin(now);
+            return;
+        }
         self.deliver(now, fwd);
         self.gateway_begin(now);
     }
 
     fn deliver(&mut self, now: SimTime, fwd: Forward) {
+        let chosen = {
+            let faults_on = self.faults.is_some();
+            let d = &mut self.deployed[fwd.wl];
+            let n_inst = d.instances[fwd.node].len();
+            if !faults_on {
+                let i = d.rr[fwd.node] % n_inst;
+                d.rr[fwd.node] = (d.rr[fwd.node] + 1) % n_inst;
+                Some(i)
+            } else {
+                // Round-robin over the *alive* instances only.
+                let alive_insts: Vec<usize> = (0..n_inst)
+                    .filter(|&i| d.instances[fwd.node][i].alive)
+                    .collect();
+                if alive_insts.is_empty() {
+                    None
+                } else {
+                    let k = d.rr[fwd.node] % alive_insts.len();
+                    d.rr[fwd.node] = (d.rr[fwd.node] + 1) % alive_insts.len();
+                    Some(alive_insts[k])
+                }
+            }
+        };
+        let Some(inst_idx) = chosen else {
+            // Every instance of the target node is dead: fail over.
+            self.log_fault(now, "no_alive_instance", fwd.req as i64, fwd.node as f64);
+            self.fail_or_retry(now, fwd.req);
+            return;
+        };
         let d = &mut self.deployed[fwd.wl];
-        let n_inst = d.instances[fwd.node].len();
-        let inst_idx = d.rr[fwd.node] % n_inst;
-        d.rr[fwd.node] = (d.rr[fwd.node] + 1) % n_inst;
 
         let task_id = self.tasks.len();
         let inst = &d.instances[fwd.node][inst_idx];
@@ -522,7 +721,11 @@ impl Simulation {
                     return;
                 }
                 task_id = inst.queue.pop_front().expect("queue emptied unexpectedly");
-                cold = !inst.used || now.since(inst.last_finish) > self.config.keep_alive;
+                // `cold_storm_until` is ZERO outside chaos runs, so the
+                // extra comparison never fires on the fault-free path.
+                cold = !inst.used
+                    || now.since(inst.last_finish) > self.config.keep_alive
+                    || now < self.cold_storm_until;
                 inst.used = true;
                 inst.active.push(task_id);
             }
@@ -617,7 +820,10 @@ impl Simulation {
             };
             let ic = contention.instance(&phase.load(socket));
             let t = &mut self.tasks[tid];
-            t.slowdown = ic.slowdown;
+            // Injected interference spike: multiply by the transient
+            // per-server factor. 1.0 outside an episode — and `x * 1.0` is
+            // bitwise-exact, so fault-free runs are unperturbed.
+            t.slowdown = ic.slowdown * self.slow_mult[server];
             t.token += 1;
             let eta_us = (t.remaining_us * t.slowdown).ceil() as u64;
             let token = t.token;
@@ -821,6 +1027,7 @@ impl Simulation {
         if finished_request {
             let r = &mut self.requests[req as usize];
             r.done = true;
+            r.outcome = Some(Outcome::Completed);
             let arrival = r.arrival;
             let e2e = now.since(arrival).as_millis();
             let series = &mut self.report.workloads[wl];
@@ -943,20 +1150,50 @@ impl Simulation {
         if self.placer.is_none() {
             return;
         }
+        let faults_on = self.faults.is_some();
+        if faults_on {
+            // Refresh the placer's degraded-mode flag from the outage window.
+            let available = now >= self.predictor_down_until;
+            self.placer
+                .as_mut()
+                .expect("checked above")
+                .set_predictor_available(available);
+        }
         // Collect scale-out requests first to avoid borrowing conflicts.
         let mut wanted: Vec<(usize, usize)> = Vec::new();
         for (wl, d) in self.deployed.iter().enumerate() {
             for node in 0..d.workload.graph.len() {
                 let insts = &d.instances[node];
-                if insts.len() >= self.scale.max_instances_per_node {
+                // Pressure arithmetic over the alive instances; on the
+                // fault-free path nothing is ever dead, so the original
+                // whole-list arithmetic is kept bit-for-bit.
+                let n_alive = if faults_on {
+                    insts.iter().filter(|i| i.alive).count()
+                } else {
+                    insts.len()
+                };
+                if n_alive >= self.scale.max_instances_per_node {
                     continue;
                 }
-                let queued: usize = insts.iter().map(|i| i.queue.len()).sum();
-                let busy: usize = insts.iter().map(|i| i.active.len()).sum();
-                let capacity = insts.len()
-                    * d.workload.graph.func(workloads::NodeId(node)).concurrency as usize;
-                let queue_pressure =
-                    queued as f64 / insts.len() as f64 > self.scale.queue_per_instance;
+                if n_alive == 0 {
+                    // Every instance of this node is dead and no re-warm
+                    // succeeded yet: always ask for a replacement.
+                    wanted.push((wl, node));
+                    continue;
+                }
+                let queued: usize = insts
+                    .iter()
+                    .filter(|i| i.alive)
+                    .map(|i| i.queue.len())
+                    .sum();
+                let busy: usize = insts
+                    .iter()
+                    .filter(|i| i.alive)
+                    .map(|i| i.active.len())
+                    .sum();
+                let capacity =
+                    n_alive * d.workload.graph.func(workloads::NodeId(node)).concurrency as usize;
+                let queue_pressure = queued as f64 / n_alive as f64 > self.scale.queue_per_instance;
                 let busy_pressure =
                     capacity > 0 && busy as f64 / capacity as f64 > self.scale.busy_fraction;
                 if queue_pressure || busy_pressure {
@@ -967,7 +1204,11 @@ impl Simulation {
         for (wl, node) in wanted {
             let decision = {
                 let placer = self.placer.as_mut().expect("checked above");
-                let view = ClusterView::new(&self.servers);
+                let view = if faults_on {
+                    ClusterView::with_liveness(&self.servers, &self.alive)
+                } else {
+                    ClusterView::new(&self.servers)
+                };
                 let d = &self.deployed[wl];
                 let spec = d.workload.graph.func(workloads::NodeId(node));
                 placer.note_time(now.as_millis());
@@ -975,6 +1216,7 @@ impl Simulation {
             };
             if let Some(p) = decision {
                 assert!(p.server < self.servers.len(), "placer chose bad server");
+                assert!(self.alive[p.server], "placer chose dead server");
                 self.deployed[wl].instances[node].push(Instance {
                     server: p.server,
                     socket: p.socket,
@@ -982,6 +1224,7 @@ impl Simulation {
                     queue: VecDeque::new(),
                     last_finish: SimTime::ZERO,
                     used: false,
+                    alive: true,
                 });
                 self.instance_count += 1;
                 self.report.scale_outs.push((now, wl, node));
@@ -992,6 +1235,384 @@ impl Simulation {
                 t.incr("autoscaler.rejections", 1);
             }
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection & degradation
+    // ------------------------------------------------------------------
+
+    fn log_fault(&mut self, now: SimTime, kind: &'static str, target: i64, value: f64) {
+        if let Some(fl) = self.obs.faults.as_mut() {
+            fl.push(FaultRecord {
+                at_ms: now.as_millis(),
+                kind,
+                target,
+                value,
+            });
+        }
+    }
+
+    /// One injected fault fires: draw the kind and target, apply it, and
+    /// schedule the next tick from the injector's private stream.
+    fn on_fault_tick(&mut self, now: SimTime) {
+        let Some(inj) = self.faults.as_mut() else {
+            return;
+        };
+        let kind = inj.draw_kind();
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            t.incr("faults.injected", 1);
+        }
+        match kind {
+            FaultKind::ServerCrash => {
+                let up: Vec<usize> = (0..self.alive.len()).filter(|&s| self.alive[s]).collect();
+                if !up.is_empty() {
+                    let target = up[self.faults.as_mut().expect("checked").pick(up.len())];
+                    self.crash_server(now, target);
+                    let recovery = self
+                        .faults
+                        .as_ref()
+                        .expect("checked")
+                        .config()
+                        .crash_recovery;
+                    self.queue
+                        .schedule(now.plus(recovery), Ev::ServerRecover { server: target });
+                }
+            }
+            FaultKind::ServerSlowdown => {
+                let up: Vec<usize> = (0..self.alive.len()).filter(|&s| self.alive[s]).collect();
+                if !up.is_empty() {
+                    let inj = self.faults.as_mut().expect("checked");
+                    let target = up[inj.pick(up.len())];
+                    let factor = inj.config().slowdown_factor;
+                    let duration = inj.config().slowdown_duration;
+                    self.log_fault(now, "slowdown", target as i64, factor);
+                    self.settle_server(now, target);
+                    self.slow_mult[target] = factor;
+                    self.slow_token[target] += 1;
+                    let token = self.slow_token[target];
+                    self.queue.schedule(
+                        now.plus(duration),
+                        Ev::SlowdownEnd {
+                            server: target,
+                            token,
+                        },
+                    );
+                    self.reschedule_server(now, target);
+                }
+            }
+            FaultKind::InstanceOom => {
+                // Uniform pick over all alive instances, in deployment order.
+                let mut candidates: Vec<(usize, usize, usize)> = Vec::new();
+                for (wl, d) in self.deployed.iter().enumerate() {
+                    for (node, insts) in d.instances.iter().enumerate() {
+                        for (i, inst) in insts.iter().enumerate() {
+                            if inst.alive {
+                                candidates.push((wl, node, i));
+                            }
+                        }
+                    }
+                }
+                if !candidates.is_empty() {
+                    let (wl, node, i) = candidates[self
+                        .faults
+                        .as_mut()
+                        .expect("checked")
+                        .pick(candidates.len())];
+                    let server = self.deployed[wl].instances[node][i].server;
+                    self.log_fault(now, "oom_kill", server as i64, node as f64);
+                    self.kill_instance(now, wl, node, i);
+                    self.rewarm(now, vec![(wl, node)]);
+                }
+            }
+            FaultKind::ColdStartStorm => {
+                let duration = self
+                    .faults
+                    .as_ref()
+                    .expect("checked")
+                    .config()
+                    .cold_storm_duration;
+                self.cold_storm_until = now.plus(duration);
+                self.log_fault(now, "cold_storm", -1, duration.as_millis());
+            }
+            FaultKind::PredictorOutage => {
+                let duration = self
+                    .faults
+                    .as_ref()
+                    .expect("checked")
+                    .config()
+                    .predictor_outage_duration;
+                self.predictor_down_until = now.plus(duration);
+                self.log_fault(now, "predictor_outage", -1, duration.as_millis());
+                if let Some(p) = self.placer.as_mut() {
+                    p.set_predictor_available(false);
+                }
+            }
+        }
+        if let Some(next) = self
+            .faults
+            .as_mut()
+            .and_then(|inj| inj.next_event_after(now))
+        {
+            self.queue.schedule(next, Ev::FaultTick);
+        }
+    }
+
+    /// Take a server dark: kill its instances, fail over every request that
+    /// had a task on them, tell the placer, and re-warm lost capacity
+    /// elsewhere.
+    fn crash_server(&mut self, now: SimTime, server: usize) {
+        if !self.alive[server] {
+            return;
+        }
+        self.alive[server] = false;
+        self.log_fault(now, "server_crash", server as i64, 0.0);
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            t.incr("faults.server_crashes", 1);
+        }
+        let mut victims: BTreeSet<u64> = BTreeSet::new();
+        let mut lost: Vec<(usize, usize)> = Vec::new();
+        for (wl, d) in self.deployed.iter_mut().enumerate() {
+            for (node, insts) in d.instances.iter_mut().enumerate() {
+                for inst in insts.iter_mut() {
+                    if inst.alive && inst.server == server {
+                        inst.alive = false;
+                        self.instance_count -= 1;
+                        victims.extend(inst.active.iter().map(|&t| self.tasks[t].req));
+                        victims.extend(inst.queue.iter().map(|&t| self.tasks[t].req));
+                        lost.push((wl, node));
+                    }
+                }
+            }
+        }
+        if let Some(p) = self.placer.as_mut() {
+            p.note_server_down(server);
+        }
+        for req in victims {
+            self.fail_or_retry(now, req);
+        }
+        self.rewarm(now, lost);
+    }
+
+    fn on_server_recover(&mut self, now: SimTime, server: usize) {
+        self.alive[server] = true;
+        // A slowdown episode that was active at crash time died with the
+        // server; invalidate its end event and rejoin healthy.
+        self.slow_mult[server] = 1.0;
+        self.slow_token[server] += 1;
+        self.log_fault(now, "server_recover", server as i64, 0.0);
+    }
+
+    fn on_slowdown_end(&mut self, now: SimTime, server: usize, token: u64) {
+        if self.slow_token[server] != token || !self.alive[server] {
+            return; // superseded by a newer episode, or the server crashed
+        }
+        self.settle_server(now, server);
+        self.slow_mult[server] = 1.0;
+        self.log_fault(now, "slowdown_end", server as i64, 0.0);
+        self.reschedule_server(now, server);
+    }
+
+    /// OOM-kill one instance: fail over its tasks and mark it dead.
+    fn kill_instance(&mut self, now: SimTime, wl: usize, node: usize, inst_idx: usize) {
+        let mut victims: BTreeSet<u64> = BTreeSet::new();
+        {
+            let inst = &mut self.deployed[wl].instances[node][inst_idx];
+            if !inst.alive {
+                return;
+            }
+            inst.alive = false;
+            self.instance_count -= 1;
+            victims.extend(inst.active.iter().map(|&t| self.tasks[t].req));
+            victims.extend(inst.queue.iter().map(|&t| self.tasks[t].req));
+        }
+        for req in victims {
+            self.fail_or_retry(now, req);
+        }
+    }
+
+    /// Replace lost instances: ask the placer on a liveness-masked view,
+    /// falling back to the least-utilized alive server so a missing
+    /// predictor never blocks recovery.
+    fn rewarm(&mut self, now: SimTime, lost: Vec<(usize, usize)>) {
+        for (wl, node) in lost {
+            let decision = {
+                let view = ClusterView::with_liveness(&self.servers, &self.alive);
+                match self.placer.as_mut() {
+                    Some(placer) => {
+                        let d = &self.deployed[wl];
+                        let spec = d.workload.graph.func(workloads::NodeId(node));
+                        placer.note_time(now.as_millis());
+                        placer.place(&view, &d.workload, node, spec)
+                    }
+                    None => None,
+                }
+            };
+            let decision = decision.or_else(|| {
+                // Interference-oblivious fallback: most CPU headroom wins.
+                let view = ClusterView::with_liveness(&self.servers, &self.alive);
+                (0..self.servers.len())
+                    .filter(|&s| self.alive[s])
+                    .max_by(|&a, &b| {
+                        view.cpu_headroom(a)
+                            .partial_cmp(&view.cpu_headroom(b))
+                            .expect("NaN headroom")
+                    })
+                    .map(|server| PlacementDecision {
+                        server,
+                        socket: self.servers[server].least_loaded_socket(None),
+                    })
+            });
+            if let Some(p) = decision {
+                debug_assert!(self.alive[p.server], "re-warm targeted a dead server");
+                self.deployed[wl].instances[node].push(Instance {
+                    server: p.server,
+                    socket: p.socket,
+                    active: Vec::new(),
+                    queue: VecDeque::new(),
+                    last_finish: SimTime::ZERO,
+                    used: false,
+                    alive: true,
+                });
+                self.instance_count += 1;
+                self.log_fault(now, "rewarm", p.server as i64, node as f64);
+                if let Some(t) = self.obs.telemetry.as_mut() {
+                    t.incr("autoscaler.rewarms", 1);
+                }
+            }
+        }
+    }
+
+    /// A request attempt failed (crash, drop, OOM, timeout): abort all its
+    /// tasks, then either schedule a backoff retry or mark it failed.
+    fn fail_or_retry(&mut self, now: SimTime, req: u64) {
+        if self.requests[req as usize].outcome.is_some() {
+            return;
+        }
+        self.abort_request_tasks(now, req);
+        let wl = self.requests[req as usize].wl;
+        let attempt = self.requests[req as usize].attempt;
+        // Bump the attempt immediately so anything still in flight for the
+        // aborted attempt (forwards, timeouts) is stale from here on.
+        self.requests[req as usize].attempt = attempt + 1;
+        if attempt < self.resilience.max_retries {
+            let u = self.retry_rng.f64();
+            let delay = self.resilience.backoff_delay(attempt, u);
+            self.report.workloads[wl].retries += 1;
+            if let Some(t) = self.obs.telemetry.as_mut() {
+                t.incr("requests.retries", 1);
+            }
+            self.log_fault(now, "retry", req as i64, delay.as_millis());
+            self.queue
+                .schedule(now.plus(delay), Ev::RetryRequest { req });
+        } else {
+            let r = &mut self.requests[req as usize];
+            r.outcome = Some(Outcome::Failed);
+            r.done = true;
+            self.report.workloads[wl].failed += 1;
+            if let Some(t) = self.obs.telemetry.as_mut() {
+                t.incr("requests.failures", 1);
+            }
+            self.log_fault(now, "request_failed", req as i64, attempt as f64);
+        }
+    }
+
+    /// Abort every live task of a request (releasing instance slots, queue
+    /// positions and server loads) and reset its DAG bookkeeping so a retry
+    /// can re-run the whole call graph.
+    fn abort_request_tasks(&mut self, now: SimTime, req: u64) {
+        let wl = self.requests[req as usize].wl;
+        let nodes = self.deployed[wl].workload.graph.len();
+        let mut freed: Vec<(usize, usize)> = Vec::new();
+        for node in 0..nodes {
+            let Some(tid) = self.requests[req as usize].node_task[node] else {
+                continue;
+            };
+            let (state, inst_idx, server) = {
+                let t = &self.tasks[tid];
+                (t.state, t.inst, t.server)
+            };
+            match state {
+                TaskState::Queued => {
+                    self.deployed[wl].instances[node][inst_idx]
+                        .queue
+                        .retain(|&t| t != tid);
+                }
+                TaskState::Executing => {
+                    if let Some(load_id) = self.tasks[tid].load_id.take() {
+                        self.settle_server(now, server);
+                        self.servers[server].remove(load_id);
+                        self.server_tasks[server].retain(|&t| t != tid);
+                        self.reschedule_server(now, server);
+                    }
+                    self.deployed[wl].instances[node][inst_idx]
+                        .active
+                        .retain(|&t| t != tid);
+                    freed.push((node, inst_idx));
+                }
+                TaskState::NestedWait => {
+                    // Holds a concurrency slot but no server load.
+                    self.deployed[wl].instances[node][inst_idx]
+                        .active
+                        .retain(|&t| t != tid);
+                    freed.push((node, inst_idx));
+                }
+                TaskState::Done => {}
+            }
+            let t = &mut self.tasks[tid];
+            t.state = TaskState::Done;
+            t.token += 1; // invalidate any scheduled PhaseEnd
+        }
+        {
+            let r = &mut self.requests[req as usize];
+            r.node_task = vec![None; nodes];
+            r.nested_pending = vec![0; nodes];
+            r.nodes_remaining = nodes;
+            r.remaining_async = self.deployed[wl].async_parents.clone();
+        }
+        // Freed slots can admit queued tasks of other requests.
+        for (node, inst_idx) in freed {
+            if self.deployed[wl].instances[node][inst_idx].alive {
+                self.try_start(now, wl, node, inst_idx);
+            }
+        }
+    }
+
+    fn on_retry_request(&mut self, now: SimTime, req: u64) {
+        let (wl, attempt) = {
+            let r = &self.requests[req as usize];
+            if r.outcome.is_some() {
+                return;
+            }
+            (r.wl, r.attempt)
+        };
+        let roots: Vec<usize> = self.deployed[wl]
+            .workload
+            .graph
+            .roots()
+            .iter()
+            .map(|r| r.0)
+            .collect();
+        for node in roots {
+            self.forward(now, req, wl, node);
+        }
+        if let Some(timeout) = self.resilience.request_timeout {
+            self.queue
+                .schedule(now.plus(timeout), Ev::RequestTimeout { req, attempt });
+        }
+    }
+
+    fn on_request_timeout(&mut self, now: SimTime, req: u64, attempt: u32) {
+        {
+            let r = &self.requests[req as usize];
+            if r.outcome.is_some() || r.attempt != attempt {
+                return; // settled, or the attempt was already aborted
+            }
+        }
+        if let Some(t) = self.obs.telemetry.as_mut() {
+            t.incr("requests.timeouts", 1);
+        }
+        self.log_fault(now, "timeout", req as i64, attempt as f64);
+        self.fail_or_retry(now, req);
     }
 
     /// Move every instance of one function node to a different socket on its
@@ -1351,6 +1972,119 @@ mod tests {
             sim.into_report()
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn faults_off_is_bit_identical_to_no_fault_layer() {
+        // Installing a fully-disabled FaultConfig and the default
+        // ResilienceConfig must not perturb the simulation at all.
+        let run = |with_layer: bool| {
+            let mut sim = Simulation::new(PlatformConfig::small(42));
+            let w = socialnetwork::message_posting();
+            let placement = place_all(&w, 0, 0);
+            sim.deploy(Deployment {
+                workload: w,
+                placement,
+                arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(5.0, SimTime::from_secs(3.0))),
+            });
+            if with_layer {
+                sim.set_faults(faults::FaultConfig::off());
+                sim.set_resilience(crate::config::ResilienceConfig::default());
+            }
+            sim.run_until(SimTime::from_secs(30.0));
+            sim.into_report()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn crash_fails_requests_without_retries() {
+        let mut sim = small_sim(5);
+        let w = functionbench::dd(); // 90 s job: still running at crash time
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::Jobs(vec![SimTime::from_secs(1.0)]),
+        });
+        // Enable the injector path (tiny gateway jitter) without any
+        // discrete faults, then crash the only server by hand.
+        sim.set_faults(faults::FaultConfig {
+            gateway_jitter_max: SimTime::from_micros(1),
+            ..faults::FaultConfig::off()
+        });
+        sim.run_until(SimTime::from_secs(5.0));
+        sim.inject_server_crash(0);
+        sim.run_until(SimTime::from_secs(10.0));
+        assert!(!sim.server_alive(0));
+        let ws = &sim.report().workloads[0];
+        assert_eq!(ws.arrivals, 1);
+        assert_eq!(ws.completions, 0);
+        assert_eq!(ws.failed, 1, "no retry budget: the request must fail");
+        assert_eq!(sim.request_outcome(0), Some(Outcome::Failed));
+    }
+
+    #[test]
+    fn crash_with_retries_recovers_on_rewarmed_instance() {
+        let mut sim = Simulation::new(PlatformConfig::paper_testbed(6));
+        let mut w = functionbench::float_operation();
+        {
+            let root = w.graph.roots()[0];
+            w.graph.func_mut(root).phases[0].duration = SimTime::from_secs(20.0);
+        }
+        let placement = place_all(&w, 0, 0);
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::OpenLoop(vec![SimTime::from_secs(1.0)]),
+        });
+        sim.set_faults(faults::FaultConfig {
+            gateway_jitter_max: SimTime::from_micros(1),
+            ..faults::FaultConfig::off()
+        });
+        sim.set_resilience(crate::config::ResilienceConfig {
+            max_retries: 3,
+            backoff_base: SimTime::from_millis(50.0),
+            ..Default::default()
+        });
+        sim.run_until(SimTime::from_secs(5.0));
+        sim.inject_server_crash(0); // mid-service: task is executing
+        sim.run_until(SimTime::from_secs(120.0));
+        let ws = &sim.report().workloads[0];
+        assert_eq!(
+            ws.completions, 1,
+            "retry must land on the re-warmed instance"
+        );
+        assert_eq!(ws.retries, 1);
+        assert_eq!(sim.request_outcome(0), Some(Outcome::Completed));
+    }
+
+    #[test]
+    fn shedding_bounds_gateway_queue() {
+        let mut sim = small_sim(8);
+        let mut w = functionbench::float_operation();
+        {
+            let root = w.graph.roots()[0];
+            let f = w.graph.func_mut(root);
+            f.phases[0].duration = SimTime::from_millis(500.0);
+            f.concurrency = 1;
+        }
+        let placement = place_all(&w, 0, 0);
+        // A 20-request burst in one instant: the gateway queue builds faster
+        // than the 0.3 ms/forward service drains it.
+        sim.deploy(Deployment {
+            workload: w,
+            placement,
+            arrivals: ArrivalSpec::OpenLoop(vec![SimTime::from_secs(1.0); 20]),
+        });
+        sim.set_resilience(crate::config::ResilienceConfig {
+            shed_queue_depth: Some(3),
+            ..Default::default()
+        });
+        sim.run_until(SimTime::from_secs(30.0));
+        let ws = &sim.report().workloads[0];
+        assert!(ws.shed > 0, "overload must shed");
+        assert_eq!(ws.arrivals, ws.completions + ws.shed + ws.failed);
     }
 
     #[test]

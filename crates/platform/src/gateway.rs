@@ -23,6 +23,9 @@ pub struct Forward {
     pub node: usize,
     /// When the forward was enqueued at the gateway.
     pub enqueued_at: SimTime,
+    /// The request's retry attempt this forward belongs to (0 = first try).
+    /// Forwards from an aborted attempt are stale and dropped on delivery.
+    pub attempt: u32,
 }
 
 /// FIFO gateway state.
@@ -101,6 +104,7 @@ mod tests {
             wl: 0,
             node: 0,
             enqueued_at: SimTime::ZERO,
+            attempt: 0,
         }
     }
 

@@ -25,6 +25,12 @@
 //!   function, exactly the data the Gsight profiler and predictor consume.
 //! * **Autoscaling hook** — a [`scale::Placer`] policy invoked when
 //!   a function's queues back up, used by the scheduling case study.
+//! * **Fault injection & degradation** — an optional seeded
+//!   [`faults::FaultInjector`] (server crash/recovery, transient slowdowns,
+//!   OOM-kills, cold-start storms, gateway drops/jitter, predictor outages)
+//!   plus a [`config::ResilienceConfig`] degradation policy (per-request
+//!   timeout, bounded exponential-backoff retries, gateway load shedding).
+//!   Both default to off, leaving fault-free runs bit-identical.
 
 pub mod collector;
 pub mod config;
@@ -34,8 +40,8 @@ pub mod profiling;
 pub mod report;
 pub mod scale;
 
-pub use config::{GatewayConfig, PlatformConfig};
-pub use engine::{ArrivalSpec, Deployment, Simulation, WorkloadId};
+pub use config::{GatewayConfig, PlatformConfig, ResilienceConfig};
+pub use engine::{ArrivalSpec, Deployment, Outcome, Simulation, WorkloadId};
 pub use profiling::{profile_workload, ProfilingConfig};
 pub use report::RunReport;
 pub use scale::{ClusterView, NoScaling, Placer};

@@ -49,6 +49,12 @@ pub struct WorkloadSeries {
     pub arrivals: u64,
     /// Requests completed.
     pub completions: u64,
+    /// Requests shed at the gateway (load shedding; never forwarded).
+    pub shed: u64,
+    /// Requests that exhausted their retry budget and failed.
+    pub failed: u64,
+    /// Retry attempts issued (after crash, drop, OOM-kill or timeout).
+    pub retries: u64,
     /// Per-function series, indexed by call-graph node.
     pub functions: Vec<FunctionSeries>,
 }
@@ -90,6 +96,17 @@ impl WorkloadSeries {
     /// Total cold starts across functions.
     pub fn cold_starts(&self) -> u64 {
         self.functions.iter().map(|f| f.cold_starts).sum()
+    }
+
+    /// Fraction of settled requests (completed + shed + failed) that
+    /// completed — the availability metric of chaos runs. NaN when nothing
+    /// settled yet.
+    pub fn availability(&self) -> f64 {
+        let settled = self.completions + self.shed + self.failed;
+        if settled == 0 {
+            return f64::NAN;
+        }
+        self.completions as f64 / settled as f64
     }
 }
 
@@ -229,6 +246,18 @@ mod tests {
         let ws = WorkloadSeries::default();
         assert!(ws.mean_ipc().is_nan());
         assert!(ws.mean_jct_secs().is_nan());
+        assert!(ws.availability().is_nan());
+    }
+
+    #[test]
+    fn availability_over_settled_requests() {
+        let ws = WorkloadSeries {
+            completions: 90,
+            shed: 5,
+            failed: 5,
+            ..Default::default()
+        };
+        assert!((ws.availability() - 0.9).abs() < 1e-12);
     }
 
     #[test]

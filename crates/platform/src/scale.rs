@@ -11,12 +11,33 @@ use workloads::{FunctionSpec, Workload};
 /// Read-only view of cluster occupancy offered to placement policies.
 pub struct ClusterView<'a> {
     servers: &'a [ServerState],
+    /// Per-server liveness; `None` means every server is alive (the
+    /// fault-free fast path allocates nothing).
+    alive: Option<&'a [bool]>,
 }
 
 impl<'a> ClusterView<'a> {
     /// Wrap the server list.
     pub fn new(servers: &'a [ServerState]) -> Self {
-        Self { servers }
+        Self {
+            servers,
+            alive: None,
+        }
+    }
+
+    /// Wrap the server list together with a liveness mask (chaos runs);
+    /// dead servers never satisfy [`ClusterView::fits`].
+    pub fn with_liveness(servers: &'a [ServerState], alive: &'a [bool]) -> Self {
+        debug_assert_eq!(servers.len(), alive.len());
+        Self {
+            servers,
+            alive: Some(alive),
+        }
+    }
+
+    /// Whether a server is up (always true without a liveness mask).
+    pub fn is_alive(&self, idx: usize) -> bool {
+        self.alive.is_none_or(|a| a[idx])
     }
 
     /// Number of servers.
@@ -47,8 +68,10 @@ impl<'a> ClusterView<'a> {
     }
 
     /// Whether a demand fits a server's remaining CPU and memory capacity.
+    /// Dead servers (see [`ClusterView::with_liveness`]) never fit.
     pub fn fits(&self, idx: usize, demand: &Demand) -> bool {
-        self.cpu_headroom(idx) >= demand.get(cluster::Resource::Cpu)
+        self.is_alive(idx)
+            && self.cpu_headroom(idx) >= demand.get(cluster::Resource::Cpu)
             && self.memory_headroom(idx) >= demand.get(cluster::Resource::Memory)
     }
 }
@@ -78,6 +101,16 @@ pub trait Placer {
     /// [`Placer::place`] so audit-logging policies can timestamp their
     /// decision records. Default: ignored.
     fn note_time(&mut self, _now_ms: f64) {}
+
+    /// Fault hook: the interference predictor became (un)available.
+    /// Policies that depend on a predictor should switch to/from an
+    /// interference-oblivious fallback. Default: ignored.
+    fn set_predictor_available(&mut self, _available: bool) {}
+
+    /// Fault hook: a server crashed and its instances are gone. Policies
+    /// that mirror cluster state (e.g. per-workload instance lists) must
+    /// drop anything placed there. Default: ignored.
+    fn note_server_down(&mut self, _server: usize) {}
 
     /// Downcast support, so experiments can recover a concrete policy (and
     /// its audit log / predictor-call counters) from the boxed trait object
@@ -143,6 +176,20 @@ mod tests {
         assert!(!v.fits(0, &big_cpu));
         assert!(!v.fits(0, &big_mem));
         assert!(v.fits(1, &big_cpu));
+    }
+
+    #[test]
+    fn dead_server_never_fits() {
+        let servers = view_fixture();
+        let alive = [true, false];
+        let v = ClusterView::with_liveness(&servers, &alive);
+        let small = Demand::new(0.5, 0.0, 0.0, 0.0, 0.0, 1.0);
+        assert!(v.fits(0, &small));
+        assert!(!v.fits(1, &small), "server 1 is dead: nothing fits");
+        assert!(v.is_alive(0));
+        assert!(!v.is_alive(1));
+        // Without a mask everything is alive.
+        assert!(ClusterView::new(&servers).is_alive(1));
     }
 
     #[test]

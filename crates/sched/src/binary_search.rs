@@ -17,6 +17,32 @@ use cluster::Demand;
 use gsight::{ColoWorkload, GsightPredictor, Scenario};
 use obs::{AuditLog, CandidateEval, DecisionRecord};
 
+/// Why a placement attempt produced no placement.
+///
+/// Replaces the old panics on empty candidate sets: a cluster where every
+/// server is dead or full is a legitimate runtime state under fault
+/// injection, not a programming error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The candidate server set was empty (every server in scope is dead,
+    /// full, or excluded) — there is nothing to search.
+    NoCandidates,
+    /// Every feasible spread violated the SLA: the workload cannot be
+    /// placed within this candidate set at this threshold.
+    SlaUnsatisfiable,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoCandidates => write!(f, "no candidate servers to place on"),
+            Self::SlaUnsatisfiable => write!(f, "no spread satisfies the SLA"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// Result of a binary-search placement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BinarySearchOutcome {
@@ -101,7 +127,9 @@ fn fits_headroom(demands: &[Demand], placement: &[usize], headroom: &[f64]) -> b
 ///   the new workload is at least this (IPC threshold from the
 ///   latency–IPC curve; use `f64::NEG_INFINITY` for BG workloads).
 ///
-/// Returns `None` when even full spread violates the SLA.
+/// Returns [`PlacementError::SlaUnsatisfiable`] when even full spread
+/// violates the SLA and [`PlacementError::NoCandidates`] when `candidates`
+/// is empty (e.g. every server crashed).
 #[allow(clippy::too_many_arguments)]
 pub fn binary_search_placement(
     predictor: &GsightPredictor,
@@ -112,7 +140,7 @@ pub fn binary_search_placement(
     headroom: &[f64],
     capacity: &Demand,
     sla_min_qos: f64,
-) -> Option<BinarySearchOutcome> {
+) -> Result<BinarySearchOutcome, PlacementError> {
     search(
         predictor,
         new_workload,
@@ -143,7 +171,7 @@ pub fn binary_search_placement_audited(
     at_ms: f64,
     workload_name: &str,
     audit: &mut AuditLog,
-) -> Option<BinarySearchOutcome> {
+) -> Result<BinarySearchOutcome, PlacementError> {
     let (outcome, evaluated, chosen) = search(
         predictor,
         new_workload,
@@ -161,6 +189,7 @@ pub fn binary_search_placement_audited(
         predictor_calls: evaluated.len(),
         evaluated,
         chosen,
+        degraded: false,
     });
     outcome
 }
@@ -176,11 +205,13 @@ fn search(
     capacity: &Demand,
     sla_min_qos: f64,
 ) -> (
-    Option<BinarySearchOutcome>,
+    Result<BinarySearchOutcome, PlacementError>,
     Vec<CandidateEval>,
     Option<usize>,
 ) {
-    assert!(!candidates.is_empty(), "no candidate servers");
+    if candidates.is_empty() {
+        return (Err(PlacementError::NoCandidates), Vec::new(), None);
+    }
     let mut evals: Vec<CandidateEval> = Vec::new();
     // One featurization scratch buffer for the whole search: every probe
     // reuses it instead of allocating a fresh 2580-dim vector.
@@ -237,7 +268,7 @@ fn search(
                 best_qos = q;
                 chosen = Some(idx);
             }
-            None => return (None, evals, None),
+            None => return (Err(PlacementError::SlaUnsatisfiable), evals, None),
         }
     }
     let mut spread = best_placement.clone();
@@ -249,7 +280,7 @@ fn search(
         predicted_qos: best_qos,
         predictor_calls: evals.len(),
     };
-    (Some(outcome), evals, chosen)
+    (Ok(outcome), evals, chosen)
 }
 
 #[cfg(test)]
@@ -435,7 +466,7 @@ mod tests {
     }
 
     #[test]
-    fn impossible_sla_returns_none() {
+    fn impossible_sla_returns_error() {
         let (p, corunner) = trained_predictor();
         let new_wl = colo(2.0, 4.0, vec![0, 0, 0]);
         let out = binary_search_placement(
@@ -448,7 +479,45 @@ mod tests {
             &Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0),
             10.0, // unreachable IPC
         );
-        assert!(out.is_none());
+        assert_eq!(out, Err(PlacementError::SlaUnsatisfiable));
+    }
+
+    #[test]
+    fn empty_candidate_set_is_an_error_not_a_panic() {
+        // Regression: with every server crashed the candidate list is
+        // empty; the old code hit `assert!(!candidates.is_empty())`.
+        let (p, corunner) = trained_predictor();
+        let new_wl = colo(2.0, 4.0, vec![0, 0, 0]);
+        let out = binary_search_placement(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[],
+            &[1.0, 2.0, 3.0, 4.0],
+            &Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0),
+            0.1,
+        );
+        assert_eq!(out, Err(PlacementError::NoCandidates));
+        // The audited variant records the (empty) decision instead of
+        // panicking, so post-mortem traces still show the refusal.
+        let mut audit = AuditLog::new();
+        let out = binary_search_placement_audited(
+            &p,
+            &new_wl,
+            std::slice::from_ref(&corunner),
+            4,
+            &[],
+            &[1.0, 2.0, 3.0, 4.0],
+            &Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0),
+            0.1,
+            0.0,
+            "w",
+            &mut audit,
+        );
+        assert_eq!(out, Err(PlacementError::NoCandidates));
+        assert_eq!(audit.records().len(), 1);
+        assert!(audit.records()[0].chosen.is_none());
     }
 
     #[test]
@@ -486,7 +555,7 @@ mod tests {
             "new-workload",
             &mut audit,
         );
-        assert!(rejected.is_none());
+        assert!(rejected.is_err());
 
         assert_eq!(audit.records().len(), 2);
         assert_eq!(audit.accepted(), 1);

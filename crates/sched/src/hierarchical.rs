@@ -10,7 +10,7 @@
 //! inner search stay small enough for its greedy configuration to stay
 //! meaningful on very large clusters.
 
-use crate::binary_search::{binary_search_placement, BinarySearchOutcome};
+use crate::binary_search::{binary_search_placement, BinarySearchOutcome, PlacementError};
 use cluster::Demand;
 use gsight::{ColoWorkload, GsightPredictor};
 
@@ -53,7 +53,9 @@ pub struct HierarchicalOutcome {
 
 /// Place a workload hierarchically: racks ordered most-packed first (least
 /// total CPU headroom), inner §4 binary search per rack, first success
-/// wins. Returns `None` if no rack can satisfy the SLA.
+/// wins. Returns [`PlacementError::SlaUnsatisfiable`] when no rack can
+/// satisfy the SLA and [`PlacementError::NoCandidates`] when the rack list
+/// is empty.
 #[allow(clippy::too_many_arguments)]
 pub fn hierarchical_placement(
     predictor: &GsightPredictor,
@@ -64,8 +66,10 @@ pub fn hierarchical_placement(
     headroom: &[f64],
     capacity: &Demand,
     sla_min_qos: f64,
-) -> Option<HierarchicalOutcome> {
-    assert!(!racks.is_empty(), "need at least one rack");
+) -> Result<HierarchicalOutcome, PlacementError> {
+    if racks.is_empty() {
+        return Err(PlacementError::NoCandidates);
+    }
     // Order racks by total headroom ascending (densest first).
     let mut order: Vec<usize> = (0..racks.len()).collect();
     order.sort_by(|&a, &b| {
@@ -73,11 +77,12 @@ pub fn hierarchical_placement(
         let hb: f64 = racks[b].servers.iter().map(|&s| headroom[s]).sum();
         ha.partial_cmp(&hb).expect("NaN headroom")
     });
+    let mut sla_failed = false;
     for (probed, &rack_idx) in order.iter().enumerate() {
         // Candidates within the rack, most-packed first.
         let mut candidates = racks[rack_idx].servers.clone();
         candidates.sort_by(|&a, &b| headroom[a].partial_cmp(&headroom[b]).expect("NaN headroom"));
-        if let Some(inner) = binary_search_placement(
+        match binary_search_placement(
             predictor,
             new_workload,
             existing,
@@ -87,14 +92,22 @@ pub fn hierarchical_placement(
             capacity,
             sla_min_qos,
         ) {
-            return Some(HierarchicalOutcome {
-                inner,
-                rack: rack_idx,
-                racks_probed: probed + 1,
-            });
+            Ok(inner) => {
+                return Ok(HierarchicalOutcome {
+                    inner,
+                    rack: rack_idx,
+                    racks_probed: probed + 1,
+                });
+            }
+            Err(PlacementError::SlaUnsatisfiable) => sla_failed = true,
+            Err(PlacementError::NoCandidates) => {}
         }
     }
-    None
+    Err(if sla_failed {
+        PlacementError::SlaUnsatisfiable
+    } else {
+        PlacementError::NoCandidates
+    })
 }
 
 #[cfg(test)]
@@ -248,17 +261,19 @@ mod tests {
         let headroom = vec![2.0; S];
         let cap = Demand::new(4.0, 20.0, 8.0, 200.0, 500.0, 16.0);
         let new_wl = colo(2.0, 4.0, vec![0, 0]);
-        assert!(hierarchical_placement(
-            &p,
-            &new_wl,
-            std::slice::from_ref(&corunner),
-            S,
-            &racks,
-            &headroom,
-            &cap,
-            10.0,
-        )
-        .is_none());
+        assert_eq!(
+            hierarchical_placement(
+                &p,
+                &new_wl,
+                std::slice::from_ref(&corunner),
+                S,
+                &racks,
+                &headroom,
+                &cap,
+                10.0,
+            ),
+            Err(PlacementError::SlaUnsatisfiable)
+        );
     }
 
     #[test]

@@ -19,7 +19,18 @@
 //!   scheduling extension proposed in §6.4's future work.
 //! * [`reschedule`] — §4's consolidation pass: migrate instances off
 //!   lightly-used servers when every SLA still holds, freeing machines
-//!   during load troughs.
+//!   during load troughs. Under fault injection the same machinery drains
+//!   crashed servers ([`plan_drain`]) and validates plans against server
+//!   liveness before applying them ([`apply_plan_checked`]).
+//!
+//! # Degradation under faults
+//!
+//! Placement calls return [`PlacementError`] instead of panicking when the
+//! candidate set is empty (all servers dead/full) or no spread satisfies
+//! the SLA. During predictor outages [`GsightPlacer`] switches to a
+//! predictor-free degraded policy — reuse the workload's last known good
+//! server, else interference-oblivious Best-Fit — and flags those audit
+//! records `degraded`.
 //!
 //! # Predictor-call efficiency
 //!
@@ -46,8 +57,11 @@ pub mod overhead;
 pub mod placer;
 pub mod reschedule;
 
-pub use binary_search::{binary_search_placement, BinarySearchOutcome};
+pub use binary_search::{binary_search_placement, BinarySearchOutcome, PlacementError};
 pub use hierarchical::{contiguous_racks, hierarchical_placement, HierarchicalOutcome, Rack};
 pub use overhead::{DecisionTimer, OverheadBreakdown};
 pub use placer::{GsightPlacer, PythiaPlacer, SlaSpec, WorkloadEntry};
-pub use reschedule::{apply_plan, plan_consolidation, Migration, ReschedulePlan};
+pub use reschedule::{
+    apply_plan, apply_plan_checked, plan_consolidation, plan_drain, Migration, PlanError,
+    ReschedulePlan,
+};

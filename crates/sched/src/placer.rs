@@ -75,6 +75,11 @@ pub struct GsightPlacer {
     pub predictor_calls: usize,
     audit: Option<AuditLog>,
     now_ms: f64,
+    /// Cleared during predictor-outage windows (fault injection): placement
+    /// falls back to the interference-oblivious degraded policy.
+    predictor_available: bool,
+    /// Decisions made without the predictor (degraded mode).
+    pub degraded_decisions: usize,
 }
 
 impl GsightPlacer {
@@ -86,6 +91,8 @@ impl GsightPlacer {
             predictor_calls: 0,
             audit: None,
             now_ms: 0.0,
+            predictor_available: true,
+            degraded_decisions: 0,
         }
     }
 
@@ -226,6 +233,65 @@ impl GsightPlacer {
         }
         ok
     }
+
+    /// Predictor-unavailable fallback: no predictor calls are made. The
+    /// instance lands on the workload's *last known good* server — the most
+    /// recently used placement that is still alive and fits — so degraded
+    /// scale-outs reinforce placements the predictor previously vetted.
+    /// With no reusable server the fallback is interference-oblivious
+    /// Best-Fit (smallest feasible headroom, preserving the density
+    /// objective). Audited decisions are flagged `degraded`.
+    fn place_degraded(
+        &mut self,
+        view: &ClusterView<'_>,
+        wl_idx: usize,
+        workload: &Workload,
+        demand: &Demand,
+    ) -> Option<usize> {
+        let last_good = self.entries[wl_idx]
+            .instances
+            .iter()
+            .rev()
+            .map(|&(_, s)| s)
+            .find(|&s| view.fits(s, demand));
+        let chosen = last_good.or_else(|| {
+            (0..view.num_servers())
+                .filter(|&s| view.fits(s, demand))
+                .min_by(|&a, &b| {
+                    view.cpu_headroom(a)
+                        .partial_cmp(&view.cpu_headroom(b))
+                        .expect("NaN headroom")
+                })
+        });
+        self.degraded_decisions += 1;
+        if let Some(audit) = self.audit.as_mut() {
+            let evaluated: Vec<CandidateEval> = chosen
+                .map(|s| CandidateEval {
+                    spread: 1,
+                    placement: vec![s],
+                    // Not a predictor output: degraded decisions are
+                    // accepted without a QoS estimate.
+                    predicted_qos: f64::NAN,
+                    sla_ok: true,
+                    feasible: true,
+                })
+                .into_iter()
+                .collect();
+            audit.push(DecisionRecord {
+                at_ms: self.now_ms,
+                workload: workload.name.clone(),
+                sla_min_qos: self.entries[wl_idx]
+                    .sla
+                    .min_ipc
+                    .unwrap_or(f64::NEG_INFINITY),
+                chosen: chosen.map(|_| 0),
+                evaluated,
+                predictor_calls: 0,
+                degraded: true,
+            });
+        }
+        chosen
+    }
 }
 
 impl Placer for GsightPlacer {
@@ -238,6 +304,14 @@ impl Placer for GsightPlacer {
     ) -> Option<PlacementDecision> {
         let wl_idx = self.entries.iter().position(|e| e.name == workload.name)?;
         let demand = spec.mean_demand();
+        if !self.predictor_available {
+            let server = self.place_degraded(view, wl_idx, workload, &demand)?;
+            self.entries[wl_idx].instances.push((node, server));
+            return Some(PlacementDecision {
+                server,
+                socket: view.server(server).least_loaded_socket(None),
+            });
+        }
         let calls_before = self.predictor_calls;
         let mut evals: Vec<CandidateEval> = Vec::new();
         let mut chosen_eval: Option<usize> = None;
@@ -290,6 +364,7 @@ impl Placer for GsightPlacer {
                 evaluated: evals,
                 chosen: chosen_eval,
                 predictor_calls: self.predictor_calls - calls_before,
+                degraded: false,
             });
         }
         let server = chosen?;
@@ -302,6 +377,19 @@ impl Placer for GsightPlacer {
 
     fn note_time(&mut self, now_ms: f64) {
         self.now_ms = now_ms;
+    }
+
+    fn set_predictor_available(&mut self, available: bool) {
+        self.predictor_available = available;
+    }
+
+    fn note_server_down(&mut self, server: usize) {
+        // Instances on a crashed server are gone: drop them from the
+        // bookkeeping so hypothetical scenarios (and last-known-good
+        // lookups) no longer see them.
+        for e in &mut self.entries {
+            e.instances.retain(|&(_, s)| s != server);
+        }
     }
 
     fn as_any(&self) -> &dyn std::any::Any {
@@ -554,5 +642,54 @@ mod tests {
         let mut placer = GsightPlacer::new(predictor());
         placer.register(entry("a", None));
         placer.register(entry("a", None));
+    }
+
+    #[test]
+    fn degraded_mode_reuses_last_good_server_without_predictor() {
+        let mut placer = GsightPlacer::new(predictor());
+        placer.enable_audit();
+        placer.register(entry("victim", Some(1.8)));
+        placer.record("victim", 0, 2);
+        let servers = servers(4);
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let mut wl = w.clone();
+        wl.name = "victim".into();
+        let spec = w.graph.func(w.graph.roots()[0]).clone();
+
+        placer.set_predictor_available(false);
+        let d = placer.place(&view, &wl, 1, &spec).unwrap();
+        assert_eq!(d.server, 2, "degraded mode reuses the last good server");
+        assert_eq!(placer.predictor_calls, 0, "no predictor during an outage");
+        assert_eq!(placer.degraded_decisions, 1);
+        let rec = &placer.audit().unwrap().records()[0];
+        assert!(rec.degraded);
+        assert_eq!(rec.predictor_calls, 0);
+
+        // Recovery restores the predictor-driven path.
+        placer.set_predictor_available(true);
+        placer.place(&view, &wl, 1, &spec).unwrap();
+        assert!(placer.predictor_calls > 0);
+        assert!(!placer.audit().unwrap().records()[1].degraded);
+    }
+
+    #[test]
+    fn note_server_down_forgets_lost_instances() {
+        let mut placer = GsightPlacer::new(predictor());
+        placer.register(entry("victim", Some(0.1)));
+        placer.record("victim", 0, 1);
+        placer.record("victim", 1, 2);
+        placer.note_server_down(2);
+        assert_eq!(placer.entries()[0].instances, vec![(0, 1)]);
+        // Degraded placement now falls back past the dead server's entry.
+        placer.set_predictor_available(false);
+        let servers = servers(4);
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let mut wl = w.clone();
+        wl.name = "victim".into();
+        let spec = w.graph.func(w.graph.roots()[0]).clone();
+        let d = placer.place(&view, &wl, 1, &spec).unwrap();
+        assert_eq!(d.server, 1, "last good server is the surviving one");
     }
 }

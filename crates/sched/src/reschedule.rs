@@ -269,6 +269,173 @@ pub fn apply_plan(entries: &mut [WorkloadEntry], plan: &ReschedulePlan) {
     }
 }
 
+/// Why a plan was rejected by [`apply_plan_checked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanError {
+    /// A migration's source no longer matches the entry list: placements
+    /// changed (e.g. a crash re-homed instances) since the plan was built.
+    Stale {
+        /// Entry index of the mismatching migration.
+        entry: usize,
+        /// Instance index within the entry.
+        instance: usize,
+        /// Server the plan expected the instance on.
+        expected: usize,
+        /// Server the instance actually sits on.
+        found: usize,
+    },
+    /// A migration targets a server that is no longer alive.
+    DeadTarget {
+        /// The dead target server.
+        server: usize,
+    },
+}
+
+impl std::fmt::Display for PlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Stale {
+                entry,
+                instance,
+                expected,
+                found,
+            } => write!(
+                f,
+                "stale plan: entry {entry} instance {instance} expected on \
+                 server {expected}, found on {found}"
+            ),
+            Self::DeadTarget { server } => {
+                write!(f, "plan targets dead server {server}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlanError {}
+
+/// Validating variant of [`apply_plan`] for use under fault injection: the
+/// whole plan is checked against the current entry list and the server
+/// liveness vector *before* any migration is applied, so a rejected plan
+/// leaves `entries` untouched (instead of panicking half-applied, or
+/// silently migrating instances onto a crashed server).
+pub fn apply_plan_checked(
+    entries: &mut [WorkloadEntry],
+    plan: &ReschedulePlan,
+    alive: &[bool],
+) -> Result<(), PlanError> {
+    // Dry-run over a scratch copy of the server assignments; later
+    // migrations may legitimately move an instance a second time.
+    let mut staged: Vec<Vec<usize>> = entries
+        .iter()
+        .map(|e| e.instances.iter().map(|&(_, s)| s).collect())
+        .collect();
+    for m in &plan.migrations {
+        if !alive.get(m.to).copied().unwrap_or(false) {
+            return Err(PlanError::DeadTarget { server: m.to });
+        }
+        let found = staged[m.entry][m.instance];
+        if found != m.from {
+            return Err(PlanError::Stale {
+                entry: m.entry,
+                instance: m.instance,
+                expected: m.from,
+                found,
+            });
+        }
+        staged[m.entry][m.instance] = m.to;
+    }
+    for (e, servers) in entries.iter_mut().zip(staged) {
+        for (inst, s) in e.instances.iter_mut().zip(servers) {
+            inst.1 = s;
+        }
+    }
+    Ok(())
+}
+
+/// Build a drain plan for crashed servers: every instance still recorded on
+/// a dead server (`alive[s] == false`) is migrated onto an alive server.
+/// Receivers are tried most-populated first (density objective) and the
+/// first receiver where every SLA still holds wins; when no receiver passes
+/// the SLA check the instance degrades to the *least*-loaded alive server —
+/// a drain must evacuate, not block. Migrations never target a dead server.
+pub fn plan_drain(
+    predictor: &GsightPredictor,
+    entries: &[WorkloadEntry],
+    num_servers: usize,
+    alive: &[bool],
+) -> ReschedulePlan {
+    assert_eq!(alive.len(), num_servers, "liveness vector length mismatch");
+    let mut working: Vec<WorkloadEntry> = entries
+        .iter()
+        .map(|e| WorkloadEntry {
+            name: e.name.clone(),
+            class: e.class,
+            profile: e.profile.clone(),
+            demands: e.demands.clone(),
+            sla: e.sla,
+            instances: e.instances.clone(),
+        })
+        .collect();
+    let mut plan = ReschedulePlan::default();
+    for dead in (0..num_servers).filter(|&s| !alive[s]) {
+        let victims: Vec<(usize, usize)> = working
+            .iter()
+            .enumerate()
+            .flat_map(|(w, e)| {
+                e.instances
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &(_, s))| s == dead)
+                    .map(move |(i, _)| (w, i))
+            })
+            .collect();
+        if victims.is_empty() {
+            continue;
+        }
+        let mut drained = true;
+        for (w, i) in victims {
+            let mut count = vec![0usize; num_servers];
+            for e in &working {
+                for &(_, s) in &e.instances {
+                    count[s] += 1;
+                }
+            }
+            let mut receivers: Vec<usize> = (0..num_servers).filter(|&s| alive[s]).collect();
+            receivers.sort_by_key(|&s| std::cmp::Reverse(count[s]));
+            let to = receivers
+                .iter()
+                .copied()
+                .find(|&to| {
+                    slas_hold(
+                        predictor,
+                        &working,
+                        Some((w, i, to)),
+                        num_servers,
+                        &mut plan.predictor_calls,
+                    )
+                })
+                .or_else(|| receivers.last().copied());
+            let Some(to) = to else {
+                // No alive server at all: nothing can be drained.
+                drained = false;
+                break;
+            };
+            plan.migrations.push(Migration {
+                entry: w,
+                workload: working[w].name.clone(),
+                instance: i,
+                from: dead,
+                to,
+            });
+            working[w].instances[i].1 = to;
+        }
+        if drained {
+            plan.freed_servers.push(dead);
+        }
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -396,6 +563,54 @@ mod tests {
     }
 
     #[test]
+    fn checked_apply_rejects_stale_plan_without_mutating() {
+        let p = predictor();
+        let entries = vec![
+            entry("a", Some(0.5), vec![(0, 0), (1, 0)]),
+            entry("b", None, vec![(0, 2), (1, 3)]),
+        ];
+        let plan = plan_consolidation(&p, &entries, S);
+        let m = plan.migrations.first().expect("plan has moves").clone();
+        let mut moved = entries;
+        // A crash re-homed the instance after planning.
+        let elsewhere = (m.from + 1) % S;
+        moved[m.entry].instances[m.instance].1 = elsewhere;
+        let before: Vec<Vec<(usize, usize)>> = moved.iter().map(|e| e.instances.clone()).collect();
+        let err = apply_plan_checked(&mut moved, &plan, &[true; S]).unwrap_err();
+        assert_eq!(
+            err,
+            PlanError::Stale {
+                entry: m.entry,
+                instance: m.instance,
+                expected: m.from,
+                found: elsewhere,
+            }
+        );
+        let after: Vec<Vec<(usize, usize)>> = moved.iter().map(|e| e.instances.clone()).collect();
+        assert_eq!(before, after, "rejected plan must leave entries untouched");
+    }
+
+    #[test]
+    fn checked_apply_rejects_dead_target() {
+        let p = predictor();
+        let entries = vec![
+            entry("a", Some(0.5), vec![(0, 0), (1, 0)]),
+            entry("b", None, vec![(0, 2), (1, 3)]),
+        ];
+        // Plan computed pre-crash…
+        let plan = plan_consolidation(&p, &entries, S);
+        let target = plan.migrations.first().expect("plan has moves").to;
+        // …then the target server dies before the plan is applied.
+        let mut alive = [true; S];
+        alive[target] = false;
+        let mut moved = entries;
+        let err = apply_plan_checked(&mut moved, &plan, &alive).unwrap_err();
+        assert_eq!(err, PlanError::DeadTarget { server: target });
+        // With everything alive the same plan applies cleanly.
+        apply_plan_checked(&mut moved, &plan, &[true; S]).expect("plan applies");
+    }
+
+    #[test]
     #[should_panic(expected = "plan out of date")]
     fn stale_plan_rejected() {
         let p = predictor();
@@ -443,6 +658,33 @@ mod tests {
             for e in &after {
                 assert!(e.instances.iter().all(|&(_, s)| s != freed));
             }
+        }
+    }
+
+    #[test]
+    fn drain_never_targets_dead_server() {
+        let p = predictor();
+        let entries = vec![
+            entry("a", Some(0.5), vec![(0, 0), (1, 1)]),
+            entry("b", None, vec![(0, 0), (1, 2)]),
+        ];
+        // Server 0 crashed.
+        let alive = [false, true, true, true];
+        let plan = plan_drain(&p, &entries, S, &alive);
+        assert!(!plan.migrations.is_empty(), "dead server must be drained");
+        for m in &plan.migrations {
+            assert_eq!(m.from, 0, "only the dead server is drained: {m:?}");
+            assert!(alive[m.to], "migration targets dead server: {m:?}");
+        }
+        assert_eq!(plan.freed_servers, vec![0]);
+        let mut after = entries;
+        apply_plan_checked(&mut after, &plan, &alive).expect("plan applies");
+        for e in &after {
+            assert!(
+                e.instances.iter().all(|&(_, s)| s != 0),
+                "instance left on the crashed server: {:?}",
+                e.instances
+            );
         }
     }
 

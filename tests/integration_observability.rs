@@ -78,6 +78,7 @@ fn trace_dir_exports_perfetto_artifact_showing_queue_wait_growth() {
         quick: true,
         obs: false,
         trace_dir: Some(dir.clone()),
+        seed: None,
     };
     let exps = all_experiments();
     let fig4 = exps.iter().find(|e| e.id == "fig4").unwrap();
