@@ -123,6 +123,18 @@ fn main() {
          ({:.2}x, {} thread(s), bit-identical: {})",
         tp.seq_rows_per_s, tp.batch_rows_per_s, tp.speedup, tp.threads, tp.bitwise_equal
     );
+    // Training-kernel throughput: presorted column-major kernel vs the
+    // exhaustive reference split search, same forest from the same seed.
+    let tt = experiments::fig14::train_throughput(cli.opts.quick);
+    println!(
+        "train throughput: {:.0} rows/s reference, {:.0} rows/s kernel \
+         ({:.2}x, {} thread(s), bit-identical: {})",
+        tt.reference_rows_per_s,
+        tt.kernel_rows_per_s,
+        tt.kernel_speedup,
+        tt.threads,
+        tt.bit_identical
+    );
     let bench = Json::obj()
         .field("mode", if cli.opts.quick { "quick" } else { "full" })
         .field("total_wall_s", suite_start.elapsed().as_secs_f64())
@@ -135,6 +147,18 @@ fn main() {
                 .field("speedup", tp.speedup)
                 .field("threads", tp.threads)
                 .field("bitwise_equal", tp.bitwise_equal),
+        )
+        .field(
+            "train_throughput",
+            Json::obj()
+                .field("rows", tt.rows)
+                .field("dim", tt.dim)
+                .field("trees", tt.trees)
+                .field("reference_rows_per_s", tt.reference_rows_per_s)
+                .field("kernel_rows_per_s", tt.kernel_rows_per_s)
+                .field("kernel_speedup", tt.kernel_speedup)
+                .field("threads", tt.threads)
+                .field("bit_identical", tt.bit_identical),
         )
         .field("experiments", Json::Arr(bench_entries));
     match std::fs::write(&cli.json_path, bench.render() + "\n") {

@@ -1,4 +1,5 @@
-//! Row-major datasets, splits, error metrics and feature scaling.
+//! Row-major datasets, splits, error metrics and feature scaling — plus a
+//! column-major snapshot ([`ColumnStore`]) for the tree-training kernel.
 
 use simcore::SimRng;
 
@@ -85,6 +86,118 @@ impl Dataset {
     /// Bootstrap sample (with replacement) of `n` rows.
     pub fn bootstrap(&self, n: usize, rng: &mut SimRng) -> Vec<usize> {
         (0..n).map(|_| rng.index(self.len())).collect()
+    }
+
+    /// Column-major snapshot of this dataset (see [`ColumnStore`]).
+    pub fn column_store(&self) -> ColumnStore {
+        ColumnStore::build(self)
+    }
+}
+
+/// Column-major snapshot of a dataset: `column(f)` is a contiguous slice of
+/// feature `f` across all rows.
+///
+/// The split-search kernel scans one feature at a time over many rows; on
+/// the row-major [`Dataset`] that access pattern (`row(i)[f]` for varying
+/// `i`) strides through ~2580-dimension rows (≈ 20 KB apart), missing cache
+/// on essentially every read. The transpose is built once per forest fit /
+/// incremental refresh and shared read-only across all tree builders.
+///
+/// Values are copied bit-for-bit, so any computation reading a feature
+/// through the store is bitwise-identical to reading it through `row()`.
+/// Constant columns (the sparse zero padding of the paper's overlap
+/// codings, which dominate the 2580-dim feature vectors) are flagged here
+/// so the kernel can skip presorting and scanning them — a constant column
+/// can never produce a split, in either implementation.
+#[derive(Debug, Clone)]
+pub struct ColumnStore {
+    cols: Vec<f64>,
+    targets: Vec<f64>,
+    n: usize,
+    dim: usize,
+    constant: Vec<bool>,
+    non_constant: usize,
+}
+
+impl ColumnStore {
+    /// Transpose a dataset. Cost is one pass over the features
+    /// (`n · dim` copies), amortised over every node of every tree that
+    /// trains against it.
+    pub fn build(data: &Dataset) -> Self {
+        let n = data.len();
+        let dim = data.dim();
+        let mut cols = vec![0.0; n * dim];
+        // Block over rows so writes to the `dim` destination columns stay
+        // within a bounded working set instead of touching every column
+        // once per row.
+        const BLOCK: usize = 64;
+        let mut r0 = 0;
+        while r0 < n {
+            let r1 = (r0 + BLOCK).min(n);
+            for f in 0..dim {
+                let col = &mut cols[f * n..(f + 1) * n];
+                for (r, slot) in col[r0..r1].iter_mut().enumerate() {
+                    *slot = data.row(r0 + r)[f];
+                }
+            }
+            r0 = r1;
+        }
+        // `==`-equality, not bit equality: the split scan cannot place a
+        // threshold between two `==`-equal values (so all-equal columns are
+        // safely skippable, including mixed ±0.0), while a NaN-bearing
+        // column compares unequal to itself and must still be scanned to
+        // mirror the exhaustive reference exactly.
+        let constant: Vec<bool> = (0..dim)
+            .map(|f| {
+                let col = &cols[f * n..(f + 1) * n];
+                col.windows(2).all(|w| w[0] == w[1])
+            })
+            .collect();
+        let non_constant = constant.iter().filter(|&&c| !c).count();
+        Self {
+            cols,
+            targets: data.targets().to_vec(),
+            n,
+            dim,
+            constant,
+            non_constant,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the store holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Feature `f` across all rows, contiguous.
+    pub fn column(&self, f: usize) -> &[f64] {
+        &self.cols[f * self.n..(f + 1) * self.n]
+    }
+
+    /// Row `i`'s target.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// Whether feature `f` holds one bit-identical value on every row (and
+    /// therefore can never yield a split).
+    pub fn is_constant(&self, f: usize) -> bool {
+        self.constant[f]
+    }
+
+    /// Number of features that are not constant.
+    pub fn non_constant_features(&self) -> usize {
+        self.non_constant
     }
 }
 

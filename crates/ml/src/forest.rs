@@ -6,12 +6,27 @@
 //! seed, so the fitted model is identical regardless of thread count (the
 //! determinism rule the workspace follows everywhere).
 
-use crate::dataset::Dataset;
+use crate::dataset::{ColumnStore, Dataset};
+use crate::reference;
 use crate::tree::{RegressionTree, TreeParams};
-use simcore::par::{par_map, par_map_range, par_map_workers};
+use simcore::par::{available_workers, par_map, par_map_range, par_map_workers};
 use simcore::rng::seed_stream;
 use simcore::SimRng;
-use std::num::NonZeroUsize;
+
+/// Which split-search implementation trains the trees.
+///
+/// Both produce bit-identical forests (pinned by `tests/train_kernel.rs`);
+/// the reference exists as the oracle for that equivalence and as the
+/// baseline of the fig. 14 `train_throughput` comparison. The backend is
+/// recorded on the fitted forest so incremental refreshes keep using it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TrainBackend {
+    /// Presorted column-major kernel ([`crate::tree`]) — the default.
+    #[default]
+    Kernel,
+    /// Exhaustive per-node search ([`crate::reference`]).
+    Reference,
+}
 
 /// Forest hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -45,18 +60,49 @@ pub struct RandomForest {
     params: ForestParams,
     seed: u64,
     dim: usize,
+    backend: TrainBackend,
+}
+
+/// Worker threads left for within-tree feature parallelism once `jobs`
+/// tree-level jobs are running: the kernel's inner parallelism only fans
+/// out when tree-level parallelism leaves cores idle (few trees, many
+/// cores), so the two levels compose instead of oversubscribing.
+fn inner_workers(jobs: usize) -> usize {
+    (available_workers() / jobs.clamp(1, available_workers())).max(1)
 }
 
 impl RandomForest {
-    /// Fit a forest on a dataset.
+    /// Fit a forest on a dataset with the default (kernel) trainer.
     pub fn fit(data: &Dataset, params: ForestParams, seed: u64) -> Self {
+        Self::fit_with(data, params, seed, TrainBackend::default())
+    }
+
+    /// Fit a forest with an explicit training backend.
+    pub fn fit_with(
+        data: &Dataset,
+        params: ForestParams,
+        seed: u64,
+        backend: TrainBackend,
+    ) -> Self {
         assert!(!data.is_empty(), "cannot fit a forest on an empty dataset");
         assert!(params.n_trees > 0, "forest needs at least one tree");
         let n_sample = ((data.len() as f64) * params.sample_frac).ceil().max(1.0) as usize;
+        // The column transpose is built once and shared read-only by every
+        // tree builder; the reference reads rows directly.
+        let store: Option<ColumnStore> = match backend {
+            TrainBackend::Kernel => Some(data.column_store()),
+            TrainBackend::Reference => None,
+        };
+        let inner = inner_workers(params.n_trees);
         let trees: Vec<RegressionTree> = par_map_range(params.n_trees, |i| {
             let mut rng = SimRng::new(seed_stream(seed, i as u64));
             let rows = data.bootstrap(n_sample, &mut rng);
-            RegressionTree::fit_rows(data, &rows, params.tree, &mut rng)
+            match &store {
+                Some(store) => {
+                    RegressionTree::fit_rows_with(store, &rows, params.tree, &mut rng, inner)
+                }
+                None => reference::fit_rows(data, &rows, params.tree, &mut rng),
+            }
         });
         let n = trees.len();
         Self {
@@ -65,7 +111,18 @@ impl RandomForest {
             params,
             seed,
             dim: data.dim(),
+            backend,
         }
+    }
+
+    /// The split-search backend this forest trains (and refreshes) with.
+    pub fn backend(&self) -> TrainBackend {
+        self.backend
+    }
+
+    /// The fitted trees, in training order.
+    pub fn trees(&self) -> &[RegressionTree] {
+        &self.trees
     }
 
     /// Predict one row (mean over trees).
@@ -82,10 +139,7 @@ impl RandomForest {
     /// sequential `sum()` — so the result is bit-identical to calling
     /// [`predict`](Self::predict) per row, at any thread count.
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
-        let workers = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1);
-        self.predict_batch_workers(rows, workers)
+        self.predict_batch_workers(rows, available_workers())
     }
 
     /// [`predict_batch`](Self::predict_batch) with an explicit worker count
@@ -140,16 +194,24 @@ impl RandomForest {
         let n_sample = ((data.len() as f64) * self.params.sample_frac)
             .ceil()
             .max(1.0) as usize;
+        let store: Option<ColumnStore> = match self.backend {
+            TrainBackend::Kernel => Some(data.column_store()),
+            TrainBackend::Reference => None,
+        };
+        let inner = inner_workers(victims.len());
         let rebuilt: Vec<(usize, RegressionTree)> = par_map(victims, |i| {
             let mut rng = SimRng::new(seed_stream(
                 self.seed ^ generation.wrapping_mul(0x9E37_79B9_7F4A_7C15),
                 i as u64,
             ));
             let rows = data.bootstrap(n_sample, &mut rng);
-            (
-                i,
-                RegressionTree::fit_rows(data, &rows, self.params.tree, &mut rng),
-            )
+            let tree = match &store {
+                Some(store) => {
+                    RegressionTree::fit_rows_with(store, &rows, self.params.tree, &mut rng, inner)
+                }
+                None => reference::fit_rows(data, &rows, self.params.tree, &mut rng),
+            };
+            (i, tree)
         });
         for (i, tree) in rebuilt {
             self.trees[i] = tree;

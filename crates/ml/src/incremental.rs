@@ -14,7 +14,7 @@
 //! * **ILR / ISVR / IMLP** — SGD `partial_fit` over each new batch.
 
 use crate::dataset::Dataset;
-use crate::forest::{ForestParams, RandomForest};
+use crate::forest::{ForestParams, RandomForest, TrainBackend};
 use crate::knn::KnnRegressor;
 use crate::linear::{RidgeSgd, SgdParams};
 use crate::mlp::{MlpParams, MlpRegressor};
@@ -70,6 +70,9 @@ pub struct IncrementalParams {
     pub refresh_trees: usize,
     /// IRFR: forest hyperparameters.
     pub forest: ForestParams,
+    /// IRFR: split-search backend (kernel by default; the reference is the
+    /// bit-identical oracle used by the equivalence tests and benchmarks).
+    pub backend: TrainBackend,
     /// IKNN: neighbourhood size.
     pub knn_k: usize,
     /// ILR/ISVR: SGD hyperparameters.
@@ -91,6 +94,7 @@ impl IncrementalParams {
             buffer_cap: 20_000,
             refresh_trees: 8,
             forest: ForestParams::default(),
+            backend: TrainBackend::default(),
             knn_k: 5,
             sgd: SgdParams::default(),
             mlp: MlpParams::default(),
@@ -180,10 +184,11 @@ impl IncrementalModel {
         self.seen += data.len();
         match &mut self.inner {
             Inner::Irfr(slot) => {
-                *slot = Some(RandomForest::fit(
+                *slot = Some(RandomForest::fit_with(
                     &self.buffer.data,
                     self.params.forest,
                     self.params.seed,
+                    self.params.backend,
                 ));
             }
             Inner::Iknn(knn) => knn.fit(&self.buffer.data),
@@ -212,10 +217,11 @@ impl IncrementalModel {
                     );
                 }
                 None => {
-                    *slot = Some(RandomForest::fit(
+                    *slot = Some(RandomForest::fit_with(
                         &self.buffer.data,
                         self.params.forest,
                         self.params.seed,
+                        self.params.backend,
                     ));
                 }
             },
@@ -248,6 +254,15 @@ impl IncrementalModel {
         match &self.inner {
             Inner::Irfr(Some(f)) => f.predict_batch(rows),
             _ => rows.iter().map(|x| self.predict(x)).collect(),
+        }
+    }
+
+    /// The underlying forest (IRFR only, after the first fit) — exposed so
+    /// the kernel-equivalence tests can compare fitted trees directly.
+    pub fn forest(&self) -> Option<&RandomForest> {
+        match &self.inner {
+            Inner::Irfr(f) => f.as_ref(),
+            _ => None,
         }
     }
 

@@ -4,9 +4,13 @@
 //! updates; this crate reimplements the needed family in Rust:
 //!
 //! * [`tree`] — CART regression trees (variance-reduction splits, feature
-//!   subsampling, depth/leaf bounds, impurity importances).
+//!   subsampling, depth/leaf bounds, impurity importances), trained by a
+//!   presorted column-major split-search kernel.
+//! * [`reference`] — the original exhaustive per-node split search, kept as
+//!   the bit-identical oracle the kernel is validated (and benchmarked)
+//!   against.
 //! * [`forest`] — random-forest regression (bagging + feature subsampling,
-//!   rayon-parallel training, averaged impurity importances) — the paper's
+//!   parallel training, averaged impurity importances) — the paper's
 //!   chosen model (RFR/IRFR).
 //! * [`knn`] — k-nearest-neighbours regression.
 //! * [`linear`] — ridge regression trained by mini-batch SGD (the paper's
@@ -48,11 +52,12 @@ pub mod knn;
 pub mod linear;
 pub mod mlp;
 pub mod pca;
+pub mod reference;
 pub mod svr;
 pub mod tree;
 
-pub use dataset::{mape, Dataset, Scaler};
-pub use forest::{ForestParams, RandomForest};
+pub use dataset::{mape, ColumnStore, Dataset, Scaler};
+pub use forest::{ForestParams, RandomForest, TrainBackend};
 pub use incremental::{IncrementalModel, IncrementalParams, ModelKind};
 pub use knn::KnnRegressor;
 pub use linear::RidgeSgd;

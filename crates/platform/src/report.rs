@@ -187,9 +187,16 @@ impl RunReport {
         let mut ok = 0usize;
         let mut total = 0usize;
         let mut start = 0usize;
+        // One scratch buffer reused across windows: `simcore::percentile`
+        // would clone + sort per call, which this per-tick loop turned into
+        // an allocation storm on long runs.
+        let mut scratch: Vec<f64> = Vec::with_capacity(window);
         while start < lats.len() {
             let end = (start + window).min(lats.len());
-            let p99 = simcore::percentile(&lats[start..end], 99.0);
+            scratch.clear();
+            scratch.extend_from_slice(&lats[start..end]);
+            scratch.sort_by(|a, b| a.total_cmp(b));
+            let p99 = simcore::percentile_sorted(&scratch, 99.0);
             if p99 <= sla_ms {
                 ok += 1;
             }

@@ -47,4 +47,4 @@ pub mod table;
 
 pub use events::{EventQueue, SimTime};
 pub use rng::{seed_stream, SimRng};
-pub use stats::{percentile, OnlineStats, Reservoir, Summary};
+pub use stats::{percentile, percentile_sorted, Cdf, OnlineStats, Reservoir, Summary};

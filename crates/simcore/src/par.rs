@@ -13,14 +13,27 @@
 //! reassembled in input order.
 
 use std::num::NonZeroUsize;
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
+
+/// Cached hardware parallelism.
+///
+/// `std::thread::available_parallelism()` is a syscall (it reads cgroup
+/// quotas on Linux); per-batch callers on the prediction and training hot
+/// paths were paying it once per call. The value cannot change for the
+/// lifetime of the process in any environment we run in, so it is resolved
+/// once and memoised.
+pub fn available_workers() -> usize {
+    static WORKERS: OnceLock<usize> = OnceLock::new();
+    *WORKERS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
 
 /// Number of worker threads to use for `n` jobs.
 fn threads_for(n: usize) -> usize {
-    let cores = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
-    cores.min(n).max(1)
+    available_workers().min(n).max(1)
 }
 
 /// Map `f` over `items` in parallel, preserving input order.
@@ -118,6 +131,14 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn available_workers_cached_and_positive() {
+        let w = available_workers();
+        assert!(w >= 1);
+        // Memoised: repeated calls agree (and cost no further syscalls).
+        assert_eq!(available_workers(), w);
+    }
 
     #[test]
     fn preserves_order() {

@@ -230,6 +230,16 @@ impl Cdf {
         percentile_sorted(&self.sorted, q * 100.0)
     }
 
+    /// Percentile (`p` in `[0, 100]`) over the held sample.
+    ///
+    /// Unlike the free [`percentile`] function this does not clone or
+    /// re-sort: the `Cdf` paid for one sort at construction, so repeated
+    /// quantile queries (report aggregation asking for p50/p95/p99 of the
+    /// same sample set) are O(1) each.
+    pub fn percentile(&self, p: f64) -> f64 {
+        percentile_sorted(&self.sorted, p)
+    }
+
     /// Evenly spaced `(value, cumulative fraction)` points for plotting.
     pub fn points(&self, n: usize) -> Vec<(f64, f64)> {
         if self.sorted.is_empty() || n == 0 {
@@ -457,6 +467,15 @@ mod tests {
         let c = Cdf::new((0..101).map(|i| i as f64).collect());
         assert!((c.quantile(0.5) - 50.0).abs() < 1e-9);
         assert!((c.quantile(0.99) - 99.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_percentile_matches_free_function() {
+        let v: Vec<f64> = vec![5.0, 1.0, 9.0, 3.0, 7.0];
+        let c = Cdf::new(v.clone());
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(c.percentile(p), percentile(&v, p));
+        }
     }
 
     #[test]
