@@ -1,8 +1,11 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [--seed N] [id...]
+//! repro [--quick] [--obs] [--trace-dir DIR] [--journal-dir DIR]
+//!       [--serve ADDR] [--json PATH] [--seed N] [id...]
 //! repro --list                list experiment ids
+//! repro replay JOURNAL        reconstruct a run's artifacts from its journal
+//! repro resume JOURNAL        complete a truncated journal, verified
 //! ```
 //!
 //! Full mode uses paper-scale parameters and can take tens of minutes; pass
@@ -14,23 +17,42 @@
 //! `chrome://tracing`, telemetry + audit JSONL) under `DIR`. Every run also
 //! emits a machine-readable summary — per-experiment wall time and headline
 //! metrics — to `BENCH_repro.json` (override with `--json PATH`).
+//!
+//! Journaling: `--journal-dir DIR` makes journal-enabled experiments
+//! (`fault_sweep`, `fig4`) write append-only event journals plus the live
+//! artifacts they must replay to. `repro replay DIR/x.journal` folds the
+//! records back into the artifacts without re-simulating and byte-diffs
+//! them against the live ones; `repro resume` completes a torn journal and
+//! verifies every surviving record against the regenerated run.
+//!
+//! Live metrics: `--serve ADDR` (e.g. `127.0.0.1:9184`) starts a Prometheus
+//! text-exposition endpoint at `/metrics`; running experiments publish
+//! telemetry and fault counters to it at every collect tick, and the
+//! process stays alive after the suite so the final state stays scrapeable.
 
+use experiments::journal_runs;
 use experiments::{all_experiments, RunOpts};
 use obs::json::Json;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 struct Cli {
     opts: RunOpts,
     list: bool,
     json_path: PathBuf,
+    serve: Option<String>,
     ids: Vec<String>,
 }
+
+const USAGE: &str = "usage: repro [--quick] [--obs] [--trace-dir DIR] \
+     [--journal-dir DIR] [--serve ADDR] [--json PATH] [--seed N] [id...] \
+     | repro replay JOURNAL | repro resume JOURNAL";
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cli = Cli {
         opts: RunOpts::full(),
         list: false,
         json_path: PathBuf::from("BENCH_repro.json"),
+        serve: None,
         ids: Vec::new(),
     };
     let mut it = args.iter();
@@ -42,6 +64,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--trace-dir" => {
                 let dir = it.next().ok_or("--trace-dir requires a directory")?;
                 cli.opts.trace_dir = Some(PathBuf::from(dir));
+            }
+            "--journal-dir" => {
+                let dir = it.next().ok_or("--journal-dir requires a directory")?;
+                cli.opts.journal_dir = Some(PathBuf::from(dir));
+            }
+            "--serve" => {
+                let addr = it.next().ok_or("--serve requires an address:port")?;
+                cli.serve = Some(addr.clone());
             }
             "--json" => {
                 let p = it.next().ok_or("--json requires a path")?;
@@ -58,16 +88,151 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(cli)
 }
 
+/// `(suffix, contents)` pairs a replay must reproduce, in diff order.
+fn artifact_pairs(a: &journal_runs::Artifacts) -> Vec<(&'static str, String)> {
+    vec![
+        (".report.json", a.report_json.clone()),
+        (
+            ".telemetry.jsonl",
+            a.telemetry_jsonl.clone().unwrap_or_default(),
+        ),
+        (".faults.jsonl", a.faults_jsonl.clone()),
+        (".faults.summary.txt", a.fault_summary.clone()),
+    ]
+}
+
+/// Byte-diff reconstructed artifacts against the live-run files written
+/// next to the journal. Returns `(checked, mismatched)`.
+fn diff_siblings(journal: &Path, artifacts: &journal_runs::Artifacts) -> (usize, usize) {
+    let stem = journal
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut checked = 0;
+    let mut mismatched = 0;
+    for (suffix, reconstructed) in artifact_pairs(artifacts) {
+        let sibling = journal.with_file_name(format!("{stem}{suffix}"));
+        let Ok(live) = std::fs::read_to_string(&sibling) else {
+            continue;
+        };
+        checked += 1;
+        if live == reconstructed {
+            println!("  {} … matches byte-for-byte", sibling.display());
+        } else {
+            mismatched += 1;
+            eprintln!("  {} … MISMATCH", sibling.display());
+        }
+    }
+    (checked, mismatched)
+}
+
+/// `repro replay JOURNAL`: fold the journal into the run's artifacts
+/// (without re-simulating) and byte-diff them against the live run — the
+/// sibling artifact files when present, a verified re-execution otherwise.
+fn cmd_replay(path: &Path) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let r = journal_runs::replay_bytes(&bytes)?;
+    println!(
+        "replayed {}: {} records ({} checkpoints), header {}",
+        path.display(),
+        r.records,
+        r.checkpoints,
+        r.header.render()
+    );
+    let (checked, mismatched) = diff_siblings(path, &r.artifacts);
+    if checked == 0 {
+        println!("no live-run artifacts next to the journal; verifying by re-execution");
+        let (_, live) = journal_runs::rerun_from_header(&r.header)?;
+        if live == r.artifacts {
+            println!("  re-executed run … matches byte-for-byte");
+        } else {
+            return Err("replayed artifacts differ from the re-executed run".into());
+        }
+    } else if mismatched > 0 {
+        return Err(format!("{mismatched}/{checked} artifacts differ"));
+    }
+    Ok(())
+}
+
+/// `repro resume JOURNAL`: complete a (possibly truncated) journal by
+/// verified re-execution and write the completed journal + artifacts next
+/// to the input as `<stem>.resumed.*`.
+fn cmd_resume(path: &Path) -> Result<(), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let r = journal_runs::resume_bytes(&bytes)?;
+    println!(
+        "resumed {}: {} of {} records were present and verified ({} checkpoints); \
+         input was {}",
+        path.display(),
+        r.verified_records,
+        r.total_records,
+        r.verified_checkpoints,
+        if r.was_truncated {
+            "truncated"
+        } else {
+            "already complete"
+        }
+    );
+    let stem = path
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let out = path.with_file_name(format!("{stem}.resumed.journal"));
+    std::fs::write(&out, &r.full_journal)
+        .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+    println!("completed journal -> {}", out.display());
+    for (suffix, contents) in artifact_pairs(&r.artifacts) {
+        let p = path.with_file_name(format!("{stem}.resumed{suffix}"));
+        std::fs::write(&p, contents).map_err(|e| format!("cannot write {}: {e}", p.display()))?;
+        println!("artifact -> {}", p.display());
+    }
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let cli = match parse_args(&args) {
+
+    // Journal subcommands take a journal path, not experiment ids.
+    if let Some(cmd @ ("replay" | "resume")) = args.first().map(String::as_str) {
+        let Some(journal) = args.get(1).map(PathBuf::from) else {
+            eprintln!("repro {cmd} requires a journal path; {USAGE}");
+            std::process::exit(2);
+        };
+        let outcome = match cmd {
+            "replay" => cmd_replay(&journal),
+            _ => cmd_resume(&journal),
+        };
+        if let Err(e) = outcome {
+            eprintln!("{cmd} failed: {e}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    let mut cli = match parse_args(&args) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!(
-                "{e}; usage: repro [--quick] [--obs] [--trace-dir DIR] [--json PATH] [--seed N] [id...]"
-            );
+            eprintln!("{e}; {USAGE}");
             std::process::exit(2);
         }
+    };
+
+    // Live Prometheus endpoint: bind before the suite so scrapers can watch
+    // the whole run; experiments publish at every collect tick.
+    let hub = match &cli.serve {
+        Some(addr) => {
+            let hub = std::sync::Arc::new(obs::prom::PromHub::new());
+            match obs::prom::serve(addr, hub.clone()) {
+                Ok(bound) => println!("serving Prometheus metrics at http://{bound}/metrics"),
+                Err(e) => {
+                    eprintln!("cannot serve on {addr}: {e}");
+                    std::process::exit(2);
+                }
+            }
+            cli.opts.prom = Some(hub.clone());
+            Some(hub)
+        }
+        None => None,
     };
 
     let experiments = all_experiments();
@@ -135,6 +300,14 @@ fn main() {
         tt.threads,
         tt.bit_identical
     );
+    // Journal economics on the quick chaos point: write overhead of
+    // journaling on vs off, and replay-by-fold speedup vs re-simulation.
+    let jb = journal_runs::journal_bench();
+    println!(
+        "journal replay: {} records / {} bytes, write overhead {:.1}%, \
+         replay {:.0}x faster than re-simulation, bit-identical: {}",
+        jb.records, jb.journal_bytes, jb.write_overhead_pct, jb.replay_speedup, jb.bit_identical
+    );
     let bench = Json::obj()
         .field("mode", if cli.opts.quick { "quick" } else { "full" })
         .field("total_wall_s", suite_start.elapsed().as_secs_f64())
@@ -160,9 +333,34 @@ fn main() {
                 .field("threads", tt.threads)
                 .field("bit_identical", tt.bit_identical),
         )
+        .field(
+            "journal_replay",
+            Json::obj()
+                .field("journal_bytes", jb.journal_bytes)
+                .field("records", jb.records)
+                .field("checkpoints", jb.checkpoints)
+                .field("baseline_wall_s", jb.baseline_wall_s)
+                .field("journaled_wall_s", jb.journaled_wall_s)
+                .field("write_overhead_pct", jb.write_overhead_pct)
+                .field("replay_wall_s", jb.replay_wall_s)
+                .field("replay_speedup", jb.replay_speedup)
+                .field("bit_identical", jb.bit_identical),
+        )
         .field("experiments", Json::Arr(bench_entries));
     match std::fs::write(&cli.json_path, bench.render() + "\n") {
         Ok(()) => println!("machine-readable summary -> {}", cli.json_path.display()),
         Err(e) => eprintln!("could not write {}: {e}", cli.json_path.display()),
+    }
+
+    // Keep the metrics endpoint alive after the suite so the final counter
+    // state stays scrapeable (curl http://ADDR/metrics); Ctrl-C to exit.
+    if let Some(hub) = hub {
+        println!(
+            "suite done; still serving /metrics (generation {}). Ctrl-C to exit.",
+            hub.generation()
+        );
+        loop {
+            std::thread::park();
+        }
     }
 }

@@ -77,9 +77,28 @@ pub fn sweep_fault_config(point: SweepPoint, seed: u64) -> FaultConfig {
 /// Run the chaos workload mix at one sweep point. Fully deterministic in
 /// `(point, seed, quick)`.
 pub fn chaos_run(point: SweepPoint, seed: u64, quick: bool) -> ChaosOutcome {
+    chaos_run_with_obs(
+        point,
+        seed,
+        quick,
+        obs::Obs::telemetry_only().with_fault_log(),
+    )
+    .0
+}
+
+/// [`chaos_run`] with a caller-supplied observability bundle (journal sink,
+/// Prometheus hub, …). The simulation itself is bit-identical for any
+/// bundle — observability is strictly write-only. Returns the outcome plus
+/// the post-run bundle (fault log already moved into the outcome).
+pub fn chaos_run_with_obs(
+    point: SweepPoint,
+    seed: u64,
+    quick: bool,
+    bundle: obs::Obs,
+) -> (ChaosOutcome, obs::Obs) {
     let horizon = SimTime::from_secs(if quick { 60.0 } else { 300.0 });
     let mut sim = Simulation::new(PlatformConfig::paper_testbed(seed));
-    sim.set_obs(obs::Obs::telemetry_only().with_fault_log());
+    sim.set_obs(bundle);
     let n = sim.servers().len();
 
     // LS services, spread round-robin; the autoscaler (Worst Fit) handles
@@ -138,11 +157,15 @@ pub fn chaos_run(point: SweepPoint, seed: u64, quick: bool) -> ChaosOutcome {
     sim.set_faults(sweep_fault_config(point, seed));
     sim.run_until(horizon);
 
-    let faults = sim.take_obs().faults.expect("fault log enabled");
-    ChaosOutcome {
-        report: sim.into_report(),
-        faults,
-    }
+    let mut bundle = sim.take_obs();
+    let faults = bundle.faults.take().unwrap_or_default();
+    (
+        ChaosOutcome {
+            report: sim.into_report(),
+            faults,
+        },
+        bundle,
+    )
 }
 
 /// Aggregate settled-request counters of one report.
@@ -263,7 +286,46 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
         if opts.quick { "quick" } else { "full" }
     );
     for (i, &point) in points.iter().enumerate() {
-        let out = chaos_run(point, seed, opts.quick);
+        // Build the observability bundle: telemetry + fault log always (as
+        // before), plus an event journal and/or a live Prometheus hub when
+        // asked. Neither perturbs the simulation.
+        let mut bundle = obs::Obs::telemetry_only().with_fault_log();
+        if let Some(hub) = &opts.prom {
+            bundle = bundle.with_prom(hub.clone());
+        }
+        let journal_path = opts
+            .open_journal(
+                &format!("fault_sweep_p{i}.journal"),
+                &crate::journal_runs::fault_sweep_spec(point, seed, opts.quick),
+                Some(crate::journal_runs::CHECKPOINT_EVERY_US),
+            )
+            .map(|(j, path)| {
+                bundle = std::mem::take(&mut bundle).with_journal(Box::new(j));
+                path
+            });
+        let (out, post) = chaos_run_with_obs(point, seed, opts.quick, bundle);
+        if let Some(path) = journal_path {
+            result.note(format!("journal -> {}", path.display()));
+            // Live-run artifacts next to the journal, so `repro replay` can
+            // byte-diff its reconstruction against them.
+            let stem = format!("fault_sweep_p{i}");
+            let telemetry = post
+                .telemetry
+                .as_ref()
+                .map(|t| t.to_jsonl())
+                .unwrap_or_default();
+            for (suffix, contents) in [
+                (".report.json", out.report.render_json()),
+                (".telemetry.jsonl", telemetry),
+                (".faults.jsonl", out.faults.to_jsonl()),
+                (".faults.summary.txt", out.faults.summary()),
+            ] {
+                let p = path.with_file_name(format!("{stem}{suffix}"));
+                if let Err(e) = std::fs::write(&p, contents) {
+                    eprintln!("warning: could not write {}: {e}", p.display());
+                }
+            }
+        }
         let s = settle(&out.report);
         let av = availability(&s);
         let p99 = p99_ms(&out.report);

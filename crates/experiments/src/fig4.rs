@@ -80,14 +80,33 @@ pub fn run_condition_observed(
     seed: u64,
     record: bool,
 ) -> (PropagationRun, Obs) {
+    let bundle = if record { Obs::recording() } else { Obs::off() };
+    let (run, obs, _report) =
+        run_condition_with_obs(book, corunner, victim, condition, qps, quick, seed, bundle);
+    (run, obs)
+}
+
+/// [`run_condition`] with a caller-supplied observability bundle (journal
+/// sink, Prometheus hub, full recording, …) — the variant journal-enabled
+/// runs use. Also returns the raw [`RunReport`] so the caller can export it
+/// for replay byte-diffing. The simulation is bit-identical for any bundle.
+#[allow(clippy::too_many_arguments)]
+pub fn run_condition_with_obs(
+    book: &ProfileBook,
+    corunner: &str,
+    victim: usize,
+    condition: Condition,
+    qps: f64,
+    quick: bool,
+    seed: u64,
+    bundle: Obs,
+) -> (PropagationRun, Obs, platform::RunReport) {
     let window = SimTime::from_secs(if quick { 20.0 } else { 60.0 });
     let sn = book.get("social-network", 40.0);
     let mut config = PlatformConfig::paper_testbed(seed);
     config.cluster = ClusterConfig::homogeneous(1, cluster::ServerSpec::paper_node());
     let mut sim = Simulation::new(config);
-    if record {
-        sim.set_obs(Obs::recording());
-    }
+    sim.set_obs(bundle);
     let mut rng = SimRng::new(seed ^ 0x404);
 
     let mut rr = 0usize;
@@ -144,16 +163,14 @@ pub fn run_condition_observed(
     }
     let e2e_lats = warm(&series.e2e_latencies_ms);
     let e2e = simcore::stats::Summary::of(e2e_lats);
-    (
-        PropagationRun {
-            p99_ms: p99,
-            e2e_p99_ms: e2e.p99,
-            e2e_cov: e2e.cov,
-            ipc: series.mean_ipc(),
-            completions: series.completions,
-        },
-        obs,
-    )
+    let run = PropagationRun {
+        p99_ms: p99,
+        e2e_p99_ms: e2e.p99,
+        e2e_cov: e2e.cov,
+        ipc: series.mean_ipc(),
+        completions: series.completions,
+    };
+    (run, obs, report)
 }
 
 /// Entry point: reproduces both panels (interference at ① and at ⑥).
@@ -189,7 +206,24 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
             seed,
             record,
         );
-        let (inter, inter_obs) = run_condition_observed(
+        // The interfered run is the panel's payload, so it is the journaled
+        // one: attach a journal sink and/or live Prometheus hub when asked.
+        let tag = if victim == 0 { "a" } else { "b" };
+        let mut inter_bundle = if record { Obs::recording() } else { Obs::off() };
+        if let Some(hub) = &opts.prom {
+            inter_bundle = inter_bundle.with_prom(hub.clone());
+        }
+        let journal_path = opts
+            .open_journal(
+                &format!("fig4_{tag}_interfered.journal"),
+                &crate::journal_runs::fig4_spec(victim, 40.0, quick, seed),
+                Some(crate::journal_runs::CHECKPOINT_EVERY_US),
+            )
+            .map(|(j, path)| {
+                inter_bundle = std::mem::take(&mut inter_bundle).with_journal(Box::new(j));
+                path
+            });
+        let (inter, inter_obs, inter_report) = run_condition_with_obs(
             &book,
             "matrix-multiplication",
             victim,
@@ -197,8 +231,25 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
             40.0,
             quick,
             seed,
-            record,
+            inter_bundle,
         );
+        if let Some(path) = journal_path {
+            result.note(format!("({tag}) interfered journal -> {}", path.display()));
+            let telemetry = inter_obs
+                .telemetry
+                .as_ref()
+                .map(|t| t.to_jsonl())
+                .unwrap_or_default();
+            for (suffix, contents) in [
+                (".report.json", inter_report.render_json()),
+                (".telemetry.jsonl", telemetry),
+            ] {
+                let p = path.with_file_name(format!("fig4_{tag}_interfered{suffix}"));
+                if let Err(e) = std::fs::write(&p, contents) {
+                    eprintln!("warning: could not write {}: {e}", p.display());
+                }
+            }
+        }
         let iso = run_condition(
             &book,
             "matrix-multiplication",

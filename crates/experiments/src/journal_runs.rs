@@ -1,0 +1,424 @@
+//! Journal-enabled runs: replay, verified resume, and the write-overhead /
+//! replay-speedup benchmark behind `BENCH_repro.json`'s `journal_replay`
+//! section.
+//!
+//! A journal's header records the *spec* of the run that wrote it —
+//! experiment id plus every parameter the run is deterministic in. That
+//! makes three operations possible:
+//!
+//! * **replay** ([`replay_bytes`]): fold the records back into the run's
+//!   artifacts ([`platform::replay`]) without re-simulating — a linear scan,
+//!   orders of magnitude faster than the run itself.
+//! * **resume** ([`resume_bytes`]): given a *truncated* journal (torn tail
+//!   from a crash mid-run), rebuild the simulation from the header spec,
+//!   re-execute deterministically with an in-memory journal, and verify that
+//!   every surviving record of the truncated journal is reproduced
+//!   record-for-record before handing back the completed run. Because
+//!   record encoding is canonical (one byte sequence per event) and every
+//!   surviving record was CRC-verified on read, record-prefix equality is
+//!   equivalent to byte-prefix equality of the record stream — the resumed
+//!   run *is* the uninterrupted run, bit for bit.
+//! * **bench** ([`journal_bench`]): measure journaling write overhead and
+//!   replay speedup on the quick-mode chaos point.
+
+use crate::fault_sweep::{chaos_run_with_obs, SweepPoint};
+use obs::journal::{check_invariants, read_journal, read_journal_tolerant, MemoryJournal};
+use obs::json::Json;
+use obs::Obs;
+
+/// Checkpoint cadence for journal-enabled experiment runs: one checkpoint
+/// record per 10 simulated seconds (rides the 1 Hz collect tick).
+pub const CHECKPOINT_EVERY_US: u64 = 10_000_000;
+
+/// Journal header spec for one `fault_sweep` point — everything
+/// [`crate::fault_sweep::chaos_run`] is deterministic in.
+pub fn fault_sweep_spec(point: SweepPoint, seed: u64, quick: bool) -> Json {
+    Json::obj()
+        .field("experiment", "fault_sweep")
+        .field("crash_per_min", point.crash_per_min)
+        .field("slowdown_per_min", point.slowdown_per_min)
+        .field("seed", seed)
+        .field("quick", quick)
+}
+
+/// Journal header spec for one `fig4` interfered run. Replayable by fold;
+/// resume is not supported for fig4 (re-execution needs the profile book —
+/// see [`rerun_from_header`]).
+pub fn fig4_spec(victim: usize, qps: f64, quick: bool, seed: u64) -> Json {
+    Json::obj()
+        .field("experiment", "fig4")
+        .field("condition", "interfered")
+        .field("victim", victim)
+        .field("qps", qps)
+        .field("seed", seed)
+        .field("quick", quick)
+}
+
+/// The byte-stable artifact set a run produces — the things replay must
+/// reproduce exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifacts {
+    /// [`platform::RunReport::render_json`] of the run report.
+    pub report_json: String,
+    /// Final telemetry snapshot (JSONL), `None` if telemetry was off.
+    pub telemetry_jsonl: Option<String>,
+    /// Fault log as JSONL (empty string for fault-log-less runs).
+    pub faults_jsonl: String,
+    /// Fault log kind=count summary (the golden-diffed form).
+    pub fault_summary: String,
+}
+
+impl Artifacts {
+    fn from_replayed(r: &platform::Replayed) -> Self {
+        Self {
+            report_json: r.report.render_json(),
+            telemetry_jsonl: r.telemetry_jsonl.clone(),
+            faults_jsonl: r.faults.to_jsonl(),
+            fault_summary: r.faults.summary(),
+        }
+    }
+}
+
+/// Result of a journal fold.
+#[derive(Debug)]
+pub struct Replay {
+    /// The journal's header spec.
+    pub header: Json,
+    /// Reconstructed artifacts.
+    pub artifacts: Artifacts,
+    /// Records folded.
+    pub records: usize,
+    /// Checkpoint records among them.
+    pub checkpoints: usize,
+}
+
+/// Strictly parse a journal, check the ordering invariants, and fold the
+/// records into run artifacts. Errors on any corruption, truncation,
+/// invariant violation, or fold inconsistency.
+pub fn replay_bytes(bytes: &[u8]) -> Result<Replay, String> {
+    let parsed = read_journal(bytes)?;
+    let violations = check_invariants(&parsed.records);
+    if !violations.is_empty() {
+        return Err(format!(
+            "journal violates ordering invariants:\n  {}",
+            violations.join("\n  ")
+        ));
+    }
+    let folded = platform::replay(&parsed.records)?;
+    Ok(Replay {
+        header: parsed.header,
+        artifacts: Artifacts::from_replayed(&folded),
+        records: folded.records,
+        checkpoints: folded.checkpoints.len(),
+    })
+}
+
+fn header_f64(header: &Json, key: &str) -> Result<f64, String> {
+    header
+        .get(key)
+        .and_then(|j| j.as_f64())
+        .ok_or_else(|| format!("journal header is missing numeric field {key:?}"))
+}
+
+fn header_bool(header: &Json, key: &str) -> Result<bool, String> {
+    match header.get(key) {
+        Some(Json::Bool(b)) => Ok(*b),
+        _ => Err(format!("journal header is missing boolean field {key:?}")),
+    }
+}
+
+/// Re-execute the run a journal header describes, journaling to memory.
+/// Returns the regenerated journal bytes and the live artifacts. Only
+/// `fault_sweep` journals are re-executable (their spec is self-contained);
+/// fig4 journals need the profile book and support replay-by-fold only.
+pub fn rerun_from_header(header: &Json) -> Result<(Vec<u8>, Artifacts), String> {
+    let experiment = header
+        .get("experiment")
+        .and_then(|j| j.as_str())
+        .ok_or_else(|| "journal header has no experiment field".to_string())?;
+    if experiment != "fault_sweep" {
+        return Err(format!(
+            "re-execution is only supported for fault_sweep journals \
+             (this one is {experiment:?}); use replay instead"
+        ));
+    }
+    let point = SweepPoint {
+        crash_per_min: header_f64(header, "crash_per_min")?,
+        slowdown_per_min: header_f64(header, "slowdown_per_min")?,
+    };
+    let seed = header_f64(header, "seed")? as u64;
+    let quick = header_bool(header, "quick")?;
+    let journal = MemoryJournal::in_memory(header, Some(CHECKPOINT_EVERY_US));
+    let bundle = Obs::telemetry_only()
+        .with_fault_log()
+        .with_journal(Box::new(journal));
+    let (out, post) = chaos_run_with_obs(point, seed, quick, bundle);
+    let bytes = post
+        .journal
+        .as_ref()
+        .and_then(|j| j.as_any().downcast_ref::<MemoryJournal>())
+        .map(|j| j.bytes().to_vec())
+        .ok_or_else(|| "re-executed run lost its in-memory journal".to_string())?;
+    let artifacts = Artifacts {
+        report_json: out.report.render_json(),
+        telemetry_jsonl: post.telemetry.as_ref().map(|t| t.to_jsonl()),
+        faults_jsonl: out.faults.to_jsonl(),
+        fault_summary: out.faults.summary(),
+    };
+    Ok((bytes, artifacts))
+}
+
+/// Result of a verified resume.
+#[derive(Debug)]
+pub struct Resume {
+    /// The completed (uninterrupted-equivalent) journal bytes.
+    pub full_journal: Vec<u8>,
+    /// Artifacts of the completed run.
+    pub artifacts: Artifacts,
+    /// Records of the truncated journal that were verified against the
+    /// regenerated run.
+    pub verified_records: usize,
+    /// Checkpoint records among the verified prefix.
+    pub verified_checkpoints: usize,
+    /// Total records in the completed journal.
+    pub total_records: usize,
+    /// Whether the input journal actually had a torn/missing tail.
+    pub was_truncated: bool,
+}
+
+/// Resume a (possibly truncated) journal: tolerant-parse it, re-execute the
+/// run from the header spec, and verify every surviving record is
+/// reproduced exactly before returning the completed run.
+pub fn resume_bytes(bytes: &[u8]) -> Result<Resume, String> {
+    let parsed = read_journal_tolerant(bytes)?;
+    let (regenerated, artifacts) = rerun_from_header(&parsed.header)?;
+    let full = read_journal(&regenerated)
+        .map_err(|e| format!("re-executed journal failed to parse: {e}"))?;
+    if parsed.records.len() > full.records.len() {
+        return Err(format!(
+            "truncated journal has {} records but the re-executed run only \
+             produced {} — the header spec does not match the records",
+            parsed.records.len(),
+            full.records.len()
+        ));
+    }
+    let mut verified_checkpoints = 0usize;
+    for (i, (old, new)) in parsed.records.iter().zip(full.records.iter()).enumerate() {
+        if old != new {
+            return Err(format!(
+                "resume verification failed at record {i}: journal has \
+                 {old:?}, re-executed run produced {new:?}"
+            ));
+        }
+        if matches!(old.event, obs::journal::JournalEvent::Checkpoint(_)) {
+            verified_checkpoints += 1;
+        }
+    }
+    Ok(Resume {
+        verified_records: parsed.records.len(),
+        verified_checkpoints,
+        total_records: full.records.len(),
+        was_truncated: parsed.truncated.is_some() || parsed.records.len() < full.records.len(),
+        full_journal: regenerated,
+        artifacts,
+    })
+}
+
+/// `journal_replay` section of `BENCH_repro.json`: journal size, write
+/// overhead versus a journaling-off run, and replay speedup versus
+/// re-simulation, all on the quick-mode chaos point at a pinned seed.
+#[derive(Debug)]
+pub struct JournalBench {
+    /// Journal size in bytes.
+    pub journal_bytes: u64,
+    /// Records written.
+    pub records: u64,
+    /// Checkpoint records among them.
+    pub checkpoints: u64,
+    /// Best-of-3 wall time of the journaling-off run (seconds).
+    pub baseline_wall_s: f64,
+    /// Best-of-3 wall time of the journaled run (seconds).
+    pub journaled_wall_s: f64,
+    /// Write overhead: `(journaled - baseline) / baseline * 100`.
+    pub write_overhead_pct: f64,
+    /// Best-of-3 wall time of replay-by-fold (seconds).
+    pub replay_wall_s: f64,
+    /// `baseline_wall_s / replay_wall_s`.
+    pub replay_speedup: f64,
+    /// Whether the replayed artifacts byte-matched the live run's.
+    pub bit_identical: bool,
+}
+
+/// Run the benchmark. Deterministic in everything but wall time.
+pub fn journal_bench() -> JournalBench {
+    const SEED: u64 = 42;
+    let point = SweepPoint {
+        crash_per_min: 2.0,
+        slowdown_per_min: 4.0,
+    };
+    let spec = fault_sweep_spec(point, SEED, true);
+
+    // Interleave baseline/journaled pairs and take the min of each: a quick
+    // run is only tens of ms of wall time, so host scheduling noise dwarfs
+    // the journal's cost in any single sample; interleaving keeps both
+    // sides exposed to the same load drift.
+    let mut baseline_wall_s = f64::INFINITY;
+    let mut journaled_wall_s = f64::INFINITY;
+    let mut bytes = Vec::new();
+    let mut live = None;
+    for _ in 0..15 {
+        let t0 = std::time::Instant::now();
+        let bundle = Obs::telemetry_only().with_fault_log();
+        let _ = chaos_run_with_obs(point, SEED, true, bundle);
+        baseline_wall_s = baseline_wall_s.min(t0.elapsed().as_secs_f64());
+
+        let t0 = std::time::Instant::now();
+        let journal = MemoryJournal::in_memory(&spec, Some(CHECKPOINT_EVERY_US));
+        let bundle = Obs::telemetry_only()
+            .with_fault_log()
+            .with_journal(Box::new(journal));
+        let (out, post) = chaos_run_with_obs(point, SEED, true, bundle);
+        journaled_wall_s = journaled_wall_s.min(t0.elapsed().as_secs_f64());
+        bytes = post
+            .journal
+            .as_ref()
+            .and_then(|j| j.as_any().downcast_ref::<MemoryJournal>())
+            .map(|j| j.bytes().to_vec())
+            .expect("in-memory journal survives the run");
+        live = Some(Artifacts {
+            report_json: out.report.render_json(),
+            telemetry_jsonl: post.telemetry.as_ref().map(|t| t.to_jsonl()),
+            faults_jsonl: out.faults.to_jsonl(),
+            fault_summary: out.faults.summary(),
+        });
+    }
+    let live = live.expect("at least one journaled run");
+
+    let mut replay_wall_s = f64::INFINITY;
+    let mut replayed = None;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let r = replay_bytes(&bytes).expect("journal replays");
+        replay_wall_s = replay_wall_s.min(t0.elapsed().as_secs_f64());
+        replayed = Some(r);
+    }
+    let replayed = replayed.expect("at least one replay");
+
+    JournalBench {
+        journal_bytes: bytes.len() as u64,
+        records: replayed.records as u64,
+        checkpoints: replayed.checkpoints as u64,
+        baseline_wall_s,
+        journaled_wall_s,
+        write_overhead_pct: (journaled_wall_s - baseline_wall_s) / baseline_wall_s * 100.0,
+        replay_wall_s,
+        replay_speedup: baseline_wall_s / replay_wall_s,
+        bit_identical: replayed.artifacts == live,
+    }
+}
+
+/// Truncate journal bytes mid-record (for resume tests and the CLI demo):
+/// cut `frac` of the way into the byte stream, which almost always lands
+/// inside a record and exercises the torn-tail path.
+pub fn truncate_bytes(bytes: &[u8], frac: f64) -> Vec<u8> {
+    let cut = ((bytes.len() as f64) * frac.clamp(0.0, 1.0)) as usize;
+    bytes[..cut.max(1)].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journaled_run(point: SweepPoint, seed: u64) -> (Vec<u8>, Artifacts) {
+        let spec = fault_sweep_spec(point, seed, true);
+        let journal = MemoryJournal::in_memory(&spec, Some(CHECKPOINT_EVERY_US));
+        let bundle = Obs::telemetry_only()
+            .with_fault_log()
+            .with_journal(Box::new(journal));
+        let (out, post) = chaos_run_with_obs(point, seed, true, bundle);
+        let bytes = post
+            .journal
+            .as_ref()
+            .and_then(|j| j.as_any().downcast_ref::<MemoryJournal>())
+            .map(|j| j.bytes().to_vec())
+            .expect("journal bytes");
+        let artifacts = Artifacts {
+            report_json: out.report.render_json(),
+            telemetry_jsonl: post.telemetry.as_ref().map(|t| t.to_jsonl()),
+            faults_jsonl: out.faults.to_jsonl(),
+            fault_summary: out.faults.summary(),
+        };
+        (bytes, artifacts)
+    }
+
+    #[test]
+    fn replay_reconstructs_chaos_run_byte_identically() {
+        let point = SweepPoint {
+            crash_per_min: 2.0,
+            slowdown_per_min: 4.0,
+        };
+        let (bytes, live) = journaled_run(point, 42);
+        let r = replay_bytes(&bytes).expect("replay");
+        assert_eq!(r.artifacts, live, "replayed artifacts must byte-match");
+        assert!(r.checkpoints > 0, "60 s run at 10 s cadence checkpoints");
+        assert_eq!(
+            r.header.get("experiment").and_then(|j| j.as_str()),
+            Some("fault_sweep")
+        );
+    }
+
+    #[test]
+    fn resume_from_torn_tail_matches_uninterrupted_run() {
+        let point = SweepPoint {
+            crash_per_min: 2.0,
+            slowdown_per_min: 4.0,
+        };
+        for seed in [42u64, 7, 0xC4A05] {
+            let (bytes, live) = journaled_run(point, seed);
+            let cut = truncate_bytes(&bytes, 0.6);
+            let resumed = resume_bytes(&cut).expect("resume");
+            assert!(resumed.was_truncated, "seed {seed}: cut journal is torn");
+            assert!(resumed.verified_records > 0);
+            assert!(resumed.verified_records < resumed.total_records);
+            assert_eq!(
+                resumed.full_journal, bytes,
+                "seed {seed}: resumed journal must be bit-identical"
+            );
+            assert_eq!(
+                resumed.artifacts, live,
+                "seed {seed}: resumed artifacts must byte-match"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_header_record_mismatch() {
+        let point = SweepPoint {
+            crash_per_min: 2.0,
+            slowdown_per_min: 4.0,
+        };
+        let (bytes, _) = journaled_run(point, 42);
+        // Rewrite the header to a different seed: the records can no longer
+        // be reproduced and verification must fail loudly.
+        let other = fault_sweep_spec(point, 43, true);
+        let parsed = read_journal(&bytes).expect("parse");
+        let journal = MemoryJournal::in_memory(&other, Some(CHECKPOINT_EVERY_US));
+        let mut forged = journal; // header for seed 43
+        for rec in &parsed.records {
+            use obs::journal::JournalSink;
+            forged.record(rec.at_us, &rec.event); // records from seed 42
+        }
+        let err = resume_bytes(forged.bytes()).unwrap_err();
+        assert!(
+            err.contains("resume verification failed") || err.contains("does not match"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn rerun_refuses_non_fault_sweep_headers() {
+        let header = fig4_spec(0, 40.0, true, 1);
+        let err = rerun_from_header(&header).unwrap_err();
+        assert!(err.contains("only supported for fault_sweep"), "{err}");
+    }
+}

@@ -35,6 +35,7 @@ pub mod fig5;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod journal_runs;
 pub mod registry;
 pub mod table3;
 

@@ -23,6 +23,12 @@ pub struct RunOpts {
     /// pins one exactly replayable fault storyline; `None` = the
     /// experiment's built-in default.
     pub seed: Option<u64>,
+    /// Where journal-enabled experiments write their event journals
+    /// (`repro --journal-dir DIR`); `None` disables journaling.
+    pub journal_dir: Option<PathBuf>,
+    /// Live Prometheus hub (`repro --serve ADDR`): journal-enabled
+    /// experiments publish telemetry snapshots here at every collect tick.
+    pub prom: Option<std::sync::Arc<obs::prom::PromHub>>,
 }
 
 impl RunOpts {
@@ -70,6 +76,28 @@ impl RunOpts {
             Ok(()) => Some(path),
             Err(e) => {
                 eprintln!("warning: could not write artifact {}: {e}", path.display());
+                None
+            }
+        }
+    }
+
+    /// Open a journal file at `<journal_dir>/<name>`, creating the
+    /// directory. `None` when journaling is off or the file could not be
+    /// created (warned on stderr, like [`RunOpts::write_artifact`]).
+    pub fn open_journal(
+        &self,
+        name: &str,
+        header: &obs::json::Json,
+        checkpoint_every_us: Option<u64>,
+    ) -> Option<(obs::journal::FileJournal, PathBuf)> {
+        let dir: &Path = self.journal_dir.as_deref()?;
+        let path = dir.join(name);
+        let made = std::fs::create_dir_all(dir)
+            .and_then(|()| obs::journal::FileJournal::create(&path, header, checkpoint_every_us));
+        match made {
+            Ok(j) => Some((j, path)),
+            Err(e) => {
+                eprintln!("warning: could not open journal {}: {e}", path.display());
                 None
             }
         }
@@ -251,9 +279,8 @@ mod tests {
         assert!(o.observing() && !o.tracing());
         let t = RunOpts {
             quick: true,
-            obs: false,
             trace_dir: Some(std::env::temp_dir()),
-            seed: None,
+            ..RunOpts::default()
         };
         assert!(t.observing() && t.tracing());
     }

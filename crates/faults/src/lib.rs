@@ -211,6 +211,20 @@ impl FaultInjector {
         self.gateway_rng.chance(self.config.gateway_drop_prob)
     }
 
+    /// Deterministic fingerprint of the injector's RNG positions (FNV-1a
+    /// fold over all three streams' state words). Checkpoint records carry
+    /// it so a resumed run can verify the injector walked through the same
+    /// draw sequence as the original.
+    pub fn state_fingerprint(&self) -> u64 {
+        let mut fp = 0xcbf2_9ce4_8422_2325u64;
+        for rng in [&self.schedule_rng, &self.draw_rng, &self.gateway_rng] {
+            for w in rng.state() {
+                fp = (fp ^ w).wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        }
+        fp
+    }
+
     /// Extra forward latency for this request, uniform in
     /// `[0, gateway_jitter_max)`. Zero when jitter is disabled.
     pub fn gateway_jitter(&mut self) -> SimTime {
@@ -328,6 +342,24 @@ mod tests {
                 "{label}: got {got:.3}, want {want:.3}"
             );
         }
+    }
+
+    #[test]
+    fn fingerprint_tracks_draw_position() {
+        let a = FaultInjector::new(chaos_config(31));
+        let mut b = FaultInjector::new(chaos_config(31));
+        assert_eq!(a.state_fingerprint(), b.state_fingerprint());
+        b.next_event_after(SimTime::ZERO);
+        assert_ne!(
+            a.state_fingerprint(),
+            b.state_fingerprint(),
+            "schedule draws move the fingerprint"
+        );
+        assert_ne!(
+            FaultInjector::new(chaos_config(32)).state_fingerprint(),
+            a.state_fingerprint(),
+            "different seeds fingerprint differently"
+        );
     }
 
     #[test]

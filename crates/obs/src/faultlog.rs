@@ -45,6 +45,33 @@ pub struct FaultLog {
     records: Vec<FaultRecord>,
 }
 
+/// Every label an engine site can put into [`FaultRecord::kind`] (see the
+/// type docs). Journal replay needs to rebuild `FaultRecord`s — whose `kind`
+/// is a `&'static str` — from decoded strings, so the label set is closed.
+const KNOWN_KINDS: &[&str] = &[
+    "cold_storm",
+    "gateway_drop",
+    "no_alive_instance",
+    "oom_kill",
+    "predictor_outage",
+    "request_failed",
+    "retry",
+    "rewarm",
+    "server_crash",
+    "server_recover",
+    "shed",
+    "slowdown",
+    "slowdown_end",
+    "timeout",
+];
+
+/// Map a decoded label back to its static form; `None` for labels no engine
+/// site emits (a replay hitting that is reading a corrupt or foreign
+/// journal).
+pub fn intern_kind(kind: &str) -> Option<&'static str> {
+    KNOWN_KINDS.iter().copied().find(|k| *k == kind)
+}
+
 impl FaultLog {
     /// Empty log.
     pub fn new() -> Self {
@@ -114,6 +141,14 @@ mod tests {
         log.push(rec(40.0, "server_recover", 3));
         assert_eq!(log.counts()["retry"], 2);
         assert_eq!(log.summary(), "retry=2\nserver_crash=1\nserver_recover=1\n");
+    }
+
+    #[test]
+    fn intern_kind_roundtrips_known_labels() {
+        for kind in super::KNOWN_KINDS {
+            assert_eq!(intern_kind(kind), Some(*kind));
+        }
+        assert_eq!(intern_kind("not_a_fault"), None);
     }
 
     #[test]

@@ -1,0 +1,1437 @@
+//! Durable run journal: an append-only binary event WAL.
+//!
+//! The engine's determinism contract — same seed ⇒ bit-identical
+//! [`RunReport`](../../platform/report/struct.RunReport.html) — has so far
+//! only been checkable by re-simulating. The journal makes it *witnessable*:
+//! every externally visible event (arrivals, settlements, placements, scale
+//! events, fault injections, metric samples) is appended as a checksummed,
+//! length-prefixed record with a monotone sim-time/sequence header, so a
+//! journal can be folded back into the full run artifacts without
+//! re-simulating, and a truncated journal can be verified as a byte-prefix
+//! of the regenerated run (`repro resume`).
+//!
+//! File layout (all integers little-endian):
+//!
+//! ```text
+//! magic   8 bytes         b"GSJRNL01"
+//! header  u32 len + JSON  run spec (experiment id + parameters), enough to
+//!                         re-execute the run deterministically
+//! record* u32 payload_len
+//!         u64 seq         gapless from 0
+//!         u64 at_us       sim time, non-decreasing
+//!         payload         payload[0] is the event tag
+//!         u32 crc32       IEEE CRC-32 over seq ‖ at_us ‖ payload
+//! ```
+//!
+//! Floats are stored as raw `f64` bits, so replayed artifacts are
+//! byte-identical to the live run's, not merely approximately equal. The
+//! ordering rules the format promises (append-only sequence numbers,
+//! monotone time, arrival-before-settlement, settle-at-most-once,
+//! hierarchy-consistent workload/node references) are mechanically checkable
+//! via [`check_invariants`] and enforced as property tests.
+
+use crate::json::Json;
+use std::any::Any;
+use std::io::{self, Write};
+
+/// File magic: "GSight JouRNaL, format 01".
+pub const MAGIC: &[u8; 8] = b"GSJRNL01";
+
+// ---- CRC-32 (IEEE 802.3, reflected) -------------------------------------
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// Eight shifted tables for slice-by-8: `CRC_TABLES[k][b]` is the CRC of
+/// byte `b` followed by `k` zero bytes, so eight input bytes fold into the
+/// state with eight independent lookups per iteration instead of a serial
+/// byte-at-a-time chain — the journal write path checksums every record.
+const fn crc_tables() -> [[u32; 256]; 8] {
+    let t0 = crc_table();
+    let mut tables = [[0u32; 256]; 8];
+    tables[0] = t0;
+    let mut k = 1;
+    while k < 8 {
+        let mut b = 0;
+        while b < 256 {
+            let prev = tables[k - 1][b];
+            tables[k][b] = t0[(prev & 0xFF) as usize] ^ (prev >> 8);
+            b += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+static CRC_TABLES: [[u32; 256]; 8] = crc_tables();
+
+/// Fold more bytes into a running CRC state (start from `!0`, finish by
+/// inverting) — lets the framing checksum cover header fields and payload
+/// without concatenating them. Slice-by-8 on the bulk, byte-at-a-time on
+/// the ragged tail.
+fn crc32_update(state: u32, data: &[u8]) -> u32 {
+    let mut c = state;
+    let mut chunks = data.chunks_exact(8);
+    for ch in &mut chunks {
+        let lo = u32::from_le_bytes([ch[0], ch[1], ch[2], ch[3]]) ^ c;
+        c = CRC_TABLES[7][(lo & 0xFF) as usize]
+            ^ CRC_TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ CRC_TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ CRC_TABLES[4][(lo >> 24) as usize]
+            ^ CRC_TABLES[3][ch[4] as usize]
+            ^ CRC_TABLES[2][ch[5] as usize]
+            ^ CRC_TABLES[1][ch[6] as usize]
+            ^ CRC_TABLES[0][ch[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// IEEE CRC-32 of one buffer.
+pub fn crc32(data: &[u8]) -> u32 {
+    !crc32_update(!0, data)
+}
+
+// ---- event payload encoding ----------------------------------------------
+
+struct Enc<'a>(&'a mut Vec<u8>);
+
+impl Enc<'_> {
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        // Raw bits: replay must reproduce the live value exactly.
+        self.u64(v.to_bits());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.0.extend_from_slice(s.as_bytes());
+    }
+    fn f64s(&mut self, v: &[f64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn new(b: &'a [u8]) -> Self {
+        Self { b, pos: 0 }
+    }
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.b.len() {
+            return Err(format!(
+                "payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.b.len() - self.pos
+            ));
+        }
+        let s = &self.b[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+    fn str(&mut self) -> Result<String, String> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|e| e.to_string())
+    }
+    fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.u32()? as usize;
+        // Bound by remaining bytes so a corrupt length cannot OOM.
+        if n * 8 > self.b.len() - self.pos {
+            return Err(format!("f64 array length {n} exceeds payload"));
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+    fn done(&self) -> Result<(), String> {
+        if self.pos == self.b.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing payload bytes",
+                self.b.len() - self.pos
+            ))
+        }
+    }
+}
+
+// ---- event taxonomy -------------------------------------------------------
+
+/// Why an instance was placed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlacementKind {
+    /// Initial deployment placement (fixed by the experiment).
+    Initial = 0,
+    /// Autoscaler scale-out decision.
+    ScaleOut = 1,
+    /// Crash-recovery re-warm on a surviving server.
+    Rewarm = 2,
+}
+
+impl PlacementKind {
+    fn from_u8(v: u8) -> Result<Self, String> {
+        match v {
+            0 => Ok(PlacementKind::Initial),
+            1 => Ok(PlacementKind::ScaleOut),
+            2 => Ok(PlacementKind::Rewarm),
+            _ => Err(format!("unknown placement kind {v}")),
+        }
+    }
+}
+
+/// Engine state summary written at checkpoint records. Enough to *verify*
+/// that a resumed re-execution walked through the same states as the
+/// original run (clock, RNG streams, queue depths, instance table), not a
+/// full engine serialization — see DESIGN.md §14 for the resume contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointState {
+    /// Sim time of the checkpoint.
+    pub at_us: u64,
+    /// Engine RNG (xoshiro256**) state words.
+    pub sim_rng: [u64; 4],
+    /// Retry-backoff RNG state words.
+    pub retry_rng: [u64; 4],
+    /// Fault-injector RNG fingerprint (0 when no injector is installed).
+    pub fault_fingerprint: u64,
+    /// Pending events in the simulation queue.
+    pub pending_events: u64,
+    /// Gateway queue depth.
+    pub gateway_depth: u64,
+    /// Instance-table rows (alive + dead).
+    pub instances_total: u64,
+    /// Alive instances.
+    pub instances_alive: u64,
+    /// FNV-1a fingerprint over the instance table rows.
+    pub instance_table_fp: u64,
+    /// Tasks created so far.
+    pub tasks_created: u64,
+    /// Requests created so far.
+    pub requests_created: u64,
+    /// Requests settled (completed, shed or failed) so far.
+    pub requests_settled: u64,
+}
+
+/// One journaled simulation event.
+///
+/// `wl`/`node` index the deployment order and call-graph node, `req` is the
+/// engine's global request sequence number. Latencies carry the exact `f64`
+/// the live run pushed into its report vectors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JournalEvent {
+    /// A workload was deployed (wl indices are assigned in deploy order).
+    Deploy { wl: u32, nodes: u32, name: String },
+    /// An instance was placed (initial deploy, scale-out or re-warm).
+    Placement {
+        kind: PlacementKind,
+        wl: u32,
+        node: u32,
+        server: u32,
+        socket: u32,
+    },
+    /// A request arrived at the gateway.
+    Arrival { wl: u32, req: u64 },
+    /// A request was shed at the gateway (settlement).
+    Shed { wl: u32, req: u64 },
+    /// The gateway finished forwarding one invocation (wait + service, ms).
+    GatewayForward { req: u64, ms: f64 },
+    /// A dispatch paid the cold-start penalty.
+    ColdStart { wl: u32, node: u32, req: u64 },
+    /// One function invocation finished (local latency in ms).
+    TaskDone {
+        wl: u32,
+        node: u32,
+        req: u64,
+        local_ms: f64,
+    },
+    /// A request's last call-graph node completed (settlement).
+    Completed { wl: u32, req: u64, e2e_ms: f64 },
+    /// A retry attempt was issued after a fault.
+    Retry { wl: u32, req: u64, delay_ms: f64 },
+    /// A request exhausted its retry budget (settlement).
+    Failed { wl: u32, req: u64, attempts: u32 },
+    /// 1 Hz mean metric vector of one function's executing instances.
+    MetricSample {
+        wl: u32,
+        node: u32,
+        values: Vec<f64>,
+    },
+    /// Cluster utilization snapshot at a collect tick.
+    Utilization {
+        cpu: Vec<f64>,
+        memory: Vec<f64>,
+        density: f64,
+        instances: u64,
+    },
+    /// A fault-log record (injected fault or recovery/degradation action).
+    Fault {
+        kind: String,
+        target: i64,
+        value: f64,
+    },
+    /// Telemetry registry snapshot (JSONL), written once at run end.
+    TelemetrySnapshot { jsonl: String },
+    /// Periodic engine-state checkpoint.
+    Checkpoint(CheckpointState),
+    /// End of run; the report horizon.
+    RunEnd { horizon_us: u64 },
+}
+
+const TAG_DEPLOY: u8 = 0;
+const TAG_PLACEMENT: u8 = 1;
+const TAG_ARRIVAL: u8 = 2;
+const TAG_SHED: u8 = 3;
+const TAG_GATEWAY_FORWARD: u8 = 4;
+const TAG_COLD_START: u8 = 5;
+const TAG_TASK_DONE: u8 = 6;
+const TAG_COMPLETED: u8 = 7;
+const TAG_RETRY: u8 = 8;
+const TAG_FAILED: u8 = 9;
+const TAG_METRIC_SAMPLE: u8 = 10;
+const TAG_UTILIZATION: u8 = 11;
+const TAG_FAULT: u8 = 12;
+const TAG_TELEMETRY_SNAPSHOT: u8 = 13;
+const TAG_CHECKPOINT: u8 = 14;
+const TAG_RUN_END: u8 = 15;
+
+impl JournalEvent {
+    /// Binary payload (tag byte first).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        self.encode_into(&mut buf);
+        buf
+    }
+
+    /// Append the binary payload to `buf` — the framing hot path encodes
+    /// into one reused buffer instead of allocating per record.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        let mut e = Enc(buf);
+        match self {
+            JournalEvent::Deploy { wl, nodes, name } => {
+                e.u8(TAG_DEPLOY);
+                e.u32(*wl);
+                e.u32(*nodes);
+                e.str(name);
+            }
+            JournalEvent::Placement {
+                kind,
+                wl,
+                node,
+                server,
+                socket,
+            } => {
+                e.u8(TAG_PLACEMENT);
+                e.u8(*kind as u8);
+                e.u32(*wl);
+                e.u32(*node);
+                e.u32(*server);
+                e.u32(*socket);
+            }
+            JournalEvent::Arrival { wl, req } => {
+                e.u8(TAG_ARRIVAL);
+                e.u32(*wl);
+                e.u64(*req);
+            }
+            JournalEvent::Shed { wl, req } => {
+                e.u8(TAG_SHED);
+                e.u32(*wl);
+                e.u64(*req);
+            }
+            JournalEvent::GatewayForward { req, ms } => {
+                e.u8(TAG_GATEWAY_FORWARD);
+                e.u64(*req);
+                e.f64(*ms);
+            }
+            JournalEvent::ColdStart { wl, node, req } => {
+                e.u8(TAG_COLD_START);
+                e.u32(*wl);
+                e.u32(*node);
+                e.u64(*req);
+            }
+            JournalEvent::TaskDone {
+                wl,
+                node,
+                req,
+                local_ms,
+            } => {
+                e.u8(TAG_TASK_DONE);
+                e.u32(*wl);
+                e.u32(*node);
+                e.u64(*req);
+                e.f64(*local_ms);
+            }
+            JournalEvent::Completed { wl, req, e2e_ms } => {
+                e.u8(TAG_COMPLETED);
+                e.u32(*wl);
+                e.u64(*req);
+                e.f64(*e2e_ms);
+            }
+            JournalEvent::Retry { wl, req, delay_ms } => {
+                e.u8(TAG_RETRY);
+                e.u32(*wl);
+                e.u64(*req);
+                e.f64(*delay_ms);
+            }
+            JournalEvent::Failed { wl, req, attempts } => {
+                e.u8(TAG_FAILED);
+                e.u32(*wl);
+                e.u64(*req);
+                e.u32(*attempts);
+            }
+            JournalEvent::MetricSample { wl, node, values } => {
+                e.u8(TAG_METRIC_SAMPLE);
+                e.u32(*wl);
+                e.u32(*node);
+                e.f64s(values);
+            }
+            JournalEvent::Utilization {
+                cpu,
+                memory,
+                density,
+                instances,
+            } => {
+                e.u8(TAG_UTILIZATION);
+                e.f64s(cpu);
+                e.f64s(memory);
+                e.f64(*density);
+                e.u64(*instances);
+            }
+            JournalEvent::Fault {
+                kind,
+                target,
+                value,
+            } => {
+                e.u8(TAG_FAULT);
+                e.str(kind);
+                e.i64(*target);
+                e.f64(*value);
+            }
+            JournalEvent::TelemetrySnapshot { jsonl } => {
+                e.u8(TAG_TELEMETRY_SNAPSHOT);
+                e.str(jsonl);
+            }
+            JournalEvent::Checkpoint(c) => {
+                e.u8(TAG_CHECKPOINT);
+                e.u64(c.at_us);
+                for w in c.sim_rng {
+                    e.u64(w);
+                }
+                for w in c.retry_rng {
+                    e.u64(w);
+                }
+                e.u64(c.fault_fingerprint);
+                e.u64(c.pending_events);
+                e.u64(c.gateway_depth);
+                e.u64(c.instances_total);
+                e.u64(c.instances_alive);
+                e.u64(c.instance_table_fp);
+                e.u64(c.tasks_created);
+                e.u64(c.requests_created);
+                e.u64(c.requests_settled);
+            }
+            JournalEvent::RunEnd { horizon_us } => {
+                e.u8(TAG_RUN_END);
+                e.u64(*horizon_us);
+            }
+        }
+    }
+
+    /// Decode a payload produced by [`JournalEvent::encode`]. Rejects
+    /// unknown tags, truncated fields and trailing bytes.
+    pub fn decode(payload: &[u8]) -> Result<JournalEvent, String> {
+        let mut d = Dec::new(payload);
+        let event = match d.u8()? {
+            TAG_DEPLOY => JournalEvent::Deploy {
+                wl: d.u32()?,
+                nodes: d.u32()?,
+                name: d.str()?,
+            },
+            TAG_PLACEMENT => JournalEvent::Placement {
+                kind: PlacementKind::from_u8(d.u8()?)?,
+                wl: d.u32()?,
+                node: d.u32()?,
+                server: d.u32()?,
+                socket: d.u32()?,
+            },
+            TAG_ARRIVAL => JournalEvent::Arrival {
+                wl: d.u32()?,
+                req: d.u64()?,
+            },
+            TAG_SHED => JournalEvent::Shed {
+                wl: d.u32()?,
+                req: d.u64()?,
+            },
+            TAG_GATEWAY_FORWARD => JournalEvent::GatewayForward {
+                req: d.u64()?,
+                ms: d.f64()?,
+            },
+            TAG_COLD_START => JournalEvent::ColdStart {
+                wl: d.u32()?,
+                node: d.u32()?,
+                req: d.u64()?,
+            },
+            TAG_TASK_DONE => JournalEvent::TaskDone {
+                wl: d.u32()?,
+                node: d.u32()?,
+                req: d.u64()?,
+                local_ms: d.f64()?,
+            },
+            TAG_COMPLETED => JournalEvent::Completed {
+                wl: d.u32()?,
+                req: d.u64()?,
+                e2e_ms: d.f64()?,
+            },
+            TAG_RETRY => JournalEvent::Retry {
+                wl: d.u32()?,
+                req: d.u64()?,
+                delay_ms: d.f64()?,
+            },
+            TAG_FAILED => JournalEvent::Failed {
+                wl: d.u32()?,
+                req: d.u64()?,
+                attempts: d.u32()?,
+            },
+            TAG_METRIC_SAMPLE => JournalEvent::MetricSample {
+                wl: d.u32()?,
+                node: d.u32()?,
+                values: d.f64s()?,
+            },
+            TAG_UTILIZATION => JournalEvent::Utilization {
+                cpu: d.f64s()?,
+                memory: d.f64s()?,
+                density: d.f64()?,
+                instances: d.u64()?,
+            },
+            TAG_FAULT => JournalEvent::Fault {
+                kind: d.str()?,
+                target: d.i64()?,
+                value: d.f64()?,
+            },
+            TAG_TELEMETRY_SNAPSHOT => JournalEvent::TelemetrySnapshot { jsonl: d.str()? },
+            TAG_CHECKPOINT => {
+                let at_us = d.u64()?;
+                let mut sim_rng = [0u64; 4];
+                for w in &mut sim_rng {
+                    *w = d.u64()?;
+                }
+                let mut retry_rng = [0u64; 4];
+                for w in &mut retry_rng {
+                    *w = d.u64()?;
+                }
+                JournalEvent::Checkpoint(CheckpointState {
+                    at_us,
+                    sim_rng,
+                    retry_rng,
+                    fault_fingerprint: d.u64()?,
+                    pending_events: d.u64()?,
+                    gateway_depth: d.u64()?,
+                    instances_total: d.u64()?,
+                    instances_alive: d.u64()?,
+                    instance_table_fp: d.u64()?,
+                    tasks_created: d.u64()?,
+                    requests_created: d.u64()?,
+                    requests_settled: d.u64()?,
+                })
+            }
+            TAG_RUN_END => JournalEvent::RunEnd {
+                horizon_us: d.u64()?,
+            },
+            tag => return Err(format!("unknown event tag {tag}")),
+        };
+        d.done()?;
+        Ok(event)
+    }
+}
+
+// ---- sink trait + writers -------------------------------------------------
+
+/// Byte/record counters of a journal sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JournalStats {
+    /// Total bytes written, including magic and header.
+    pub bytes: u64,
+    /// Records appended.
+    pub records: u64,
+    /// Checkpoint records among them.
+    pub checkpoints: u64,
+}
+
+/// The narrow interface the platform engine writes the journal through.
+/// Append-only: implementations assign gapless sequence numbers and must
+/// reject time running backwards.
+pub trait JournalSink {
+    /// Append one event at sim time `at_us`.
+    fn record(&mut self, at_us: u64, event: &JournalEvent);
+    /// Checkpoint cadence the engine should honor (`None` = no checkpoints).
+    fn checkpoint_every_us(&self) -> Option<u64>;
+    /// Counters so far.
+    fn stats(&self) -> JournalStats;
+    /// Flush buffered records (end of run).
+    fn finish(&mut self);
+    /// Downcast support (e.g. to recover an in-memory journal's bytes).
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// [`JournalSink`] over any `Write` target. Write failures panic: a journal
+/// that silently drops records would later "prove" a determinism violation
+/// that never happened.
+pub struct JournalWriter<W: Write> {
+    w: W,
+    seq: u64,
+    last_at: u64,
+    stats: JournalStats,
+    checkpoint_every_us: Option<u64>,
+    // Reused frame buffer: one record = one allocation-free write_all.
+    frame: Vec<u8>,
+}
+
+impl<W: Write> JournalWriter<W> {
+    /// Write the magic + header and return a sink ready for records.
+    pub fn new(mut w: W, header: &Json, checkpoint_every_us: Option<u64>) -> io::Result<Self> {
+        let header_bytes = header.render().into_bytes();
+        w.write_all(MAGIC)?;
+        w.write_all(&(header_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&header_bytes)?;
+        Ok(Self {
+            w,
+            seq: 0,
+            last_at: 0,
+            stats: JournalStats {
+                bytes: (MAGIC.len() + 4 + header_bytes.len()) as u64,
+                records: 0,
+                checkpoints: 0,
+            },
+            checkpoint_every_us,
+            frame: Vec::with_capacity(256),
+        })
+    }
+}
+
+impl<W: Write + 'static> JournalSink for JournalWriter<W> {
+    fn record(&mut self, at_us: u64, event: &JournalEvent) {
+        assert!(
+            at_us >= self.last_at,
+            "journal time went backwards: {at_us} < {}",
+            self.last_at
+        );
+        self.last_at = at_us;
+        // Assemble the whole frame (len | seq | at | payload | crc) in the
+        // reused buffer: the CRC runs over one contiguous slice and the
+        // record lands in a single write_all.
+        self.frame.clear();
+        let mut head = [0u8; 20]; // length (patched below) | seq | at
+        head[4..12].copy_from_slice(&self.seq.to_le_bytes());
+        head[12..20].copy_from_slice(&at_us.to_le_bytes());
+        self.frame.extend_from_slice(&head);
+        event.encode_into(&mut self.frame);
+        let payload_len = (self.frame.len() - 20) as u32;
+        self.frame[..4].copy_from_slice(&payload_len.to_le_bytes());
+        let crc = !crc32_update(!0, &self.frame[4..]);
+        self.frame.extend_from_slice(&crc.to_le_bytes());
+        self.w.write_all(&self.frame).expect("journal write failed");
+        self.seq += 1;
+        self.stats.records += 1;
+        self.stats.bytes += self.frame.len() as u64;
+        if matches!(event, JournalEvent::Checkpoint(_)) {
+            self.stats.checkpoints += 1;
+        }
+    }
+
+    fn checkpoint_every_us(&self) -> Option<u64> {
+        self.checkpoint_every_us
+    }
+
+    fn stats(&self) -> JournalStats {
+        self.stats
+    }
+
+    fn finish(&mut self) {
+        self.w.flush().expect("journal flush failed");
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// In-memory journal (replay tests, benchmarks, resume re-execution).
+pub type MemoryJournal = JournalWriter<Vec<u8>>;
+
+impl MemoryJournal {
+    /// Memory-backed journal; infallible. Pre-sized so the write path pays
+    /// no realloc chain (a file journal amortizes through `BufWriter`; the
+    /// Vec equivalent is reserving up front).
+    pub fn in_memory(header: &Json, checkpoint_every_us: Option<u64>) -> Self {
+        JournalWriter::new(Vec::with_capacity(4 << 20), header, checkpoint_every_us)
+            .expect("writing to a Vec cannot fail")
+    }
+
+    /// The journal bytes written so far.
+    pub fn bytes(&self) -> &[u8] {
+        &self.w
+    }
+}
+
+/// File-backed journal (buffered).
+pub type FileJournal = JournalWriter<io::BufWriter<std::fs::File>>;
+
+impl FileJournal {
+    /// Create (truncate) `path` and write the magic + header.
+    pub fn create(
+        path: &std::path::Path,
+        header: &Json,
+        checkpoint_every_us: Option<u64>,
+    ) -> io::Result<Self> {
+        let file = std::fs::File::create(path)?;
+        JournalWriter::new(io::BufWriter::new(file), header, checkpoint_every_us)
+    }
+}
+
+// ---- reader ----------------------------------------------------------------
+
+/// One decoded record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalRecord {
+    /// Gapless sequence number.
+    pub seq: u64,
+    /// Sim time in µs (non-decreasing across the journal).
+    pub at_us: u64,
+    /// The event.
+    pub event: JournalEvent,
+}
+
+/// A fully parsed journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedJournal {
+    /// The run-spec header.
+    pub header: Json,
+    /// Decoded records in order.
+    pub records: Vec<JournalRecord>,
+    /// Bytes consumed (magic + header + accepted records) — the verified
+    /// byte-prefix a resumed run must reproduce.
+    pub consumed: usize,
+    /// Why reading stopped early (tolerant mode only); `None` = clean end.
+    pub truncated: Option<String>,
+}
+
+fn read_inner(bytes: &[u8], tolerant: bool) -> Result<ParsedJournal, String> {
+    if bytes.len() < MAGIC.len() + 4 {
+        return Err("journal shorter than magic + header length".to_string());
+    }
+    if &bytes[..MAGIC.len()] != MAGIC {
+        return Err("bad magic: not a GSJRNL01 journal".to_string());
+    }
+    let mut pos = MAGIC.len();
+    let header_len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    pos += 4;
+    if pos + header_len > bytes.len() {
+        return Err("journal header truncated".to_string());
+    }
+    let header_text = std::str::from_utf8(&bytes[pos..pos + header_len])
+        .map_err(|e| format!("header not UTF-8: {e}"))?;
+    let header = Json::parse(header_text).map_err(|e| format!("header not JSON: {e}"))?;
+    pos += header_len;
+
+    let mut records = Vec::new();
+    let mut truncated = None;
+    let mut expect_seq = 0u64;
+    let mut last_at = 0u64;
+    while pos < bytes.len() {
+        let record_start = pos;
+        let fail = |msg: String| -> Result<(usize, JournalRecord), String> { Err(msg) };
+        let parsed = (|| {
+            if bytes.len() - pos < 4 + 8 + 8 {
+                return fail(format!("torn record header at byte {record_start}"));
+            }
+            let payload_len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let seq = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().unwrap());
+            let at_us = u64::from_le_bytes(bytes[pos + 12..pos + 20].try_into().unwrap());
+            let body = pos + 20;
+            if bytes.len() - body < payload_len + 4 {
+                return fail(format!("torn record payload at byte {record_start}"));
+            }
+            let payload = &bytes[body..body + payload_len];
+            let stored_crc = u32::from_le_bytes(
+                bytes[body + payload_len..body + payload_len + 4]
+                    .try_into()
+                    .unwrap(),
+            );
+            let mut crc = !0u32;
+            crc = crc32_update(crc, &bytes[pos + 4..pos + 12]);
+            crc = crc32_update(crc, &bytes[pos + 12..pos + 20]);
+            crc = crc32_update(crc, payload);
+            if !crc != stored_crc {
+                return fail(format!("CRC mismatch at record seq {seq}"));
+            }
+            if seq != expect_seq {
+                return fail(format!("sequence gap: expected {expect_seq}, found {seq}"));
+            }
+            if at_us < last_at {
+                return fail(format!(
+                    "time went backwards at seq {seq}: {at_us} < {last_at}"
+                ));
+            }
+            let event = JournalEvent::decode(payload)
+                .map_err(|e| format!("bad payload at seq {seq}: {e}"))?;
+            Ok((body + payload_len + 4, JournalRecord { seq, at_us, event }))
+        })();
+        match parsed {
+            Ok((next, rec)) => {
+                expect_seq += 1;
+                last_at = rec.at_us;
+                records.push(rec);
+                pos = next;
+            }
+            Err(msg) if tolerant => {
+                truncated = Some(msg);
+                pos = record_start;
+                break;
+            }
+            Err(msg) => return Err(msg),
+        }
+    }
+    Ok(ParsedJournal {
+        header,
+        records,
+        consumed: pos,
+        truncated,
+    })
+}
+
+/// Strict read: any torn tail, checksum failure or ordering violation is an
+/// error. Use for replay, where the journal claims to be complete.
+pub fn read_journal(bytes: &[u8]) -> Result<ParsedJournal, String> {
+    read_inner(bytes, false)
+}
+
+/// Tolerant read: stops at the first torn/corrupt record and reports it in
+/// [`ParsedJournal::truncated`]. Use for resume, where the journal is
+/// expected to end mid-write.
+pub fn read_journal_tolerant(bytes: &[u8]) -> Result<ParsedJournal, String> {
+    read_inner(bytes, true)
+}
+
+// ---- ordering invariants ----------------------------------------------------
+
+/// Check the TLA-derived ordering invariants over a decoded journal and
+/// return every violation found (empty = journal is well-formed):
+///
+/// 1. append-only: sequence numbers gapless from 0, time non-decreasing;
+/// 2. hierarchy-consistent references: every `wl` was deployed first, every
+///    `node` is within that workload's call graph;
+/// 3. span start before end: a request's `Arrival` precedes every other
+///    event that names it;
+/// 4. settled at most once: at most one of `Shed`/`Completed`/`Failed` per
+///    request, and no `ColdStart`/`TaskDone`/`Retry` after it (stale
+///    `GatewayForward`s of aborted attempts are legal and excluded);
+/// 5. checkpoints and `RunEnd` carry timestamps consistent with the record
+///    header.
+pub fn check_invariants(records: &[JournalRecord]) -> Vec<String> {
+    use std::collections::HashMap;
+
+    fn check_wl(
+        deploys: &[u32],
+        violations: &mut Vec<String>,
+        seq: u64,
+        wl: u32,
+        node: Option<u32>,
+    ) {
+        match deploys.get(wl as usize) {
+            None => violations.push(format!(
+                "seq {seq}: references workload {wl} before its Deploy"
+            )),
+            Some(&nodes) => {
+                if let Some(node) = node {
+                    if node >= nodes {
+                        violations.push(format!(
+                            "seq {seq}: node {node} out of range for workload {wl} ({nodes} nodes)"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut violations = Vec::new();
+    let mut deploys: Vec<u32> = Vec::new(); // nodes per workload
+                                            // req -> (wl, settled)
+    let mut requests: HashMap<u64, (u32, bool)> = HashMap::new();
+    let mut last_at = 0u64;
+    for (i, rec) in records.iter().enumerate() {
+        if rec.seq != i as u64 {
+            violations.push(format!("seq gap: record {i} has seq {}", rec.seq));
+        }
+        if rec.at_us < last_at {
+            violations.push(format!(
+                "time regressed at seq {}: {} < {last_at}",
+                rec.seq, rec.at_us
+            ));
+        }
+        last_at = rec.at_us;
+
+        // A request event must come after its Arrival, carry the Arrival's
+        // workload, and (unless `allow_after_settle`) precede settlement.
+        macro_rules! check_req {
+            ($wl:expr, $req:expr, $settles:expr, $allow_after_settle:expr) => {{
+                match requests.get_mut(&$req) {
+                    None => violations.push(format!(
+                        "seq {}: request {} event before its Arrival",
+                        rec.seq, $req
+                    )),
+                    Some((wl0, settled)) => {
+                        if let Some(wl) = $wl {
+                            if wl != *wl0 {
+                                violations.push(format!(
+                                    "seq {}: request {} workload changed {} -> {}",
+                                    rec.seq, $req, wl0, wl
+                                ));
+                            }
+                        }
+                        if *settled && !$allow_after_settle {
+                            violations.push(format!(
+                                "seq {}: request {} event after settlement",
+                                rec.seq, $req
+                            ));
+                        }
+                        if $settles {
+                            *settled = true;
+                        }
+                    }
+                }
+            }};
+        }
+
+        match &rec.event {
+            JournalEvent::Deploy { wl, nodes, .. } => {
+                if *wl as usize != deploys.len() {
+                    violations.push(format!(
+                        "seq {}: Deploy wl {wl} out of order (expected {})",
+                        rec.seq,
+                        deploys.len()
+                    ));
+                }
+                deploys.push(*nodes);
+            }
+            JournalEvent::Placement { wl, node, .. } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, Some(*node))
+            }
+            JournalEvent::Arrival { wl, req } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, None);
+                if requests.insert(*req, (*wl, false)).is_some() {
+                    violations.push(format!(
+                        "seq {}: duplicate Arrival for request {req}",
+                        rec.seq
+                    ));
+                }
+            }
+            JournalEvent::Shed { wl, req } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, None);
+                check_req!(Some(*wl), *req, true, false);
+            }
+            // Stale forwards of aborted attempts are delivered (and their
+            // latency recorded) after the request settled — legal.
+            JournalEvent::GatewayForward { req, .. } => {
+                check_req!(None::<u32>, *req, false, true)
+            }
+            JournalEvent::ColdStart { wl, node, req } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, Some(*node));
+                check_req!(Some(*wl), *req, false, false);
+            }
+            JournalEvent::TaskDone { wl, node, req, .. } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, Some(*node));
+                check_req!(Some(*wl), *req, false, false);
+            }
+            JournalEvent::Completed { wl, req, .. } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, None);
+                check_req!(Some(*wl), *req, true, false);
+            }
+            JournalEvent::Retry { wl, req, .. } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, None);
+                check_req!(Some(*wl), *req, false, false);
+            }
+            JournalEvent::Failed { wl, req, .. } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, None);
+                check_req!(Some(*wl), *req, true, false);
+            }
+            JournalEvent::MetricSample { wl, node, .. } => {
+                check_wl(&deploys, &mut violations, rec.seq, *wl, Some(*node))
+            }
+            JournalEvent::Utilization { .. } => {}
+            JournalEvent::Fault { .. } => {}
+            JournalEvent::TelemetrySnapshot { .. } => {}
+            JournalEvent::Checkpoint(c) => {
+                if c.at_us != rec.at_us {
+                    violations.push(format!(
+                        "seq {}: checkpoint at_us {} disagrees with record header {}",
+                        rec.seq, c.at_us, rec.at_us
+                    ));
+                }
+            }
+            JournalEvent::RunEnd { horizon_us } => {
+                if *horizon_us != rec.at_us {
+                    violations.push(format!(
+                        "seq {}: RunEnd horizon {} disagrees with record time {}",
+                        rec.seq, horizon_us, rec.at_us
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<(u64, JournalEvent)> {
+        vec![
+            (
+                0,
+                JournalEvent::Deploy {
+                    wl: 0,
+                    nodes: 2,
+                    name: "social-network".into(),
+                },
+            ),
+            (
+                0,
+                JournalEvent::Placement {
+                    kind: PlacementKind::Initial,
+                    wl: 0,
+                    node: 0,
+                    server: 3,
+                    socket: 1,
+                },
+            ),
+            (100, JournalEvent::Arrival { wl: 0, req: 0 }),
+            (150, JournalEvent::GatewayForward { req: 0, ms: 0.05 }),
+            (
+                200,
+                JournalEvent::ColdStart {
+                    wl: 0,
+                    node: 0,
+                    req: 0,
+                },
+            ),
+            (
+                900,
+                JournalEvent::TaskDone {
+                    wl: 0,
+                    node: 0,
+                    req: 0,
+                    local_ms: 0.8,
+                },
+            ),
+            (
+                900,
+                JournalEvent::Completed {
+                    wl: 0,
+                    req: 0,
+                    e2e_ms: 0.9,
+                },
+            ),
+            (
+                1_000_000,
+                JournalEvent::Fault {
+                    kind: "server_crash".into(),
+                    target: 3,
+                    value: 0.0,
+                },
+            ),
+            (
+                2_000_000,
+                JournalEvent::Checkpoint(CheckpointState {
+                    at_us: 2_000_000,
+                    sim_rng: [1, 2, 3, 4],
+                    retry_rng: [5, 6, 7, 8],
+                    fault_fingerprint: 9,
+                    pending_events: 10,
+                    gateway_depth: 0,
+                    instances_total: 12,
+                    instances_alive: 11,
+                    instance_table_fp: 0xABCD,
+                    tasks_created: 40,
+                    requests_created: 20,
+                    requests_settled: 19,
+                }),
+            ),
+            (
+                3_000_000,
+                JournalEvent::RunEnd {
+                    horizon_us: 3_000_000,
+                },
+            ),
+        ]
+    }
+
+    fn write_sample() -> Vec<u8> {
+        let header = Json::obj().field("experiment", "test").field("seed", 42u64);
+        let mut j = MemoryJournal::in_memory(&header, Some(1_000_000));
+        for (at, ev) in sample_events() {
+            j.record(at, &ev);
+        }
+        j.finish();
+        j.bytes().to_vec()
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // Standard IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        for (_, ev) in sample_events() {
+            let payload = ev.encode();
+            assert_eq!(JournalEvent::decode(&payload).unwrap(), ev);
+        }
+        // Variants not in the sample.
+        for ev in [
+            JournalEvent::Shed { wl: 1, req: 9 },
+            JournalEvent::Retry {
+                wl: 0,
+                req: 3,
+                delay_ms: 201.5,
+            },
+            JournalEvent::Failed {
+                wl: 0,
+                req: 3,
+                attempts: 4,
+            },
+            JournalEvent::MetricSample {
+                wl: 0,
+                node: 1,
+                values: vec![1.5, -0.0, f64::MAX],
+            },
+            JournalEvent::Utilization {
+                cpu: vec![0.5, 0.25],
+                memory: vec![0.1],
+                density: 3.5,
+                instances: 7,
+            },
+            JournalEvent::TelemetrySnapshot {
+                jsonl: "{\"name\":\"a\"}\n".into(),
+            },
+        ] {
+            assert_eq!(JournalEvent::decode(&ev.encode()).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(JournalEvent::decode(&[]).is_err());
+        assert!(JournalEvent::decode(&[99]).is_err(), "unknown tag");
+        assert!(
+            JournalEvent::decode(&[TAG_ARRIVAL, 1, 2]).is_err(),
+            "truncated fields"
+        );
+        let mut ok = JournalEvent::Arrival { wl: 0, req: 1 }.encode();
+        ok.push(0);
+        assert!(JournalEvent::decode(&ok).is_err(), "trailing bytes");
+    }
+
+    #[test]
+    fn float_bits_roundtrip_exactly() {
+        for x in [0.0, -0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, f64::NAN] {
+            let ev = JournalEvent::GatewayForward { req: 0, ms: x };
+            match JournalEvent::decode(&ev.encode()).unwrap() {
+                JournalEvent::GatewayForward { ms, .. } => {
+                    assert_eq!(ms.to_bits(), x.to_bits());
+                }
+                _ => panic!("wrong variant"),
+            }
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let bytes = write_sample();
+        let parsed = read_journal(&bytes).unwrap();
+        assert_eq!(parsed.header.get("seed").unwrap().as_f64(), Some(42.0));
+        assert_eq!(parsed.records.len(), sample_events().len());
+        assert_eq!(parsed.consumed, bytes.len());
+        assert!(parsed.truncated.is_none());
+        for (rec, (at, ev)) in parsed.records.iter().zip(sample_events()) {
+            assert_eq!(rec.at_us, at);
+            assert_eq!(rec.event, ev);
+        }
+        assert_eq!(parsed.records[3].seq, 3);
+    }
+
+    #[test]
+    fn stats_count_bytes_and_checkpoints() {
+        let header = Json::obj().field("experiment", "test");
+        let mut j = MemoryJournal::in_memory(&header, None);
+        assert_eq!(j.checkpoint_every_us(), None);
+        j.record(0, &JournalEvent::Arrival { wl: 0, req: 0 });
+        j.record(
+            5,
+            &JournalEvent::Checkpoint(CheckpointState {
+                at_us: 5,
+                sim_rng: [0; 4],
+                retry_rng: [0; 4],
+                fault_fingerprint: 0,
+                pending_events: 0,
+                gateway_depth: 0,
+                instances_total: 0,
+                instances_alive: 0,
+                instance_table_fp: 0,
+                tasks_created: 0,
+                requests_created: 0,
+                requests_settled: 0,
+            }),
+        );
+        let s = j.stats();
+        assert_eq!(s.records, 2);
+        assert_eq!(s.checkpoints, 1);
+        assert_eq!(s.bytes, j.bytes().len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn writer_rejects_time_regression() {
+        let mut j = MemoryJournal::in_memory(&Json::obj(), None);
+        j.record(10, &JournalEvent::Arrival { wl: 0, req: 0 });
+        j.record(5, &JournalEvent::Arrival { wl: 0, req: 1 });
+    }
+
+    #[test]
+    fn corrupt_byte_fails_strict_read() {
+        let mut bytes = write_sample();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        assert!(read_journal(&bytes).is_err());
+    }
+
+    #[test]
+    fn tolerant_read_stops_at_torn_tail() {
+        let bytes = write_sample();
+        let n = sample_events().len();
+        // Cut mid-record: drop the last 3 bytes of the final record's CRC.
+        let cut = &bytes[..bytes.len() - 3];
+        assert!(read_journal(cut).is_err(), "strict read must reject");
+        let parsed = read_journal_tolerant(cut).unwrap();
+        assert_eq!(parsed.records.len(), n - 1);
+        assert!(parsed.truncated.is_some());
+        // The consumed prefix is exactly the bytes of the accepted records.
+        assert!(bytes.starts_with(&cut[..parsed.consumed]));
+        // Strict read of the consumed prefix succeeds.
+        assert_eq!(
+            read_journal(&bytes[..parsed.consumed])
+                .unwrap()
+                .records
+                .len(),
+            n - 1
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = write_sample();
+        bytes[0] = b'X';
+        assert!(read_journal(&bytes).is_err());
+        assert!(read_journal_tolerant(&bytes).is_err());
+    }
+
+    #[test]
+    fn invariants_hold_on_sample() {
+        let bytes = write_sample();
+        let parsed = read_journal(&bytes).unwrap();
+        assert_eq!(check_invariants(&parsed.records), Vec::<String>::new());
+    }
+
+    #[test]
+    fn invariants_catch_violations() {
+        let rec = |seq, at_us, event| JournalRecord { seq, at_us, event };
+        // Event for an undeployed workload.
+        let v = check_invariants(&[rec(0, 0, JournalEvent::Arrival { wl: 0, req: 0 })]);
+        assert!(v.iter().any(|m| m.contains("before its Deploy")), "{v:?}");
+        // Settlement twice.
+        let records = vec![
+            rec(
+                0,
+                0,
+                JournalEvent::Deploy {
+                    wl: 0,
+                    nodes: 1,
+                    name: "w".into(),
+                },
+            ),
+            rec(1, 1, JournalEvent::Arrival { wl: 0, req: 0 }),
+            rec(
+                2,
+                2,
+                JournalEvent::Completed {
+                    wl: 0,
+                    req: 0,
+                    e2e_ms: 1.0,
+                },
+            ),
+            rec(3, 3, JournalEvent::Shed { wl: 0, req: 0 }),
+        ];
+        let v = check_invariants(&records);
+        assert!(v.iter().any(|m| m.contains("after settlement")), "{v:?}");
+        // Settlement before arrival.
+        let records = vec![
+            rec(
+                0,
+                0,
+                JournalEvent::Deploy {
+                    wl: 0,
+                    nodes: 1,
+                    name: "w".into(),
+                },
+            ),
+            rec(
+                1,
+                1,
+                JournalEvent::Completed {
+                    wl: 0,
+                    req: 7,
+                    e2e_ms: 1.0,
+                },
+            ),
+        ];
+        let v = check_invariants(&records);
+        assert!(v.iter().any(|m| m.contains("before its Arrival")), "{v:?}");
+        // Node out of range.
+        let records = vec![
+            rec(
+                0,
+                0,
+                JournalEvent::Deploy {
+                    wl: 0,
+                    nodes: 1,
+                    name: "w".into(),
+                },
+            ),
+            rec(1, 1, JournalEvent::Arrival { wl: 0, req: 0 }),
+            rec(
+                2,
+                2,
+                JournalEvent::ColdStart {
+                    wl: 0,
+                    node: 5,
+                    req: 0,
+                },
+            ),
+        ];
+        let v = check_invariants(&records);
+        assert!(v.iter().any(|m| m.contains("out of range")), "{v:?}");
+        // Sequence gap.
+        let records = vec![rec(
+            3,
+            0,
+            JournalEvent::Deploy {
+                wl: 0,
+                nodes: 1,
+                name: "w".into(),
+            },
+        )];
+        let v = check_invariants(&records);
+        assert!(v.iter().any(|m| m.contains("seq gap")), "{v:?}");
+    }
+
+    #[test]
+    fn stale_gateway_forward_after_settlement_is_legal() {
+        let rec = |seq, at_us, event| JournalRecord { seq, at_us, event };
+        let records = vec![
+            rec(
+                0,
+                0,
+                JournalEvent::Deploy {
+                    wl: 0,
+                    nodes: 1,
+                    name: "w".into(),
+                },
+            ),
+            rec(1, 1, JournalEvent::Arrival { wl: 0, req: 0 }),
+            rec(
+                2,
+                2,
+                JournalEvent::Failed {
+                    wl: 0,
+                    req: 0,
+                    attempts: 3,
+                },
+            ),
+            rec(3, 3, JournalEvent::GatewayForward { req: 0, ms: 0.1 }),
+        ];
+        assert_eq!(check_invariants(&records), Vec::<String>::new());
+    }
+
+    #[test]
+    fn file_journal_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("gsjrnl_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.journal");
+        {
+            let header = Json::obj().field("experiment", "file");
+            let mut j = FileJournal::create(&path, &header, None).unwrap();
+            j.record(0, &JournalEvent::Arrival { wl: 0, req: 0 });
+            j.finish();
+        }
+        let bytes = std::fs::read(&path).unwrap();
+        let parsed = read_journal(&bytes).unwrap();
+        assert_eq!(parsed.records.len(), 1);
+        assert_eq!(
+            parsed.header.get("experiment").unwrap().as_str(),
+            Some("file")
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

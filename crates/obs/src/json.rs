@@ -157,12 +157,35 @@ impl<T: Into<Json>> From<Vec<T>> for Json {
 fn write_num(x: f64, out: &mut String) {
     if !x.is_finite() {
         out.push_str("null");
-    } else if x.fract() == 0.0 && x.abs() < 9.0e15 {
+    } else {
+        write_finite_num(x, out);
+    }
+}
+
+/// Canonical decimal rendering of a finite `f64`: integer values render with
+/// no fractional part (`4`, never `4.0`, and `-0.0` normalizes to `0`);
+/// everything else uses Rust's shortest round-trip formatting, which never
+/// emits an exponent. Shared by the JSON writer and the Prometheus exporter
+/// so the same sample is byte-identical in both, keeping golden diffs
+/// stable.
+pub(crate) fn write_finite_num(x: f64, out: &mut String) {
+    debug_assert!(x.is_finite());
+    if x.fract() == 0.0 && x.abs() < 9.0e15 {
         // Exact integer: render without ".0" so µs timestamps round-trip.
         let _ = write!(out, "{}", x as i64);
     } else {
+        // `Display` for f64 is shortest-round-trip without exponents, so
+        // integral values ≥ 9e15 (beyond 2^53 every f64 is integral) also
+        // come out as plain digit strings with no trailing ".0".
         let _ = write!(out, "{x}");
     }
+}
+
+/// [`write_finite_num`] into a fresh string (see there for the contract).
+pub fn fmt_num(x: f64) -> String {
+    let mut out = String::new();
+    write_finite_num(x, &mut out);
+    out
 }
 
 fn write_str(s: &str, out: &mut String) {
@@ -357,6 +380,26 @@ mod tests {
     fn integers_render_without_fraction() {
         assert_eq!(Json::Num(1_000_000.0).render(), "1000000");
         assert_eq!(Json::Num(2.5).render(), "2.5");
+    }
+
+    #[test]
+    fn fmt_num_never_emits_trailing_point_zero() {
+        assert_eq!(fmt_num(4.0), "4");
+        assert_eq!(fmt_num(-7.0), "-7");
+        assert_eq!(fmt_num(-0.0), "0", "negative zero normalizes");
+        assert_eq!(fmt_num(2.5), "2.5");
+        assert_eq!(
+            fmt_num(1.0e16),
+            "10000000000000000",
+            "beyond the i64 fast path"
+        );
+        // Large magnitudes stay plain digit strings (no exponent, no '.').
+        let big = fmt_num(1e300);
+        assert!(!big.contains('e') && !big.contains('E') && !big.contains('.'));
+        // fmt_num and the JSON writer agree byte-for-byte on finite samples.
+        for x in [0.0, 1.0, -3.0, 0.125, 1234.5, 9.0e15, 1.0e16] {
+            assert_eq!(Json::Num(x).render(), fmt_num(x), "x={x}");
+        }
     }
 
     #[test]

@@ -24,14 +24,18 @@
 
 pub mod audit;
 pub mod faultlog;
+pub mod journal;
 pub mod json;
 pub mod profile;
+pub mod prom;
 pub mod telemetry;
 pub mod trace;
 
 pub use audit::{AuditLog, CandidateEval, DecisionRecord};
 pub use faultlog::{FaultLog, FaultRecord};
+pub use journal::{JournalEvent, JournalSink, JournalStats};
 pub use profile::WallProfiler;
+pub use prom::PromHub;
 pub use telemetry::Telemetry;
 pub use trace::{MemorySink, NullSink, SpanRecord, TraceSink, Track};
 
@@ -44,6 +48,10 @@ pub struct Obs {
     pub telemetry: Option<Telemetry>,
     /// Fault/recovery event log; `None` unless a chaos run asked for it.
     pub faults: Option<FaultLog>,
+    /// Run journal (append-only event WAL); `None` when journaling is off.
+    pub journal: Option<Box<dyn JournalSink>>,
+    /// Live Prometheus snapshot target; `None` when not exporting.
+    pub prom: Option<std::sync::Arc<PromHub>>,
 }
 
 impl Obs {
@@ -53,6 +61,8 @@ impl Obs {
             trace: Box::new(NullSink),
             telemetry: None,
             faults: None,
+            journal: None,
+            prom: None,
         }
     }
 
@@ -61,16 +71,15 @@ impl Obs {
         Self {
             trace: Box::new(MemorySink::new()),
             telemetry: Some(Telemetry::new()),
-            faults: None,
+            ..Self::off()
         }
     }
 
     /// Telemetry only (no spans).
     pub fn telemetry_only() -> Self {
         Self {
-            trace: Box::new(NullSink),
             telemetry: Some(Telemetry::new()),
-            faults: None,
+            ..Self::off()
         }
     }
 
@@ -78,6 +87,20 @@ impl Obs {
     /// the platform's recovery actions into it).
     pub fn with_fault_log(mut self) -> Self {
         self.faults = Some(FaultLog::new());
+        self
+    }
+
+    /// Builder: attach a run journal; the engine appends every externally
+    /// visible event to it and honors its checkpoint cadence.
+    pub fn with_journal(mut self, journal: Box<dyn JournalSink>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Builder: publish live Prometheus snapshots into `hub` at every
+    /// collect tick (requires telemetry to be on to carry any metrics).
+    pub fn with_prom(mut self, hub: std::sync::Arc<PromHub>) -> Self {
+        self.prom = Some(hub);
         self
     }
 
@@ -104,6 +127,8 @@ impl std::fmt::Debug for Obs {
             .field("tracing", &self.tracing())
             .field("telemetry", &self.telemetry.is_some())
             .field("faults", &self.faults.is_some())
+            .field("journal", &self.journal.is_some())
+            .field("prom", &self.prom.is_some())
             .finish()
     }
 }
@@ -119,6 +144,20 @@ mod tests {
         assert!(obs.telemetry.is_none());
         assert!(obs.memory_sink().is_none());
         assert!(obs.faults.is_none());
+        assert!(obs.journal.is_none());
+        assert!(obs.prom.is_none());
+    }
+
+    #[test]
+    fn with_journal_and_prom_attach() {
+        let journal = journal::MemoryJournal::in_memory(&json::Json::obj(), None);
+        let obs = Obs::telemetry_only()
+            .with_journal(Box::new(journal))
+            .with_prom(std::sync::Arc::new(PromHub::new()));
+        assert!(obs.journal.is_some());
+        assert!(obs.prom.is_some());
+        let dbg = format!("{obs:?}");
+        assert!(dbg.contains("journal: true") && dbg.contains("prom: true"));
     }
 
     #[test]

@@ -84,7 +84,7 @@ impl LogHistogram {
 
 /// One metric's state.
 #[derive(Debug, Clone)]
-enum Metric {
+pub(crate) enum Metric {
     Counter(u64),
     Gauge { last: f64, stats: OnlineStats },
     Histogram(LogHistogram),
@@ -171,6 +171,11 @@ impl Telemetry {
     /// Metric names in sorted order.
     pub fn names(&self) -> impl Iterator<Item = &str> {
         self.metrics.keys().map(String::as_str)
+    }
+
+    /// All metrics with their state, in name order (Prometheus exporter).
+    pub(crate) fn metrics(&self) -> impl Iterator<Item = (&str, &Metric)> {
+        self.metrics.iter().map(|(k, v)| (k.as_str(), v))
     }
 
     /// Fold another registry into this one (counters add, gauges keep the

@@ -1,0 +1,19 @@
+#[test]
+fn crc_standard_vector() {
+    assert_eq!(obs::journal::crc32(b"123456789"), 0xCBF4_3926);
+    let long: Vec<u8> = (0..=255u8).cycle().take(1013).collect();
+    // cross-check slice-by-8 against a local byte-at-a-time reference
+    let mut c = !0u32;
+    for &b in &long {
+        let mut x = (c ^ b as u32) & 0xFF;
+        for _ in 0..8 {
+            x = if x & 1 != 0 {
+                0xEDB8_8320 ^ (x >> 1)
+            } else {
+                x >> 1
+            };
+        }
+        c = x ^ (c >> 8);
+    }
+    assert_eq!(obs::journal::crc32(&long), !c);
+}

@@ -17,10 +17,11 @@
 use crate::config::{PlatformConfig, ResilienceConfig};
 use crate::gateway::{Forward, Gateway};
 use crate::report::{FunctionSeries, RunReport, UtilizationSample, WorkloadSeries};
-use crate::scale::{ClusterView, PlacementDecision, Placer};
+use crate::scale::{placement_journal_event, ClusterView, PlacementDecision, Placer};
 use cluster::{InstanceId, ServerState};
 use faults::{FaultConfig, FaultInjector, FaultKind};
 use metricsd::MetricVector;
+use obs::journal::{CheckpointState, JournalEvent, PlacementKind};
 use obs::json::Json;
 use obs::{FaultRecord, Obs, SpanRecord, Track};
 use simcore::rng::seed_stream;
@@ -244,6 +245,11 @@ pub struct Simulation {
     cold_storm_until: SimTime,
     /// Until this instant the predictor is reported unavailable to placers.
     predictor_down_until: SimTime,
+    /// Checkpoint cadence requested by the attached journal sink; `ZERO`
+    /// (journal absent or cadence unset) disables checkpointing entirely.
+    checkpoint_every: SimTime,
+    /// Next instant a checkpoint record is due (checked at collect ticks).
+    next_checkpoint: SimTime,
 }
 
 impl Simulation {
@@ -285,6 +291,8 @@ impl Simulation {
             slow_token: vec![0; n],
             cold_storm_until: SimTime::ZERO,
             predictor_down_until: SimTime::ZERO,
+            checkpoint_every: SimTime::ZERO,
+            next_checkpoint: SimTime::ZERO,
         }
     }
 
@@ -301,9 +309,37 @@ impl Simulation {
     }
 
     /// Install observability sinks. The default is [`Obs::off`], under
-    /// which every instrumentation site reduces to a flag check.
+    /// which every instrumentation site reduces to a flag check. An attached
+    /// journal sink's checkpoint cadence is adopted here.
     pub fn set_obs(&mut self, obs: Obs) {
         self.obs = obs;
+        self.checkpoint_every = self
+            .obs
+            .journal
+            .as_ref()
+            .and_then(|j| j.checkpoint_every_us())
+            .map_or(SimTime::ZERO, SimTime);
+        self.next_checkpoint = if self.checkpoint_every > SimTime::ZERO {
+            self.queue.now().plus(self.checkpoint_every)
+        } else {
+            SimTime::ZERO
+        };
+    }
+
+    /// Append one event to the attached journal, if any. Off-path cost is a
+    /// single `Option` check; callers that must *build* an event (clone a
+    /// string, collect a vector) should guard with [`Simulation::journaling`]
+    /// first so journal-off runs allocate nothing.
+    fn journal(&mut self, at: SimTime, ev: JournalEvent) {
+        if let Some(j) = self.obs.journal.as_mut() {
+            j.record(at.as_micros(), &ev);
+        }
+    }
+
+    /// Whether a journal sink is attached.
+    #[inline]
+    fn journaling(&self) -> bool {
+        self.obs.journal.is_some()
     }
 
     /// Install a fault-injection config. With any class enabled, the first
@@ -429,6 +465,26 @@ impl Simulation {
             ..Default::default()
         });
 
+        if self.journaling() {
+            let now = self.queue.now();
+            self.journal(
+                now,
+                JournalEvent::Deploy {
+                    wl: wl as u32,
+                    nodes: g.len() as u32,
+                    name: workload.name.clone(),
+                },
+            );
+            for (node, placements) in placement.iter().enumerate() {
+                for p in placements {
+                    self.journal(
+                        now,
+                        placement_journal_event(PlacementKind::Initial, wl, node, p),
+                    );
+                }
+            }
+        }
+
         self.sla_ms.push(None);
 
         let mut arrivals: VecDeque<SimTime> = arrivals.times().iter().copied().collect();
@@ -478,6 +534,23 @@ impl Simulation {
         }
         self.report.horizon = end;
         self.report.gateway_forward_ms = self.gateway.forward_latencies().to_vec();
+        if self.journaling() {
+            // Final telemetry snapshot, then the run-end sentinel; `finish`
+            // flushes buffered bytes so the file is replayable immediately.
+            let jsonl = self.obs.telemetry.as_ref().map(|t| t.to_jsonl());
+            if let Some(jsonl) = jsonl {
+                self.journal(end, JournalEvent::TelemetrySnapshot { jsonl });
+            }
+            self.journal(
+                end,
+                JournalEvent::RunEnd {
+                    horizon_us: end.as_micros(),
+                },
+            );
+            if let Some(j) = self.obs.journal.as_mut() {
+                j.finish();
+            }
+        }
     }
 
     /// The accumulated run report.
@@ -538,6 +611,7 @@ impl Simulation {
             outcome: None,
         });
         self.report.workloads[wl].arrivals += 1;
+        self.journal(now, JournalEvent::Arrival { wl: wl as u32, req });
         if let Some(t) = self.obs.telemetry.as_mut() {
             t.incr("requests.arrivals", 1);
         }
@@ -552,6 +626,7 @@ impl Simulation {
             r.outcome = Some(Outcome::Shed);
             r.done = true;
             self.report.workloads[wl].shed += 1;
+            self.journal(now, JournalEvent::Shed { wl: wl as u32, req });
             if let Some(t) = self.obs.telemetry.as_mut() {
                 t.incr("requests.shed", 1);
             }
@@ -600,7 +675,8 @@ impl Simulation {
     }
 
     fn on_gateway_done(&mut self, now: SimTime, fwd: Forward) {
-        self.gateway.record_latency(fwd.enqueued_at, now);
+        let fwd_ms = self.gateway.record_latency(fwd.enqueued_at, now);
+        self.journal(now, fwd.journal_event(fwd_ms));
         if let Some(t) = self.obs.telemetry.as_mut() {
             t.incr("gateway.forwards", 1);
             t.observe("gateway.forward_ms", now.since(fwd.enqueued_at).as_millis());
@@ -738,6 +814,15 @@ impl Simulation {
             };
             if cold {
                 self.report.workloads[wl].functions[node].cold_starts += 1;
+                let req = self.tasks[task_id].req;
+                self.journal(
+                    now,
+                    JournalEvent::ColdStart {
+                        wl: wl as u32,
+                        node: node as u32,
+                        req,
+                    },
+                );
             }
             {
                 let wait_ms = now.since(self.tasks[task_id].enqueued_at).as_millis();
@@ -908,6 +993,15 @@ impl Simulation {
             fs.local_latencies_ms.push(local_ms);
             fs.completions += 1;
         }
+        self.journal(
+            now,
+            JournalEvent::TaskDone {
+                wl: wl as u32,
+                node: node as u32,
+                req,
+                local_ms,
+            },
+        );
         if let Some(t) = self.obs.telemetry.as_mut() {
             t.incr("functions.completions", 1);
             t.observe("function.local_ms", local_ms);
@@ -1033,6 +1127,14 @@ impl Simulation {
             let series = &mut self.report.workloads[wl];
             series.e2e_latencies_ms.push(e2e);
             series.completions += 1;
+            self.journal(
+                now,
+                JournalEvent::Completed {
+                    wl: wl as u32,
+                    req,
+                    e2e_ms: e2e,
+                },
+            );
             if let Some(t) = self.obs.telemetry.as_mut() {
                 t.incr("requests.completions", 1);
                 t.observe("request.e2e_ms", e2e);
@@ -1097,9 +1199,20 @@ impl Simulation {
         for (wl, nodes) in samples.into_iter().enumerate() {
             for (node, vecs) in nodes.into_iter().enumerate() {
                 if !vecs.is_empty() {
+                    let m = MetricVector::mean_of(&vecs);
+                    if self.journaling() {
+                        self.journal(
+                            now,
+                            JournalEvent::MetricSample {
+                                wl: wl as u32,
+                                node: node as u32,
+                                values: m.as_slice().to_vec(),
+                            },
+                        );
+                    }
                     self.report.workloads[wl].functions[node]
                         .metric_samples
-                        .push(MetricVector::mean_of(&vecs));
+                        .push(m);
                 }
             }
         }
@@ -1116,6 +1229,17 @@ impl Simulation {
         } else {
             0.0
         };
+        if self.journaling() {
+            self.journal(
+                now,
+                JournalEvent::Utilization {
+                    cpu: cpu_utils.clone(),
+                    memory: mem_utils.clone(),
+                    density,
+                    instances: self.instance_count as u64,
+                },
+            );
+        }
         self.report.utilization.push(UtilizationSample {
             at: now,
             cpu: cpu_utils,
@@ -1140,9 +1264,67 @@ impl Simulation {
 
         self.autoscale(now);
 
+        // Checkpoint records ride the collect tick: cheap (no extra events on
+        // the queue) and aligned with a consistent post-autoscale state.
+        if self.checkpoint_every > SimTime::ZERO && now >= self.next_checkpoint {
+            let state = self.checkpoint_state(now);
+            self.journal(now, JournalEvent::Checkpoint(state));
+            while self.next_checkpoint <= now {
+                self.next_checkpoint = self.next_checkpoint.plus(self.checkpoint_every);
+            }
+        }
+
+        // Refresh the live Prometheus exposition, if a hub is attached.
+        // Read-only over telemetry/fault-log state: zero determinism impact.
+        if let (Some(hub), Some(t)) = (self.obs.prom.as_ref(), self.obs.telemetry.as_ref()) {
+            hub.publish(t, self.obs.faults.as_ref());
+        }
+
         self.next_collect = now.plus(self.config.collect_interval);
         if self.next_collect <= end {
             self.queue.schedule(self.next_collect, Ev::Collect);
+        }
+    }
+
+    /// Snapshot the engine's replay-relevant state for a checkpoint record.
+    /// Everything that is cheap to capture exactly is captured exactly (RNG
+    /// stream words, counters); bulky structures (the instance table) are
+    /// fingerprinted so resume verification can still detect divergence.
+    fn checkpoint_state(&self, now: SimTime) -> CheckpointState {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+        fn mix(fp: &mut u64, w: u64) {
+            *fp = (*fp ^ w).wrapping_mul(FNV_PRIME);
+        }
+        let mut fp = FNV_OFFSET;
+        let mut total = 0u64;
+        let mut alive = 0u64;
+        for (wl, d) in self.deployed.iter().enumerate() {
+            for (node, insts) in d.instances.iter().enumerate() {
+                for inst in insts {
+                    total += 1;
+                    alive += inst.alive as u64;
+                    mix(&mut fp, wl as u64);
+                    mix(&mut fp, node as u64);
+                    mix(&mut fp, inst.server as u64);
+                    mix(&mut fp, inst.socket as u64);
+                    mix(&mut fp, inst.alive as u64);
+                }
+            }
+        }
+        CheckpointState {
+            at_us: now.as_micros(),
+            sim_rng: self.rng.state(),
+            retry_rng: self.retry_rng.state(),
+            fault_fingerprint: self.faults.as_ref().map_or(0, |f| f.state_fingerprint()),
+            pending_events: self.queue.len() as u64,
+            gateway_depth: self.gateway.depth() as u64,
+            instances_total: total,
+            instances_alive: alive,
+            instance_table_fp: fp,
+            tasks_created: self.tasks.len() as u64,
+            requests_created: self.requests.len() as u64,
+            requests_settled: self.requests.iter().filter(|r| r.outcome.is_some()).count() as u64,
         }
     }
 
@@ -1228,6 +1410,10 @@ impl Simulation {
                 });
                 self.instance_count += 1;
                 self.report.scale_outs.push((now, wl, node));
+                self.journal(
+                    now,
+                    placement_journal_event(PlacementKind::ScaleOut, wl, node, &p),
+                );
                 if let Some(t) = self.obs.telemetry.as_mut() {
                     t.incr("autoscaler.scale_outs", 1);
                 }
@@ -1249,6 +1435,18 @@ impl Simulation {
                 target,
                 value,
             });
+            // Journal the fault record alongside the log push (same guard),
+            // so a replayed FaultLog matches the live one entry-for-entry.
+            if self.obs.journal.is_some() {
+                self.journal(
+                    now,
+                    JournalEvent::Fault {
+                        kind: kind.to_string(),
+                        target,
+                        value,
+                    },
+                );
+            }
         }
     }
 
@@ -1475,6 +1673,10 @@ impl Simulation {
                 });
                 self.instance_count += 1;
                 self.log_fault(now, "rewarm", p.server as i64, node as f64);
+                self.journal(
+                    now,
+                    placement_journal_event(PlacementKind::Rewarm, wl, node, &p),
+                );
                 if let Some(t) = self.obs.telemetry.as_mut() {
                     t.incr("autoscaler.rewarms", 1);
                 }
@@ -1498,6 +1700,14 @@ impl Simulation {
             let u = self.retry_rng.f64();
             let delay = self.resilience.backoff_delay(attempt, u);
             self.report.workloads[wl].retries += 1;
+            self.journal(
+                now,
+                JournalEvent::Retry {
+                    wl: wl as u32,
+                    req,
+                    delay_ms: delay.as_millis(),
+                },
+            );
             if let Some(t) = self.obs.telemetry.as_mut() {
                 t.incr("requests.retries", 1);
             }
@@ -1509,6 +1719,14 @@ impl Simulation {
             r.outcome = Some(Outcome::Failed);
             r.done = true;
             self.report.workloads[wl].failed += 1;
+            self.journal(
+                now,
+                JournalEvent::Failed {
+                    wl: wl as u32,
+                    req,
+                    attempts: attempt,
+                },
+            );
             if let Some(t) = self.obs.telemetry.as_mut() {
                 t.incr("requests.failures", 1);
             }

@@ -28,6 +28,15 @@ pub struct Forward {
     pub attempt: u32,
 }
 
+impl Forward {
+    /// Journal record for this forward's completed service. Stale forwards
+    /// (of aborted attempts) are journaled too: their latency still lands in
+    /// the live run's report vector, and replay must match it exactly.
+    pub(crate) fn journal_event(&self, ms: f64) -> obs::journal::JournalEvent {
+        obs::journal::JournalEvent::GatewayForward { req: self.req, ms }
+    }
+}
+
 /// FIFO gateway state.
 #[derive(Debug, Clone, Default)]
 pub struct Gateway {
@@ -72,10 +81,12 @@ impl Gateway {
         }
     }
 
-    /// Record a completed forward's total latency (for the overhead study).
-    pub fn record_latency(&mut self, enqueued_at: SimTime, now: SimTime) {
-        self.forward_latencies
-            .push(now.since(enqueued_at).as_millis());
+    /// Record a completed forward's total latency (for the overhead study)
+    /// and return it, so the caller can journal the exact recorded value.
+    pub fn record_latency(&mut self, enqueued_at: SimTime, now: SimTime) -> f64 {
+        let ms = now.since(enqueued_at).as_millis();
+        self.forward_latencies.push(ms);
+        ms
     }
 
     /// Current queue depth.
@@ -156,7 +167,8 @@ mod tests {
     #[test]
     fn latency_recording() {
         let mut g = Gateway::new();
-        g.record_latency(SimTime::ZERO, SimTime::from_millis(2.0));
+        let ms = g.record_latency(SimTime::ZERO, SimTime::from_millis(2.0));
+        assert_eq!(ms, 2.0);
         assert_eq!(g.forward_latencies(), &[2.0]);
     }
 }

@@ -37,11 +37,13 @@ pub mod config;
 pub mod engine;
 pub mod gateway;
 pub mod profiling;
+pub mod replay;
 pub mod report;
 pub mod scale;
 
 pub use config::{GatewayConfig, PlatformConfig, ResilienceConfig};
 pub use engine::{ArrivalSpec, Deployment, Outcome, Simulation, WorkloadId};
 pub use profiling::{profile_workload, ProfilingConfig};
+pub use replay::{replay, Replayed};
 pub use report::RunReport;
 pub use scale::{ClusterView, NoScaling, Placer};

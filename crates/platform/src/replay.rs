@@ -1,0 +1,344 @@
+//! Journal replay: reconstruct run artifacts without re-simulating.
+//!
+//! A journal (see [`obs::journal`]) captures every report-relevant event a
+//! run emitted. Folding those records back through [`replay`] rebuilds the
+//! [`RunReport`], the [`FaultLog`], and the final telemetry snapshot in one
+//! linear pass — no event queue, no contention model, no RNG. The contract
+//! is *byte-identity*: a replayed report renders exactly the bytes the live
+//! run's report did ([`RunReport::render_json`]), the replayed fault log's
+//! JSONL and summary match the live ones, and the telemetry snapshot is the
+//! verbatim string the engine journaled at run end.
+
+use crate::report::{FunctionSeries, RunReport, UtilizationSample, WorkloadSeries};
+use metricsd::MetricVector;
+use obs::faultlog::{intern_kind, FaultLog};
+use obs::journal::{CheckpointState, JournalEvent, JournalRecord};
+use obs::FaultRecord;
+use simcore::SimTime;
+
+/// Everything a journal fold reconstructs.
+#[derive(Debug)]
+pub struct Replayed {
+    /// The run report, field-for-field equal to the live run's.
+    pub report: RunReport,
+    /// The fault log, entry-for-entry equal to the live run's (empty if the
+    /// run had no fault log attached).
+    pub faults: FaultLog,
+    /// The final telemetry snapshot (JSONL), verbatim from the journal, or
+    /// `None` if the run had telemetry off.
+    pub telemetry_jsonl: Option<String>,
+    /// Checkpoint records encountered, in order.
+    pub checkpoints: Vec<CheckpointState>,
+    /// Number of records folded.
+    pub records: usize,
+}
+
+fn wl_mut(report: &mut RunReport, wl: u32, seq: u64) -> Result<&mut WorkloadSeries, String> {
+    report
+        .workloads
+        .get_mut(wl as usize)
+        .ok_or_else(|| format!("record seq={seq} references undeployed workload {wl}"))
+}
+
+/// Fold a parsed journal's records into run artifacts. Errors on records
+/// that reference workloads/nodes never deployed, malformed metric samples,
+/// or fault kinds outside the engine's known label set — all symptoms of a
+/// journal that did not come from this engine.
+pub fn replay(records: &[JournalRecord]) -> Result<Replayed, String> {
+    let mut report = RunReport::default();
+    let mut faults = FaultLog::new();
+    let mut telemetry_jsonl = None;
+    let mut checkpoints = Vec::new();
+    for rec in records {
+        let seq = rec.seq;
+        match &rec.event {
+            JournalEvent::Deploy { wl, nodes, .. } => {
+                if *wl as usize != report.workloads.len() {
+                    return Err(format!(
+                        "record seq={seq}: deploy of workload {wl} out of order (have {})",
+                        report.workloads.len()
+                    ));
+                }
+                report.workloads.push(WorkloadSeries {
+                    functions: vec![FunctionSeries::default(); *nodes as usize],
+                    ..Default::default()
+                });
+            }
+            JournalEvent::Placement { kind, wl, node, .. } => {
+                let nodes = wl_mut(&mut report, *wl, seq)?.functions.len();
+                if *node as usize >= nodes {
+                    return Err(format!(
+                        "record seq={seq}: placement on node {node} of workload {wl} (has {nodes})"
+                    ));
+                }
+                if *kind == obs::journal::PlacementKind::ScaleOut {
+                    report.scale_outs.push((
+                        SimTime::from_micros(rec.at_us),
+                        *wl as usize,
+                        *node as usize,
+                    ));
+                }
+            }
+            JournalEvent::Arrival { wl, .. } => {
+                wl_mut(&mut report, *wl, seq)?.arrivals += 1;
+            }
+            JournalEvent::Shed { wl, .. } => {
+                wl_mut(&mut report, *wl, seq)?.shed += 1;
+            }
+            JournalEvent::GatewayForward { ms, .. } => {
+                report.gateway_forward_ms.push(*ms);
+            }
+            JournalEvent::ColdStart { wl, node, .. } => {
+                let w = wl_mut(&mut report, *wl, seq)?;
+                let f = w.functions.get_mut(*node as usize).ok_or_else(|| {
+                    format!("record seq={seq}: cold start on unknown node {node}")
+                })?;
+                f.cold_starts += 1;
+            }
+            JournalEvent::TaskDone {
+                wl, node, local_ms, ..
+            } => {
+                let w = wl_mut(&mut report, *wl, seq)?;
+                let f = w
+                    .functions
+                    .get_mut(*node as usize)
+                    .ok_or_else(|| format!("record seq={seq}: task done on unknown node {node}"))?;
+                f.local_latencies_ms.push(*local_ms);
+                f.completions += 1;
+            }
+            JournalEvent::Completed { wl, e2e_ms, .. } => {
+                let w = wl_mut(&mut report, *wl, seq)?;
+                w.e2e_latencies_ms.push(*e2e_ms);
+                w.completions += 1;
+            }
+            JournalEvent::Retry { wl, .. } => {
+                wl_mut(&mut report, *wl, seq)?.retries += 1;
+            }
+            JournalEvent::Failed { wl, .. } => {
+                wl_mut(&mut report, *wl, seq)?.failed += 1;
+            }
+            JournalEvent::MetricSample { wl, node, values } => {
+                if values.len() != metricsd::NUM_METRICS {
+                    return Err(format!(
+                        "record seq={seq}: metric sample has {} values, expected {}",
+                        values.len(),
+                        metricsd::NUM_METRICS
+                    ));
+                }
+                let mut arr = [0.0; metricsd::NUM_METRICS];
+                arr.copy_from_slice(values);
+                let w = wl_mut(&mut report, *wl, seq)?;
+                let f = w.functions.get_mut(*node as usize).ok_or_else(|| {
+                    format!("record seq={seq}: metric sample on unknown node {node}")
+                })?;
+                f.metric_samples.push(MetricVector::from_array(arr));
+            }
+            JournalEvent::Utilization {
+                cpu,
+                memory,
+                density,
+                instances,
+            } => {
+                report.utilization.push(UtilizationSample {
+                    at: SimTime::from_micros(rec.at_us),
+                    cpu: cpu.clone(),
+                    memory: memory.clone(),
+                    function_density: *density,
+                    instances: *instances as usize,
+                });
+            }
+            JournalEvent::Fault {
+                kind,
+                target,
+                value,
+            } => {
+                let kind = intern_kind(kind)
+                    .ok_or_else(|| format!("record seq={seq}: unknown fault kind {kind:?}"))?;
+                faults.push(FaultRecord {
+                    at_ms: SimTime::from_micros(rec.at_us).as_millis(),
+                    kind,
+                    target: *target,
+                    value: *value,
+                });
+            }
+            JournalEvent::TelemetrySnapshot { jsonl } => {
+                // Last snapshot wins — the engine journals exactly one, at
+                // run end, but resumed runs may carry an earlier one too.
+                telemetry_jsonl = Some(jsonl.clone());
+            }
+            JournalEvent::Checkpoint(state) => {
+                checkpoints.push(state.clone());
+            }
+            JournalEvent::RunEnd { horizon_us } => {
+                report.horizon = SimTime::from_micros(*horizon_us);
+            }
+        }
+    }
+    Ok(Replayed {
+        report,
+        faults,
+        telemetry_jsonl,
+        checkpoints,
+        records: records.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use obs::journal::PlacementKind;
+
+    fn rec(seq: u64, at_us: u64, event: JournalEvent) -> JournalRecord {
+        JournalRecord { seq, at_us, event }
+    }
+
+    #[test]
+    fn fold_reconstructs_counters_and_series() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                JournalEvent::Deploy {
+                    wl: 0,
+                    nodes: 2,
+                    name: "w".into(),
+                },
+            ),
+            rec(
+                1,
+                0,
+                JournalEvent::Placement {
+                    kind: PlacementKind::Initial,
+                    wl: 0,
+                    node: 0,
+                    server: 0,
+                    socket: 0,
+                },
+            ),
+            rec(2, 10, JournalEvent::Arrival { wl: 0, req: 0 }),
+            rec(3, 20, JournalEvent::GatewayForward { req: 0, ms: 0.5 }),
+            rec(
+                4,
+                30,
+                JournalEvent::ColdStart {
+                    wl: 0,
+                    node: 0,
+                    req: 0,
+                },
+            ),
+            rec(
+                5,
+                90,
+                JournalEvent::TaskDone {
+                    wl: 0,
+                    node: 0,
+                    req: 0,
+                    local_ms: 0.06,
+                },
+            ),
+            rec(
+                6,
+                90,
+                JournalEvent::Completed {
+                    wl: 0,
+                    req: 0,
+                    e2e_ms: 0.09,
+                },
+            ),
+            rec(
+                7,
+                1000,
+                JournalEvent::Placement {
+                    kind: PlacementKind::ScaleOut,
+                    wl: 0,
+                    node: 1,
+                    server: 1,
+                    socket: 0,
+                },
+            ),
+            rec(8, 2000, JournalEvent::RunEnd { horizon_us: 2000 }),
+        ];
+        let r = replay(&records).expect("fold");
+        assert_eq!(r.report.workloads.len(), 1);
+        let w = &r.report.workloads[0];
+        assert_eq!(w.arrivals, 1);
+        assert_eq!(w.completions, 1);
+        assert_eq!(w.e2e_latencies_ms, vec![0.09]);
+        assert_eq!(w.functions[0].cold_starts, 1);
+        assert_eq!(w.functions[0].completions, 1);
+        assert_eq!(r.report.gateway_forward_ms, vec![0.5]);
+        assert_eq!(
+            r.report.scale_outs,
+            vec![(SimTime::from_micros(1000), 0, 1)]
+        );
+        assert_eq!(r.report.horizon, SimTime::from_micros(2000));
+        assert_eq!(r.records, 9);
+    }
+
+    #[test]
+    fn fold_rejects_undeployed_workload() {
+        let records = vec![rec(0, 0, JournalEvent::Arrival { wl: 3, req: 0 })];
+        let err = replay(&records).unwrap_err();
+        assert!(err.contains("undeployed workload 3"), "{err}");
+    }
+
+    #[test]
+    fn fold_rejects_unknown_fault_kind() {
+        let records = vec![rec(
+            0,
+            0,
+            JournalEvent::Fault {
+                kind: "gremlins".into(),
+                target: -1,
+                value: 0.0,
+            },
+        )];
+        let err = replay(&records).unwrap_err();
+        assert!(err.contains("unknown fault kind"), "{err}");
+    }
+
+    #[test]
+    fn fold_rejects_malformed_metric_sample() {
+        let records = vec![
+            rec(
+                0,
+                0,
+                JournalEvent::Deploy {
+                    wl: 0,
+                    nodes: 1,
+                    name: "w".into(),
+                },
+            ),
+            rec(
+                1,
+                0,
+                JournalEvent::MetricSample {
+                    wl: 0,
+                    node: 0,
+                    values: vec![1.0, 2.0],
+                },
+            ),
+        ];
+        let err = replay(&records).unwrap_err();
+        assert!(err.contains("metric sample"), "{err}");
+    }
+
+    #[test]
+    fn fault_fold_matches_live_push() {
+        let records = vec![rec(
+            0,
+            1_500_000,
+            JournalEvent::Fault {
+                kind: "server_crash".into(),
+                target: 2,
+                value: 0.0,
+            },
+        )];
+        let r = replay(&records).expect("fold");
+        assert_eq!(r.faults.records().len(), 1);
+        let f = &r.faults.records()[0];
+        assert_eq!(f.kind, "server_crash");
+        assert_eq!(f.at_ms, 1500.0);
+        assert_eq!(f.target, 2);
+    }
+}

@@ -2,6 +2,7 @@
 //! and overhead statistics after a simulation.
 
 use metricsd::{Metric, MetricVector};
+use obs::json::Json;
 use simcore::stats::{Cdf, Summary};
 use simcore::SimTime;
 
@@ -204,6 +205,82 @@ impl RunReport {
             start = end;
         }
         ok as f64 / total as f64
+    }
+
+    /// Canonical JSON tree of the whole report. Every field the struct
+    /// carries is included, latencies and metric samples verbatim, so two
+    /// reports are equal iff their trees render identically — the byte-level
+    /// artifact `repro replay` diffs against the live run.
+    pub fn to_json(&self) -> Json {
+        let workloads: Vec<Json> = self
+            .workloads
+            .iter()
+            .map(|w| {
+                let functions: Vec<Json> = w
+                    .functions
+                    .iter()
+                    .map(|f| {
+                        let samples: Vec<Json> = f
+                            .metric_samples
+                            .iter()
+                            .map(|m| {
+                                Json::Arr(m.as_slice().iter().map(|&v| Json::Num(v)).collect())
+                            })
+                            .collect();
+                        Json::obj()
+                            .field("local_latencies_ms", f.local_latencies_ms.clone())
+                            .field("metric_samples", Json::Arr(samples))
+                            .field("completions", f.completions)
+                            .field("cold_starts", f.cold_starts)
+                    })
+                    .collect();
+                Json::obj()
+                    .field("e2e_latencies_ms", w.e2e_latencies_ms.clone())
+                    .field("arrivals", w.arrivals)
+                    .field("completions", w.completions)
+                    .field("shed", w.shed)
+                    .field("failed", w.failed)
+                    .field("retries", w.retries)
+                    .field("functions", Json::Arr(functions))
+            })
+            .collect();
+        let utilization: Vec<Json> = self
+            .utilization
+            .iter()
+            .map(|u| {
+                Json::obj()
+                    .field("at_us", u.at.as_micros())
+                    .field("cpu", u.cpu.clone())
+                    .field("memory", u.memory.clone())
+                    .field("function_density", u.function_density)
+                    .field("instances", u.instances)
+            })
+            .collect();
+        let scale_outs: Vec<Json> = self
+            .scale_outs
+            .iter()
+            .map(|&(at, wl, node)| {
+                Json::Arr(vec![
+                    Json::from(at.as_micros()),
+                    Json::from(wl),
+                    Json::from(node),
+                ])
+            })
+            .collect();
+        Json::obj()
+            .field("workloads", Json::Arr(workloads))
+            .field("utilization", Json::Arr(utilization))
+            .field("gateway_forward_ms", self.gateway_forward_ms.clone())
+            .field("scale_outs", Json::Arr(scale_outs))
+            .field("horizon_us", self.horizon.as_micros())
+    }
+
+    /// [`RunReport::to_json`] rendered as one line plus a trailing newline —
+    /// the byte-stable report artifact.
+    pub fn render_json(&self) -> String {
+        let mut out = self.to_json().render();
+        out.push('\n');
+        out
     }
 }
 

@@ -85,6 +85,23 @@ pub struct PlacementDecision {
     pub socket: usize,
 }
 
+/// Journal record for one placement decision — initial deploy, autoscaler
+/// scale-out, or crash-recovery re-warm.
+pub(crate) fn placement_journal_event(
+    kind: obs::journal::PlacementKind,
+    wl: usize,
+    node: usize,
+    p: &PlacementDecision,
+) -> obs::journal::JournalEvent {
+    obs::journal::JournalEvent::Placement {
+        kind,
+        wl: wl as u32,
+        node: node as u32,
+        server: p.server as u32,
+        socket: p.socket as u32,
+    }
+}
+
 /// Placement policy invoked at scale-out time.
 pub trait Placer {
     /// Choose where a new instance of `(workload, node)` should run, or

@@ -76,9 +76,8 @@ fn trace_dir_exports_perfetto_artifact_showing_queue_wait_growth() {
     let dir = std::env::temp_dir().join(format!("gsight_obs_test_{}", std::process::id()));
     let opts = RunOpts {
         quick: true,
-        obs: false,
         trace_dir: Some(dir.clone()),
-        seed: None,
+        ..RunOpts::default()
     };
     let exps = all_experiments();
     let fig4 = exps.iter().find(|e| e.id == "fig4").unwrap();

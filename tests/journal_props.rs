@@ -1,0 +1,130 @@
+//! Property tests for the run journal: the TLA-derived ordering invariants
+//! must hold on every journal the engine writes, replay must reconstruct
+//! the live artifacts byte-for-byte, resume must complete a torn journal
+//! bit-identically, and attaching a journal must never perturb the
+//! simulation — across many seeds, with faults both on and off.
+
+use experiments::fault_sweep::{chaos_run, SweepPoint};
+use experiments::journal_runs::{
+    fault_sweep_spec, replay_bytes, rerun_from_header, resume_bytes, truncate_bytes,
+};
+use obs::journal::{check_invariants, read_journal, JournalEvent};
+
+const QUICK: bool = true;
+const FAULTS_OFF: SweepPoint = SweepPoint {
+    crash_per_min: 0.0,
+    slowdown_per_min: 0.0,
+};
+const FAULTS_ON: SweepPoint = SweepPoint {
+    crash_per_min: 2.0,
+    slowdown_per_min: 4.0,
+};
+
+/// 20 seeds x {faults off, faults on}: every journal parses strictly,
+/// satisfies all ordering invariants, carries checkpoints, and folds back
+/// into artifacts that byte-match the live run that wrote it.
+#[test]
+fn journal_invariants_and_replay_hold_across_twenty_seeds() {
+    for seed in 0..20u64 {
+        for point in [FAULTS_OFF, FAULTS_ON] {
+            let header = fault_sweep_spec(point, seed, QUICK);
+            let (bytes, live) = rerun_from_header(&header).expect("journaled run");
+
+            let parsed = read_journal(&bytes).expect("strict parse");
+            assert!(parsed.truncated.is_none());
+            assert!(!parsed.records.is_empty(), "seed {seed}: empty journal");
+            let violations = check_invariants(&parsed.records);
+            assert!(
+                violations.is_empty(),
+                "seed {seed} point {point:?}: ordering invariants violated:\n  {}",
+                violations.join("\n  ")
+            );
+            let checkpoints = parsed
+                .records
+                .iter()
+                .filter(|r| matches!(r.event, JournalEvent::Checkpoint(_)))
+                .count();
+            assert!(checkpoints > 0, "seed {seed}: no checkpoint records");
+
+            let replay = replay_bytes(&bytes).expect("replay");
+            assert_eq!(
+                replay.artifacts, live,
+                "seed {seed} point {point:?}: replayed artifacts differ from live run"
+            );
+            assert_eq!(replay.checkpoints, checkpoints);
+        }
+    }
+}
+
+/// Fault events appear in the journal exactly when faults are injected:
+/// none at the zero point, some at the chaotic point.
+#[test]
+fn fault_records_track_the_fault_regime() {
+    let seed = 11u64;
+    for (point, expect_faults) in [(FAULTS_OFF, false), (FAULTS_ON, true)] {
+        let (bytes, _) = rerun_from_header(&fault_sweep_spec(point, seed, QUICK)).unwrap();
+        let parsed = read_journal(&bytes).unwrap();
+        let faults = parsed
+            .records
+            .iter()
+            .filter(|r| matches!(r.event, JournalEvent::Fault { .. }))
+            .count();
+        assert_eq!(
+            faults > 0,
+            expect_faults,
+            "point {point:?}: {faults} fault records"
+        );
+    }
+}
+
+/// Resume from a torn tail reproduces the uninterrupted journal and its
+/// artifacts bit-identically, at several seeds and truncation points.
+#[test]
+fn resume_is_bit_identical_across_seeds_and_cut_points() {
+    for seed in [3u64, 9, 17] {
+        let header = fault_sweep_spec(FAULTS_ON, seed, QUICK);
+        let (full, live) = rerun_from_header(&header).expect("journaled run");
+        for frac in [0.25, 0.6, 0.95] {
+            let torn = truncate_bytes(&full, frac);
+            assert!(torn.len() < full.len());
+            let resumed =
+                resume_bytes(&torn).unwrap_or_else(|e| panic!("seed {seed} frac {frac}: {e}"));
+            assert!(resumed.was_truncated);
+            assert!(resumed.verified_records <= resumed.total_records);
+            assert_eq!(
+                resumed.full_journal, full,
+                "seed {seed} frac {frac}: resumed journal is not byte-identical"
+            );
+            assert_eq!(resumed.artifacts, live);
+        }
+    }
+}
+
+/// Resuming an already-complete journal is a no-op that still verifies
+/// every record.
+#[test]
+fn resume_of_complete_journal_verifies_everything() {
+    let (full, live) = rerun_from_header(&fault_sweep_spec(FAULTS_ON, 5, QUICK)).unwrap();
+    let resumed = resume_bytes(&full).expect("resume of complete journal");
+    assert!(!resumed.was_truncated);
+    assert_eq!(resumed.verified_records, resumed.total_records);
+    assert_eq!(resumed.full_journal, full);
+    assert_eq!(resumed.artifacts, live);
+}
+
+/// Attaching a journal sink must not perturb the simulation: the journaled
+/// run's report and fault log byte-match a plain run at the same seed.
+#[test]
+fn journaling_does_not_perturb_the_simulation() {
+    for seed in [0u64, 7, 42] {
+        let plain = chaos_run(FAULTS_ON, seed, QUICK);
+        let (_, journaled) = rerun_from_header(&fault_sweep_spec(FAULTS_ON, seed, QUICK)).unwrap();
+        assert_eq!(
+            plain.report.render_json(),
+            journaled.report_json,
+            "seed {seed}: journaling changed the run report"
+        );
+        assert_eq!(plain.faults.to_jsonl(), journaled.faults_jsonl);
+        assert_eq!(plain.faults.summary(), journaled.fault_summary);
+    }
+}
