@@ -300,13 +300,20 @@ fn main() {
         tt.threads,
         tt.bit_identical
     );
-    // Journal economics on the quick chaos point: write overhead of
-    // journaling on vs off, and replay-by-fold speedup vs re-simulation.
+    // Journal economics on the full-length chaos point: write overhead of
+    // journaling on vs off (asserted within budget by the bench itself),
+    // and replay-by-fold speedup vs re-simulation.
     let jb = journal_runs::journal_bench();
     println!(
-        "journal replay: {} records / {} bytes, write overhead {:.1}%, \
-         replay {:.0}x faster than re-simulation, bit-identical: {}",
-        jb.records, jb.journal_bytes, jb.write_overhead_pct, jb.replay_speedup, jb.bit_identical
+        "journal replay: {} records / {} bytes, write overhead {:.1}% \
+         (budget {:.0}%), replay {:.0}x faster than re-simulation, \
+         bit-identical: {}",
+        jb.records,
+        jb.journal_bytes,
+        jb.write_overhead_pct,
+        jb.write_overhead_budget_pct,
+        jb.replay_speedup,
+        jb.bit_identical
     );
     let bench = Json::obj()
         .field("mode", if cli.opts.quick { "quick" } else { "full" })
@@ -342,6 +349,8 @@ fn main() {
                 .field("baseline_wall_s", jb.baseline_wall_s)
                 .field("journaled_wall_s", jb.journaled_wall_s)
                 .field("write_overhead_pct", jb.write_overhead_pct)
+                .field("write_overhead_budget_pct", jb.write_overhead_budget_pct)
+                .field("within_budget", jb.within_budget)
                 .field("replay_wall_s", jb.replay_wall_s)
                 .field("replay_speedup", jb.replay_speedup)
                 .field("bit_identical", jb.bit_identical),

@@ -16,7 +16,7 @@
 use crate::scenario::ColoWorkload;
 use cluster::resources::NUM_RESOURCES;
 use cluster::Resource;
-use metricsd::{MetricVector, NUM_SELECTED};
+use metricsd::NUM_SELECTED;
 
 /// Coding configuration: the fixed shapes the model is trained with.
 ///
@@ -45,14 +45,36 @@ impl CodingConfig {
 /// selected solo-run metrics, aggregating same-server functions by the mean
 /// (the paper's "virtual larger function").
 pub fn spatial_utilization_code(w: &ColoWorkload, num_servers: usize) -> Vec<[f64; NUM_SELECTED]> {
-    let mut per_server: Vec<Vec<MetricVector>> = vec![Vec::new(); num_servers];
+    let mut flat = Vec::new();
+    spatial_utilization_code_into(w, num_servers, &mut flat);
+    to_rows(&flat)
+}
+
+/// Append `U_w` row-major to `out` — the allocation-free form the batch
+/// featurizer uses. Per-server aggregation sums the cached function means
+/// in function order and scales by the reciprocal count, the exact fold
+/// of [`metricsd::MetricVector::mean_of`], so the values written are
+/// bit-identical to [`spatial_utilization_code`].
+pub fn spatial_utilization_code_into(w: &ColoWorkload, num_servers: usize, out: &mut Vec<f64>) {
+    let start = out.len();
+    out.resize(start + num_servers * NUM_SELECTED, 0.0);
+    let rows = &mut out[start..];
     for (func, &server) in w.profile.functions.iter().zip(&w.placement) {
-        per_server[server].push(func.mean());
+        let m = func.mean().selected();
+        let row = &mut rows[server * NUM_SELECTED..(server + 1) * NUM_SELECTED];
+        for (acc, v) in row.iter_mut().zip(m) {
+            *acc += v;
+        }
     }
-    per_server
-        .into_iter()
-        .map(|vecs| MetricVector::mean_of(&vecs).selected())
-        .collect()
+    for (server, row) in rows.chunks_exact_mut(NUM_SELECTED).enumerate() {
+        let c = w.placement.iter().filter(|&&s| s == server).count();
+        if c > 0 {
+            let k = 1.0 / c as f64;
+            for v in row {
+                *v *= k;
+            }
+        }
+    }
 }
 
 /// Build workload `w`'s spatial allocation code `R_w`: same `S × 16` shape
@@ -60,23 +82,43 @@ pub fn spatial_utilization_code(w: &ColoWorkload, num_servers: usize) -> Vec<[f6
 /// the first six columns carry the aggregated resource allocations in
 /// [`Resource`] order, the rest are zero.
 pub fn spatial_allocation_code(w: &ColoWorkload, num_servers: usize) -> Vec<[f64; NUM_SELECTED]> {
-    let mut rows = vec![[0.0; NUM_SELECTED]; num_servers];
-    let mut counts = vec![0usize; num_servers];
+    let mut flat = Vec::new();
+    spatial_allocation_code_into(w, num_servers, &mut flat);
+    to_rows(&flat)
+}
+
+/// Append `R_w` row-major to `out` without allocating; values are
+/// bit-identical to [`spatial_allocation_code`].
+pub fn spatial_allocation_code_into(w: &ColoWorkload, num_servers: usize, out: &mut Vec<f64>) {
+    let start = out.len();
+    out.resize(start + num_servers * NUM_SELECTED, 0.0);
+    let rows = &mut out[start..];
     for (demand, &server) in w.demands.iter().zip(&w.placement) {
+        let row = &mut rows[server * NUM_SELECTED..];
         for r in Resource::ALL {
-            rows[server][r.index()] += demand.get(r);
+            row[r.index()] += demand.get(r);
         }
-        counts[server] += 1;
     }
     // Mean aggregation, mirroring the virtual-function rule for U.
-    for (row, &c) in rows.iter_mut().zip(&counts) {
+    for (server, row) in rows.chunks_exact_mut(NUM_SELECTED).enumerate() {
+        let c = w.placement.iter().filter(|&&s| s == server).count();
         if c > 1 {
             for v in row.iter_mut().take(NUM_RESOURCES) {
                 *v /= c as f64;
             }
         }
     }
-    rows
+}
+
+/// Regroup a flat row-major code into per-server rows.
+fn to_rows(flat: &[f64]) -> Vec<[f64; NUM_SELECTED]> {
+    flat.chunks_exact(NUM_SELECTED)
+        .map(|chunk| {
+            let mut row = [0.0; NUM_SELECTED];
+            row.copy_from_slice(chunk);
+            row
+        })
+        .collect()
 }
 
 /// Classification of the interference between two workloads' placements
@@ -109,7 +151,7 @@ pub fn interference_kind(a: &ColoWorkload, b: &ColoWorkload) -> InterferenceKind
 mod tests {
     use super::*;
     use cluster::Demand;
-    use metricsd::{FunctionProfile, Metric, ProfileSample, WorkloadProfile};
+    use metricsd::{FunctionProfile, Metric, MetricVector, ProfileSample, WorkloadProfile};
     use simcore::SimTime;
     use workloads::WorkloadClass;
 

@@ -20,16 +20,25 @@ pub struct ProfileSample {
 }
 
 /// Solo-run profile of one function.
+///
+/// The whole-window mean is fixed at construction (profiles are write-once:
+/// a changed window means a new profile), so [`mean`](Self::mean) — the
+/// value the spatial coding reads for every function on every featurized
+/// scenario — is a copy, not an O(samples) reduction.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FunctionProfile {
     /// Name of the profiled function (unique within its workload).
     pub function: String,
-    /// 1 Hz samples over the profiling window, in time order.
+    /// 1 Hz samples over the profiling window, in time order. Treated as
+    /// immutable after construction — the cached mean is not recomputed.
     pub samples: Vec<ProfileSample>,
     /// Whether the samples include the cold-start phase (paper §5.2: a cold
     /// start is treated as an ordinary execution phase; the predictor picks
     /// the profile variant matching whether the invocation is cold or warm).
     pub includes_cold_start: bool,
+    /// Whole-window mean, precomputed by [`new`](Self::new) with the same
+    /// fold as [`MetricVector::mean_of`] (sum in sample order, then scale).
+    mean: MetricVector,
 }
 
 impl FunctionProfile {
@@ -39,17 +48,28 @@ impl FunctionProfile {
         samples: Vec<ProfileSample>,
         includes_cold_start: bool,
     ) -> Self {
+        let mut acc = MetricVector::zero();
+        for s in &samples {
+            acc = acc.add(&s.metrics);
+        }
+        let mean = if samples.is_empty() {
+            MetricVector::zero()
+        } else {
+            acc.scale(1.0 / samples.len() as f64)
+        };
         Self {
             function: function.into(),
             samples,
             includes_cold_start,
+            mean,
         }
     }
 
     /// Mean metric vector over the whole window — the row the spatial
-    /// overlap matrix carries for this function.
+    /// overlap matrix carries for this function. Precomputed; O(1).
+    #[inline]
     pub fn mean(&self) -> MetricVector {
-        MetricVector::mean_of(&self.samples.iter().map(|s| s.metrics).collect::<Vec<_>>())
+        self.mean
     }
 
     /// Mean metric vector restricted to a time window `[from, to)` —

@@ -7,6 +7,7 @@
 //! determinism rule the workspace follows everywhere).
 
 use crate::dataset::{ColumnStore, Dataset};
+use crate::flat::{FlatForest, BLOCK_ROWS};
 use crate::reference;
 use crate::tree::{RegressionTree, TreeParams};
 use simcore::par::{available_workers, par_map, par_map_range, par_map_workers};
@@ -54,6 +55,9 @@ impl Default for ForestParams {
 #[derive(Debug, Clone)]
 pub struct RandomForest {
     trees: Vec<RegressionTree>,
+    /// The trees compiled to the SoA inference kernel ([`FlatForest`]);
+    /// rebuilt whenever `trees` changes (fit, stalest-tree refresh).
+    flat: FlatForest,
     /// Ages used by the incremental wrapper's stalest-tree replacement:
     /// `birth[i]` is the update-generation tree `i` was (re)built in.
     birth: Vec<u64>,
@@ -62,6 +66,21 @@ pub struct RandomForest {
     dim: usize,
     backend: TrainBackend,
 }
+
+/// Minimum number of tree walks (`rows × trees`) in a batch before the
+/// dispatcher fans out tree-parallel workers. Below this, thread wake-up
+/// and per-tree column allocation cost more than the walks themselves, so
+/// the batch runs on the inline row-major path — which is how "batch is
+/// never slower than sequential" holds at every (rows, workers) point.
+const PAR_PREDICT_WORK: usize = 1 << 13;
+
+/// Minimum flat-forest node count before the inline batch path switches
+/// from the per-row early-exit walk to the blocked level-stepped walk.
+/// Below this the whole node arrays fit in L1 (~20 bytes/node), node loads
+/// never stall, and the blocked walk's fixed-depth stepping is pure
+/// overhead; above it the walk is load-latency-bound and overlapping
+/// [`BLOCK_ROWS`] independent root-to-leaf chains wins.
+const BLOCKED_MIN_NODES: usize = 1 << 11;
 
 /// Worker threads left for within-tree feature parallelism once `jobs`
 /// tree-level jobs are running: the kernel's inner parallelism only fans
@@ -105,8 +124,10 @@ impl RandomForest {
             }
         });
         let n = trees.len();
+        let flat = FlatForest::compile(&trees);
         Self {
             trees,
+            flat,
             birth: vec![0; n],
             params,
             seed,
@@ -125,56 +146,135 @@ impl RandomForest {
         &self.trees
     }
 
-    /// Predict one row (mean over trees).
+    /// Predict one row (mean over trees) via the flat kernel.
+    ///
+    /// # Contract
+    ///
+    /// A fitted forest always has at least one tree (`fit_with` asserts
+    /// `n_trees > 0`), and prediction is only defined on such a forest:
+    /// with zero trees the mean is `0/0`. Debug builds panic on an empty
+    /// forest; release builds return NaN.
     pub fn predict(&self, x: &[f64]) -> f64 {
+        debug_assert!(!self.trees.is_empty(), "predict on an empty forest");
+        debug_assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        self.flat.sum_trees(x) / self.trees.len() as f64
+    }
+
+    /// Predict one row with the retained enum-walker reference path —
+    /// the oracle the flat kernel is pinned bit-identical to
+    /// (`tests/predict_kernel.rs`). Same tree-order mean, same
+    /// empty-forest contract as [`predict`](Self::predict).
+    pub fn predict_reference(&self, x: &[f64]) -> f64 {
+        debug_assert!(!self.trees.is_empty(), "predict on an empty forest");
         debug_assert_eq!(x.len(), self.dim, "feature dimension mismatch");
         self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
     }
 
-    /// Predict many rows at once, parallelising over trees.
+    /// Predict many rows at once (adaptive dispatch over
+    /// [`available_workers`]).
     ///
-    /// Each worker walks one tree over every row (tree-major order keeps a
-    /// tree's nodes hot in cache), and the per-tree columns are then reduced
-    /// *in tree order* — the exact summation order of [`predict`]'s
-    /// sequential `sum()` — so the result is bit-identical to calling
-    /// [`predict`](Self::predict) per row, at any thread count.
+    /// Small batches run the inline row-major flat walk; large ones
+    /// parallelise over trees (tree-major order keeps a tree's nodes hot in
+    /// cache) with the per-tree columns reduced *in tree order* — the exact
+    /// summation order of [`predict`](Self::predict) — so the result is
+    /// bit-identical to calling `predict` per row at any (rows, workers)
+    /// point. Prefer [`predict_batch_rows`](Self::predict_batch_rows) at
+    /// call sites that can lay rows out contiguously.
     pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
         self.predict_batch_workers(rows, available_workers())
     }
 
-    /// [`predict_batch`](Self::predict_batch) with an explicit worker count
-    /// (`1` runs inline) — the hook the determinism tests pin.
+    /// [`predict_batch`](Self::predict_batch) with an explicit worker cap
+    /// (`1` runs inline) — the hook the determinism tests pin. The
+    /// adaptive dispatcher may still run inline below the work threshold;
+    /// that never changes results, only scheduling.
     pub fn predict_batch_workers(&self, rows: &[Vec<f64>], workers: usize) -> Vec<f64> {
-        if rows.is_empty() {
-            return Vec::new();
-        }
         for x in rows {
             debug_assert_eq!(x.len(), self.dim, "feature dimension mismatch");
         }
-        let mut out = vec![0.0; rows.len()];
-        if workers <= 1 {
-            // Row-major inline path: one row's features stay hot while all
-            // trees walk it. Per row the terms still add in tree order —
-            // the same order as the column reduction below — so the result
-            // is bit-identical to the parallel path.
-            for (acc, x) in out.iter_mut().zip(rows) {
-                for tree in &self.trees {
-                    *acc += tree.predict(x);
+        self.predict_batch_impl(rows.len(), |i| rows[i].as_slice(), workers)
+    }
+
+    /// Predict `n_rows` rows stored contiguously row-major in `data`
+    /// (`data.len() == n_rows * dim`), with adaptive dispatch. This is the
+    /// allocation-free batch entry point: probe sites featurize into one
+    /// flat buffer instead of a `Vec<Vec<f64>>`.
+    pub fn predict_batch_rows(&self, data: &[f64], n_rows: usize) -> Vec<f64> {
+        self.predict_batch_rows_workers(data, n_rows, available_workers())
+    }
+
+    /// [`predict_batch_rows`](Self::predict_batch_rows) with an explicit
+    /// worker cap.
+    pub fn predict_batch_rows_workers(
+        &self,
+        data: &[f64],
+        n_rows: usize,
+        workers: usize,
+    ) -> Vec<f64> {
+        assert_eq!(
+            data.len(),
+            n_rows * self.dim,
+            "row-major batch length mismatch"
+        );
+        let dim = self.dim;
+        self.predict_batch_impl(n_rows, |i| &data[i * dim..(i + 1) * dim], workers)
+    }
+
+    /// Shared batch core: adaptive dispatch across three tiers — per-row
+    /// early-exit walk (small forests), blocked level-stepped walk (large
+    /// forests, [`BLOCKED_MIN_NODES`]), and tree-parallel column reduction
+    /// (enough work for threads, [`PAR_PREDICT_WORK`]) — all over the flat
+    /// kernel and all folding in tree order (bit-identical).
+    fn predict_batch_impl<'d, F>(&self, n_rows: usize, row: F, workers: usize) -> Vec<f64>
+    where
+        F: Fn(usize) -> &'d [f64] + Sync,
+    {
+        if n_rows == 0 {
+            return Vec::new();
+        }
+        debug_assert!(!self.trees.is_empty(), "predict on an empty forest");
+        let n_trees = self.trees.len();
+        let mut out = vec![0.0; n_rows];
+        if workers <= 1 || n_rows * n_trees < PAR_PREDICT_WORK {
+            if self.flat.num_nodes() < BLOCKED_MIN_NODES || n_rows < BLOCK_ROWS {
+                // Small forest: every node sits in L1, so the per-row
+                // early-exit walk beats the blocked walk's fixed-depth
+                // stepping. Same story below one full block of rows —
+                // a short block has too few independent chains to hide
+                // node-load latency, so the fixed-depth stepping is all
+                // cost and no overlap.
+                for (i, acc) in out.iter_mut().enumerate() {
+                    *acc = self.flat.sum_trees(row(i));
+                }
+            } else {
+                // Large forest: node fetches miss cache and the walk is
+                // latency-bound, so up to BLOCK_ROWS rows advance through
+                // each tree level-by-level, overlapping their dependent
+                // node loads; terms still add in tree order per row.
+                let mut start = 0;
+                while start < n_rows {
+                    let r = BLOCK_ROWS.min(n_rows - start);
+                    let mut refs: [&[f64]; BLOCK_ROWS] = [&[]; BLOCK_ROWS];
+                    for (k, slot) in refs[..r].iter_mut().enumerate() {
+                        *slot = row(start + k);
+                    }
+                    self.flat.sum_block(&refs[..r], &mut out[start..start + r]);
+                    start += r;
                 }
             }
         } else {
-            let per_tree: Vec<Vec<f64>> =
-                par_map_workers((0..self.trees.len()).collect(), workers, |t| {
-                    let tree = &self.trees[t];
-                    rows.iter().map(|x| tree.predict(x)).collect()
-                });
+            let per_tree: Vec<Vec<f64>> = par_map_workers((0..n_trees).collect(), workers, |t| {
+                (0..n_rows)
+                    .map(|i| self.flat.predict_tree(t, row(i)))
+                    .collect()
+            });
             for col in &per_tree {
                 for (acc, &v) in out.iter_mut().zip(col) {
                     *acc += v;
                 }
             }
         }
-        let n = self.trees.len() as f64;
+        let n = n_trees as f64;
         for acc in &mut out {
             *acc /= n;
         }
@@ -217,6 +317,10 @@ impl RandomForest {
             self.trees[i] = tree;
             self.birth[i] = generation;
         }
+        // Refreshed trees sit at their original slots; recompiling keeps
+        // the kernel's tree order (and therefore the reduction order)
+        // identical to the enum walker's.
+        self.flat = FlatForest::compile(&self.trees);
     }
 
     /// Normalised impurity importances averaged over trees (Fig. 8).
@@ -374,6 +478,42 @@ mod tests {
         }
         assert_eq!(f.predict_batch(&rows), seq);
         assert!(f.predict_batch(&[]).is_empty());
+    }
+
+    /// A forest with zero trees, which `fit_with` can never produce —
+    /// only constructible here, where the fields are visible.
+    fn empty_forest() -> RandomForest {
+        RandomForest {
+            trees: Vec::new(),
+            flat: FlatForest::compile(&[]),
+            birth: Vec::new(),
+            params: ForestParams::default(),
+            seed: 0,
+            dim: 3,
+            backend: TrainBackend::default(),
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "empty forest")]
+    fn empty_forest_predict_panics_in_debug() {
+        let _ = empty_forest().predict(&[1.0, 2.0, 3.0]);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "empty forest")]
+    fn empty_forest_predict_batch_panics_in_debug() {
+        let _ = empty_forest().predict_batch_rows(&[1.0, 2.0, 3.0], 1);
+    }
+
+    #[test]
+    fn empty_forest_empty_batch_is_empty() {
+        // Zero rows never touches a tree, so it is defined (and empty)
+        // even on the degenerate forest.
+        assert!(empty_forest().predict_batch(&[]).is_empty());
+        assert!(empty_forest().predict_batch_rows(&[], 0).is_empty());
     }
 
     #[test]

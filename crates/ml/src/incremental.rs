@@ -257,6 +257,29 @@ impl IncrementalModel {
         }
     }
 
+    /// Predict `n_rows` rows stored contiguously row-major in `data`
+    /// (`data.len() == n_rows * dim`) — the allocation-free batch entry
+    /// point. For IRFR this reaches the forest's flat inference kernel
+    /// directly ([`RandomForest::predict_batch_rows`]); other families
+    /// loop over the row slices. Bit-identical to per-row
+    /// [`predict`](Self::predict) in every case.
+    pub fn predict_batch_rows(&self, data: &[f64], n_rows: usize) -> Vec<f64> {
+        assert_eq!(
+            data.len(),
+            n_rows * self.params.dim,
+            "row-major batch length mismatch"
+        );
+        match &self.inner {
+            Inner::Irfr(Some(f)) => f.predict_batch_rows(data, n_rows),
+            _ => {
+                let dim = self.params.dim;
+                (0..n_rows)
+                    .map(|i| self.predict(&data[i * dim..(i + 1) * dim]))
+                    .collect()
+            }
+        }
+    }
+
     /// The underlying forest (IRFR only, after the first fit) — exposed so
     /// the kernel-equivalence tests can compare fitted trees directly.
     pub fn forest(&self) -> Option<&RandomForest> {

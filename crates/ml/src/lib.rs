@@ -12,6 +12,10 @@
 //! * [`forest`] — random-forest regression (bagging + feature subsampling,
 //!   parallel training, averaged impurity importances) — the paper's
 //!   chosen model (RFR/IRFR).
+//! * [`flat`] — the flattened branchless SoA inference kernel fitted
+//!   forests compile into; prediction (single-row and adaptive batch)
+//!   runs on it, with the enum walker retained as the bit-identity
+//!   oracle.
 //! * [`knn`] — k-nearest-neighbours regression.
 //! * [`linear`] — ridge regression trained by mini-batch SGD (the paper's
 //!   "LR" comparator).
@@ -46,6 +50,7 @@
 //! ```
 
 pub mod dataset;
+pub mod flat;
 pub mod forest;
 pub mod incremental;
 pub mod knn;
@@ -57,6 +62,7 @@ pub mod svr;
 pub mod tree;
 
 pub use dataset::{mape, ColumnStore, Dataset, Scaler};
+pub use flat::FlatForest;
 pub use forest::{ForestParams, RandomForest, TrainBackend};
 pub use incremental::{IncrementalModel, IncrementalParams, ModelKind};
 pub use knn::KnnRegressor;

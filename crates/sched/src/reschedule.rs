@@ -111,12 +111,17 @@ fn colo_views(
 /// When `moved` is set, SLA entries with no instance on the donor or
 /// receiver server are skipped: the move does not change colocation on any
 /// server they occupy, so their previously satisfied prediction stands.
+///
+/// `row_scratch` is the reusable row-major featurization buffer passed to
+/// [`GsightPredictor::predict_batch_with_scratch`]; planners allocate it
+/// once and reuse it across every probed move.
 fn slas_hold(
     predictor: &GsightPredictor,
     entries: &[WorkloadEntry],
     moved: Option<(usize, usize, usize)>,
     num_servers: usize,
     calls: &mut usize,
+    row_scratch: &mut Vec<f64>,
 ) -> bool {
     let views = colo_views(entries, moved);
     // Servers whose colocation the move changes: the instance's current
@@ -146,7 +151,7 @@ fn slas_hold(
         thresholds.push(min_ipc);
     }
     *calls += scenarios.len();
-    let predicted = predictor.predict_batch(&scenarios);
+    let predicted = predictor.predict_batch_with_scratch(&scenarios, row_scratch);
     predicted
         .iter()
         .zip(&thresholds)
@@ -178,6 +183,7 @@ pub fn plan_consolidation(
         })
         .collect();
     let mut plan = ReschedulePlan::default();
+    let mut row_scratch: Vec<f64> = Vec::new();
 
     loop {
         // Instance count per server.
@@ -225,6 +231,7 @@ pub fn plan_consolidation(
                     Some((w, i, to)),
                     num_servers,
                     &mut plan.predictor_calls,
+                    &mut row_scratch,
                 ) {
                     staged.push(Migration {
                         entry: w,
@@ -377,6 +384,7 @@ pub fn plan_drain(
         })
         .collect();
     let mut plan = ReschedulePlan::default();
+    let mut row_scratch: Vec<f64> = Vec::new();
     for dead in (0..num_servers).filter(|&s| !alive[s]) {
         let victims: Vec<(usize, usize)> = working
             .iter()
@@ -412,6 +420,7 @@ pub fn plan_drain(
                         Some((w, i, to)),
                         num_servers,
                         &mut plan.predictor_calls,
+                        &mut row_scratch,
                     )
                 })
                 .or_else(|| receivers.last().copied());
