@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! repro [--quick] [--obs] [--trace-dir DIR] [--journal-dir DIR]
-//!       [--serve ADDR] [--json PATH] [--seed N] [id...]
+//!       [--serve ADDR] [--json PATH] [--seed N] [--shards N] [id...]
 //! repro --list                list experiment ids
 //! repro replay JOURNAL        reconstruct a run's artifacts from its journal
 //! repro resume JOURNAL        complete a truncated journal, verified
@@ -44,7 +44,8 @@ struct Cli {
 }
 
 const USAGE: &str = "usage: repro [--quick] [--obs] [--trace-dir DIR] \
-     [--journal-dir DIR] [--serve ADDR] [--json PATH] [--seed N] [id...] \
+     [--journal-dir DIR] [--serve ADDR] [--json PATH] [--seed N] \
+     [--shards N] [id...] \
      | repro replay JOURNAL | repro resume JOURNAL";
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -80,6 +81,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--seed" => {
                 let s = it.next().ok_or("--seed requires a u64")?;
                 cli.opts.seed = Some(s.parse().map_err(|_| format!("bad seed {s}"))?);
+            }
+            "--shards" => {
+                let s = it.next().ok_or("--shards requires a count >= 1")?;
+                let k: usize = s.parse().map_err(|_| format!("bad shard count {s}"))?;
+                if k == 0 {
+                    return Err("--shards requires a count >= 1".into());
+                }
+                cli.opts.shards = Some(k);
             }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => cli.ids.push(id.to_string()),
@@ -300,6 +309,18 @@ fn main() {
         tt.threads,
         tt.bit_identical
     );
+    // Event-engine scaling: serial vs sharded dispatch rate on the chaos
+    // point, with the bit-identity contract verified on the same runs.
+    let et = experiments::engine_throughput::engine_throughput(cli.opts.quick);
+    println!(
+        "engine throughput: {:.0} events/s serial, {:.0} events/s at 4 shards \
+         ({:.2}x, {} thread(s), bit-identical vs serial: {})",
+        et.serial_events_per_s,
+        et.events_per_s[et.shard_counts.iter().position(|&k| k == 4).unwrap_or(0)],
+        et.speedup_4,
+        et.threads,
+        et.bit_identical_vs_serial
+    );
     // Journal economics on the full-length chaos point: write overhead of
     // journaling on vs off (asserted within budget by the bench itself),
     // and replay-by-fold speedup vs re-simulation.
@@ -340,6 +361,22 @@ fn main() {
                 .field("threads", tt.threads)
                 .field("bit_identical", tt.bit_identical),
         )
+        .field("engine_throughput", {
+            let mut section = Json::obj()
+                .field("events", et.events)
+                .field("completions", et.completions)
+                .field("events_per_s_serial", et.serial_events_per_s)
+                .field("requests_per_s", et.requests_per_s)
+                .field("speedup_4", et.speedup_4)
+                .field("bit_identical_vs_serial", et.bit_identical_vs_serial)
+                .field("epochs_4", et.epochs_4)
+                .field("crossed_4", et.crossed_4)
+                .field("threads", et.threads);
+            for (k, eps) in et.shard_counts.iter().zip(&et.events_per_s) {
+                section = section.field(&format!("events_per_s_{k}"), *eps);
+            }
+            section
+        })
         .field(
             "journal_replay",
             Json::obj()

@@ -1,0 +1,297 @@
+//! Engine-throughput scaling bench (extension; not a paper figure).
+//!
+//! Measures the discrete-event engine's dispatch rate on the chaos
+//! workload mix — serial event loop vs the sharded engine at 1/2/4/8
+//! shards — and *proves* the determinism contract on the same runs: every
+//! sharded run must reproduce the serial run's report, telemetry, fault
+//! log, and journal byte-for-byte before its timing counts.
+//!
+//! The measured point is the quick `fault_sweep` chaos point (crash 2/min,
+//! slowdown 4/min, seed 42): collect-heavy (1 Hz × 8 servers), fault-heavy
+//! (cross-shard crash/slowdown traffic), and journaled in CI — the least
+//! flattering workload for a sharded engine, which is exactly why it is
+//! the one we gate on.
+
+use crate::fault_sweep::{chaos_run_sharded, SweepPoint};
+use crate::registry::{ExperimentResult, RunOpts};
+use obs::journal::MemoryJournal;
+use obs::Obs;
+use simcore::table::{fnum, TextTable};
+
+/// Shard counts on the scaling curve.
+pub const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Chaos seed pinned for the bench (same as the CI chaos-smoke golden).
+const SEED: u64 = 42;
+
+fn bench_point() -> SweepPoint {
+    SweepPoint {
+        crash_per_min: 2.0,
+        slowdown_per_min: 4.0,
+    }
+}
+
+/// Scaling-curve measurement plus the serial-equivalence verdict.
+#[derive(Debug, Clone)]
+pub struct EngineThroughput {
+    /// Shard counts measured, in [`SHARD_COUNTS`] order.
+    pub shard_counts: Vec<usize>,
+    /// Events dispatched by one run (identical across engines).
+    pub events: u64,
+    /// Requests completed by one run (identical across engines).
+    pub completions: u64,
+    /// Events/s per shard count, parallel to `shard_counts`.
+    pub events_per_s: Vec<f64>,
+    /// Events/s of the retained serial engine.
+    pub serial_events_per_s: f64,
+    /// Completed requests/s at the best 4-shard wall time.
+    pub requests_per_s: f64,
+    /// `events_per_s[shards=4] / serial_events_per_s`.
+    pub speedup_4: f64,
+    /// Whether every sharded run byte-matched the serial run (report,
+    /// telemetry, fault log + summary, journal bytes).
+    pub bit_identical_vs_serial: bool,
+    /// Barrier epochs of the 4-shard run.
+    pub epochs_4: u64,
+    /// Cross-shard events exchanged at barriers in the 4-shard run.
+    pub crossed_4: u64,
+    /// Cross-shard events published directly past the window bound in the
+    /// 4-shard run (subset of `crossed_4`).
+    pub published_4: u64,
+    /// Worker threads available to the sharded collect path.
+    pub threads: usize,
+}
+
+/// One journaled chaos run's byte-stable artifact set.
+fn run_artifacts(shards: Option<usize>, quick: bool) -> (String, String, String, String, Vec<u8>) {
+    let spec = crate::journal_runs::fault_sweep_spec(bench_point(), SEED, quick);
+    let journal = MemoryJournal::in_memory(&spec, Some(crate::journal_runs::CHECKPOINT_EVERY_US));
+    let bundle = Obs::telemetry_only()
+        .with_fault_log()
+        .with_journal(Box::new(journal));
+    let (out, post) = chaos_run_sharded(bench_point(), SEED, quick, bundle, shards);
+    let bytes = post
+        .journal
+        .as_ref()
+        .and_then(|j| j.as_any().downcast_ref::<MemoryJournal>())
+        .map(|j| j.bytes().to_vec())
+        .expect("in-memory journal survives the run");
+    (
+        out.report.render_json(),
+        post.telemetry
+            .as_ref()
+            .map(|t| t.to_jsonl())
+            .unwrap_or_default(),
+        out.faults.to_jsonl(),
+        out.faults.summary(),
+        bytes,
+    )
+}
+
+/// Measure [`EngineThroughput`] — once per process and mode.
+///
+/// `repro` calls this twice on a gated run (the `engine_throughput`
+/// experiment, then the `BENCH_repro.json` section); the second
+/// measurement would repeat the whole retry loop in a process already
+/// heated by the predict/train benches, where the 1–10% single-core
+/// margin is least reproducible. Memoizing makes both consumers report
+/// the one retry-validated measurement and halves the bench wall time.
+pub fn engine_throughput(quick: bool) -> EngineThroughput {
+    use std::sync::OnceLock;
+    static CACHE: [OnceLock<EngineThroughput>; 2] = [OnceLock::new(), OnceLock::new()];
+    CACHE[quick as usize].get_or_init(|| measure(quick)).clone()
+}
+
+/// One full measurement pass behind [`engine_throughput`]'s cache.
+///
+/// Equivalence first: a journaled serial run is byte-compared against a
+/// journaled run at every shard count (the journal comparison subsumes the
+/// WAL record stream; report/telemetry/fault artifacts are the externally
+/// consumed forms). Timing second: interleaved best-of-N rounds over
+/// {serial, 1, 2, 4, 8}, taking each engine's minimum wall time — the
+/// fig. 14 protocol — with the same bounded retry-under-a-wall-cap when
+/// host noise puts the 4-shard time behind serial. Retries are skipped in
+/// debug builds, whose codegen distorts the engines differently.
+fn measure(quick: bool) -> EngineThroughput {
+    let reference = run_artifacts(None, quick);
+    let mut bit_identical_vs_serial = true;
+    for &k in &SHARD_COUNTS {
+        bit_identical_vs_serial &= run_artifacts(Some(k), quick) == reference;
+    }
+
+    const REPS_PER_ROUND: usize = 3;
+    const RETRY_WALL_CAP_S: f64 = 8.0;
+    let bench_t0 = std::time::Instant::now();
+    let mut serial_s = f64::INFINITY;
+    let mut shard_s = [f64::INFINITY; SHARD_COUNTS.len()];
+    let mut events = 0u64;
+    let mut completions = 0u64;
+    let mut epochs_4 = 0u64;
+    let mut crossed_4 = 0u64;
+    let mut published_4 = 0u64;
+    loop {
+        for _ in 0..REPS_PER_ROUND {
+            let t0 = std::time::Instant::now();
+            let (out, _) = chaos_run_sharded(
+                bench_point(),
+                SEED,
+                quick,
+                Obs::telemetry_only().with_fault_log(),
+                None,
+            );
+            serial_s = serial_s.min(t0.elapsed().as_secs_f64());
+            events = out.events_processed;
+            completions = out.report.workloads.iter().map(|w| w.completions).sum();
+            for (i, &k) in SHARD_COUNTS.iter().enumerate() {
+                let t0 = std::time::Instant::now();
+                let (out, _) = chaos_run_sharded(
+                    bench_point(),
+                    SEED,
+                    quick,
+                    Obs::telemetry_only().with_fault_log(),
+                    Some(k),
+                );
+                shard_s[i] = shard_s[i].min(t0.elapsed().as_secs_f64());
+                if k == 4 {
+                    let b = out.barrier.expect("sharded run has barrier stats");
+                    epochs_4 = b.epochs;
+                    crossed_4 = b.crossed;
+                    published_4 = b.published;
+                }
+            }
+        }
+        let four = SHARD_COUNTS
+            .iter()
+            .position(|&k| k == 4)
+            .expect("4 in curve");
+        if shard_s[four] <= serial_s
+            || cfg!(debug_assertions)
+            || bench_t0.elapsed().as_secs_f64() > RETRY_WALL_CAP_S
+        {
+            break;
+        }
+        // Host-noise backoff, as in fig14: noise is strictly additive, so
+        // more rounds only sharpen both minima; a genuine regression never
+        // passes no matter how long we wait.
+        std::thread::sleep(std::time::Duration::from_millis(300));
+    }
+
+    let four = SHARD_COUNTS
+        .iter()
+        .position(|&k| k == 4)
+        .expect("4 in curve");
+    let serial_events_per_s = events as f64 / serial_s.max(1e-12);
+    let events_per_s: Vec<f64> = shard_s
+        .iter()
+        .map(|s| events as f64 / s.max(1e-12))
+        .collect();
+    EngineThroughput {
+        shard_counts: SHARD_COUNTS.to_vec(),
+        events,
+        completions,
+        serial_events_per_s,
+        requests_per_s: completions as f64 / shard_s[four].max(1e-12),
+        speedup_4: events_per_s[four] / serial_events_per_s,
+        events_per_s,
+        bit_identical_vs_serial,
+        epochs_4,
+        crossed_4,
+        published_4,
+        threads: simcore::par::available_workers(),
+    }
+}
+
+/// Entry point.
+pub fn run(opts: &RunOpts) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "engine_throughput",
+        "sharded event-engine throughput & serial equivalence (extension)",
+    );
+    let tp = engine_throughput(opts.quick);
+    let mut t = TextTable::new(vec!["engine", "events/s", "speedup"]);
+    t.row(vec![
+        "serial".into(),
+        fnum(tp.serial_events_per_s, 0),
+        fnum(1.0, 2),
+    ]);
+    for (k, eps) in tp.shard_counts.iter().zip(&tp.events_per_s) {
+        t.row(vec![
+            format!("{k} shard(s)"),
+            fnum(*eps, 0),
+            fnum(eps / tp.serial_events_per_s, 2),
+        ]);
+    }
+    result.table(format!(
+        "engine scaling on the chaos point, {} events/run, {} thread(s)\n{}",
+        tp.events,
+        tp.threads,
+        t.render()
+    ));
+    result.note(format!(
+        "4-shard speedup {:.2}x over serial; every shard count reproduced the \
+         serial run bit-for-bit: {} (report, telemetry, fault log, journal)",
+        tp.speedup_4, tp.bit_identical_vs_serial
+    ));
+    result.note(format!(
+        "4-shard barrier protocol: {} epochs, {} cross-shard events \
+         ({} published past the window bound, {} closed the window early)",
+        tp.epochs_4,
+        tp.crossed_4,
+        tp.published_4,
+        tp.crossed_4 - tp.published_4
+    ));
+    result
+        .metric("events", tp.events as f64)
+        .metric("events_per_s_serial", tp.serial_events_per_s)
+        .metric("requests_per_s", tp.requests_per_s)
+        .metric("speedup_4", tp.speedup_4)
+        .metric(
+            "bit_identical_vs_serial",
+            if tp.bit_identical_vs_serial { 1.0 } else { 0.0 },
+        )
+        .metric("epochs_4", tp.epochs_4 as f64)
+        .metric("crossed_4", tp.crossed_4 as f64)
+        .metric("published_4", tp.published_4 as f64)
+        .metric("threads", tp.threads as f64);
+    for (k, eps) in tp.shard_counts.iter().zip(&tp.events_per_s) {
+        result.metric(format!("events_per_s_{k}"), *eps);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_chaos_point_matches_serial_artifacts() {
+        // One shard count here keeps the debug-build test fast; the full
+        // {1,2,4,8} × seeds × faults matrix lives in
+        // tests/engine_shard_equiv.rs.
+        let serial = run_artifacts(None, true);
+        let sharded = run_artifacts(Some(4), true);
+        assert_eq!(serial.0, sharded.0, "report JSON must byte-match");
+        assert_eq!(serial.1, sharded.1, "telemetry JSONL must byte-match");
+        assert_eq!(serial.2, sharded.2, "fault JSONL must byte-match");
+        assert_eq!(serial.3, sharded.3, "fault summary must byte-match");
+        assert_eq!(serial.4, sharded.4, "journal bytes must byte-match");
+    }
+
+    #[test]
+    fn sharded_chaos_point_reports_barrier_activity() {
+        let (out, _) = chaos_run_sharded(
+            bench_point(),
+            SEED,
+            true,
+            Obs::telemetry_only().with_fault_log(),
+            Some(4),
+        );
+        let b = out.barrier.expect("sharded run exposes barrier stats");
+        assert!(b.epochs > 0, "a 60 s run opens many windows");
+        assert!(out.events_processed > 0);
+        assert!(
+            b.crossed == 0 || b.min_slack_us >= 0,
+            "exchanged events must respect the closed window: {b:?}"
+        );
+    }
+}

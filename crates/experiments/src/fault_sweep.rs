@@ -26,7 +26,7 @@ use platform::scale::PlacementDecision;
 use platform::{ArrivalSpec, Deployment, PlatformConfig, ResilienceConfig, Simulation};
 use simcore::rng::seed_stream;
 use simcore::table::{fnum, fpct, TextTable};
-use simcore::SimTime;
+use simcore::{BarrierStats, SimTime};
 use workloads::loadgen::uniform_arrivals;
 
 /// Default chaos seed (override with `repro fault_sweep --seed N`).
@@ -47,6 +47,10 @@ pub struct ChaosOutcome {
     pub report: RunReport,
     /// Seeded fault log (every injected fault + recovery + retry).
     pub faults: FaultLog,
+    /// Simulation events dispatched over the run.
+    pub events_processed: u64,
+    /// Barrier protocol counters (`None` for serial-engine runs).
+    pub barrier: Option<BarrierStats>,
 }
 
 /// Fault configuration for one sweep point: crash and slowdown rates are
@@ -96,8 +100,26 @@ pub fn chaos_run_with_obs(
     quick: bool,
     bundle: obs::Obs,
 ) -> (ChaosOutcome, obs::Obs) {
+    chaos_run_sharded(point, seed, quick, bundle, None)
+}
+
+/// [`chaos_run_with_obs`] on an explicit engine: `shards = None` runs the
+/// serial event loop, `Some(k)` the k-shard engine. The determinism
+/// contract makes the choice unobservable in every output — report, fault
+/// log, telemetry, and journal bytes are bit-identical across all of them
+/// (enforced by `tests/engine_shard_equiv.rs`).
+pub fn chaos_run_sharded(
+    point: SweepPoint,
+    seed: u64,
+    quick: bool,
+    bundle: obs::Obs,
+    shards: Option<usize>,
+) -> (ChaosOutcome, obs::Obs) {
     let horizon = SimTime::from_secs(if quick { 60.0 } else { 300.0 });
     let mut sim = Simulation::new(PlatformConfig::paper_testbed(seed));
+    if let Some(k) = shards {
+        sim.set_shards(k);
+    }
     sim.set_obs(bundle);
     let n = sim.servers().len();
 
@@ -159,10 +181,14 @@ pub fn chaos_run_with_obs(
 
     let mut bundle = sim.take_obs();
     let faults = bundle.faults.take().unwrap_or_default();
+    let events_processed = sim.events_processed();
+    let barrier = sim.barrier_stats();
     (
         ChaosOutcome {
             report: sim.into_report(),
             faults,
+            events_processed,
+            barrier,
         },
         bundle,
     )
@@ -303,7 +329,7 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
                 bundle = std::mem::take(&mut bundle).with_journal(Box::new(j));
                 path
             });
-        let (out, post) = chaos_run_with_obs(point, seed, opts.quick, bundle);
+        let (out, post) = chaos_run_sharded(point, seed, opts.quick, bundle, opts.shards);
         if let Some(path) = journal_path {
             result.note(format!("journal -> {}", path.display()));
             // Live-run artifacts next to the journal, so `repro replay` can

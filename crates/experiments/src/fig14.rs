@@ -17,9 +17,10 @@ use gsight::QosTarget;
 use mlcore::{Dataset, ForestParams, ModelKind, RandomForest, TrainBackend};
 use obs::WallProfiler;
 use platform::config::GatewayConfig;
-use platform::scale::PlacementDecision;
+use platform::scale::{PlacementDecision, Placer};
 use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
 use sched::overhead::PipelineProfile;
+use sched::placer::{GsightPlacer, SlaSpec, WorkloadEntry};
 use simcore::rng::seed_stream;
 use simcore::table::{fnum, TextTable};
 use simcore::{SimRng, SimTime};
@@ -99,6 +100,72 @@ pub fn predictor_costs(quick: bool) -> (f64, f64, usize) {
         prof.mean_ms("predictor.partial_fit"),
         dim,
     )
+}
+
+/// Measured probe latency of the Gsight placer: drive a burst of scale-out
+/// decisions against the 8-server testbed view with probe profiling on
+/// (see [`GsightPlacer::enable_probe_profiling`]) and return the placer's
+/// `sched.probe` wall-clock profile plus the number of placement calls.
+///
+/// Each `place` call binary-searches the most-packed-first candidate order,
+/// so one decision issues 1..~log2(8) probes; each probe re-predicts every
+/// SLA-bearing workload's IPC. The tight SLA on the first workload forces
+/// the search to walk instead of accepting the densest candidate outright.
+pub fn probe_latency_profile(quick: bool) -> (WallProfiler, usize) {
+    let book = standard_profile_book(SEED, true);
+    let cluster = ClusterConfig::paper_testbed();
+    let n = if quick { 20 } else { 60 };
+    let samples = generate_mixed(n, &book, &cluster, seed_stream(SEED, 8), true);
+    let labeled = labeled_for(&samples, QosTarget::Ipc);
+    let mut predictor = gsight_with(ModelKind::Irfr, QosTarget::Ipc, SEED);
+    ScenarioPredictor::bootstrap(&mut predictor, &labeled);
+
+    let mut placer = GsightPlacer::new(predictor);
+    placer.enable_probe_profiling();
+    let names = ["social-network", "e-commerce", "matrix-multiplication"];
+    for (i, name) in names.iter().enumerate() {
+        // LS workloads are profiled at 20 qps, batch workloads at 0.
+        let pw = book.get(name, if i < 2 { 20.0 } else { 0.0 });
+        // First workload: near-solo SLA (forces the binary search to walk);
+        // second: the fig11 fallback threshold; third: no SLA (background).
+        let min_ipc = match i {
+            0 => Some(pw.solo_ipc * 0.99),
+            1 => Some(pw.solo_ipc * 0.85),
+            _ => None,
+        };
+        placer.register(WorkloadEntry {
+            name: (*name).into(),
+            class: pw.workload.class,
+            profile: pw.profile.clone(),
+            demands: pw.demands.clone(),
+            sla: SlaSpec { min_ipc },
+            instances: Vec::new(),
+        });
+        // Seed one instance per root so hypothetical scenarios are
+        // non-empty from the first probe.
+        placer.record(name, 0, i % cluster.num_servers());
+    }
+
+    let servers: Vec<cluster::ServerState> = cluster
+        .servers
+        .iter()
+        .cloned()
+        .map(cluster::ServerState::new)
+        .collect();
+    let decisions = if quick { 8 } else { 24 };
+    for k in 0..decisions {
+        let pw = book.get(names[k % 2], 20.0);
+        let view = platform::scale::ClusterView::new(&servers);
+        let node = k % pw.workload.graph.len();
+        let spec = pw.workload.graph.func(workloads::NodeId(node));
+        // A refusal (no SLA-safe candidate) still profiles its probes.
+        let _ = placer.place(&view, &pw.workload, node, spec);
+    }
+    let prof = placer
+        .probe_profiler()
+        .expect("probe profiling enabled above")
+        .clone();
+    (prof, decisions)
 }
 
 /// Sequential vs batched prediction throughput on the paper-shaped
@@ -439,6 +506,22 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
         tp.speedup, tp.threads, tp.bitwise_equal
     ));
 
+    // ---- measured scheduler probe latency ----
+    let (probe_prof, probe_decisions) = probe_latency_profile(quick);
+    let probe_summary = probe_prof
+        .summary(GsightPlacer::PROBE_STAGE)
+        .expect("probe profile populated");
+    result.table(format!(
+        "(c') scheduler probe latency, {probe_decisions} placement decisions\n{}",
+        probe_prof.render_table()
+    ));
+    result.note(format!(
+        "placer probe latency: mean {:.3} ms, p99 {:.3} ms over {} probes \
+         (each probe re-predicts every SLA workload; decision ms above model \
+         3 probes/decision)",
+        probe_summary.mean, probe_summary.p99, probe_summary.count
+    ));
+
     // ---- training-kernel throughput ----
     let tt = train_throughput(quick);
     let mut t = TextTable::new(vec!["trainer", "rows/s"]);
@@ -484,6 +567,10 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
             if tp.bitwise_equal { 1.0 } else { 0.0 },
         );
     result
+        .metric("probe_mean_ms", probe_summary.mean)
+        .metric("probe_p99_ms", probe_summary.p99)
+        .metric("probe_samples", probe_summary.count as f64);
+    result
 }
 
 #[cfg(test)]
@@ -527,6 +614,20 @@ mod tests {
         assert!(tt.kernel_speedup.is_finite() && tt.kernel_speedup > 0.0);
         // No wall-clock speedup assertion here: debug-build constant factors
         // differ too much from the release binary the CI gate measures.
+    }
+
+    #[test]
+    fn probe_latency_profile_is_populated() {
+        let (prof, decisions) = probe_latency_profile(true);
+        assert_eq!(decisions, 8);
+        let s = prof.summary(GsightPlacer::PROBE_STAGE).unwrap();
+        assert!(
+            s.count >= decisions,
+            "each decision probes at least once: {} < {decisions}",
+            s.count
+        );
+        assert!(s.mean.is_finite() && s.mean > 0.0);
+        assert!(s.p99.is_finite() && s.p99 >= s.p50);
     }
 
     #[test]

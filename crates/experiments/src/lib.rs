@@ -21,9 +21,11 @@
 //! | [`fig14`] | Fig. 14 online overhead & gateway scalability |
 //! | [`ablation`] | design-choice ablations (extension, not a paper figure) |
 //! | [`fault_sweep`] | chaos sweep: availability & p99 under seeded fault injection (extension) |
+//! | [`engine_throughput`] | sharded event-engine scaling & serial equivalence (extension) |
 
 pub mod ablation;
 pub mod corpus;
+pub mod engine_throughput;
 pub mod fault_sweep;
 pub mod fig10;
 pub mod fig11_12;

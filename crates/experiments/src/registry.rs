@@ -29,6 +29,10 @@ pub struct RunOpts {
     /// Live Prometheus hub (`repro --serve ADDR`): journal-enabled
     /// experiments publish telemetry snapshots here at every collect tick.
     pub prom: Option<std::sync::Arc<obs::prom::PromHub>>,
+    /// Run shard-aware experiments on the k-shard engine (`repro --shards
+    /// N`); `None` = the serial engine. Outputs are bit-identical either
+    /// way — this only selects the event-loop implementation.
+    pub shards: Option<usize>,
 }
 
 impl RunOpts {
@@ -242,6 +246,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             id: "fault_sweep",
             title: "chaos sweep: availability & p99 under seeded fault injection (extension)",
             run: crate::fault_sweep::run,
+        },
+        Experiment {
+            id: "engine_throughput",
+            title: "sharded event-engine throughput & serial equivalence (extension)",
+            run: crate::engine_throughput::run,
         },
     ]
 }

@@ -9,7 +9,7 @@
 
 use cluster::Demand;
 use gsight::{ColoWorkload, GsightPredictor, Scenario};
-use obs::{AuditLog, CandidateEval, DecisionRecord};
+use obs::{AuditLog, CandidateEval, DecisionRecord, WallProfiler};
 use platform::scale::{ClusterView, PlacementDecision, Placer};
 use workloads::{FunctionSpec, Workload, WorkloadClass};
 
@@ -80,6 +80,9 @@ pub struct GsightPlacer {
     predictor_available: bool,
     /// Decisions made without the predictor (degraded mode).
     pub degraded_decisions: usize,
+    /// Wall-clock profile of individual candidate probes (stage
+    /// [`Self::PROBE_STAGE`]), when enabled.
+    probe_profiler: Option<WallProfiler>,
 }
 
 impl GsightPlacer {
@@ -93,7 +96,23 @@ impl GsightPlacer {
             now_ms: 0.0,
             predictor_available: true,
             degraded_decisions: 0,
+            probe_profiler: None,
         }
+    }
+
+    /// Stage name under which probe latencies are recorded.
+    pub const PROBE_STAGE: &'static str = "sched.probe";
+
+    /// Start timing every candidate probe (one wall-clock sample per
+    /// [`Self::probe`] call) under the [`Self::PROBE_STAGE`] stage.
+    pub fn enable_probe_profiling(&mut self) {
+        self.probe_profiler.get_or_insert_with(WallProfiler::new);
+    }
+
+    /// The probe-latency profile collected so far (when
+    /// [`Self::enable_probe_profiling`] was called).
+    pub fn probe_profiler(&self) -> Option<&WallProfiler> {
+        self.probe_profiler.as_ref()
     }
 
     /// Start recording one [`DecisionRecord`] per [`Placer::place`] call.
@@ -218,7 +237,11 @@ impl GsightPlacer {
         num_servers: usize,
         evals: &mut Vec<CandidateEval>,
     ) -> bool {
+        let started = self.probe_profiler.is_some().then(std::time::Instant::now);
         let (ok, qos) = self.sla_eval(wl_idx, node, server, num_servers);
+        if let (Some(t0), Some(prof)) = (started, self.probe_profiler.as_mut()) {
+            prof.record_ms(Self::PROBE_STAGE, t0.elapsed().as_secs_f64() * 1e3);
+        }
         if self.audit.is_some() {
             evals.push(CandidateEval {
                 // Per-instance analogue of §4's spread: how far down the
@@ -675,6 +698,32 @@ mod tests {
         placer.place(&view, &wl, 1, &spec);
         assert!(placer.predictor_calls > 0);
         assert!(!placer.audit().unwrap().records()[1].degraded);
+    }
+
+    #[test]
+    fn probe_profiling_records_one_sample_per_probe() {
+        let mut placer = GsightPlacer::new(predictor());
+        placer.enable_probe_profiling();
+        placer.register(entry("victim", Some(1.8)));
+        placer.register(entry("agg", None));
+        placer.record("victim", 0, 0);
+        placer.record("victim", 1, 0);
+        let servers = servers(4);
+        let view = ClusterView::new(&servers);
+        let w = workloads::functionbench::float_operation();
+        let mut agg_wl = w.clone();
+        agg_wl.name = "agg".into();
+        let spec = w.graph.func(w.graph.roots()[0]).clone();
+        placer.place(&view, &agg_wl, 0, &spec).unwrap();
+        let prof = placer.probe_profiler().expect("profiling enabled");
+        let n = prof.count(GsightPlacer::PROBE_STAGE);
+        assert!(n >= 2, "binary search must issue at least two probes");
+        let s = prof.summary(GsightPlacer::PROBE_STAGE).unwrap();
+        assert_eq!(s.count, n);
+        assert!(s.p99.is_finite() && s.p99 >= 0.0);
+        // Off by default: a fresh placer records nothing.
+        let fresh = GsightPlacer::new(predictor());
+        assert!(fresh.probe_profiler().is_none());
     }
 
     #[test]

@@ -168,6 +168,230 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// Counters describing one sharded run's barrier protocol, for the
+/// conformance suite's barrier-ordering property and the throughput bench's
+/// scaling report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BarrierStats {
+    /// Time-window epochs opened (= barriers crossed).
+    pub epochs: u64,
+    /// Cross-shard events published while an epoch window was open.
+    pub crossed: u64,
+    /// The subset of `crossed` that already lay at or beyond the window
+    /// bound when routed (no window shrink needed); the remainder closed
+    /// the window early at their own timestamp.
+    pub published: u64,
+    /// Minimum observed slack of a cross-shard event against its sender's
+    /// epoch close, in microseconds: `event.at - window_end` at publish
+    /// time — a lower bound on the true slack, since the window can only
+    /// shrink further, and exactly `0` for an event that shrank the window
+    /// to its own timestamp. The conservative protocol guarantees this is
+    /// `>= 0`: no cross-shard event executes before its sender's barrier
+    /// epoch closes. `i64::MAX` until the first cross-shard event.
+    pub min_slack_us: i64,
+}
+
+impl BarrierStats {
+    fn new() -> Self {
+        Self {
+            min_slack_us: i64::MAX,
+            ..Self::default()
+        }
+    }
+}
+
+/// Head-cache sentinel for an empty shard heap: compares greater than every
+/// real `(at, seq)` key, so `argmin` needs no emptiness branch.
+const EMPTY_HEAD: (SimTime, u64) = (SimTime(u64::MAX), u64::MAX);
+
+/// A set of per-shard event queues sharing one global clock and one global
+/// sequence counter, synchronized by conservative time-window epochs.
+///
+/// The determinism contract: because `seq` is global and assigned in schedule
+/// order, popping the global minimum `(at, seq)` across shard heaps
+/// reproduces the pop order of a single [`EventQueue`] fed by the same
+/// schedule calls — bit for bit, at any shard count.
+///
+/// The epoch protocol: [`ShardedEventQueue::begin_epoch`] opens a time window
+/// `[now, end_excl)`. While a window is open, same-shard schedules go
+/// straight into the owning heap. A *cross-shard* schedule splits on the
+/// window bound: an event at or beyond `end_excl` is published into the
+/// target heap immediately — the bound already proves it cannot become due
+/// this epoch, so the early visibility is unobservable — while an event
+/// that would land *inside* the open window first shrinks the window to its
+/// own timestamp and is then published. Either way the event sits at or
+/// beyond the (possibly shrunk) window end, so [`Self::pop_in_window`]
+/// cannot reach it until [`ShardedEventQueue::barrier`] closes the epoch:
+/// delivery is the heap push, visibility is gated by the window bound.
+/// Every cross-shard event therefore executes at or after its sender's
+/// epoch close — the barrier-ordering property the conformance suite
+/// checks — and the delivered events interleave in canonical `(at, seq)`
+/// merge order because those are the heap keys.
+pub struct ShardedEventQueue<E> {
+    shards: Vec<BinaryHeap<Entry<E>>>,
+    /// Cached `(at, seq)` minimum per shard heap ([`EMPTY_HEAD`] = empty).
+    heads: Vec<(SimTime, u64)>,
+    seq: u64,
+    now: SimTime,
+    /// Exclusive end of the open epoch window; `None` outside any epoch
+    /// (setup phases route everything directly).
+    window_end_excl: Option<SimTime>,
+    /// Shard of the most recently popped event — the sender for routing.
+    current_shard: usize,
+    stats: BarrierStats,
+}
+
+impl<E> ShardedEventQueue<E> {
+    /// Empty queue set at time zero. `shards` must be at least 1.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Self {
+            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            heads: vec![EMPTY_HEAD; shards],
+            seq: 0,
+            now: SimTime::ZERO,
+            window_end_excl: None,
+            current_shard: 0,
+            stats: BarrierStats::new(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Current simulation time (timestamp of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total pending events.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(BinaryHeap::len).sum::<usize>()
+    }
+
+    /// Whether no events are pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Pending events homed on one shard — the per-shard checkpoint depth.
+    pub fn shard_len(&self, shard: usize) -> usize {
+        self.shards[shard].len()
+    }
+
+    /// Barrier-protocol counters so far.
+    pub fn stats(&self) -> BarrierStats {
+        self.stats
+    }
+
+    /// Route `event` (homed on `shard`) at absolute time `at`.
+    ///
+    /// Same-shard events — and any event routed outside an open epoch — go
+    /// straight into the owning heap. A cross-shard event inside an epoch
+    /// is published directly when it lies at or beyond the window bound
+    /// ([`Self::pop_in_window`] cannot reach it this epoch, so the early
+    /// visibility is unobservable); one inside the window first shrinks the
+    /// window to its own timestamp — restoring that same bound — and is
+    /// then published. The global sequence number is assigned here, in
+    /// call order, regardless of path — that is what keeps the sharded pop
+    /// order identical to the serial engine's.
+    pub fn route(&mut self, shard: usize, at: SimTime, event: E) {
+        assert!(
+            at >= self.now,
+            "scheduling into the past: {at:?} < now {:?}",
+            self.now
+        );
+        let entry = Entry {
+            at,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        if shard != self.current_shard {
+            if let Some(w) = self.window_end_excl {
+                self.stats.crossed += 1;
+                if at < w {
+                    // Close the epoch at this event's timestamp: with the
+                    // bound restored to `at`, the event cannot execute
+                    // before its sender's epoch ends. Slack is exactly 0.
+                    self.window_end_excl = Some(at);
+                    self.stats.min_slack_us = self.stats.min_slack_us.min(0);
+                } else {
+                    // Beyond the open window: the bound already proves the
+                    // event cannot execute this epoch.
+                    self.stats.published += 1;
+                    let slack = at.as_micros() as i64 - w.as_micros() as i64;
+                    self.stats.min_slack_us = self.stats.min_slack_us.min(slack);
+                }
+            }
+        }
+        self.push_direct(shard, entry);
+    }
+
+    fn push_direct(&mut self, shard: usize, entry: Entry<E>) {
+        let key = (entry.at, entry.seq);
+        if key < self.heads[shard] {
+            self.heads[shard] = key;
+        }
+        self.shards[shard].push(entry);
+    }
+
+    /// Open a conservative time window ending (exclusively) at `end_excl`.
+    pub fn begin_epoch(&mut self, end_excl: SimTime) {
+        self.window_end_excl = Some(end_excl);
+        self.stats.epochs += 1;
+    }
+
+    /// Close the epoch: lift the window bound, making every cross-shard
+    /// event published during it poppable. All delivery already happened at
+    /// publish time; the bound was what kept it invisible.
+    pub fn barrier(&mut self) {
+        self.window_end_excl = None;
+    }
+
+    /// Timestamp of the globally next event, ignoring the window.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        let shard = self.argmin();
+        let (at, _) = self.heads[shard];
+        (at.0 != u64::MAX).then_some(at)
+    }
+
+    /// Pop the globally earliest in-window event, advancing the clock and
+    /// marking its shard as the current sender. Returns `None` when the open
+    /// window (or the whole queue set) is exhausted.
+    pub fn pop_in_window(&mut self) -> Option<(SimTime, usize, E)> {
+        let shard = self.argmin();
+        let (at, _) = self.heads[shard];
+        // One bound covers both exits: an empty queue set (`at` is the
+        // sentinel) and an exhausted window.
+        let bound = self.window_end_excl.unwrap_or(SimTime(u64::MAX));
+        if at >= bound && (at.0 == u64::MAX || self.window_end_excl.is_some()) {
+            return None;
+        }
+        let entry = self.shards[shard].pop().expect("head pointed at an entry");
+        self.heads[shard] = self.shards[shard]
+            .peek()
+            .map_or(EMPTY_HEAD, |e| (e.at, e.seq));
+        self.now = entry.at;
+        self.current_shard = shard;
+        Some((entry.at, shard, entry.event))
+    }
+
+    /// Shard index holding the globally smallest `(at, seq)` head (an empty
+    /// shard's head is the always-greater [`EMPTY_HEAD`] sentinel).
+    fn argmin(&self) -> usize {
+        let mut best = 0usize;
+        for s in 1..self.heads.len() {
+            if self.heads[s] < self.heads[best] {
+                best = s;
+            }
+        }
+        best
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,5 +468,92 @@ mod tests {
         assert_eq!(q.peek_time(), Some(SimTime(42)));
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn sharded_pop_order_matches_serial_queue() {
+        // Same schedule-call sequence into a serial queue and a 4-shard set
+        // (arbitrary homing) must pop identically: the global seq counter is
+        // the whole determinism argument.
+        let plan: Vec<(u64, u64)> = (0..200).map(|i: u64| (i * 7919 % 97, i)).collect();
+        let mut serial = EventQueue::new();
+        let mut sharded = ShardedEventQueue::new(4);
+        for &(at, id) in &plan {
+            serial.schedule(SimTime(at), id);
+            sharded.route((id % 4) as usize, SimTime(at), id);
+        }
+        loop {
+            let a = serial.pop();
+            let b = sharded.pop_in_window().map(|(t, _, e)| (t, e));
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn cross_shard_events_wait_for_the_barrier() {
+        let mut q = ShardedEventQueue::new(2);
+        q.route(0, SimTime(10), "a");
+        assert_eq!(q.pop_in_window(), Some((SimTime(10), 0, "a"))); // sender = shard 0
+        q.begin_epoch(SimTime(1000));
+        q.route(1, SimTime(500), "cross"); // cross-shard: window shrinks to 500
+        q.route(0, SimTime(200), "local"); // same-shard: direct
+        assert_eq!(q.pop_in_window(), Some((SimTime(200), 0, "local")));
+        // "cross" sits at the shrunk window bound: nothing poppable.
+        assert_eq!(q.pop_in_window(), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.shard_len(1), 1);
+        q.barrier();
+        q.begin_epoch(SimTime(2000));
+        assert_eq!(q.pop_in_window(), Some((SimTime(500), 1, "cross")));
+        let stats = q.stats();
+        assert_eq!(stats.crossed, 1);
+        assert_eq!(stats.epochs, 2);
+        assert_eq!(stats.min_slack_us, 0); // shrunk window closed exactly at 500
+    }
+
+    #[test]
+    fn zero_delay_cross_shard_event_closes_the_window_immediately() {
+        let mut q = ShardedEventQueue::new(2);
+        q.route(0, SimTime(100), 0u64);
+        q.route(1, SimTime(100), 1u64);
+        q.begin_epoch(SimTime(5000));
+        assert_eq!(q.pop_in_window(), Some((SimTime(100), 0, 0))); // sender shard 0
+        q.route(1, SimTime(100), 2); // zero-delay cross-shard: seq 2
+                                     // Window shrank to 100 (exclusive): even the already-pending shard-1
+                                     // event at t=100 must wait so global (at, seq) order survives.
+        assert_eq!(q.pop_in_window(), None);
+        q.barrier();
+        q.begin_epoch(SimTime(5000));
+        assert_eq!(q.pop_in_window(), Some((SimTime(100), 1, 1)));
+        assert_eq!(q.pop_in_window(), Some((SimTime(100), 1, 2)));
+        assert!(q.stats().min_slack_us >= 0);
+    }
+
+    #[test]
+    fn sharded_len_counts_cross_shard_events_inside_an_epoch() {
+        let mut q = ShardedEventQueue::new(3);
+        q.route(0, SimTime(1), ());
+        q.pop_in_window();
+        q.begin_epoch(SimTime(100));
+        q.route(1, SimTime(50), ());
+        q.route(2, SimTime(60), ());
+        q.route(0, SimTime(70), ());
+        assert_eq!(q.len(), 3);
+        q.barrier();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.shard_len(1), 1);
+        assert_eq!(q.shard_len(2), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn sharded_route_into_past_panics() {
+        let mut q = ShardedEventQueue::new(2);
+        q.route(0, SimTime(100), ());
+        q.pop_in_window();
+        q.route(1, SimTime(50), ());
     }
 }

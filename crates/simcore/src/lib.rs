@@ -45,6 +45,6 @@ pub mod rng;
 pub mod stats;
 pub mod table;
 
-pub use events::{EventQueue, SimTime};
+pub use events::{BarrierStats, EventQueue, ShardedEventQueue, SimTime};
 pub use rng::{seed_stream, SimRng};
 pub use stats::{percentile, percentile_sorted, Cdf, OnlineStats, Reservoir, Summary};

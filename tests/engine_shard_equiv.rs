@@ -1,0 +1,238 @@
+//! Serial-equivalence conformance suite for the sharded event engine.
+//!
+//! The determinism contract under test: for any seed and any shard count
+//! in {1, 2, 4, 8}, with fault injection on or off, the sharded engine
+//! must reproduce the retained serial engine **bit-for-bit** in every
+//! output a run produces — the rendered `RunReport`, the telemetry
+//! snapshot stream, the fault log (JSONL and golden summary forms), and
+//! the event journal's byte stream after the per-shard buffers merge.
+//! Equivalence is verified by comparison, never asserted by construction.
+//!
+//! Also covered: resuming a torn journal that a 4-shard run wrote (the
+//! resume path re-executes serially, so this crosses engines), and the
+//! structural consistency of the per-shard checkpoint records.
+
+use experiments::fault_sweep::{chaos_run_sharded, SweepPoint};
+use experiments::journal_runs::{
+    fault_sweep_spec, resume_bytes, truncate_bytes, CHECKPOINT_EVERY_US,
+};
+use obs::journal::{
+    check_invariants, read_journal, shard_checkpoint_violations, JournalEvent, MemoryJournal,
+};
+use obs::Obs;
+
+const QUICK: bool = true;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const FAULTS_OFF: SweepPoint = SweepPoint {
+    crash_per_min: 0.0,
+    slowdown_per_min: 0.0,
+};
+const FAULTS_ON: SweepPoint = SweepPoint {
+    crash_per_min: 2.0,
+    slowdown_per_min: 4.0,
+};
+
+/// Every byte-stable output of one journaled chaos run.
+#[derive(PartialEq)]
+struct RunOutput {
+    report_json: String,
+    telemetry_jsonl: String,
+    faults_jsonl: String,
+    fault_summary: String,
+    journal: Vec<u8>,
+    events_processed: u64,
+}
+
+fn journaled(point: SweepPoint, seed: u64, shards: Option<usize>) -> RunOutput {
+    let spec = fault_sweep_spec(point, seed, QUICK);
+    let journal = MemoryJournal::in_memory(&spec, Some(CHECKPOINT_EVERY_US));
+    let bundle = Obs::telemetry_only()
+        .with_fault_log()
+        .with_journal(Box::new(journal));
+    let (out, post) = chaos_run_sharded(point, seed, QUICK, bundle, shards);
+    RunOutput {
+        report_json: out.report.render_json(),
+        telemetry_jsonl: post
+            .telemetry
+            .as_ref()
+            .map(|t| t.to_jsonl())
+            .unwrap_or_default(),
+        faults_jsonl: out.faults.to_jsonl(),
+        fault_summary: out.faults.summary(),
+        journal: post
+            .journal
+            .as_ref()
+            .and_then(|j| j.as_any().downcast_ref::<MemoryJournal>())
+            .map(|j| j.bytes().to_vec())
+            .expect("in-memory journal survives the run"),
+        events_processed: out.events_processed,
+    }
+}
+
+fn assert_matches_serial(seed: u64, point: SweepPoint, k: usize) {
+    let reference = journaled(point, seed, None);
+    let got = journaled(point, seed, Some(k));
+    let ctx = format!("seed {seed} point {point:?} shards {k}");
+    assert_eq!(
+        got.report_json, reference.report_json,
+        "{ctx}: report JSON diverged from serial"
+    );
+    assert_eq!(
+        got.telemetry_jsonl, reference.telemetry_jsonl,
+        "{ctx}: telemetry stream diverged from serial"
+    );
+    assert_eq!(
+        got.faults_jsonl, reference.faults_jsonl,
+        "{ctx}: fault log diverged from serial"
+    );
+    assert_eq!(
+        got.fault_summary, reference.fault_summary,
+        "{ctx}: fault summary diverged from serial"
+    );
+    assert_eq!(
+        got.journal, reference.journal,
+        "{ctx}: merged journal bytes diverged from serial"
+    );
+    assert_eq!(
+        got.events_processed, reference.events_processed,
+        "{ctx}: event counts diverged"
+    );
+}
+
+/// 20 seeds × shard counts {1,2,4,8}, fault injection OFF: every sharded
+/// run reproduces the serial run byte-for-byte in every output.
+#[test]
+fn sharded_matches_serial_twenty_seeds_faults_off() {
+    for seed in 0..20u64 {
+        for k in SHARD_COUNTS {
+            assert_matches_serial(seed, FAULTS_OFF, k);
+        }
+    }
+}
+
+/// 20 seeds × shard counts {1,2,4,8}, fault injection ON: crashes,
+/// slowdowns, OOM kills, cold-start storms and gateway faults all land
+/// identically regardless of the partition.
+#[test]
+fn sharded_matches_serial_twenty_seeds_faults_on() {
+    for seed in 0..20u64 {
+        for k in SHARD_COUNTS {
+            assert_matches_serial(seed, FAULTS_ON, k);
+        }
+    }
+}
+
+/// A journal written by a 4-shard run parses strictly, satisfies every
+/// ordering invariant after the barrier merges, and — cut mid-record —
+/// resumes through the (serial) re-execution path into the bit-identical
+/// uninterrupted journal. Resume crossing engines is the strongest form of
+/// the contract: the torn sharded prefix verifies record-for-record
+/// against a serial rerun.
+#[test]
+fn torn_journal_from_sharded_run_resumes_bit_identically() {
+    let seed = 42u64;
+    let sharded = journaled(FAULTS_ON, seed, Some(4));
+
+    let parsed = read_journal(&sharded.journal).expect("strict parse");
+    assert!(parsed.truncated.is_none());
+    let violations = check_invariants(&parsed.records);
+    assert!(
+        violations.is_empty(),
+        "4-shard journal violates ordering invariants:\n  {}",
+        violations.join("\n  ")
+    );
+
+    let torn = truncate_bytes(&sharded.journal, 0.6);
+    assert!(torn.len() < sharded.journal.len());
+    let resumed = resume_bytes(&torn).expect("resume from sharded torn tail");
+    assert!(resumed.was_truncated);
+    assert!(resumed.verified_records > 0);
+    assert_eq!(
+        resumed.full_journal, sharded.journal,
+        "resumed journal must byte-match the uninterrupted 4-shard journal"
+    );
+    assert_eq!(resumed.artifacts.report_json, sharded.report_json);
+    assert_eq!(resumed.artifacts.faults_jsonl, sharded.faults_jsonl);
+    assert_eq!(resumed.artifacts.fault_summary, sharded.fault_summary);
+}
+
+/// The per-shard checkpoint records a sharded run emits are structurally
+/// consistent: every checkpoint instant carries one slice per shard in
+/// shard order, the server ranges partition the cluster, and the per-shard
+/// pending-event counts sum to the journal's partition-independent
+/// checkpoint totals.
+#[test]
+fn shard_checkpoints_partition_the_cluster_and_sum_to_journal_totals() {
+    use platform::scale::PlacementDecision;
+    use platform::{ArrivalSpec, Deployment, PlatformConfig, Simulation};
+    use simcore::SimTime;
+    use workloads::loadgen::uniform_arrivals;
+
+    let seed = 7u64;
+    let shards = 4usize;
+    let horizon = SimTime::from_secs(30.0);
+    let mut sim = Simulation::new(PlatformConfig::paper_testbed(seed));
+    sim.set_shards(shards);
+    let spec = fault_sweep_spec(FAULTS_ON, seed, QUICK);
+    let journal = MemoryJournal::in_memory(&spec, Some(CHECKPOINT_EVERY_US));
+    sim.set_obs(
+        Obs::telemetry_only()
+            .with_fault_log()
+            .with_journal(Box::new(journal)),
+    );
+    let num_servers = sim.servers().len();
+    let workload = workloads::socialnetwork::message_posting();
+    let placement: Vec<Vec<PlacementDecision>> = workload
+        .graph
+        .ids()
+        .map(|id| {
+            vec![PlacementDecision {
+                server: id.0 % num_servers,
+                socket: 0,
+            }]
+        })
+        .collect();
+    sim.deploy(Deployment {
+        workload,
+        placement,
+        arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(20.0, horizon)),
+    });
+    sim.set_faults(experiments::fault_sweep::sweep_fault_config(
+        FAULTS_ON, seed,
+    ));
+    sim.run_until(horizon);
+
+    let records = sim.shard_checkpoints().to_vec();
+    assert!(
+        !records.is_empty(),
+        "a 30 s run at 10 s checkpoint cadence must emit shard checkpoints"
+    );
+    let bundle = sim.take_obs();
+    let bytes = bundle
+        .journal
+        .as_ref()
+        .and_then(|j| j.as_any().downcast_ref::<MemoryJournal>())
+        .map(|j| j.bytes().to_vec())
+        .expect("journal bytes");
+    let parsed = read_journal(&bytes).expect("strict parse");
+    let journal_pending: Vec<(u64, u64)> = parsed
+        .records
+        .iter()
+        .filter_map(|r| match &r.event {
+            JournalEvent::Checkpoint(c) => Some((c.at_us, c.pending_events)),
+            _ => None,
+        })
+        .collect();
+    assert!(!journal_pending.is_empty());
+    let violations = shard_checkpoint_violations(
+        &records,
+        shards as u32,
+        num_servers as u32,
+        &journal_pending,
+    );
+    assert!(
+        violations.is_empty(),
+        "shard checkpoint inconsistencies:\n  {}",
+        violations.join("\n  ")
+    );
+}
