@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--quick] [--obs] [--trace-dir DIR] [--journal-dir DIR]
-//!       [--serve ADDR] [--json PATH] [--seed N] [--shards N] [id...]
+//!       [--serve ADDR] [--json PATH] [--seed N] [--shards N]
+//!       [--shard-threads T] [id...]
 //! repro --list                list experiment ids
 //! repro replay JOURNAL        reconstruct a run's artifacts from its journal
 //! repro resume JOURNAL        complete a truncated journal, verified
@@ -45,7 +46,7 @@ struct Cli {
 
 const USAGE: &str = "usage: repro [--quick] [--obs] [--trace-dir DIR] \
      [--journal-dir DIR] [--serve ADDR] [--json PATH] [--seed N] \
-     [--shards N] [id...] \
+     [--shards N] [--shard-threads T] [id...] \
      | repro replay JOURNAL | repro resume JOURNAL";
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
@@ -90,9 +91,20 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 }
                 cli.opts.shards = Some(k);
             }
+            "--shard-threads" => {
+                let s = it.next().ok_or("--shard-threads requires a count >= 1")?;
+                let t: usize = s.parse().map_err(|_| format!("bad thread count {s}"))?;
+                if t == 0 {
+                    return Err("--shard-threads requires a count >= 1".into());
+                }
+                cli.opts.shard_threads = Some(t);
+            }
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             id => cli.ids.push(id.to_string()),
         }
+    }
+    if cli.opts.shard_threads.is_some() && cli.opts.shards.is_none() {
+        return Err("--shard-threads requires --shards".into());
     }
     Ok(cli)
 }
@@ -310,7 +322,8 @@ fn main() {
         tt.bit_identical
     );
     // Event-engine scaling: serial vs sharded dispatch rate on the chaos
-    // point, with the bit-identity contract verified on the same runs.
+    // point, with the bit-identity contract verified on the same runs, plus
+    // the scaled-topology thread curve (64/256 servers).
     let et = experiments::engine_throughput::engine_throughput(cli.opts.quick);
     println!(
         "engine throughput: {:.0} events/s serial, {:.0} events/s at 4 shards \
@@ -321,6 +334,14 @@ fn main() {
         et.threads,
         et.bit_identical_vs_serial
     );
+    for p in &et.scaled {
+        let best = p.speedup_by_threads.iter().fold(f64::NAN, |a, &b| a.max(b));
+        println!(
+            "engine scaling: {} servers, {} events, {:.0} events/s serial, \
+             best threaded speedup {best:.2}x, bit-identical vs serial: {}",
+            p.servers, p.events, p.serial_events_per_s, p.bit_identical_vs_serial
+        );
+    }
     // Journal economics on the full-length chaos point: write overhead of
     // journaling on vs off (asserted within budget by the bench itself),
     // and replay-by-fold speedup vs re-simulation.
@@ -371,9 +392,28 @@ fn main() {
                 .field("bit_identical_vs_serial", et.bit_identical_vs_serial)
                 .field("epochs_4", et.epochs_4)
                 .field("crossed_4", et.crossed_4)
-                .field("threads", et.threads);
+                .field("threads", et.threads)
+                .field("threaded_speedup_4", et.threaded_speedup_4);
             for (k, eps) in et.shard_counts.iter().zip(&et.events_per_s) {
                 section = section.field(&format!("events_per_s_{k}"), *eps);
+            }
+            // Threads-dimension scaling curve on the grown topologies: one
+            // field group per cluster size, one speedup per thread count.
+            for p in &et.scaled {
+                let n = p.servers;
+                section = section
+                    .field(&format!("events_{n}srv"), p.events)
+                    .field(
+                        &format!("events_per_s_{n}srv_serial"),
+                        p.serial_events_per_s,
+                    )
+                    .field(&format!("bit_identical_{n}srv"), p.bit_identical_vs_serial);
+                let curve = experiments::engine_throughput::THREAD_COUNTS
+                    .iter()
+                    .zip(&p.speedup_by_threads);
+                for (t, s) in curve {
+                    section = section.field(&format!("speedup_{n}srv_t{t}"), *s);
+                }
             }
             section
         })

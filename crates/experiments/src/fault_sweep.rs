@@ -115,10 +115,37 @@ pub fn chaos_run_sharded(
     bundle: obs::Obs,
     shards: Option<usize>,
 ) -> (ChaosOutcome, obs::Obs) {
+    chaos_run_scaled(point, seed, quick, bundle, shards, 1, 1)
+}
+
+/// The fully-parameterised chaos run behind every entry point above:
+/// engine selection (`shards`, `shard_threads`), plus a topology `scale`
+/// that multiplies the paper's 8-node testbed and its workload mix
+/// proportionally — `scale` 8 is a 64-server cluster fed 8× the request
+/// rate and 8× the background-job cadence, so per-server load (and thus
+/// the scheduling regime) matches the base point. The engine choice is
+/// unobservable in every output at any scale; `scale` itself of course
+/// changes the simulated system.
+pub fn chaos_run_scaled(
+    point: SweepPoint,
+    seed: u64,
+    quick: bool,
+    bundle: obs::Obs,
+    shards: Option<usize>,
+    shard_threads: usize,
+    scale: usize,
+) -> (ChaosOutcome, obs::Obs) {
+    assert!(scale >= 1, "need at least the base topology");
     let horizon = SimTime::from_secs(if quick { 60.0 } else { 300.0 });
-    let mut sim = Simulation::new(PlatformConfig::paper_testbed(seed));
+    let mut config = PlatformConfig::paper_testbed(seed);
+    if scale > 1 {
+        config.cluster =
+            cluster::ClusterConfig::homogeneous(8 * scale, cluster::ServerSpec::paper_node());
+    }
+    let mut sim = Simulation::new(config);
     if let Some(k) = shards {
         sim.set_shards(k);
+        sim.set_shard_threads(shard_threads);
     }
     sim.set_obs(bundle);
     let n = sim.servers().len();
@@ -126,8 +153,11 @@ pub fn chaos_run_sharded(
     // LS services, spread round-robin; the autoscaler (Worst Fit) handles
     // scale-out and crash re-warms.
     for (workload, rps) in [
-        (workloads::socialnetwork::message_posting(), 30.0),
-        (workloads::ecommerce::browse_and_buy(), 20.0),
+        (
+            workloads::socialnetwork::message_posting(),
+            30.0 * scale as f64,
+        ),
+        (workloads::ecommerce::browse_and_buy(), 20.0 * scale as f64),
     ] {
         let placement: Vec<Vec<PlacementDecision>> = workload
             .graph
@@ -145,9 +175,11 @@ pub fn chaos_run_sharded(
             arrivals: ArrivalSpec::OpenLoop(uniform_arrivals(rps, horizon)),
         });
     }
-    // BG job stream.
+    // BG job stream; cadence scales with the topology so the batch-vs-LS
+    // interference mix per server stays put.
     let dd = workloads::functionbench::dd();
-    let period = if quick { 20.0 } else { 30.0 };
+    let base_period = if quick { 20.0 } else { 30.0 };
+    let period = base_period / scale as f64;
     let submissions: Vec<SimTime> = (0..)
         .map(|k| SimTime::from_secs(5.0 + k as f64 * period))
         .take_while(|t| *t < horizon)
@@ -329,7 +361,15 @@ pub fn run(opts: &RunOpts) -> ExperimentResult {
                 bundle = std::mem::take(&mut bundle).with_journal(Box::new(j));
                 path
             });
-        let (out, post) = chaos_run_sharded(point, seed, opts.quick, bundle, opts.shards);
+        let (out, post) = chaos_run_scaled(
+            point,
+            seed,
+            opts.quick,
+            bundle,
+            opts.shards,
+            opts.shard_threads.unwrap_or(1),
+            1,
+        );
         if let Some(path) = journal_path {
             result.note(format!("journal -> {}", path.display()));
             // Live-run artifacts next to the journal, so `repro replay` can

@@ -33,6 +33,11 @@ pub struct RunOpts {
     /// N`); `None` = the serial engine. Outputs are bit-identical either
     /// way — this only selects the event-loop implementation.
     pub shards: Option<usize>,
+    /// Worker threads for sharded epoch execution (`repro --shard-threads
+    /// T`); `None` = 1, the single-threaded reference path. Requires
+    /// `shards`; clamped to the shard count. Outputs stay bit-identical —
+    /// this only trades wall-clock for cores.
+    pub shard_threads: Option<usize>,
 }
 
 impl RunOpts {

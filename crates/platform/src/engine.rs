@@ -214,7 +214,7 @@ impl Default for ScaleConfig {
 /// [`Simulation::set_shards`].
 enum EngineQueue {
     Serial(EventQueue<Ev>),
-    Sharded(ShardedEventQueue<Ev>),
+    Sharded(Box<ShardedEventQueue<Ev>>),
 }
 
 impl EngineQueue {
@@ -229,6 +229,15 @@ impl EngineQueue {
         match self {
             EngineQueue::Serial(q) => q.len(),
             EngineQueue::Sharded(q) => q.len(),
+        }
+    }
+
+    /// The sharded queue behind a code path only reachable after
+    /// [`Simulation::set_shards`]; panics on the serial backend.
+    fn sharded_mut(&mut self) -> &mut ShardedEventQueue<Ev> {
+        match self {
+            EngineQueue::Serial(_) => unreachable!("sharded access on a serial queue"),
+            EngineQueue::Sharded(q) => q,
         }
     }
 }
@@ -309,6 +318,10 @@ pub struct Simulation {
     /// Shard of the event currently being dispatched (0 outside sharded
     /// dispatch) — the owner of buffered journal records and fault lanes.
     current_shard: usize,
+    /// Worker threads for sharded epoch execution (1 = single-threaded
+    /// reference path); applied, clamped to the shard count, when
+    /// `run_sharded` first runs. Bit-identical output at any setting.
+    shard_threads: usize,
     /// Per-shard fault-application lanes (sharded runs only; pure side
     /// channel, never consulted by the simulation).
     fault_lanes: Option<ShardFaultLanes>,
@@ -368,6 +381,7 @@ impl Simulation {
             journal_bufs: Vec::new(),
             journal_stamp: 0,
             current_shard: 0,
+            shard_threads: 1,
             fault_lanes: None,
             shard_checkpoints: Vec::new(),
             collect_scratch: Vec::new(),
@@ -385,7 +399,7 @@ impl Simulation {
             self.queue.len() == 0 && self.deployed.is_empty(),
             "set_shards must precede deploy/set_faults/run"
         );
-        self.queue = EngineQueue::Sharded(ShardedEventQueue::new(shards));
+        self.queue = EngineQueue::Sharded(Box::new(ShardedEventQueue::new(shards)));
         self.fault_lanes = Some(ShardFaultLanes::new(shards));
     }
 
@@ -394,6 +408,25 @@ impl Simulation {
         match &self.queue {
             EngineQueue::Serial(_) => None,
             EngineQueue::Sharded(q) => Some(q.shards()),
+        }
+    }
+
+    /// Run sharded epochs on `threads` worker threads (default 1: the
+    /// single-threaded reference path). The count is clamped to the shard
+    /// count when the sharded loop first runs; every artifact — report,
+    /// telemetry, fault log, journal — is bit-identical at any setting, so
+    /// this only trades wall-clock for cores. No-op on the serial engine.
+    pub fn set_shard_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one shard thread");
+        self.shard_threads = threads;
+    }
+
+    /// Worker threads configured for sharded epoch execution, clamped to
+    /// the shard count (`None` on the serial engine).
+    pub fn shard_threads(&self) -> Option<usize> {
+        match &self.queue {
+            EngineQueue::Serial(_) => None,
+            EngineQueue::Sharded(q) => Some(self.shard_threads.min(q.shards())),
         }
     }
 
@@ -754,15 +787,20 @@ impl Simulation {
     fn run_sharded(&mut self, end: SimTime) {
         let lookahead = self.lookahead();
         if self.journaling() && self.journal_bufs.is_empty() {
-            let EngineQueue::Sharded(q) = &self.queue else {
-                unreachable!("run_sharded on a serial queue")
-            };
-            self.journal_bufs = vec![Vec::new(); q.shards()];
+            self.journal_bufs = vec![Vec::new(); self.queue.sharded_mut().shards()];
+        }
+        if self.shard_threads > 1 {
+            // Hand the shard heaps to a persistent worker pool. Idempotent
+            // across re-entry (resumed runs call run_until again); the
+            // configured count only applies before the pool exists.
+            let q = self.queue.sharded_mut();
+            if q.threads() == 1 {
+                q.set_threads(self.shard_threads);
+            }
+            q.start_threads();
         }
         loop {
-            let EngineQueue::Sharded(q) = &mut self.queue else {
-                unreachable!("run_sharded on a serial queue")
-            };
+            let q = self.queue.sharded_mut();
             q.barrier();
             let Some(t0) = q.peek_time() else { break };
             if t0 > end {
@@ -774,13 +812,7 @@ impl Simulation {
                     .saturating_add(1),
             );
             q.begin_epoch(end_excl);
-            loop {
-                let EngineQueue::Sharded(q) = &mut self.queue else {
-                    unreachable!("run_sharded on a serial queue")
-                };
-                let Some((now, shard, ev)) = q.pop_in_window() else {
-                    break;
-                };
+            while let Some((now, shard, ev)) = self.queue.sharded_mut().pop_in_window() {
                 self.current_shard = shard;
                 self.events_processed += 1;
                 self.dispatch(now, ev, end);

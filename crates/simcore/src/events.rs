@@ -5,6 +5,7 @@
 //! event ordering exact and platform-independent, which matters because the
 //! reproduction promises bit-for-bit repeatable experiments.
 
+use crate::shard_pool::{Keyed, ShardPool};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -204,6 +205,74 @@ impl BarrierStats {
 /// real `(at, seq)` key, so `argmin` needs no emptiness branch.
 const EMPTY_HEAD: (SimTime, u64) = (SimTime(u64::MAX), u64::MAX);
 
+/// Coordinator-side state of the threaded backing: the shard heaps live in
+/// a [`ShardPool`]'s workers, and the coordinator keeps only what one epoch
+/// of serial dispatch needs.
+///
+/// Determinism argument, in one place: every decision that affects the
+/// simulation — sequence assignment, window truncation, the `(at, seq)`
+/// merge order of delivery — is taken on the coordinator thread, in the
+/// same code and the same order as the single-threaded backing. Workers
+/// only maintain heaps whose contents are fully determined by the posted
+/// items, and every hand-off (mailbox post, drain stream, head slot) is
+/// sequenced by a rendezvous. A different thread interleaving can change
+/// when a heap absorbs a batch, never what the coordinator observes at the
+/// next rendezvous — so the delivered event stream is byte-identical to the
+/// single-threaded backing, which is byte-identical to the serial engine.
+struct PoolBacking<E> {
+    pool: ShardPool<E>,
+    /// Per-shard sorted runs of this epoch's in-window events, as drained
+    /// by the workers, stored in *descending* `(at, seq)` order so the
+    /// epoch consumes each run from the back with O(1) moves.
+    streams: Vec<Vec<Keyed<E>>>,
+    /// Events scheduled *during* dispatch that are still deliverable in the
+    /// open window (same-epoch reschedules). They never reach a worker:
+    /// the coordinator merges them with the drained runs directly.
+    overlay: BinaryHeap<OverlayEntry<E>>,
+    /// Per-shard batches awaiting a mailbox flush, accumulated so a flush
+    /// costs one lock per shard per epoch (plus early flushes past
+    /// [`FLUSH_BATCH`], which overlap worker heap pushes with dispatch).
+    outbox: Vec<Vec<Keyed<E>>>,
+    /// Per-shard pending-event counts (heap + mailbox + outbox + stream
+    /// tail + overlay), mirroring the single-threaded backing's heap sizes
+    /// exactly at every dispatch point — `shard_len` feeds checkpoints.
+    lens: Vec<usize>,
+}
+
+/// Flush an outbox batch to its worker mailbox once it reaches this size,
+/// so workers absorb (and heap-push) most routed events while the
+/// coordinator is still dispatching the epoch.
+const FLUSH_BATCH: usize = 64;
+
+/// Overlay entry: a same-epoch event with its home shard, min-ordered by
+/// `(at, seq)`.
+struct OverlayEntry<E> {
+    at: SimTime,
+    seq: u64,
+    shard: usize,
+    event: E,
+}
+
+impl<E> PartialEq for OverlayEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for OverlayEntry<E> {}
+impl<E> PartialOrd for OverlayEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for OverlayEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
 /// A set of per-shard event queues sharing one global clock and one global
 /// sequence counter, synchronized by conservative time-window epochs.
 ///
@@ -230,6 +299,8 @@ const EMPTY_HEAD: (SimTime, u64) = (SimTime(u64::MAX), u64::MAX);
 pub struct ShardedEventQueue<E> {
     shards: Vec<BinaryHeap<Entry<E>>>,
     /// Cached `(at, seq)` minimum per shard heap ([`EMPTY_HEAD`] = empty).
+    /// In threaded mode this holds the worker-published heads, refreshed at
+    /// every barrier's absorb rendezvous.
     heads: Vec<(SimTime, u64)>,
     seq: u64,
     now: SimTime,
@@ -239,6 +310,11 @@ pub struct ShardedEventQueue<E> {
     /// Shard of the most recently popped event — the sender for routing.
     current_shard: usize,
     stats: BarrierStats,
+    /// Configured worker-thread count (1 = single-threaded reference path).
+    threads: usize,
+    /// Threaded backing, active once [`Self::start_threads`] ran with
+    /// `threads > 1`; the inline `shards` heaps are empty while active.
+    pool: Option<PoolBacking<E>>,
 }
 
 impl<E> ShardedEventQueue<E> {
@@ -253,12 +329,72 @@ impl<E> ShardedEventQueue<E> {
             window_end_excl: None,
             current_shard: 0,
             stats: BarrierStats::new(),
+            threads: 1,
+            pool: None,
         }
     }
 
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Select the worker-thread count for epoch execution, clamped to the
+    /// shard count. `1` (the default) keeps the single-threaded reference
+    /// path; `t > 1` makes the next [`Self::start_threads`] move the shard
+    /// heaps into a persistent [`ShardPool`]. Must be called before
+    /// `start_threads`; the delivered event stream is bit-identical either
+    /// way.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads >= 1, "need at least one thread");
+        assert!(
+            self.pool.is_none(),
+            "set_threads must precede start_threads"
+        );
+        self.threads = threads.min(self.shards.len());
+    }
+
+    /// Worker threads configured for epoch execution (1 = single-threaded).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Spawn the worker pool and hand each worker its shards' heaps.
+    /// Idempotent; a no-op on the single-threaded path (`threads == 1`).
+    pub fn start_threads(&mut self)
+    where
+        E: Send + 'static,
+    {
+        if self.threads <= 1 || self.pool.is_some() {
+            return;
+        }
+        let k = self.shards.len();
+        let pool = ShardPool::start(k, self.threads);
+        let mut lens = vec![0usize; k];
+        for (s, heap) in self.shards.iter_mut().enumerate() {
+            lens[s] = heap.len();
+            let mut items: Vec<Keyed<E>> = std::mem::take(heap)
+                .into_iter()
+                .map(|e| (e.at, e.seq, e.event))
+                .collect();
+            pool.post(s, &mut items);
+        }
+        pool.absorb_heads(&mut self.heads);
+        self.pool = Some(PoolBacking {
+            pool,
+            streams: (0..k).map(|_| Vec::new()).collect(),
+            overlay: BinaryHeap::new(),
+            outbox: (0..k).map(|_| Vec::new()).collect(),
+            lens,
+        });
+    }
+
+    /// Enable worker scheduling-jitter injection (test aid; threaded mode
+    /// only). See [`ShardPool::set_jitter`].
+    pub fn set_thread_jitter(&self, seed: u64) {
+        if let Some(p) = &self.pool {
+            p.pool.set_jitter(seed);
+        }
     }
 
     /// Current simulation time (timestamp of the last popped event).
@@ -268,7 +404,10 @@ impl<E> ShardedEventQueue<E> {
 
     /// Total pending events.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(BinaryHeap::len).sum::<usize>()
+        match &self.pool {
+            Some(p) => p.lens.iter().sum(),
+            None => self.shards.iter().map(BinaryHeap::len).sum(),
+        }
     }
 
     /// Whether no events are pending anywhere.
@@ -277,8 +416,14 @@ impl<E> ShardedEventQueue<E> {
     }
 
     /// Pending events homed on one shard — the per-shard checkpoint depth.
+    /// In threaded mode this is the coordinator's mirror count (worker
+    /// heap plus mailbox, outbox, stream tail and overlay), which equals
+    /// the single-threaded backing's heap size at every dispatch point.
     pub fn shard_len(&self, shard: usize) -> usize {
-        self.shards[shard].len()
+        match &self.pool {
+            Some(p) => p.lens[shard],
+            None => self.shards[shard].len(),
+        }
     }
 
     /// Barrier-protocol counters so far.
@@ -303,11 +448,7 @@ impl<E> ShardedEventQueue<E> {
             "scheduling into the past: {at:?} < now {:?}",
             self.now
         );
-        let entry = Entry {
-            at,
-            seq: self.seq,
-            event,
-        };
+        let seq = self.seq;
         self.seq += 1;
         if shard != self.current_shard {
             if let Some(w) = self.window_end_excl {
@@ -327,7 +468,28 @@ impl<E> ShardedEventQueue<E> {
                 }
             }
         }
-        self.push_direct(shard, entry);
+        if let Some(p) = &mut self.pool {
+            p.lens[shard] += 1;
+            // Deliverable this epoch only when it lies inside the (possibly
+            // just-shrunk) open window — those stay coordinator-side in the
+            // overlay. Everything else belongs in a worker heap; batch it
+            // toward the worker's mailbox so absorption overlaps dispatch.
+            if self.window_end_excl.is_some_and(|b| at < b) {
+                p.overlay.push(OverlayEntry {
+                    at,
+                    seq,
+                    shard,
+                    event,
+                });
+            } else {
+                p.outbox[shard].push((at, seq, event));
+                if p.outbox[shard].len() >= FLUSH_BATCH {
+                    p.pool.post(shard, &mut p.outbox[shard]);
+                }
+            }
+        } else {
+            self.push_direct(shard, Entry { at, seq, event });
+        }
     }
 
     fn push_direct(&mut self, shard: usize, entry: Entry<E>) {
@@ -339,22 +501,73 @@ impl<E> ShardedEventQueue<E> {
     }
 
     /// Open a conservative time window ending (exclusively) at `end_excl`.
+    ///
+    /// In threaded mode this is the *drain rendezvous*: any outbox batches
+    /// not yet flushed are posted first (workers absorb their mailboxes
+    /// before draining, so a posted event cannot miss its own window), then
+    /// every worker pops its in-window run into the coordinator's streams.
     pub fn begin_epoch(&mut self, end_excl: SimTime) {
         self.window_end_excl = Some(end_excl);
         self.stats.epochs += 1;
+        if let Some(p) = &mut self.pool {
+            for s in 0..p.outbox.len() {
+                if !p.outbox[s].is_empty() {
+                    p.pool.post(s, &mut p.outbox[s]);
+                }
+            }
+            p.pool.drain_window(end_excl, &mut p.streams);
+            // Workers hand back ascending runs; keep them reversed so the
+            // epoch consumes each run from the back.
+            for stream in &mut p.streams {
+                stream.reverse();
+            }
+        }
     }
 
     /// Close the epoch: lift the window bound, making every cross-shard
     /// event published during it poppable. All delivery already happened at
     /// publish time; the bound was what kept it invisible.
+    ///
+    /// In threaded mode this is the *absorb rendezvous*: undelivered epoch
+    /// state — unconsumed stream tails (the window may have shrunk below
+    /// them) plus overlay leftovers — is handed back to the worker heaps,
+    /// and the head cache is refreshed once every mailbox is absorbed.
     pub fn barrier(&mut self) {
         self.window_end_excl = None;
+        if let Some(p) = &mut self.pool {
+            for s in 0..p.streams.len() {
+                p.outbox[s].append(&mut p.streams[s]);
+            }
+            while let Some(o) = p.overlay.pop() {
+                p.outbox[o.shard].push((o.at, o.seq, o.event));
+            }
+            for s in 0..p.outbox.len() {
+                if !p.outbox[s].is_empty() {
+                    p.pool.post(s, &mut p.outbox[s]);
+                }
+            }
+            p.pool.absorb_heads(&mut self.heads);
+        }
     }
 
     /// Timestamp of the globally next event, ignoring the window.
+    ///
+    /// In threaded mode the worker-published heads are exact at the
+    /// post-[`Self::barrier`] rendezvous — the only point the engine peeks;
+    /// mid-epoch they lag by whatever sits in unposted outboxes.
     pub fn peek_time(&self) -> Option<SimTime> {
-        let shard = self.argmin();
-        let (at, _) = self.heads[shard];
+        let mut min = self.heads[self.argmin()];
+        if let Some(p) = &self.pool {
+            for stream in &p.streams {
+                if let Some(&(at, seq, _)) = stream.last() {
+                    min = min.min((at, seq));
+                }
+            }
+            if let Some(o) = p.overlay.peek() {
+                min = min.min((o.at, o.seq));
+            }
+        }
+        let (at, _) = min;
         (at.0 != u64::MAX).then_some(at)
     }
 
@@ -362,6 +575,9 @@ impl<E> ShardedEventQueue<E> {
     /// marking its shard as the current sender. Returns `None` when the open
     /// window (or the whole queue set) is exhausted.
     pub fn pop_in_window(&mut self) -> Option<(SimTime, usize, E)> {
+        if self.pool.is_some() {
+            return self.pop_in_window_pooled();
+        }
         let shard = self.argmin();
         let (at, _) = self.heads[shard];
         // One bound covers both exits: an empty queue set (`at` is the
@@ -377,6 +593,49 @@ impl<E> ShardedEventQueue<E> {
         self.now = entry.at;
         self.current_shard = shard;
         Some((entry.at, shard, entry.event))
+    }
+
+    /// Threaded-backing pop: the globally earliest `(at, seq)` among the
+    /// per-shard drained runs and the overlay of same-epoch schedules —
+    /// exactly the candidates the single-threaded backing's `argmin` would
+    /// surface inside this window, in the same canonical merge order.
+    fn pop_in_window_pooled(&mut self) -> Option<(SimTime, usize, E)> {
+        let p = self.pool.as_mut().expect("pooled pop without a pool");
+        let mut best_key = (SimTime(u64::MAX), u64::MAX);
+        let mut best_shard = usize::MAX;
+        for (s, stream) in p.streams.iter().enumerate() {
+            if let Some(&(at, seq, _)) = stream.last() {
+                if (at, seq) < best_key {
+                    best_key = (at, seq);
+                    best_shard = s;
+                }
+            }
+        }
+        let overlay_first = p.overlay.peek().is_some_and(|o| (o.at, o.seq) < best_key);
+        let at = if overlay_first {
+            p.overlay.peek().expect("peeked overlay entry").at
+        } else {
+            best_key.0
+        };
+        if at.0 == u64::MAX {
+            return None; // nothing staged for this epoch
+        }
+        if self.window_end_excl.is_some_and(|b| at >= b) {
+            return None; // the window shrank below the staged minimum
+        }
+        if overlay_first {
+            let o = p.overlay.pop().expect("peeked overlay entry");
+            p.lens[o.shard] -= 1;
+            self.now = o.at;
+            self.current_shard = o.shard;
+            Some((o.at, o.shard, o.event))
+        } else {
+            let (at, _, event) = p.streams[best_shard].pop().expect("non-empty stream");
+            p.lens[best_shard] -= 1;
+            self.now = at;
+            self.current_shard = best_shard;
+            Some((at, best_shard, event))
+        }
     }
 
     /// Shard index holding the globally smallest `(at, seq)` head (an empty
@@ -555,5 +814,100 @@ mod tests {
         q.route(0, SimTime(100), ());
         q.pop_in_window();
         q.route(1, SimTime(50), ());
+    }
+
+    /// Deterministic mini-simulation driving the epoch protocol the way the
+    /// engine does: barrier → peek → begin_epoch → pop loop, with each
+    /// popped event deterministically spawning follow-ups (same-shard,
+    /// cross-shard, and zero-delay cross-shard included). Returns the
+    /// delivered stream; any two backings must produce it byte-for-byte.
+    fn drive(
+        q: &mut ShardedEventQueue<u64>,
+        horizon: u64,
+        lookahead: u64,
+    ) -> Vec<(u64, usize, u64)> {
+        let shards = q.shards() as u64;
+        for i in 0..64u64 {
+            q.route((i % shards) as usize, SimTime(i * 13 % 293), i);
+        }
+        let mut out = Vec::new();
+        loop {
+            q.barrier();
+            let Some(t0) = q.peek_time() else { break };
+            if t0.0 > horizon {
+                break;
+            }
+            q.begin_epoch(SimTime((t0.0 + lookahead).min(horizon + 1)));
+            while let Some((at, shard, v)) = q.pop_in_window() {
+                out.push((at.0, shard, v));
+                let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ at.0;
+                if h % 3 != 0 {
+                    let delta = h % 41;
+                    let nv = h % 10_000;
+                    // Zero-delay spawns must strictly shrink the value so
+                    // same-instant chains terminate deterministically.
+                    if at.0 + delta <= horizon && (delta > 0 || nv < v) {
+                        q.route((h / 7 % shards) as usize, SimTime(at.0 + delta), nv);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn threaded_backing_matches_single_threaded_backing_bit_for_bit() {
+        let horizon = 400;
+        for shards in [1usize, 2, 4, 8] {
+            let mut reference = ShardedEventQueue::new(shards);
+            let expect = drive(&mut reference, horizon, 20);
+            assert!(!expect.is_empty());
+            for threads in [2usize, 4] {
+                let mut q = ShardedEventQueue::new(shards);
+                q.set_threads(threads);
+                q.start_threads();
+                let got = drive(&mut q, horizon, 20);
+                assert_eq!(got, expect, "shards {shards} threads {threads}");
+                assert_eq!(q.stats(), reference.stats(), "stats diverged");
+                assert_eq!(q.len(), reference.len(), "pending counts diverged");
+                for s in 0..shards {
+                    assert_eq!(q.shard_len(s), reference.shard_len(s), "shard {s} depth");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn outbox_drain_order_is_independent_of_thread_scheduling_jitter() {
+        // The satellite property: injected worker scheduling jitter (random
+        // pre-ack sleeps, seeded per run) must not change the delivered
+        // stream, the barrier counters, or the pending depths — the
+        // coordinator's rendezvous protocol, not thread timing, fixes the
+        // drain order.
+        let horizon = 400;
+        let mut reference = ShardedEventQueue::new(8);
+        let expect = drive(&mut reference, horizon, 20);
+        for seed in 1..=5u64 {
+            let mut q = ShardedEventQueue::new(8);
+            q.set_threads(4);
+            q.start_threads();
+            q.set_thread_jitter(seed);
+            let got = drive(&mut q, horizon, 20);
+            assert_eq!(got, expect, "jitter seed {seed} changed the stream");
+            assert_eq!(q.stats(), reference.stats(), "jitter seed {seed} stats");
+        }
+    }
+
+    #[test]
+    fn threads_are_clamped_to_shard_count() {
+        let mut q = ShardedEventQueue::<u64>::new(2);
+        q.set_threads(16);
+        assert_eq!(q.threads(), 2);
+        let mut single = ShardedEventQueue::new(1);
+        single.set_threads(8);
+        assert_eq!(single.threads(), 1);
+        single.start_threads(); // clamped to 1: stays on the local backing
+        single.route(0, SimTime(5), 1u64);
+        assert_eq!(single.pop_in_window(), Some((SimTime(5), 0, 1)));
     }
 }

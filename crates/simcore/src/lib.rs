@@ -15,6 +15,9 @@
 //!   microsecond-resolution simulation clock.
 //! * [`par`] — order-preserving parallel maps on scoped threads for the
 //!   embarrassingly parallel experiment sweeps.
+//! * [`shard_pool`] — the persistent worker pool behind the threaded shard
+//!   backing of [`ShardedEventQueue`]: per-shard mailboxes, heap ownership,
+//!   and the absorb/drain barrier rendezvous.
 //! * [`table`] — plain-text table rendering for regenerated paper tables.
 //!
 //! # Examples
@@ -42,6 +45,7 @@ pub mod dist;
 pub mod events;
 pub mod par;
 pub mod rng;
+pub mod shard_pool;
 pub mod stats;
 pub mod table;
 

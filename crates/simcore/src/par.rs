@@ -15,20 +15,40 @@
 use std::num::NonZeroUsize;
 use std::sync::{Mutex, OnceLock};
 
-/// Cached hardware parallelism.
+/// Cached worker parallelism: the `GSIGHT_WORKERS` environment override
+/// when set to a positive integer, the hardware parallelism otherwise.
 ///
 /// `std::thread::available_parallelism()` is a syscall (it reads cgroup
 /// quotas on Linux); per-batch callers on the prediction and training hot
 /// paths were paying it once per call. The value cannot change for the
 /// lifetime of the process in any environment we run in, so it is resolved
-/// once and memoised.
+/// once and memoised — which also means `GSIGHT_WORKERS` is read exactly
+/// once, at the first call: CI and benchmarks set it before launch to pin
+/// thread counts reproducibly (see README "Determinism").
 pub fn available_workers() -> usize {
     static WORKERS: OnceLock<usize> = OnceLock::new();
     *WORKERS.get_or_init(|| {
-        std::thread::available_parallelism()
+        let hw = std::thread::available_parallelism()
             .map(NonZeroUsize::get)
-            .unwrap_or(1)
+            .unwrap_or(1);
+        workers_from(std::env::var("GSIGHT_WORKERS").ok().as_deref(), hw)
     })
+}
+
+/// Resolve the worker count from the `GSIGHT_WORKERS` override and the
+/// hardware parallelism. A positive integer wins — even above the core
+/// count, so oversubscription is testable — anything absent, empty,
+/// malformed, or zero falls back to the hardware value. Pure so the
+/// resolution rules stay regression-testable despite the memoised,
+/// process-global reader above.
+fn workers_from(env_override: Option<&str>, hw: usize) -> usize {
+    match env_override
+        .map(str::trim)
+        .and_then(|s| s.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n,
+        _ => hw.max(1),
+    }
 }
 
 /// Number of worker threads to use for `n` jobs.
@@ -138,6 +158,22 @@ mod tests {
         assert!(w >= 1);
         // Memoised: repeated calls agree (and cost no further syscalls).
         assert_eq!(available_workers(), w);
+    }
+
+    #[test]
+    fn gsight_workers_override_rules() {
+        // The memoised reader resolves through this pure function, so the
+        // override contract is pinned here without racing other tests on
+        // process-global environment state.
+        assert_eq!(workers_from(Some("3"), 8), 3);
+        assert_eq!(workers_from(Some(" 2 "), 8), 2, "whitespace is trimmed");
+        assert_eq!(workers_from(Some("16"), 2), 16, "override may exceed hw");
+        assert_eq!(workers_from(Some("0"), 8), 8, "zero is rejected");
+        assert_eq!(workers_from(Some(""), 8), 8, "empty is rejected");
+        assert_eq!(workers_from(Some("four"), 8), 8, "garbage is rejected");
+        assert_eq!(workers_from(Some("-1"), 8), 8, "negatives are rejected");
+        assert_eq!(workers_from(None, 8), 8, "absent falls back to hw");
+        assert_eq!(workers_from(None, 0), 1, "hw floor is 1");
     }
 
     #[test]

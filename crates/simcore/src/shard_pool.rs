@@ -1,0 +1,417 @@
+//! Persistent shard workers for the threaded sharded event queue.
+//!
+//! A [`ShardPool`] owns the per-shard event heaps of a
+//! [`crate::ShardedEventQueue`] running in threaded mode: `threads` worker
+//! threads are spawned once per pool (not per epoch) and each worker owns
+//! the heaps of the shards assigned to it (`shard % threads`). The
+//! coordinator — the thread driving the simulation — never touches a heap
+//! directly; it talks to the workers through exactly three channels, all of
+//! them deterministic in content:
+//!
+//! * **mailboxes** (coordinator → worker): batches of `(at, seq, event)`
+//!   items routed to a shard. The global sequence number was already
+//!   assigned by the coordinator at schedule time, so a mailbox batch is an
+//!   unordered bag of fully-keyed items; workers fold them into their heaps
+//!   whenever convenient (opportunistically while the coordinator
+//!   dispatches, and always at the next absorb rendezvous).
+//! * **drain streams** (worker → coordinator): at each epoch the workers
+//!   pop, in parallel, every owned event strictly below the window bound
+//!   and hand the coordinator one sorted `(at, seq)` run per shard.
+//! * **head slots** (worker → coordinator): after an absorb rendezvous each
+//!   worker publishes the `(at, seq)` minimum of each owned heap, which is
+//!   what the coordinator peeks to place the next epoch window.
+//!
+//! Determinism does not depend on thread timing anywhere in this protocol:
+//! heap contents are fully determined by the posted items, the drained runs
+//! are sorted by the totally-ordered `(at, seq)` key, and rendezvous points
+//! make every hand-off happen-before its consumption. Thread interleaving
+//! can only change *when* a heap absorbs its mailbox, never *what* the next
+//! rendezvous observes — the property the jitter test in
+//! [`crate::events`] exercises.
+//!
+//! Workers spin briefly between commands (epochs are tens of microseconds
+//! apart on the bench workloads) and park once the spin budget is spent, so
+//! an idle pool — or a pool on a single-core host — costs scheduler wakeups
+//! rather than busy CPU.
+
+use crate::SimTime;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One fully-keyed queue item: `(timestamp, global sequence, payload)`.
+pub type Keyed<E> = (SimTime, u64, E);
+
+/// Head sentinel for an empty shard heap: compares greater than every real
+/// `(at, seq)` key (mirrors the queue's own empty-head sentinel).
+pub const EMPTY_HEAD: (SimTime, u64) = (SimTime(u64::MAX), u64::MAX);
+
+/// Min-heap entry ordered by `(at, seq)`.
+struct HeapItem<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for HeapItem<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapItem<E> {}
+impl<E> PartialOrd for HeapItem<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapItem<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Command encoding in the shared `cmd_arg` cell. Window bounds are real
+/// microsecond timestamps and never reach the top two values.
+const ARG_ABSORB: u64 = u64::MAX;
+const ARG_SHUTDOWN: u64 = u64::MAX - 1;
+
+/// Per-shard shared state. The `Mutex`es are uncontended by protocol: the
+/// coordinator only reads `drained`/`head` after the owning worker acked
+/// the command that filled them, and workers only take `mailbox` batches
+/// the coordinator already finished pushing.
+struct Slot<E> {
+    mailbox: Mutex<Vec<Keyed<E>>>,
+    drained: Mutex<Vec<Keyed<E>>>,
+    head: Mutex<(SimTime, u64)>,
+}
+
+struct Shared<E> {
+    slots: Vec<Slot<E>>,
+    /// Monotone command counter; bumped (release) after `cmd_arg` is set.
+    cmd_id: AtomicU64,
+    /// Argument of the current command: a window bound, or a sentinel.
+    cmd_arg: AtomicU64,
+    /// Per-worker id of the last completed command.
+    acks: Vec<AtomicU64>,
+    /// Test aid: non-zero seeds a per-worker xorshift that sleeps workers
+    /// 0–50 µs before each ack, simulating hostile thread scheduling.
+    jitter: AtomicU64,
+}
+
+/// The persistent worker pool. Dropping it shuts the workers down and joins
+/// them; any events still owned by workers are dropped with their heaps.
+pub struct ShardPool<E> {
+    shared: Arc<Shared<E>>,
+    workers: Vec<JoinHandle<()>>,
+    threads: usize,
+}
+
+impl<E> ShardPool<E> {
+    /// Spawn `threads` workers jointly owning `shards` empty heaps.
+    /// `threads` is clamped to `[1, shards]`.
+    pub fn start(shards: usize, threads: usize) -> Self
+    where
+        E: Send + 'static,
+    {
+        assert!(shards >= 1, "need at least one shard");
+        let threads = threads.clamp(1, shards);
+        let shared = Arc::new(Shared {
+            slots: (0..shards)
+                .map(|_| Slot {
+                    mailbox: Mutex::new(Vec::new()),
+                    drained: Mutex::new(Vec::new()),
+                    head: Mutex::new(EMPTY_HEAD),
+                })
+                .collect(),
+            cmd_id: AtomicU64::new(0),
+            cmd_arg: AtomicU64::new(ARG_ABSORB),
+            acks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
+            jitter: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("shard-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, w, threads))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            threads,
+        }
+    }
+
+    /// Worker threads actually running.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Enable scheduling-jitter injection (test aid): each worker sleeps a
+    /// seed-derived pseudo-random 0–50 µs before acknowledging a command.
+    pub fn set_jitter(&self, seed: u64) {
+        self.shared.jitter.store(seed, Ordering::Relaxed);
+    }
+
+    /// Append items to a shard's mailbox, draining `items`. The batch
+    /// becomes part of the shard heap at the latest by the end of the next
+    /// [`ShardPool::absorb_heads`] rendezvous; workers may fold it in
+    /// earlier, which is unobservable.
+    pub fn post(&self, shard: usize, items: &mut Vec<Keyed<E>>) {
+        if items.is_empty() {
+            return;
+        }
+        let mut mb = lock(&self.shared.slots[shard].mailbox);
+        mb.append(items);
+    }
+
+    /// Rendezvous: every worker folds its pending mailboxes into its heaps
+    /// and republishes per-shard heads. Returns the heads in shard order
+    /// ([`EMPTY_HEAD`] for an empty heap).
+    pub fn absorb_heads(&self, heads_out: &mut [(SimTime, u64)]) {
+        self.command(ARG_ABSORB);
+        for (s, slot) in self.shared.slots.iter().enumerate() {
+            heads_out[s] = *lock(&slot.head);
+        }
+    }
+
+    /// Rendezvous: every worker pops, per owned shard, all events with
+    /// `at < end_excl` into that shard's drain stream (sorted by
+    /// `(at, seq)` — heap pop order) and swaps it into `streams_out`.
+    /// Mailboxes are absorbed first, so a posted-but-unabsorbed item can
+    /// never be skipped by its own epoch window.
+    pub fn drain_window(&self, end_excl: SimTime, streams_out: &mut [Vec<Keyed<E>>]) {
+        assert!(
+            end_excl.0 < ARG_SHUTDOWN,
+            "window bound collides with command sentinels"
+        );
+        self.command(end_excl.0);
+        for (s, slot) in self.shared.slots.iter().enumerate() {
+            streams_out[s].clear();
+            std::mem::swap(&mut *lock(&slot.drained), &mut streams_out[s]);
+        }
+    }
+
+    /// Post a command and wait for every worker to acknowledge it.
+    fn command(&self, arg: u64) {
+        self.shared.cmd_arg.store(arg, Ordering::Relaxed);
+        let id = self.shared.cmd_id.fetch_add(1, Ordering::Release) + 1;
+        for w in &self.workers {
+            w.thread().unpark();
+        }
+        for ack in &self.shared.acks {
+            let mut spins = 0u32;
+            while ack.load(Ordering::Acquire) < id {
+                spins += 1;
+                if spins < 64 {
+                    std::hint::spin_loop();
+                } else {
+                    // Single-core hosts need the workers scheduled to make
+                    // progress; yielding is the only way to hand them the
+                    // core promptly.
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+impl<E> Drop for ShardPool<E> {
+    fn drop(&mut self) {
+        self.shared.cmd_arg.store(ARG_SHUTDOWN, Ordering::Relaxed);
+        self.shared.cmd_id.fetch_add(1, Ordering::Release);
+        for w in &self.workers {
+            w.thread().unpark();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// A mutex whose critical sections cannot panic is still poisonable by a
+/// panicking *sibling* worker; keep draining so the original panic, not a
+/// poison error, surfaces at join.
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn worker_loop<E: Send>(shared: &Shared<E>, worker: usize, threads: usize) {
+    let my_shards: Vec<usize> = (0..shared.slots.len())
+        .filter(|s| s % threads == worker)
+        .collect();
+    let mut heaps: Vec<BinaryHeap<HeapItem<E>>> =
+        my_shards.iter().map(|_| BinaryHeap::new()).collect();
+    let mut seen = 0u64;
+    let mut jitter_state = 0u64;
+    loop {
+        // Wait for the next command; while waiting, opportunistically fold
+        // mailbox batches the coordinator flushes mid-dispatch, overlapping
+        // heap pushes with event dispatch on the coordinator thread.
+        let mut spins = 0u32;
+        let id = loop {
+            let id = shared.cmd_id.load(Ordering::Acquire);
+            if id > seen {
+                break id;
+            }
+            let mut absorbed = false;
+            for (i, &s) in my_shards.iter().enumerate() {
+                if let Ok(mut mb) = shared.slots[s].mailbox.try_lock() {
+                    if !mb.is_empty() {
+                        for (at, seq, event) in mb.drain(..) {
+                            heaps[i].push(HeapItem { at, seq, event });
+                        }
+                        absorbed = true;
+                    }
+                }
+            }
+            if absorbed {
+                spins = 0;
+                continue;
+            }
+            spins += 1;
+            if spins < 256 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::park_timeout(std::time::Duration::from_micros(200));
+            }
+        };
+        seen = id;
+        let arg = shared.cmd_arg.load(Ordering::Relaxed);
+        if arg == ARG_SHUTDOWN {
+            return;
+        }
+        // Both commands start by absorbing, so no posted item can miss the
+        // rendezvous it was flushed for.
+        for (i, &s) in my_shards.iter().enumerate() {
+            let mut mb = lock(&shared.slots[s].mailbox);
+            for (at, seq, event) in mb.drain(..) {
+                heaps[i].push(HeapItem { at, seq, event });
+            }
+        }
+        if arg == ARG_ABSORB {
+            for (i, &s) in my_shards.iter().enumerate() {
+                *lock(&shared.slots[s].head) =
+                    heaps[i].peek().map_or(EMPTY_HEAD, |e| (e.at, e.seq));
+            }
+        } else {
+            let end_excl = SimTime(arg);
+            for (i, &s) in my_shards.iter().enumerate() {
+                let mut out = lock(&shared.slots[s].drained);
+                debug_assert!(out.is_empty(), "coordinator took the last stream");
+                while heaps[i].peek().is_some_and(|e| e.at < end_excl) {
+                    let e = heaps[i].pop().expect("peeked entry");
+                    out.push((e.at, e.seq, e.event));
+                }
+            }
+        }
+        let jitter = shared.jitter.load(Ordering::Relaxed);
+        if jitter != 0 {
+            // Deterministically seeded, scheduling-hostile: stall before
+            // acking so rendezvous arrival order varies run to run.
+            if jitter_state == 0 {
+                jitter_state = jitter ^ (worker as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            jitter_state ^= jitter_state << 13;
+            jitter_state ^= jitter_state >> 7;
+            jitter_state ^= jitter_state << 17;
+            std::thread::sleep(std::time::Duration::from_micros(jitter_state % 50));
+        }
+        shared.acks[worker].store(seen, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool_with(shards: usize, threads: usize, items: &[(usize, u64, u64)]) -> ShardPool<u64> {
+        let pool = ShardPool::start(shards, threads);
+        for &(shard, at, payload) in items {
+            pool.post(shard, &mut vec![(SimTime(at), payload, payload)]);
+        }
+        pool
+    }
+
+    #[test]
+    fn absorb_publishes_min_heads() {
+        let pool = pool_with(3, 2, &[(0, 30, 1), (0, 10, 2), (2, 5, 3)]);
+        let mut heads = vec![EMPTY_HEAD; 3];
+        pool.absorb_heads(&mut heads);
+        assert_eq!(heads[0], (SimTime(10), 2));
+        assert_eq!(heads[1], EMPTY_HEAD);
+        assert_eq!(heads[2], (SimTime(5), 3));
+    }
+
+    #[test]
+    fn drain_returns_sorted_in_window_runs_and_keeps_the_rest() {
+        let pool = pool_with(
+            2,
+            2,
+            &[(0, 50, 1), (0, 10, 2), (0, 90, 3), (1, 10, 4), (1, 200, 5)],
+        );
+        let mut streams = vec![Vec::new(), Vec::new()];
+        pool.drain_window(SimTime(60), &mut streams);
+        assert_eq!(streams[0], vec![(SimTime(10), 2, 2), (SimTime(50), 1, 1)]);
+        assert_eq!(streams[1], vec![(SimTime(10), 4, 4)]);
+        // The beyond-window events survive for a later window.
+        let mut heads = vec![EMPTY_HEAD; 2];
+        pool.absorb_heads(&mut heads);
+        assert_eq!(heads[0], (SimTime(90), 3));
+        assert_eq!(heads[1], (SimTime(200), 5));
+    }
+
+    #[test]
+    fn posted_items_cannot_miss_their_own_window() {
+        // Post, then immediately drain a window covering the posts: the
+        // drain rendezvous must absorb mailboxes first.
+        let pool = ShardPool::start(4, 4);
+        for s in 0..4 {
+            pool.post(s, &mut vec![(SimTime(7), s as u64, s as u64)]);
+        }
+        let mut streams = vec![Vec::new(); 4];
+        pool.drain_window(SimTime(8), &mut streams);
+        for (s, st) in streams.iter().enumerate() {
+            assert_eq!(st.len(), 1, "shard {s} lost its posted item");
+        }
+    }
+
+    #[test]
+    fn threads_clamped_to_shards() {
+        let pool: ShardPool<u64> = ShardPool::start(2, 16);
+        assert_eq!(pool.threads(), 2);
+    }
+
+    #[test]
+    fn many_epochs_under_jitter_deliver_everything_in_order() {
+        let pool = ShardPool::start(4, 2);
+        pool.set_jitter(0xDEAD);
+        let mut expected = Vec::new();
+        for seq in 0..400u64 {
+            let at = (seq * 7919) % 1000;
+            pool.post((seq % 4) as usize, &mut vec![(SimTime(at), seq, seq)]);
+            expected.push((SimTime(at), seq));
+        }
+        let mut got = Vec::new();
+        let mut streams = vec![Vec::new(); 4];
+        for window in [250u64, 500, 750, 1001] {
+            pool.drain_window(SimTime(window), &mut streams);
+            let mut merged: Vec<(SimTime, u64)> = streams
+                .iter_mut()
+                .flat_map(|s| s.drain(..))
+                .map(|(at, seq, _)| (at, seq))
+                .collect();
+            merged.sort_unstable();
+            got.extend(merged);
+        }
+        expected.sort_unstable();
+        assert_eq!(got, expected);
+    }
+}

@@ -1,18 +1,22 @@
 //! Serial-equivalence conformance suite for the sharded event engine.
 //!
-//! The determinism contract under test: for any seed and any shard count
-//! in {1, 2, 4, 8}, with fault injection on or off, the sharded engine
-//! must reproduce the retained serial engine **bit-for-bit** in every
-//! output a run produces — the rendered `RunReport`, the telemetry
-//! snapshot stream, the fault log (JSONL and golden summary forms), and
-//! the event journal's byte stream after the per-shard buffers merge.
-//! Equivalence is verified by comparison, never asserted by construction.
+//! The determinism contract under test: for any seed, any shard count in
+//! {1, 2, 4, 8}, any worker-thread count in {1, 2, 4}, with fault
+//! injection on or off, the sharded engine must reproduce the retained
+//! serial engine **bit-for-bit** in every output a run produces — the
+//! rendered `RunReport`, the telemetry snapshot stream, the fault log
+//! (JSONL and golden summary forms), and the event journal's byte stream
+//! after the per-shard buffers merge. Threading must additionally be
+//! unobservable in the barrier-protocol counters themselves, which also
+//! satisfy the protocol invariants (`min_slack_us >= 0`, truncations =
+//! `crossed - published >= 0`). Equivalence is verified by comparison,
+//! never asserted by construction.
 //!
 //! Also covered: resuming a torn journal that a 4-shard run wrote (the
 //! resume path re-executes serially, so this crosses engines), and the
 //! structural consistency of the per-shard checkpoint records.
 
-use experiments::fault_sweep::{chaos_run_sharded, SweepPoint};
+use experiments::fault_sweep::{chaos_run_scaled, SweepPoint};
 use experiments::journal_runs::{
     fault_sweep_spec, resume_bytes, truncate_bytes, CHECKPOINT_EVERY_US,
 };
@@ -23,6 +27,7 @@ use obs::Obs;
 
 const QUICK: bool = true;
 const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THREAD_COUNTS: [usize; 3] = [1, 2, 4];
 const FAULTS_OFF: SweepPoint = SweepPoint {
     crash_per_min: 0.0,
     slowdown_per_min: 0.0,
@@ -41,15 +46,16 @@ struct RunOutput {
     fault_summary: String,
     journal: Vec<u8>,
     events_processed: u64,
+    barrier: Option<simcore::BarrierStats>,
 }
 
-fn journaled(point: SweepPoint, seed: u64, shards: Option<usize>) -> RunOutput {
+fn journaled(point: SweepPoint, seed: u64, shards: Option<usize>, threads: usize) -> RunOutput {
     let spec = fault_sweep_spec(point, seed, QUICK);
     let journal = MemoryJournal::in_memory(&spec, Some(CHECKPOINT_EVERY_US));
     let bundle = Obs::telemetry_only()
         .with_fault_log()
         .with_journal(Box::new(journal));
-    let (out, post) = chaos_run_sharded(point, seed, QUICK, bundle, shards);
+    let (out, post) = chaos_run_scaled(point, seed, QUICK, bundle, shards, threads, 1);
     RunOutput {
         report_json: out.report.render_json(),
         telemetry_jsonl: post
@@ -66,13 +72,11 @@ fn journaled(point: SweepPoint, seed: u64, shards: Option<usize>) -> RunOutput {
             .map(|j| j.bytes().to_vec())
             .expect("in-memory journal survives the run"),
         events_processed: out.events_processed,
+        barrier: out.barrier,
     }
 }
 
-fn assert_matches_serial(seed: u64, point: SweepPoint, k: usize) {
-    let reference = journaled(point, seed, None);
-    let got = journaled(point, seed, Some(k));
-    let ctx = format!("seed {seed} point {point:?} shards {k}");
+fn assert_output_matches(got: &RunOutput, reference: &RunOutput, ctx: &str) {
     assert_eq!(
         got.report_json, reference.report_json,
         "{ctx}: report JSON diverged from serial"
@@ -99,26 +103,60 @@ fn assert_matches_serial(seed: u64, point: SweepPoint, k: usize) {
     );
 }
 
-/// 20 seeds × shard counts {1,2,4,8}, fault injection OFF: every sharded
-/// run reproduces the serial run byte-for-byte in every output.
-#[test]
-fn sharded_matches_serial_twenty_seeds_faults_off() {
-    for seed in 0..20u64 {
-        for k in SHARD_COUNTS {
-            assert_matches_serial(seed, FAULTS_OFF, k);
+/// One (seed, point): a serial reference run, then every shards × threads
+/// combination byte-compared against it. The barrier counters must satisfy
+/// the protocol invariants and be bit-equal across thread counts at each
+/// shard count — thread scheduling must be unobservable even in the
+/// protocol's own bookkeeping.
+fn assert_matrix_matches_serial(seed: u64, point: SweepPoint) {
+    let reference = journaled(point, seed, None, 1);
+    for k in SHARD_COUNTS {
+        let mut single_threaded_stats = None;
+        for t in THREAD_COUNTS {
+            let got = journaled(point, seed, Some(k), t);
+            let ctx = format!("seed {seed} point {point:?} shards {k} threads {t}");
+            assert_output_matches(&got, &reference, &ctx);
+            let stats = got.barrier.expect("sharded runs report barrier stats");
+            assert!(stats.epochs > 0, "{ctx}: no epochs opened");
+            assert!(
+                stats.min_slack_us >= 0,
+                "{ctx}: a cross-shard event beat its sender's epoch close                  (min_slack_us = {})",
+                stats.min_slack_us
+            );
+            assert!(
+                stats.published <= stats.crossed,
+                "{ctx}: published {} exceeds crossed {} (truncations =                  crossed - published must be non-negative)",
+                stats.published,
+                stats.crossed
+            );
+            match single_threaded_stats {
+                None => single_threaded_stats = Some(stats),
+                Some(s) => assert_eq!(
+                    stats, s,
+                    "{ctx}: barrier counters diverged across thread counts"
+                ),
+            }
         }
     }
 }
 
-/// 20 seeds × shard counts {1,2,4,8}, fault injection ON: crashes,
-/// slowdowns, OOM kills, cold-start storms and gateway faults all land
-/// identically regardless of the partition.
+/// 20 seeds × shards {1,2,4,8} × threads {1,2,4}, fault injection OFF:
+/// every sharded run — single-threaded or on the worker pool — reproduces
+/// the serial run byte-for-byte in every output.
+#[test]
+fn sharded_matches_serial_twenty_seeds_faults_off() {
+    for seed in 0..20u64 {
+        assert_matrix_matches_serial(seed, FAULTS_OFF);
+    }
+}
+
+/// 20 seeds × shards {1,2,4,8} × threads {1,2,4}, fault injection ON:
+/// crashes, slowdowns, OOM kills, cold-start storms and gateway faults all
+/// land identically regardless of partition or thread count.
 #[test]
 fn sharded_matches_serial_twenty_seeds_faults_on() {
     for seed in 0..20u64 {
-        for k in SHARD_COUNTS {
-            assert_matches_serial(seed, FAULTS_ON, k);
-        }
+        assert_matrix_matches_serial(seed, FAULTS_ON);
     }
 }
 
@@ -131,7 +169,7 @@ fn sharded_matches_serial_twenty_seeds_faults_on() {
 #[test]
 fn torn_journal_from_sharded_run_resumes_bit_identically() {
     let seed = 42u64;
-    let sharded = journaled(FAULTS_ON, seed, Some(4));
+    let sharded = journaled(FAULTS_ON, seed, Some(4), 4);
 
     let parsed = read_journal(&sharded.journal).expect("strict parse");
     assert!(parsed.truncated.is_none());
