@@ -334,12 +334,23 @@ fn main() {
         et.threads,
         et.bit_identical_vs_serial
     );
+    println!(
+        "engine epochs: {} drains serving {} windows ({:.0} events/epoch, \
+         mean adaptive width {:.1} ms)",
+        et.epochs_4, et.windows_4, et.events_per_epoch_4, et.mean_width_ms_4
+    );
     for p in &et.scaled {
         let best = p.speedup_by_threads.iter().fold(f64::NAN, |a, &b| a.max(b));
         println!(
             "engine scaling: {} servers, {} events, {:.0} events/s serial, \
-             best threaded speedup {best:.2}x, bit-identical vs serial: {}",
-            p.servers, p.events, p.serial_events_per_s, p.bit_identical_vs_serial
+             best threaded speedup {best:.2}x, {:.0} events/epoch, \
+             t4 barrier-wait share {:.3}, bit-identical vs serial: {}",
+            p.servers,
+            p.events,
+            p.serial_events_per_s,
+            p.events_per_epoch,
+            p.barrier_wait_share_t4,
+            p.bit_identical_vs_serial
         );
     }
     // Journal economics on the full-length chaos point: write overhead of
@@ -391,6 +402,13 @@ fn main() {
                 .field("speedup_4", et.speedup_4)
                 .field("bit_identical_vs_serial", et.bit_identical_vs_serial)
                 .field("epochs_4", et.epochs_4)
+                .field("windows_4", et.windows_4)
+                .field("events_per_epoch_4", et.events_per_epoch_4)
+                .field("mean_width_ms_4", et.mean_width_ms_4)
+                .field(
+                    "width_hist_4",
+                    Json::Arr(et.width_hist_4.iter().map(|&n| Json::from(n)).collect()),
+                )
                 .field("crossed_4", et.crossed_4)
                 .field("threads", et.threads)
                 .field("threaded_speedup_4", et.threaded_speedup_4);
@@ -398,7 +416,8 @@ fn main() {
                 section = section.field(&format!("events_per_s_{k}"), *eps);
             }
             // Threads-dimension scaling curve on the grown topologies: one
-            // field group per cluster size, one speedup per thread count.
+            // field group per cluster size, one speedup and one pinned
+            // event count per thread count.
             for p in &et.scaled {
                 let n = p.servers;
                 section = section
@@ -407,12 +426,19 @@ fn main() {
                         &format!("events_per_s_{n}srv_serial"),
                         p.serial_events_per_s,
                     )
+                    .field(&format!("events_per_epoch_{n}srv"), p.events_per_epoch)
+                    .field(
+                        &format!("barrier_wait_share_{n}srv_t4"),
+                        p.barrier_wait_share_t4,
+                    )
                     .field(&format!("bit_identical_{n}srv"), p.bit_identical_vs_serial);
                 let curve = experiments::engine_throughput::THREAD_COUNTS
                     .iter()
-                    .zip(&p.speedup_by_threads);
-                for (t, s) in curve {
-                    section = section.field(&format!("speedup_{n}srv_t{t}"), *s);
+                    .zip(p.speedup_by_threads.iter().zip(&p.events_by_threads));
+                for (t, (s, ev)) in curve {
+                    section = section
+                        .field(&format!("speedup_{n}srv_t{t}"), *s)
+                        .field(&format!("events_{n}srv_t{t}"), *ev);
                 }
             }
             section

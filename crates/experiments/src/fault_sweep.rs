@@ -26,7 +26,7 @@ use platform::scale::PlacementDecision;
 use platform::{ArrivalSpec, Deployment, PlatformConfig, ResilienceConfig, Simulation};
 use simcore::rng::seed_stream;
 use simcore::table::{fnum, fpct, TextTable};
-use simcore::{BarrierStats, SimTime};
+use simcore::{BarrierStats, SimTime, SyncProfile};
 use workloads::loadgen::uniform_arrivals;
 
 /// Default chaos seed (override with `repro fault_sweep --seed N`).
@@ -51,6 +51,10 @@ pub struct ChaosOutcome {
     pub events_processed: u64,
     /// Barrier protocol counters (`None` for serial-engine runs).
     pub barrier: Option<BarrierStats>,
+    /// Wall-clock rendezvous profile (`None` for serial-engine runs;
+    /// all-zero on the single-threaded shard backing). Measurement, not
+    /// simulation state — never part of the byte-identity contract.
+    pub sync: Option<SyncProfile>,
 }
 
 /// Fault configuration for one sweep point: crash and slowdown rates are
@@ -215,12 +219,14 @@ pub fn chaos_run_scaled(
     let faults = bundle.faults.take().unwrap_or_default();
     let events_processed = sim.events_processed();
     let barrier = sim.barrier_stats();
+    let sync = sim.sync_profile();
     (
         ChaosOutcome {
             report: sim.into_report(),
             faults,
             events_processed,
             barrier,
+            sync,
         },
         bundle,
     )

@@ -21,12 +21,12 @@ use crate::scale::{placement_journal_event, ClusterView, PlacementDecision, Plac
 use cluster::{ContentionState, InstanceId, ServerState};
 use faults::{FaultConfig, FaultInjector, FaultKind, ShardFaultLanes};
 use metricsd::MetricVector;
-use obs::journal::{merge_stamped, CheckpointState, JournalEvent, PlacementKind, ShardCheckpoint};
+use obs::journal::{CheckpointState, JournalEvent, PlacementKind, ShardCheckpoint};
 use obs::json::Json;
-use obs::{FaultRecord, Obs, SpanRecord, Track};
+use obs::{EngineSnapshot, FaultRecord, Obs, SpanRecord, Track};
 use simcore::par;
 use simcore::rng::seed_stream;
-use simcore::{BarrierStats, EventQueue, ShardedEventQueue, SimRng, SimTime};
+use simcore::{BarrierStats, EventQueue, ShardedEventQueue, SimRng, SimTime, SyncProfile};
 use std::collections::{BTreeSet, VecDeque};
 use workloads::dag::CallKind;
 use workloads::{PhaseSpec, Workload};
@@ -309,10 +309,14 @@ pub struct Simulation {
     /// throughput bench.
     events_processed: u64,
     /// Per-shard journal buffers, active only while the sharded loop runs:
-    /// records carry a global stamp and are flushed through
-    /// [`merge_stamped`] at each barrier, reconstructing the serial sink
+    /// records carry a global stamp and are merged back into the sink in
+    /// stamp order at each window close, reconstructing the serial sink
     /// order byte-for-byte. Empty = inactive (records go straight through).
+    /// Buffers and the cursor scratch below are reused across flushes — the
+    /// per-window merge path allocates nothing.
     journal_bufs: Vec<Vec<(u64, (u64, JournalEvent))>>,
+    /// Reused per-shard cursors for the in-place journal stamp merge.
+    journal_cursors: Vec<usize>,
     /// Global stamp for buffered journal records, assigned in emit order.
     journal_stamp: u64,
     /// Shard of the event currently being dispatched (0 outside sharded
@@ -332,6 +336,10 @@ pub struct Simulation {
     /// Streaming moment accumulators for the sharded collect path, reused
     /// across ticks: one `(sum, count)` slot per `(workload, node)`.
     collect_scratch: Vec<Vec<(MetricVector, u32)>>,
+    /// Wall-clock start of the first sharded run, for the barrier-wait
+    /// share in the Prometheus engine block. Measurement only — never read
+    /// by the simulation.
+    sharded_wall_start: Option<std::time::Instant>,
 }
 
 impl Simulation {
@@ -379,12 +387,14 @@ impl Simulation {
             next_checkpoint: SimTime::ZERO,
             events_processed: 0,
             journal_bufs: Vec::new(),
+            journal_cursors: Vec::new(),
             journal_stamp: 0,
             current_shard: 0,
             shard_threads: 1,
             fault_lanes: None,
             shard_checkpoints: Vec::new(),
             collect_scratch: Vec::new(),
+            sharded_wall_start: None,
         }
     }
 
@@ -445,6 +455,43 @@ impl Simulation {
         self.events_processed
     }
 
+    /// Wall-clock rendezvous profile of a threaded sharded run (`None` on
+    /// the serial engine; all-zero on the single-threaded backing). Unlike
+    /// [`Simulation::barrier_stats`] this is measurement, not simulation
+    /// state — it is never part of the byte-identity contract.
+    pub fn sync_profile(&self) -> Option<SyncProfile> {
+        match &self.queue {
+            EngineQueue::Serial(_) => None,
+            EngineQueue::Sharded(q) => Some(q.sync_profile()),
+        }
+    }
+
+    /// Epoch-efficiency block for the Prometheus export (`None` on the
+    /// serial engine or before the sharded loop first runs). Deliberately a
+    /// side channel next to the telemetry registry, never inside it: the
+    /// registry's JSONL is byte-compared across shard and thread counts,
+    /// and these numbers legitimately differ across both.
+    fn engine_prom_snapshot(&self) -> Option<EngineSnapshot> {
+        let EngineQueue::Sharded(q) = &self.queue else {
+            return None;
+        };
+        let stats = q.stats();
+        let sync = q.sync_profile();
+        let wall_ns = self.sharded_wall_start.map_or(0, |t| {
+            t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+        });
+        Some(EngineSnapshot {
+            epochs: stats.epochs,
+            windows: stats.windows,
+            delivered: stats.delivered,
+            rendezvous: sync.rendezvous,
+            sync_wait_ns: sync.wait_ns,
+            wall_ns,
+            width_hist_ms: stats.width_hist.to_vec(),
+            width_sum_ms: stats.width_sum_ms,
+        })
+    }
+
     /// Per-shard checkpoint slices recorded by a sharded run (empty on the
     /// serial engine, or before the first checkpoint instant).
     pub fn shard_checkpoints(&self) -> &[ShardCheckpoint] {
@@ -502,21 +549,40 @@ impl Simulation {
     }
 
     /// Flush the per-shard journal buffers through the canonical stamp
-    /// merge. Called at every barrier and once more before the run-end
-    /// records; leaves the buffers empty but active.
+    /// merge. Called at every window close and once more before the run-end
+    /// records; leaves the buffers empty (capacity retained) but active.
+    ///
+    /// The merge is an in-place k-way cursor walk: stamps are assigned in
+    /// emit order and each shard's buffer is stamp-sorted by construction,
+    /// so repeatedly taking the smallest front stamp replays the exact
+    /// serial emit order without collecting into an intermediate vector.
     fn flush_journal_bufs(&mut self) {
         if self.journal_bufs.iter().all(Vec::is_empty) {
             return;
         }
-        let streams: Vec<_> = self.journal_bufs.iter_mut().map(std::mem::take).collect();
-        let merged = merge_stamped(streams);
         let j = self
             .obs
             .journal
             .as_mut()
             .expect("journal buffers active without a sink");
-        for (_stamp, (at_us, ev)) in &merged {
+        self.journal_cursors.clear();
+        self.journal_cursors.resize(self.journal_bufs.len(), 0);
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (s, buf) in self.journal_bufs.iter().enumerate() {
+                if let Some(&(stamp, _)) = buf.get(self.journal_cursors[s]) {
+                    if best.is_none_or(|(b, _)| stamp < b) {
+                        best = Some((stamp, s));
+                    }
+                }
+            }
+            let Some((_, s)) = best else { break };
+            let (_, (at_us, ev)) = &self.journal_bufs[s][self.journal_cursors[s]];
             j.record(*at_us, ev);
+            self.journal_cursors[s] += 1;
+        }
+        for buf in &mut self.journal_bufs {
+            buf.clear();
         }
     }
 
@@ -778,14 +844,32 @@ impl Simulation {
         }
     }
 
-    /// The sharded loop, one conservative epoch at a time: close the
-    /// previous window at the barrier, open a new one bounded by the
-    /// lookahead, drain it in global `(at, seq)` order, repeat. Cross-shard
-    /// schedules inside a window shrink it to their timestamp, so nothing
-    /// an open window can still pop was published from another shard during
-    /// that same window.
+    /// The sharded loop: adaptive drain epochs batching many conservative
+    /// delivery windows.
+    ///
+    /// The outer loop opens one *epoch* per iteration — the only worker
+    /// rendezvous in threaded mode — bounded by the earliest global head
+    /// plus the conservative lookahead increment times an adaptive
+    /// multiplier. The inner loop then runs classic conservative *windows*
+    /// (anchor at the earliest head, extend by one lookahead increment,
+    /// clamp to the epoch bound) entirely coordinator-side: cross-shard
+    /// schedules inside a window still shrink it to their timestamp, so
+    /// nothing an open window can still pop was published from another
+    /// shard during that same window — but a truncation now costs a window
+    /// turnover, not a rendezvous.
+    ///
+    /// The multiplier widens (×2) after an epoch that delivered few events
+    /// — the shards had no near-term producers, so the next drain can
+    /// safely look further ahead — and narrows (÷2) after an epoch that
+    /// staged a large batch, bounding coordinator-side memory. It feeds
+    /// only on delivered-event counts, which are part of the deterministic
+    /// state, so epoch placement — and with it `BarrierStats` — is
+    /// bit-identical across backings and thread counts.
     fn run_sharded(&mut self, end: SimTime) {
         let lookahead = self.lookahead();
+        if self.sharded_wall_start.is_none() {
+            self.sharded_wall_start = Some(std::time::Instant::now());
+        }
         if self.journaling() && self.journal_bufs.is_empty() {
             self.journal_bufs = vec![Vec::new(); self.queue.sharded_mut().shards()];
         }
@@ -799,26 +883,56 @@ impl Simulation {
             }
             q.start_threads();
         }
+        /// Widen the next epoch after one that delivered fewer events.
+        const WIDEN_BELOW: u64 = 256;
+        /// Narrow the next epoch after one that staged more events.
+        const NARROW_ABOVE: u64 = 8192;
+        /// Multiplier ceiling: epochs never look ahead more than this many
+        /// lookahead increments.
+        const MULT_MAX: u64 = 4096;
+        let mut mult: u64 = 1;
         loop {
             let q = self.queue.sharded_mut();
-            q.barrier();
             let Some(t0) = q.peek_time() else { break };
             if t0 > end {
                 break;
             }
-            let end_excl = SimTime(
-                t0.0.saturating_add(lookahead.0)
+            let bound = SimTime(
+                t0.0.saturating_add(lookahead.0.saturating_mul(mult))
                     .min(end.0)
                     .saturating_add(1),
             );
-            q.begin_epoch(end_excl);
-            while let Some((now, shard, ev)) = self.queue.sharded_mut().pop_in_window() {
-                self.current_shard = shard;
-                self.events_processed += 1;
-                self.dispatch(now, ev, end);
+            q.open_epoch(bound);
+            let epoch_start_delivered = q.stats().delivered;
+            loop {
+                let q = self.queue.sharded_mut();
+                let Some(w0) = q.peek_time() else { break };
+                if w0 >= bound || w0 > end {
+                    break;
+                }
+                let end_excl = SimTime(
+                    w0.0.saturating_add(lookahead.0)
+                        .min(end.0)
+                        .saturating_add(1)
+                        .min(bound.0),
+                );
+                q.begin_window(end_excl);
+                while let Some((now, shard, ev)) = self.queue.sharded_mut().pop_in_window() {
+                    self.current_shard = shard;
+                    self.events_processed += 1;
+                    self.dispatch(now, ev, end);
+                }
+                self.queue.sharded_mut().end_window();
+                self.flush_journal_bufs();
             }
-            self.flush_journal_bufs();
+            let delivered = self.queue.sharded_mut().stats().delivered - epoch_start_delivered;
+            if delivered < WIDEN_BELOW {
+                mult = (mult * 2).min(MULT_MAX);
+            } else if delivered > NARROW_ABOVE {
+                mult = (mult / 2).max(1);
+            }
         }
+        self.queue.sharded_mut().close_epoch();
         self.flush_journal_bufs();
         self.journal_bufs = Vec::new();
         self.current_shard = 0;
@@ -1592,7 +1706,8 @@ impl Simulation {
         // Refresh the live Prometheus exposition, if a hub is attached.
         // Read-only over telemetry/fault-log state: zero determinism impact.
         if let (Some(hub), Some(t)) = (self.obs.prom.as_ref(), self.obs.telemetry.as_ref()) {
-            hub.publish(t, self.obs.faults.as_ref());
+            let engine = self.engine_prom_snapshot();
+            hub.publish_with_engine(t, self.obs.faults.as_ref(), engine.as_ref());
         }
 
         self.next_collect = now.plus(self.config.collect_interval);

@@ -5,7 +5,8 @@
 //! event ordering exact and platform-independent, which matters because the
 //! reproduction promises bit-for-bit repeatable experiments.
 
-use crate::shard_pool::{Keyed, ShardPool};
+use crate::arena::EventHeap;
+use crate::shard_pool::{Keyed, ShardPool, SyncProfile};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -169,27 +170,49 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Counters describing one sharded run's barrier protocol, for the
+/// Buckets of the adaptive epoch-width histogram: bucket `i` counts epochs
+/// whose width rounded down to whole milliseconds satisfies
+/// `2^i <= ms < 2^(i+1)` (bucket 0 also takes sub-millisecond widths, the
+/// last bucket everything wider).
+pub const WIDTH_BUCKETS: usize = 16;
+
+/// Counters describing one sharded run's epoch protocol, for the
 /// conformance suite's barrier-ordering property and the throughput bench's
-/// scaling report.
+/// scaling report. Deliberately free of wall-clock state: these counters
+/// are part of the byte-identity contract across thread counts (see
+/// [`SyncProfile`] for the wall-clock side).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct BarrierStats {
-    /// Time-window epochs opened (= barriers crossed).
+    /// Drain epochs opened — each one is a worker rendezvous in threaded
+    /// mode, so `delivered / epochs` is the events-per-barrier amortization.
     pub epochs: u64,
-    /// Cross-shard events published while an epoch window was open.
+    /// Conservative delivery windows opened. Epochs batch windows: many
+    /// windows (and their cross-shard truncations) run inside one epoch
+    /// without touching the workers, so `windows >= epochs`.
+    pub windows: u64,
+    /// Events delivered through [`ShardedEventQueue::pop_in_window`].
+    pub delivered: u64,
+    /// Cross-shard events published while a delivery window was open.
     pub crossed: u64,
     /// The subset of `crossed` that already lay at or beyond the window
     /// bound when routed (no window shrink needed); the remainder closed
     /// the window early at their own timestamp.
     pub published: u64,
     /// Minimum observed slack of a cross-shard event against its sender's
-    /// epoch close, in microseconds: `event.at - window_end` at publish
+    /// window close, in microseconds: `event.at - window_end` at publish
     /// time — a lower bound on the true slack, since the window can only
     /// shrink further, and exactly `0` for an event that shrank the window
     /// to its own timestamp. The conservative protocol guarantees this is
-    /// `>= 0`: no cross-shard event executes before its sender's barrier
-    /// epoch closes. `i64::MAX` until the first cross-shard event.
+    /// `>= 0`: no cross-shard event executes before its sender's delivery
+    /// window closes. `i64::MAX` until the first cross-shard event.
     pub min_slack_us: i64,
+    /// Histogram of adaptive epoch widths (`bound - global head` at open),
+    /// log2-bucketed in milliseconds — see [`WIDTH_BUCKETS`].
+    pub width_hist: [u64; WIDTH_BUCKETS],
+    /// Sum of adaptive epoch widths in whole milliseconds (the histogram's
+    /// `_sum` in Prometheus terms; `width_sum_ms / epochs` is the mean
+    /// adaptive width).
+    pub width_sum_ms: u64,
 }
 
 impl BarrierStats {
@@ -198,6 +221,11 @@ impl BarrierStats {
             min_slack_us: i64::MAX,
             ..Self::default()
         }
+    }
+
+    /// Mean events delivered per drain epoch (per worker rendezvous).
+    pub fn events_per_epoch(&self) -> f64 {
+        self.delivered as f64 / (self.epochs.max(1)) as f64
     }
 }
 
@@ -221,14 +249,18 @@ const EMPTY_HEAD: (SimTime, u64) = (SimTime(u64::MAX), u64::MAX);
 /// single-threaded backing, which is byte-identical to the serial engine.
 struct PoolBacking<E> {
     pool: ShardPool<E>,
-    /// Per-shard sorted runs of this epoch's in-window events, as drained
+    /// Per-shard sorted runs of the open epoch's staged events, as drained
     /// by the workers, stored in *descending* `(at, seq)` order so the
     /// epoch consumes each run from the back with O(1) moves.
     streams: Vec<Vec<Keyed<E>>>,
+    /// Reused per-shard drain buffers: each epoch the workers swap fresh
+    /// runs into these, and the coordinator splices any unconsumed stream
+    /// tail behind them — no allocation on the per-epoch merge path.
+    scratch: Vec<Vec<Keyed<E>>>,
     /// Events scheduled *during* dispatch that are still deliverable in the
-    /// open window (same-epoch reschedules). They never reach a worker:
-    /// the coordinator merges them with the drained runs directly.
-    overlay: BinaryHeap<OverlayEntry<E>>,
+    /// open epoch (timestamp below the epoch bound). They never reach a
+    /// worker: the coordinator merges them with the drained runs directly.
+    overlay: EventHeap<(u32, E)>,
     /// Per-shard batches awaiting a mailbox flush, accumulated so a flush
     /// costs one lock per shard per epoch (plus early flushes past
     /// [`FLUSH_BATCH`], which overlap worker heap pushes with dispatch).
@@ -244,69 +276,58 @@ struct PoolBacking<E> {
 /// coordinator is still dispatching the epoch.
 const FLUSH_BATCH: usize = 64;
 
-/// Overlay entry: a same-epoch event with its home shard, min-ordered by
-/// `(at, seq)`.
-struct OverlayEntry<E> {
-    at: SimTime,
-    seq: u64,
-    shard: usize,
-    event: E,
-}
-
-impl<E> PartialEq for OverlayEntry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for OverlayEntry<E> {}
-impl<E> PartialOrd for OverlayEntry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for OverlayEntry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// A set of per-shard event queues sharing one global clock and one global
-/// sequence counter, synchronized by conservative time-window epochs.
+/// sequence counter, synchronized by conservative time windows batched into
+/// drain epochs.
 ///
 /// The determinism contract: because `seq` is global and assigned in schedule
 /// order, popping the global minimum `(at, seq)` across shard heaps
 /// reproduces the pop order of a single [`EventQueue`] fed by the same
 /// schedule calls — bit for bit, at any shard count.
 ///
-/// The epoch protocol: [`ShardedEventQueue::begin_epoch`] opens a time window
-/// `[now, end_excl)`. While a window is open, same-shard schedules go
-/// straight into the owning heap. A *cross-shard* schedule splits on the
-/// window bound: an event at or beyond `end_excl` is published into the
-/// target heap immediately — the bound already proves it cannot become due
-/// this epoch, so the early visibility is unobservable — while an event
-/// that would land *inside* the open window first shrinks the window to its
-/// own timestamp and is then published. Either way the event sits at or
-/// beyond the (possibly shrunk) window end, so [`Self::pop_in_window`]
-/// cannot reach it until [`ShardedEventQueue::barrier`] closes the epoch:
-/// delivery is the heap push, visibility is gated by the window bound.
-/// Every cross-shard event therefore executes at or after its sender's
-/// epoch close — the barrier-ordering property the conformance suite
-/// checks — and the delivered events interleave in canonical `(at, seq)`
-/// merge order because those are the heap keys.
+/// Two nested horizons drive the protocol:
+///
+/// * **Epochs** ([`Self::open_epoch`]) bound how far ahead events are
+///   *staged*. In threaded mode this is the drain rendezvous — the only
+///   worker synchronization point: every worker pops its events below the
+///   epoch bound into coordinator-side streams and republishes its heap
+///   head. Anything routed below the bound of the open epoch afterwards
+///   stays coordinator-side in the overlay, so between epochs the workers
+///   are never consulted — that is what amortizes the rendezvous cost when
+///   the caller widens the bound adaptively.
+/// * **Windows** ([`Self::begin_window`]) bound what may be *delivered*,
+///   exactly as in the classic conservative protocol. While a window is
+///   open, a *cross-shard* schedule splits on the window bound: an event at
+///   or beyond `end_excl` is published immediately — the bound already
+///   proves it cannot become due this window — while an event that would
+///   land *inside* the open window first shrinks the window to its own
+///   timestamp and is then published. Either way the event sits at or
+///   beyond the (possibly shrunk) window end, so [`Self::pop_in_window`]
+///   cannot reach it until the window closes and a later window re-opens at
+///   it: every cross-shard event executes at or after its sender's window
+///   close — the barrier-ordering property the conformance suite checks —
+///   and delivered events interleave in canonical `(at, seq)` merge order
+///   because those are the heap keys.
+///
+/// Windows never outgrow their epoch (`begin_window` opens a fresh epoch
+/// first if the requested bound lies beyond the current one), so staged
+/// completeness — *everything below the epoch bound is coordinator-side* —
+/// makes window delivery exact without touching a worker.
 pub struct ShardedEventQueue<E> {
-    shards: Vec<BinaryHeap<Entry<E>>>,
+    shards: Vec<EventHeap<E>>,
     /// Cached `(at, seq)` minimum per shard heap ([`EMPTY_HEAD`] = empty).
-    /// In threaded mode this holds the worker-published heads, refreshed at
-    /// every barrier's absorb rendezvous.
+    /// In threaded mode this tracks the *worker-side* minimum exactly: the
+    /// drain rendezvous publishes each post-drain heap head, and every
+    /// outbox route merges its key in coordinator-side.
     heads: Vec<(SimTime, u64)>,
     seq: u64,
     now: SimTime,
-    /// Exclusive end of the open epoch window; `None` outside any epoch
+    /// Exclusive end of the open delivery window; `None` outside any window
     /// (setup phases route everything directly).
     window_end_excl: Option<SimTime>,
+    /// Exclusive staging bound of the open drain epoch; `None` outside any
+    /// epoch. Always at or beyond the window bound while both are open.
+    epoch_bound: Option<SimTime>,
     /// Shard of the most recently popped event — the sender for routing.
     current_shard: usize,
     stats: BarrierStats,
@@ -322,11 +343,12 @@ impl<E> ShardedEventQueue<E> {
     pub fn new(shards: usize) -> Self {
         assert!(shards >= 1, "need at least one shard");
         Self {
-            shards: (0..shards).map(|_| BinaryHeap::new()).collect(),
+            shards: (0..shards).map(|_| EventHeap::new()).collect(),
             heads: vec![EMPTY_HEAD; shards],
             seq: 0,
             now: SimTime::ZERO,
             window_end_excl: None,
+            epoch_bound: None,
             current_shard: 0,
             stats: BarrierStats::new(),
             threads: 1,
@@ -371,19 +393,18 @@ impl<E> ShardedEventQueue<E> {
         let k = self.shards.len();
         let pool = ShardPool::start(k, self.threads);
         let mut lens = vec![0usize; k];
+        let mut items: Vec<Keyed<E>> = Vec::new();
         for (s, heap) in self.shards.iter_mut().enumerate() {
             lens[s] = heap.len();
-            let mut items: Vec<Keyed<E>> = std::mem::take(heap)
-                .into_iter()
-                .map(|e| (e.at, e.seq, e.event))
-                .collect();
+            heap.drain_unordered(&mut items);
             pool.post(s, &mut items);
         }
         pool.absorb_heads(&mut self.heads);
         self.pool = Some(PoolBacking {
             pool,
             streams: (0..k).map(|_| Vec::new()).collect(),
-            overlay: BinaryHeap::new(),
+            scratch: (0..k).map(|_| Vec::new()).collect(),
+            overlay: EventHeap::new(),
             outbox: (0..k).map(|_| Vec::new()).collect(),
             lens,
         });
@@ -406,7 +427,7 @@ impl<E> ShardedEventQueue<E> {
     pub fn len(&self) -> usize {
         match &self.pool {
             Some(p) => p.lens.iter().sum(),
-            None => self.shards.iter().map(BinaryHeap::len).sum(),
+            None => self.shards.iter().map(EventHeap::len).sum(),
         }
     }
 
@@ -426,22 +447,40 @@ impl<E> ShardedEventQueue<E> {
         }
     }
 
-    /// Barrier-protocol counters so far.
+    /// Epoch-protocol counters so far.
     pub fn stats(&self) -> BarrierStats {
         self.stats
     }
 
+    /// Wall-clock rendezvous profile of the threaded backing (zero on the
+    /// single-threaded path). Kept out of [`BarrierStats`] on purpose:
+    /// stats are compared bit-for-bit across thread counts, wall time is
+    /// not comparable.
+    pub fn sync_profile(&self) -> SyncProfile {
+        match &self.pool {
+            Some(p) => p.pool.sync_profile(),
+            None => SyncProfile::default(),
+        }
+    }
+
     /// Route `event` (homed on `shard`) at absolute time `at`.
     ///
-    /// Same-shard events — and any event routed outside an open epoch — go
-    /// straight into the owning heap. A cross-shard event inside an epoch
+    /// Same-shard events — and any event routed outside an open window — go
+    /// straight toward the owning heap. A cross-shard event inside a window
     /// is published directly when it lies at or beyond the window bound
-    /// ([`Self::pop_in_window`] cannot reach it this epoch, so the early
+    /// ([`Self::pop_in_window`] cannot reach it this window, so the early
     /// visibility is unobservable); one inside the window first shrinks the
     /// window to its own timestamp — restoring that same bound — and is
     /// then published. The global sequence number is assigned here, in
     /// call order, regardless of path — that is what keeps the sharded pop
     /// order identical to the serial engine's.
+    ///
+    /// In threaded mode the *epoch* bound (not the window bound) decides
+    /// where the event lands: below it the event stays coordinator-side in
+    /// the overlay — it may become deliverable by a later window of this
+    /// same epoch without any worker round-trip — at or beyond it the event
+    /// is batched toward its worker's mailbox, with its key merged into the
+    /// head cache so [`Self::peek_time`] stays exact between rendezvous.
     pub fn route(&mut self, shard: usize, at: SimTime, event: E) {
         assert!(
             at >= self.now,
@@ -454,14 +493,14 @@ impl<E> ShardedEventQueue<E> {
             if let Some(w) = self.window_end_excl {
                 self.stats.crossed += 1;
                 if at < w {
-                    // Close the epoch at this event's timestamp: with the
+                    // Close the window at this event's timestamp: with the
                     // bound restored to `at`, the event cannot execute
-                    // before its sender's epoch ends. Slack is exactly 0.
+                    // before its sender's window ends. Slack is exactly 0.
                     self.window_end_excl = Some(at);
                     self.stats.min_slack_us = self.stats.min_slack_us.min(0);
                 } else {
                     // Beyond the open window: the bound already proves the
-                    // event cannot execute this epoch.
+                    // event cannot execute this window.
                     self.stats.published += 1;
                     let slack = at.as_micros() as i64 - w.as_micros() as i64;
                     self.stats.min_slack_us = self.stats.min_slack_us.min(slack);
@@ -470,91 +509,115 @@ impl<E> ShardedEventQueue<E> {
         }
         if let Some(p) = &mut self.pool {
             p.lens[shard] += 1;
-            // Deliverable this epoch only when it lies inside the (possibly
-            // just-shrunk) open window — those stay coordinator-side in the
-            // overlay. Everything else belongs in a worker heap; batch it
-            // toward the worker's mailbox so absorption overlaps dispatch.
-            if self.window_end_excl.is_some_and(|b| at < b) {
-                p.overlay.push(OverlayEntry {
-                    at,
-                    seq,
-                    shard,
-                    event,
-                });
+            if self.epoch_bound.is_some_and(|b| at < b) {
+                p.overlay.push(at, seq, (shard as u32, event));
             } else {
+                let key = (at, seq);
+                if key < self.heads[shard] {
+                    self.heads[shard] = key;
+                }
                 p.outbox[shard].push((at, seq, event));
                 if p.outbox[shard].len() >= FLUSH_BATCH {
                     p.pool.post(shard, &mut p.outbox[shard]);
                 }
             }
         } else {
-            self.push_direct(shard, Entry { at, seq, event });
+            let key = (at, seq);
+            if key < self.heads[shard] {
+                self.heads[shard] = key;
+            }
+            self.shards[shard].push(at, seq, event);
         }
     }
 
-    fn push_direct(&mut self, shard: usize, entry: Entry<E>) {
-        let key = (entry.at, entry.seq);
-        if key < self.heads[shard] {
-            self.heads[shard] = key;
-        }
-        self.shards[shard].push(entry);
-    }
-
-    /// Open a conservative time window ending (exclusively) at `end_excl`.
+    /// Open a drain epoch with staging bound `bound` (exclusive): after this
+    /// call, *every* pending event below `bound` is coordinator-side.
     ///
-    /// In threaded mode this is the *drain rendezvous*: any outbox batches
-    /// not yet flushed are posted first (workers absorb their mailboxes
-    /// before draining, so a posted event cannot miss its own window), then
-    /// every worker pops its in-window run into the coordinator's streams.
-    pub fn begin_epoch(&mut self, end_excl: SimTime) {
-        self.window_end_excl = Some(end_excl);
+    /// In threaded mode this is the one worker rendezvous of the protocol:
+    /// unposted outbox batches are flushed first (workers absorb their
+    /// mailboxes before draining, so a posted event cannot miss its own
+    /// epoch), every worker pops its below-bound run into the coordinator's
+    /// streams and republishes its exact post-drain heap head. Unconsumed
+    /// tails of a previous epoch's streams are spliced behind the fresh
+    /// runs — their keys are strictly older, because an epoch only opens
+    /// beyond the previous bound while staged events remain.
+    pub fn open_epoch(&mut self, bound: SimTime) {
+        if let Some(t0) = self.peek_time() {
+            let ms = bound.0.saturating_sub(t0.0) / 1_000;
+            let bucket = if ms <= 1 {
+                0
+            } else {
+                (ms.ilog2() as usize).min(WIDTH_BUCKETS - 1)
+            };
+            self.stats.width_hist[bucket] += 1;
+            self.stats.width_sum_ms = self.stats.width_sum_ms.saturating_add(ms);
+        }
         self.stats.epochs += 1;
+        self.epoch_bound = Some(bound);
         if let Some(p) = &mut self.pool {
             for s in 0..p.outbox.len() {
                 if !p.outbox[s].is_empty() {
                     p.pool.post(s, &mut p.outbox[s]);
                 }
             }
-            p.pool.drain_window(end_excl, &mut p.streams);
-            // Workers hand back ascending runs; keep them reversed so the
-            // epoch consumes each run from the back.
-            for stream in &mut p.streams {
-                stream.reverse();
+            p.pool.drain_epoch(bound, &mut p.scratch, &mut self.heads);
+            for s in 0..p.scratch.len() {
+                // Workers hand back ascending runs; the epoch consumes runs
+                // from the back, so flip to descending and splice any
+                // unconsumed older tail behind the fresh run.
+                p.scratch[s].reverse();
+                if !p.streams[s].is_empty() {
+                    debug_assert!(
+                        match (p.scratch[s].last(), p.streams[s].first()) {
+                            (Some(&(n_at, n_seq, _)), Some(&(t_at, t_seq, _))) =>
+                                (t_at, t_seq) < (n_at, n_seq),
+                            _ => true,
+                        },
+                        "stream tail must be strictly older than the fresh run"
+                    );
+                    let mut tail = std::mem::take(&mut p.streams[s]);
+                    p.scratch[s].append(&mut tail);
+                    p.streams[s] = tail; // retain the (now empty) allocation
+                }
+                std::mem::swap(&mut p.scratch[s], &mut p.streams[s]);
             }
         }
     }
 
-    /// Close the epoch: lift the window bound, making every cross-shard
-    /// event published during it poppable. All delivery already happened at
-    /// publish time; the bound was what kept it invisible.
-    ///
-    /// In threaded mode this is the *absorb rendezvous*: undelivered epoch
-    /// state — unconsumed stream tails (the window may have shrunk below
-    /// them) plus overlay leftovers — is handed back to the worker heaps,
-    /// and the head cache is refreshed once every mailbox is absorbed.
-    pub fn barrier(&mut self) {
+    /// Open a conservative delivery window ending (exclusively) at
+    /// `end_excl`. If the requested bound lies beyond the current epoch (or
+    /// no epoch is open), a drain epoch is opened at that bound first, so a
+    /// caller that never touches [`Self::open_epoch`] gets the classic
+    /// one-rendezvous-per-window protocol.
+    pub fn begin_window(&mut self, end_excl: SimTime) {
+        if self.epoch_bound.is_none_or(|b| end_excl > b) {
+            self.open_epoch(end_excl);
+        }
+        self.window_end_excl = Some(end_excl);
+        self.stats.windows += 1;
+    }
+
+    /// Close the delivery window: lift the window bound, making every
+    /// cross-shard event published during it poppable by the next window.
+    /// All delivery already happened at publish time; the bound was what
+    /// kept it invisible. No worker interaction — window turnover inside an
+    /// epoch is pure coordinator-side bookkeeping.
+    pub fn end_window(&mut self) {
         self.window_end_excl = None;
-        if let Some(p) = &mut self.pool {
-            for s in 0..p.streams.len() {
-                p.outbox[s].append(&mut p.streams[s]);
-            }
-            while let Some(o) = p.overlay.pop() {
-                p.outbox[o.shard].push((o.at, o.seq, o.event));
-            }
-            for s in 0..p.outbox.len() {
-                if !p.outbox[s].is_empty() {
-                    p.pool.post(s, &mut p.outbox[s]);
-                }
-            }
-            p.pool.absorb_heads(&mut self.heads);
-        }
     }
 
-    /// Timestamp of the globally next event, ignoring the window.
-    ///
-    /// In threaded mode the worker-published heads are exact at the
-    /// post-[`Self::barrier`] rendezvous — the only point the engine peeks;
-    /// mid-epoch they lag by whatever sits in unposted outboxes.
+    /// Close the drain epoch (the engine does this once per `run_until`,
+    /// after the event loop exhausts the horizon). Subsequent routes are
+    /// batched toward the workers again.
+    pub fn close_epoch(&mut self) {
+        self.window_end_excl = None;
+        self.epoch_bound = None;
+    }
+
+    /// Timestamp of the globally next event, ignoring window and epoch
+    /// bounds. Exact in both backings at every point: the threaded backing
+    /// tracks staged events directly and merges every outbox key into the
+    /// worker head cache.
     pub fn peek_time(&self) -> Option<SimTime> {
         let mut min = self.heads[self.argmin()];
         if let Some(p) = &self.pool {
@@ -563,8 +626,8 @@ impl<E> ShardedEventQueue<E> {
                     min = min.min((at, seq));
                 }
             }
-            if let Some(o) = p.overlay.peek() {
-                min = min.min((o.at, o.seq));
+            if let Some(key) = p.overlay.peek_key() {
+                min = min.min(key);
             }
         }
         let (at, _) = min;
@@ -586,19 +649,21 @@ impl<E> ShardedEventQueue<E> {
         if at >= bound && (at.0 == u64::MAX || self.window_end_excl.is_some()) {
             return None;
         }
-        let entry = self.shards[shard].pop().expect("head pointed at an entry");
-        self.heads[shard] = self.shards[shard]
-            .peek()
-            .map_or(EMPTY_HEAD, |e| (e.at, e.seq));
-        self.now = entry.at;
+        let (at, _, event) = self.shards[shard].pop().expect("head pointed at an entry");
+        self.heads[shard] = self.shards[shard].peek_key().unwrap_or(EMPTY_HEAD);
+        self.now = at;
         self.current_shard = shard;
-        Some((entry.at, shard, entry.event))
+        self.stats.delivered += 1;
+        Some((at, shard, event))
     }
 
     /// Threaded-backing pop: the globally earliest `(at, seq)` among the
     /// per-shard drained runs and the overlay of same-epoch schedules —
     /// exactly the candidates the single-threaded backing's `argmin` would
     /// surface inside this window, in the same canonical merge order.
+    /// Staged completeness makes the window check sufficient: every event
+    /// below the epoch bound is in a stream or the overlay, and the window
+    /// bound never exceeds the epoch bound.
     fn pop_in_window_pooled(&mut self) -> Option<(SimTime, usize, E)> {
         let p = self.pool.as_mut().expect("pooled pop without a pool");
         let mut best_key = (SimTime(u64::MAX), u64::MAX);
@@ -611,9 +676,9 @@ impl<E> ShardedEventQueue<E> {
                 }
             }
         }
-        let overlay_first = p.overlay.peek().is_some_and(|o| (o.at, o.seq) < best_key);
+        let overlay_first = p.overlay.peek_key().is_some_and(|key| key < best_key);
         let at = if overlay_first {
-            p.overlay.peek().expect("peeked overlay entry").at
+            p.overlay.peek_key().expect("peeked overlay entry").0
         } else {
             best_key.0
         };
@@ -623,12 +688,14 @@ impl<E> ShardedEventQueue<E> {
         if self.window_end_excl.is_some_and(|b| at >= b) {
             return None; // the window shrank below the staged minimum
         }
+        self.stats.delivered += 1;
         if overlay_first {
-            let o = p.overlay.pop().expect("peeked overlay entry");
-            p.lens[o.shard] -= 1;
-            self.now = o.at;
-            self.current_shard = o.shard;
-            Some((o.at, o.shard, o.event))
+            let (at, _, (shard, event)) = p.overlay.pop().expect("peeked overlay entry");
+            let shard = shard as usize;
+            p.lens[shard] -= 1;
+            self.now = at;
+            self.current_shard = shard;
+            Some((at, shard, event))
         } else {
             let (at, _, event) = p.streams[best_shard].pop().expect("non-empty stream");
             p.lens[best_shard] -= 1;
@@ -752,11 +819,11 @@ mod tests {
     }
 
     #[test]
-    fn cross_shard_events_wait_for_the_barrier() {
+    fn cross_shard_events_wait_for_the_window_close() {
         let mut q = ShardedEventQueue::new(2);
         q.route(0, SimTime(10), "a");
         assert_eq!(q.pop_in_window(), Some((SimTime(10), 0, "a"))); // sender = shard 0
-        q.begin_epoch(SimTime(1000));
+        q.begin_window(SimTime(1000));
         q.route(1, SimTime(500), "cross"); // cross-shard: window shrinks to 500
         q.route(0, SimTime(200), "local"); // same-shard: direct
         assert_eq!(q.pop_in_window(), Some((SimTime(200), 0, "local")));
@@ -764,13 +831,35 @@ mod tests {
         assert_eq!(q.pop_in_window(), None);
         assert_eq!(q.len(), 1);
         assert_eq!(q.shard_len(1), 1);
-        q.barrier();
-        q.begin_epoch(SimTime(2000));
+        q.end_window();
+        q.begin_window(SimTime(2000));
         assert_eq!(q.pop_in_window(), Some((SimTime(500), 1, "cross")));
         let stats = q.stats();
         assert_eq!(stats.crossed, 1);
-        assert_eq!(stats.epochs, 2);
+        assert_eq!(stats.windows, 2);
+        assert_eq!(stats.epochs, 2); // both windows outgrew the epoch bound
         assert_eq!(stats.min_slack_us, 0); // shrunk window closed exactly at 500
+    }
+
+    #[test]
+    fn windows_inside_one_epoch_share_a_single_drain() {
+        // An epoch opened wide enough covers several windows: only one
+        // epoch (= one rendezvous in threaded mode) is recorded.
+        let mut q = ShardedEventQueue::new(2);
+        q.route(0, SimTime(10), 1u64);
+        q.route(1, SimTime(700), 2u64);
+        q.open_epoch(SimTime(1000));
+        q.begin_window(SimTime(300));
+        assert_eq!(q.pop_in_window(), Some((SimTime(10), 0, 1)));
+        assert_eq!(q.pop_in_window(), None);
+        q.end_window();
+        q.begin_window(SimTime(900));
+        assert_eq!(q.pop_in_window(), Some((SimTime(700), 1, 2)));
+        q.end_window();
+        let stats = q.stats();
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.windows, 2);
+        assert_eq!(stats.delivered, 2);
     }
 
     #[test]
@@ -778,30 +867,30 @@ mod tests {
         let mut q = ShardedEventQueue::new(2);
         q.route(0, SimTime(100), 0u64);
         q.route(1, SimTime(100), 1u64);
-        q.begin_epoch(SimTime(5000));
+        q.begin_window(SimTime(5000));
         assert_eq!(q.pop_in_window(), Some((SimTime(100), 0, 0))); // sender shard 0
         q.route(1, SimTime(100), 2); // zero-delay cross-shard: seq 2
                                      // Window shrank to 100 (exclusive): even the already-pending shard-1
                                      // event at t=100 must wait so global (at, seq) order survives.
         assert_eq!(q.pop_in_window(), None);
-        q.barrier();
-        q.begin_epoch(SimTime(5000));
+        q.end_window();
+        q.begin_window(SimTime(5000));
         assert_eq!(q.pop_in_window(), Some((SimTime(100), 1, 1)));
         assert_eq!(q.pop_in_window(), Some((SimTime(100), 1, 2)));
         assert!(q.stats().min_slack_us >= 0);
     }
 
     #[test]
-    fn sharded_len_counts_cross_shard_events_inside_an_epoch() {
+    fn sharded_len_counts_cross_shard_events_inside_a_window() {
         let mut q = ShardedEventQueue::new(3);
         q.route(0, SimTime(1), ());
         q.pop_in_window();
-        q.begin_epoch(SimTime(100));
+        q.begin_window(SimTime(100));
         q.route(1, SimTime(50), ());
         q.route(2, SimTime(60), ());
         q.route(0, SimTime(70), ());
         assert_eq!(q.len(), 3);
-        q.barrier();
+        q.end_window();
         assert_eq!(q.len(), 3);
         assert_eq!(q.shard_len(1), 1);
         assert_eq!(q.shard_len(2), 1);
@@ -817,7 +906,8 @@ mod tests {
     }
 
     /// Deterministic mini-simulation driving the epoch protocol the way the
-    /// engine does: barrier → peek → begin_epoch → pop loop, with each
+    /// engine does: open an adaptively-widened drain epoch, run windows
+    /// inside it until the staged events are exhausted, repeat — with each
     /// popped event deterministically spawning follow-ups (same-shard,
     /// cross-shard, and zero-delay cross-shard included). Returns the
     /// delivered stream; any two backings must produce it byte-for-byte.
@@ -831,27 +921,44 @@ mod tests {
             q.route((i % shards) as usize, SimTime(i * 13 % 293), i);
         }
         let mut out = Vec::new();
-        loop {
-            q.barrier();
-            let Some(t0) = q.peek_time() else { break };
+        let mut mult = 1u64;
+        while let Some(t0) = q.peek_time() {
             if t0.0 > horizon {
                 break;
             }
-            q.begin_epoch(SimTime((t0.0 + lookahead).min(horizon + 1)));
-            while let Some((at, shard, v)) = q.pop_in_window() {
-                out.push((at.0, shard, v));
-                let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ at.0;
-                if h % 3 != 0 {
-                    let delta = h % 41;
-                    let nv = h % 10_000;
-                    // Zero-delay spawns must strictly shrink the value so
-                    // same-instant chains terminate deterministically.
-                    if at.0 + delta <= horizon && (delta > 0 || nv < v) {
-                        q.route((h / 7 % shards) as usize, SimTime(at.0 + delta), nv);
+            let bound = SimTime((t0.0 + lookahead * mult).min(horizon + 1));
+            q.open_epoch(bound);
+            let staged0 = q.stats().delivered;
+            while let Some(w0) = q.peek_time() {
+                if w0 >= bound || w0.0 > horizon {
+                    break;
+                }
+                q.begin_window(SimTime((w0.0 + lookahead).min(horizon + 1).min(bound.0)));
+                while let Some((at, shard, v)) = q.pop_in_window() {
+                    out.push((at.0, shard, v));
+                    let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) ^ at.0;
+                    if h % 3 != 0 {
+                        let delta = h % 41;
+                        let nv = h % 10_000;
+                        // Zero-delay spawns must strictly shrink the value so
+                        // same-instant chains terminate deterministically.
+                        if at.0 + delta <= horizon && (delta > 0 || nv < v) {
+                            q.route((h / 7 % shards) as usize, SimTime(at.0 + delta), nv);
+                        }
                     }
                 }
+                q.end_window();
+            }
+            // Adaptive width controller, on delivered-event counts only —
+            // byte-identical across backings by construction.
+            let delivered = q.stats().delivered - staged0;
+            if delivered < 8 {
+                mult = (mult * 2).min(64);
+            } else if delivered > 32 {
+                mult = (mult / 2).max(1);
             }
         }
+        q.close_epoch();
         out
     }
 
@@ -862,6 +969,7 @@ mod tests {
             let mut reference = ShardedEventQueue::new(shards);
             let expect = drive(&mut reference, horizon, 20);
             assert!(!expect.is_empty());
+            assert!(reference.stats().windows >= reference.stats().epochs);
             for threads in [2usize, 4] {
                 let mut q = ShardedEventQueue::new(shards);
                 q.set_threads(threads);
@@ -881,7 +989,7 @@ mod tests {
     fn outbox_drain_order_is_independent_of_thread_scheduling_jitter() {
         // The satellite property: injected worker scheduling jitter (random
         // pre-ack sleeps, seeded per run) must not change the delivered
-        // stream, the barrier counters, or the pending depths — the
+        // stream, the epoch counters, or the pending depths — the
         // coordinator's rendezvous protocol, not thread timing, fixes the
         // drain order.
         let horizon = 400;
@@ -899,6 +1007,181 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_epochs_batch_windows_between_rendezvous() {
+        // The perf property behind the tentpole: with adaptive widening the
+        // drive harness must run fewer epochs than windows (the threaded
+        // backing pays one rendezvous per epoch, not per window), and the
+        // width histogram must show widened epochs.
+        let mut q = ShardedEventQueue::new(4);
+        drive(&mut q, 4000, 20);
+        let stats = q.stats();
+        assert!(
+            stats.windows > stats.epochs,
+            "expected batched windows: {stats:?}"
+        );
+        assert_eq!(
+            stats.width_hist.iter().sum::<u64>(),
+            stats.epochs,
+            "every epoch lands in exactly one width bucket"
+        );
+    }
+
+    #[test]
+    fn width_histogram_buckets_by_log2_milliseconds() {
+        let mut q = ShardedEventQueue::new(2);
+        q.route(0, SimTime(0), 0u64);
+        q.open_epoch(SimTime::from_millis(5.0)); // 5 ms  -> bucket 2
+        q.begin_window(SimTime::from_millis(5.0));
+        while q.pop_in_window().is_some() {}
+        q.end_window();
+        q.route(0, SimTime::from_millis(6.0), 1u64);
+        q.open_epoch(SimTime::from_millis(46.0)); // 40 ms -> bucket 5
+        q.begin_window(SimTime::from_millis(46.0));
+        while q.pop_in_window().is_some() {}
+        q.end_window();
+        q.close_epoch();
+        let hist = q.stats().width_hist;
+        assert_eq!(hist[2], 1, "5 ms epoch: {hist:?}");
+        assert_eq!(hist[5], 1, "40 ms epoch: {hist:?}");
+        assert_eq!(hist.iter().sum::<u64>(), 2);
+    }
+
+    /// Satellite property test: fuzz the adaptive epoch/window protocol
+    /// across seeds and widths against (a) the serial reference stream and
+    /// (b) the conservative-delivery invariant — no event is delivered at
+    /// or beyond the bound its window published when it opened (shrinks
+    /// only lower the bound, so the opening bound is the weakest claim).
+    #[test]
+    fn fuzz_adaptive_lookahead_never_delivers_past_the_published_bound() {
+        for seed in 0..24u64 {
+            let horizon = 500 + (seed % 7) * 130;
+            let shards = 1 + (seed as usize % 8);
+            let mut rng = crate::SimRng::new(seed);
+
+            // Serial reference: one EventQueue fed by the same spawn rule.
+            let mut serial = EventQueue::new();
+            let mut sharded = ShardedEventQueue::new(shards);
+            for i in 0..48u64 {
+                let at = (i * 29 + seed * 13) % 211;
+                serial.schedule(SimTime(at), i);
+                sharded.route((i as usize) % shards, SimTime(at), i);
+            }
+            let spawn = |at: u64, v: u64| -> Option<(u64, u64, usize)> {
+                let h = v
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .rotate_left(21)
+                    .wrapping_add(at);
+                if h.is_multiple_of(4) {
+                    return None;
+                }
+                let delta = h % 67;
+                let nv = h % 9_973;
+                (delta > 0 || nv < v).then_some((at + delta, nv, (h / 11) as usize % shards))
+            };
+
+            let mut expect = Vec::new();
+            while let Some((at, v)) = serial.pop() {
+                if at.0 > horizon {
+                    break;
+                }
+                expect.push((at.0, v));
+                if let Some((nat, nv, _)) = spawn(at.0, v) {
+                    if nat <= horizon {
+                        serial.schedule(SimTime(nat), nv);
+                    }
+                }
+            }
+
+            let mut got = Vec::new();
+            while let Some(t0) = sharded.peek_time() {
+                if t0.0 > horizon {
+                    break;
+                }
+                // Random (but seeded) epoch width: 1..=512 lookahead units.
+                let width = 1 + rng.next_u64() % 512;
+                let bound = SimTime((t0.0 + width).min(horizon + 1));
+                sharded.open_epoch(bound);
+                while let Some(w0) = sharded.peek_time() {
+                    if w0 >= bound || w0.0 > horizon {
+                        break;
+                    }
+                    let window = 1 + rng.next_u64() % 64;
+                    let end_excl = SimTime((w0.0 + window).min(horizon + 1).min(bound.0));
+                    sharded.begin_window(end_excl);
+                    while let Some((at, _, v)) = sharded.pop_in_window() {
+                        assert!(
+                            at < end_excl,
+                            "seed {seed}: delivered {at:?} at/past the published bound {end_excl:?}"
+                        );
+                        got.push((at.0, v));
+                        if let Some((nat, nv, ns)) = spawn(at.0, v) {
+                            if nat <= horizon {
+                                sharded.route(ns, SimTime(nat), nv);
+                            }
+                        }
+                    }
+                    sharded.end_window();
+                }
+            }
+            sharded.close_epoch();
+            assert_eq!(got, expect, "seed {seed}: stream diverged from serial");
+            let stats = sharded.stats();
+            assert!(
+                stats.crossed == 0 || stats.min_slack_us >= 0,
+                "seed {seed}: cross-shard event beat its window close: {stats:?}"
+            );
+        }
+    }
+
+    /// Satellite regression test: an in-window cross-shard event must
+    /// shrink an adaptively *widened* window down to its own timestamp —
+    /// on both backings — and be delivered only by a later window.
+    #[test]
+    fn widened_window_shrinks_on_in_window_cross_shard_event() {
+        let run = |threads: usize| -> (Vec<(u64, usize, u64)>, BarrierStats) {
+            let mut q = ShardedEventQueue::new(2);
+            if threads > 1 {
+                q.set_threads(threads);
+                q.start_threads();
+            }
+            q.route(0, SimTime(100), 1u64);
+            q.route(0, SimTime(9_000), 2u64);
+            let mut out = Vec::new();
+            // Adaptively widened epoch + window covering both events.
+            q.open_epoch(SimTime(10_000));
+            q.begin_window(SimTime(10_000));
+            while let Some((at, shard, v)) = q.pop_in_window() {
+                out.push((at.0, shard, v));
+                if v == 1 {
+                    // Cross-shard spawn inside the wide-open window: the
+                    // window must shrink to 4_000; event 2 (t=9_000) must
+                    // NOT deliver in this window anymore.
+                    q.route(1, SimTime(4_000), 3u64);
+                }
+            }
+            q.end_window();
+            q.begin_window(SimTime(10_000));
+            while let Some((at, shard, v)) = q.pop_in_window() {
+                out.push((at.0, shard, v));
+            }
+            q.end_window();
+            q.close_epoch();
+            (out, q.stats())
+        };
+        let (serial, serial_stats) = run(1);
+        assert_eq!(
+            serial,
+            vec![(100, 0, 1), (4_000, 1, 3), (9_000, 0, 2)],
+            "the shrunk window must defer both later events"
+        );
+        assert_eq!(serial_stats.min_slack_us, 0);
+        assert_eq!(serial_stats.crossed, 1);
+        let (threaded, threaded_stats) = run(2);
+        assert_eq!(threaded, serial, "backings diverged on the shrink path");
+        assert_eq!(threaded_stats, serial_stats);
+    }
+
+    #[test]
     fn threads_are_clamped_to_shard_count() {
         let mut q = ShardedEventQueue::<u64>::new(2);
         q.set_threads(16);
@@ -909,5 +1192,19 @@ mod tests {
         single.start_threads(); // clamped to 1: stays on the local backing
         single.route(0, SimTime(5), 1u64);
         assert_eq!(single.pop_in_window(), Some((SimTime(5), 0, 1)));
+    }
+
+    #[test]
+    fn sync_profile_counts_rendezvous_only_in_threaded_mode() {
+        let mut single = ShardedEventQueue::new(4);
+        drive(&mut single, 400, 20);
+        assert_eq!(single.sync_profile().rendezvous, 0);
+        let mut q = ShardedEventQueue::new(4);
+        q.set_threads(2);
+        q.start_threads();
+        drive(&mut q, 400, 20);
+        let sync = q.sync_profile();
+        // One absorb at start_threads + one drain per epoch.
+        assert_eq!(sync.rendezvous, q.stats().epochs + 1);
     }
 }

@@ -12,7 +12,11 @@
 //!   CDFs, coefficient of variation) used both by the metric collector and by
 //!   the experiment harness.
 //! * [`events`] — a discrete-event queue with stable FIFO tie-breaking and a
-//!   microsecond-resolution simulation clock.
+//!   microsecond-resolution simulation clock, plus the sharded queue set
+//!   behind the parallel engine (conservative windows batched into adaptive
+//!   drain epochs).
+//! * [`arena`] — the slab-backed 4-ary index heap the sharded queues store
+//!   events in: payloads never move after insertion, only 24-byte keys sift.
 //! * [`par`] — order-preserving parallel maps on scoped threads for the
 //!   embarrassingly parallel experiment sweeps.
 //! * [`shard_pool`] — the persistent worker pool behind the threaded shard
@@ -41,6 +45,7 @@
 //! assert_eq!(s.mean, 2.5);
 //! ```
 
+pub mod arena;
 pub mod dist;
 pub mod events;
 pub mod par;
@@ -49,6 +54,8 @@ pub mod shard_pool;
 pub mod stats;
 pub mod table;
 
-pub use events::{BarrierStats, EventQueue, ShardedEventQueue, SimTime};
+pub use arena::EventHeap;
+pub use events::{BarrierStats, EventQueue, ShardedEventQueue, SimTime, WIDTH_BUCKETS};
 pub use rng::{seed_stream, SimRng};
+pub use shard_pool::SyncProfile;
 pub use stats::{percentile, percentile_sorted, Cdf, OnlineStats, Reservoir, Summary};

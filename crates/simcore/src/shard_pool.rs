@@ -13,13 +13,15 @@
 //!   assigned by the coordinator at schedule time, so a mailbox batch is an
 //!   unordered bag of fully-keyed items; workers fold them into their heaps
 //!   whenever convenient (opportunistically while the coordinator
-//!   dispatches, and always at the next absorb rendezvous).
+//!   dispatches, and always at the next rendezvous).
 //! * **drain streams** (worker → coordinator): at each epoch the workers
-//!   pop, in parallel, every owned event strictly below the window bound
+//!   pop, in parallel, every owned event strictly below the epoch bound
 //!   and hand the coordinator one sorted `(at, seq)` run per shard.
-//! * **head slots** (worker → coordinator): after an absorb rendezvous each
-//!   worker publishes the `(at, seq)` minimum of each owned heap, which is
-//!   what the coordinator peeks to place the next epoch window.
+//! * **head slots** (worker → coordinator): after a rendezvous each worker
+//!   publishes the `(at, seq)` minimum of each owned heap. The drain
+//!   command publishes heads too (post-drain), so one command per epoch
+//!   gives the coordinator both the staged run and the residual minimum —
+//!   the fused round that lets epochs cost a single rendezvous.
 //!
 //! Determinism does not depend on thread timing anywhere in this protocol:
 //! heap contents are fully determined by the posted items, the drained runs
@@ -29,13 +31,15 @@
 //! rendezvous observes — the property the jitter test in
 //! [`crate::events`] exercises.
 //!
-//! Workers spin briefly between commands (epochs are tens of microseconds
-//! apart on the bench workloads) and park once the spin budget is spent, so
-//! an idle pool — or a pool on a single-core host — costs scheduler wakeups
-//! rather than busy CPU.
+//! Workers spin briefly between commands and park once the spin budget is
+//! spent, so an idle pool — or a pool on a single-core host — costs
+//! scheduler wakeups rather than busy CPU. The pool meters its own
+//! rendezvous cost ([`SyncProfile`]): wall-clock counters only, kept
+//! strictly outside [`crate::BarrierStats`], which must stay bit-identical
+//! across thread counts.
 
+use crate::arena::EventHeap;
 use crate::SimTime;
-use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -47,35 +51,31 @@ pub type Keyed<E> = (SimTime, u64, E);
 /// `(at, seq)` key (mirrors the queue's own empty-head sentinel).
 pub const EMPTY_HEAD: (SimTime, u64) = (SimTime(u64::MAX), u64::MAX);
 
-/// Min-heap entry ordered by `(at, seq)`.
-struct HeapItem<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// Wall-clock cost of the coordinator↔worker rendezvous protocol: how many
+/// command rounds ran and how long the coordinator waited for acks. This is
+/// *measurement*, not simulation state — it differs run to run and across
+/// thread counts, which is why it lives outside [`crate::BarrierStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SyncProfile {
+    /// Command/ack rounds completed (drains + absorbs).
+    pub rendezvous: u64,
+    /// Coordinator nanoseconds spent inside command rounds, from posting
+    /// the command to the last worker ack.
+    pub wait_ns: u64,
 }
 
-impl<E> PartialEq for HeapItem<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<E> Eq for HeapItem<E> {}
-impl<E> PartialOrd for HeapItem<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<E> Ord for HeapItem<E> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Inverted: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl SyncProfile {
+    /// Share of `wall_s` seconds the coordinator spent waiting at
+    /// rendezvous — the barrier-wait share of a timed run.
+    pub fn wait_share(&self, wall_s: f64) -> f64 {
+        if wall_s <= 0.0 {
+            return 0.0;
+        }
+        (self.wait_ns as f64 / 1e9) / wall_s
     }
 }
 
-/// Command encoding in the shared `cmd_arg` cell. Window bounds are real
+/// Command encoding in the shared `cmd_arg` cell. Epoch bounds are real
 /// microsecond timestamps and never reach the top two values.
 const ARG_ABSORB: u64 = u64::MAX;
 const ARG_SHUTDOWN: u64 = u64::MAX - 1;
@@ -94,13 +94,17 @@ struct Shared<E> {
     slots: Vec<Slot<E>>,
     /// Monotone command counter; bumped (release) after `cmd_arg` is set.
     cmd_id: AtomicU64,
-    /// Argument of the current command: a window bound, or a sentinel.
+    /// Argument of the current command: an epoch bound, or a sentinel.
     cmd_arg: AtomicU64,
     /// Per-worker id of the last completed command.
     acks: Vec<AtomicU64>,
     /// Test aid: non-zero seeds a per-worker xorshift that sleeps workers
     /// 0–50 µs before each ack, simulating hostile thread scheduling.
     jitter: AtomicU64,
+    /// Rendezvous rounds completed (coordinator-side count).
+    sync_rendezvous: AtomicU64,
+    /// Coordinator wall nanoseconds spent waiting inside command rounds.
+    sync_wait_ns: AtomicU64,
 }
 
 /// The persistent worker pool. Dropping it shuts the workers down and joins
@@ -132,6 +136,8 @@ impl<E> ShardPool<E> {
             cmd_arg: AtomicU64::new(ARG_ABSORB),
             acks: (0..threads).map(|_| AtomicU64::new(0)).collect(),
             jitter: AtomicU64::new(0),
+            sync_rendezvous: AtomicU64::new(0),
+            sync_wait_ns: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|w| {
@@ -160,10 +166,17 @@ impl<E> ShardPool<E> {
         self.shared.jitter.store(seed, Ordering::Relaxed);
     }
 
+    /// Wall-clock rendezvous counters accumulated so far.
+    pub fn sync_profile(&self) -> SyncProfile {
+        SyncProfile {
+            rendezvous: self.shared.sync_rendezvous.load(Ordering::Relaxed),
+            wait_ns: self.shared.sync_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+
     /// Append items to a shard's mailbox, draining `items`. The batch
     /// becomes part of the shard heap at the latest by the end of the next
-    /// [`ShardPool::absorb_heads`] rendezvous; workers may fold it in
-    /// earlier, which is unobservable.
+    /// rendezvous; workers may fold it in earlier, which is unobservable.
     pub fn post(&self, shard: usize, items: &mut Vec<Keyed<E>>) {
         if items.is_empty() {
             return;
@@ -182,25 +195,34 @@ impl<E> ShardPool<E> {
         }
     }
 
-    /// Rendezvous: every worker pops, per owned shard, all events with
-    /// `at < end_excl` into that shard's drain stream (sorted by
-    /// `(at, seq)` — heap pop order) and swaps it into `streams_out`.
-    /// Mailboxes are absorbed first, so a posted-but-unabsorbed item can
-    /// never be skipped by its own epoch window.
-    pub fn drain_window(&self, end_excl: SimTime, streams_out: &mut [Vec<Keyed<E>>]) {
+    /// The fused epoch rendezvous: every worker pops, per owned shard, all
+    /// events with `at < end_excl` into that shard's drain stream (sorted
+    /// by `(at, seq)` — heap pop order), then publishes the *post-drain*
+    /// heap head. One command/ack round hands the coordinator both the
+    /// staged runs (swapped into `streams_out`) and the exact residual
+    /// minima (`heads_out`). Mailboxes are absorbed first, so a
+    /// posted-but-unabsorbed item can never be skipped by its own epoch.
+    pub fn drain_epoch(
+        &self,
+        end_excl: SimTime,
+        streams_out: &mut [Vec<Keyed<E>>],
+        heads_out: &mut [(SimTime, u64)],
+    ) {
         assert!(
             end_excl.0 < ARG_SHUTDOWN,
-            "window bound collides with command sentinels"
+            "epoch bound collides with command sentinels"
         );
         self.command(end_excl.0);
         for (s, slot) in self.shared.slots.iter().enumerate() {
             streams_out[s].clear();
             std::mem::swap(&mut *lock(&slot.drained), &mut streams_out[s]);
+            heads_out[s] = *lock(&slot.head);
         }
     }
 
     /// Post a command and wait for every worker to acknowledge it.
     fn command(&self, arg: u64) {
+        let t0 = std::time::Instant::now();
         self.shared.cmd_arg.store(arg, Ordering::Relaxed);
         let id = self.shared.cmd_id.fetch_add(1, Ordering::Release) + 1;
         for w in &self.workers {
@@ -220,6 +242,10 @@ impl<E> ShardPool<E> {
                 }
             }
         }
+        self.shared.sync_rendezvous.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .sync_wait_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 }
 
@@ -247,8 +273,7 @@ fn worker_loop<E: Send>(shared: &Shared<E>, worker: usize, threads: usize) {
     let my_shards: Vec<usize> = (0..shared.slots.len())
         .filter(|s| s % threads == worker)
         .collect();
-    let mut heaps: Vec<BinaryHeap<HeapItem<E>>> =
-        my_shards.iter().map(|_| BinaryHeap::new()).collect();
+    let mut heaps: Vec<EventHeap<E>> = my_shards.iter().map(|_| EventHeap::new()).collect();
     let mut seen = 0u64;
     let mut jitter_state = 0u64;
     loop {
@@ -266,7 +291,7 @@ fn worker_loop<E: Send>(shared: &Shared<E>, worker: usize, threads: usize) {
                 if let Ok(mut mb) = shared.slots[s].mailbox.try_lock() {
                     if !mb.is_empty() {
                         for (at, seq, event) in mb.drain(..) {
-                            heaps[i].push(HeapItem { at, seq, event });
+                            heaps[i].push(at, seq, event);
                         }
                         absorbed = true;
                     }
@@ -293,24 +318,24 @@ fn worker_loop<E: Send>(shared: &Shared<E>, worker: usize, threads: usize) {
         for (i, &s) in my_shards.iter().enumerate() {
             let mut mb = lock(&shared.slots[s].mailbox);
             for (at, seq, event) in mb.drain(..) {
-                heaps[i].push(HeapItem { at, seq, event });
+                heaps[i].push(at, seq, event);
             }
         }
-        if arg == ARG_ABSORB {
-            for (i, &s) in my_shards.iter().enumerate() {
-                *lock(&shared.slots[s].head) =
-                    heaps[i].peek().map_or(EMPTY_HEAD, |e| (e.at, e.seq));
-            }
-        } else {
+        if arg != ARG_ABSORB {
             let end_excl = SimTime(arg);
             for (i, &s) in my_shards.iter().enumerate() {
                 let mut out = lock(&shared.slots[s].drained);
                 debug_assert!(out.is_empty(), "coordinator took the last stream");
-                while heaps[i].peek().is_some_and(|e| e.at < end_excl) {
-                    let e = heaps[i].pop().expect("peeked entry");
-                    out.push((e.at, e.seq, e.event));
+                while heaps[i].peek_key().is_some_and(|(at, _)| at < end_excl) {
+                    out.push(heaps[i].pop().expect("peeked entry"));
                 }
             }
+        }
+        // Every command ends by publishing exact heads: the absorb command
+        // exists for them, and the drain command fuses them in so an epoch
+        // needs no second round.
+        for (i, &s) in my_shards.iter().enumerate() {
+            *lock(&shared.slots[s].head) = heaps[i].peek_key().unwrap_or(EMPTY_HEAD);
         }
         let jitter = shared.jitter.load(Ordering::Relaxed);
         if jitter != 0 {
@@ -351,35 +376,38 @@ mod tests {
     }
 
     #[test]
-    fn drain_returns_sorted_in_window_runs_and_keeps_the_rest() {
+    fn drain_returns_sorted_runs_and_publishes_residual_heads() {
         let pool = pool_with(
             2,
             2,
             &[(0, 50, 1), (0, 10, 2), (0, 90, 3), (1, 10, 4), (1, 200, 5)],
         );
         let mut streams = vec![Vec::new(), Vec::new()];
-        pool.drain_window(SimTime(60), &mut streams);
+        let mut heads = vec![EMPTY_HEAD; 2];
+        pool.drain_epoch(SimTime(60), &mut streams, &mut heads);
         assert_eq!(streams[0], vec![(SimTime(10), 2, 2), (SimTime(50), 1, 1)]);
         assert_eq!(streams[1], vec![(SimTime(10), 4, 4)]);
-        // The beyond-window events survive for a later window.
-        let mut heads = vec![EMPTY_HEAD; 2];
-        pool.absorb_heads(&mut heads);
+        // The beyond-epoch events survive, and the fused head publication
+        // reports them without a second rendezvous.
         assert_eq!(heads[0], (SimTime(90), 3));
         assert_eq!(heads[1], (SimTime(200), 5));
+        assert_eq!(pool.sync_profile().rendezvous, 1);
     }
 
     #[test]
-    fn posted_items_cannot_miss_their_own_window() {
-        // Post, then immediately drain a window covering the posts: the
+    fn posted_items_cannot_miss_their_own_epoch() {
+        // Post, then immediately drain an epoch covering the posts: the
         // drain rendezvous must absorb mailboxes first.
         let pool = ShardPool::start(4, 4);
         for s in 0..4 {
             pool.post(s, &mut vec![(SimTime(7), s as u64, s as u64)]);
         }
         let mut streams = vec![Vec::new(); 4];
-        pool.drain_window(SimTime(8), &mut streams);
+        let mut heads = vec![EMPTY_HEAD; 4];
+        pool.drain_epoch(SimTime(8), &mut streams, &mut heads);
         for (s, st) in streams.iter().enumerate() {
             assert_eq!(st.len(), 1, "shard {s} lost its posted item");
+            assert_eq!(heads[s], EMPTY_HEAD, "shard {s} drained clean");
         }
     }
 
@@ -401,8 +429,9 @@ mod tests {
         }
         let mut got = Vec::new();
         let mut streams = vec![Vec::new(); 4];
+        let mut heads = vec![EMPTY_HEAD; 4];
         for window in [250u64, 500, 750, 1001] {
-            pool.drain_window(SimTime(window), &mut streams);
+            pool.drain_epoch(SimTime(window), &mut streams, &mut heads);
             let mut merged: Vec<(SimTime, u64)> = streams
                 .iter_mut()
                 .flat_map(|s| s.drain(..))
@@ -413,5 +442,7 @@ mod tests {
         }
         expected.sort_unstable();
         assert_eq!(got, expected);
+        let sync = pool.sync_profile();
+        assert_eq!(sync.rendezvous, 4);
     }
 }
